@@ -1,0 +1,123 @@
+// §4.6 — computational cost. The paper reports ~0.7 ms inference per
+// scheduling decision (Python/TensorFlow) and ~35 min training. These
+// google-benchmark micro-benchmarks measure our per-decision inference cost
+// (feature build + policy forward), the raw MLP forward pass, one PPO
+// update, and a full simulated 256-job sequence.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/rl_inspector.hpp"
+#include "rl/ppo.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace si;
+
+struct CostFixture {
+  Trace trace = make_trace("SDSC-SP2", 2000, 42);
+  FeatureBuilder features{FeatureMode::kManual, Metric::kBsld,
+                          FeatureScales::from_trace(trace), 600.0};
+  ActorCritic agent{8, {32, 16, 8}, 7};
+
+  Job job;
+  std::vector<Job> queue_storage;
+  std::vector<const Job*> waiting;
+  InspectionView view;
+
+  CostFixture() {
+    job = trace.jobs()[10];
+    for (int i = 0; i < 32; ++i) queue_storage.push_back(trace.jobs()[20 + i]);
+    for (const Job& q : queue_storage) waiting.push_back(&q);
+    view.now = 1000.0;
+    view.job = &job;
+    view.job_wait = 300.0;
+    view.job_rejections = 2;
+    view.max_rejection_times = 72;
+    view.free_procs = 48;
+    view.total_procs = 128;
+    view.backfill_enabled = false;
+    view.backfillable_jobs = 0;
+    view.waiting = &waiting;
+  }
+};
+
+CostFixture& fixture() {
+  static CostFixture f;
+  return f;
+}
+
+// The paper's headline number: one full inspection decision (feature build
+// + policy network forward + threshold).
+void BM_InspectionDecision(benchmark::State& state) {
+  CostFixture& f = fixture();
+  for (auto _ : state) {
+    const std::vector<double> obs = f.features.build(f.view);
+    benchmark::DoNotOptimize(f.agent.act_greedy(obs));
+  }
+}
+BENCHMARK(BM_InspectionDecision);
+
+void BM_FeatureBuildOnly(benchmark::State& state) {
+  CostFixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.features.build(f.view));
+  }
+}
+BENCHMARK(BM_FeatureBuildOnly);
+
+void BM_PolicyForwardOnly(benchmark::State& state) {
+  CostFixture& f = fixture();
+  const std::vector<double> obs = f.features.build(f.view);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.agent.reject_prob(obs));
+  }
+}
+BENCHMARK(BM_PolicyForwardOnly);
+
+// One PPO update over a paper-sized step batch (100 trajectories' worth of
+// steps is workload-dependent; we use 2048 steps).
+void BM_PpoUpdate(benchmark::State& state) {
+  ActorCritic agent(8, {32, 16, 8}, 3);
+  PpoUpdater updater(agent);
+  Rng rng(5);
+  RolloutBatch batch;
+  for (int t = 0; t < 64; ++t) {
+    Trajectory traj;
+    for (int s = 0; s < 32; ++s) {
+      Step step;
+      step.obs.resize(8);
+      for (double& v : step.obs) v = rng.uniform();
+      const SampledAction a = agent.sample(step.obs, rng);
+      step.action = a.action;
+      step.log_prob = a.log_prob;
+      traj.steps.push_back(std::move(step));
+    }
+    traj.reward = rng.uniform(-1.0, 1.0);
+    batch.add(std::move(traj));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(updater.update(batch));
+  }
+  state.SetLabel("2048 steps/update");
+}
+BENCHMARK(BM_PpoUpdate)->Unit(benchmark::kMillisecond);
+
+// A full paired rollout of a 256-job sequence (one training sample).
+void BM_SimulatedSequence(benchmark::State& state) {
+  CostFixture& f = fixture();
+  PolicyPtr policy = make_policy("SJF");
+  Simulator sim(f.trace.cluster_procs(), SimConfig{});
+  Rng rng(9);
+  const std::vector<Job> jobs = f.trace.sample_window(rng, 256);
+  for (auto _ : state) {
+    RlInspector inspector(f.agent, f.features, InspectorMode::kGreedy);
+    benchmark::DoNotOptimize(sim.run(jobs, *policy, &inspector));
+  }
+  state.SetLabel("256 jobs, inspected");
+}
+BENCHMARK(BM_SimulatedSequence)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Figure 12 — SchedInspector in realistic settings: the Slurm multifactor
+// priority policy (age + fairshare + job attribute + partition, all weights
+// 1000) with backfilling enabled on SDSC-SP2 (the trace with user/queue
+// annotations). Paper result: 24.7% better bsld (62.4 vs 82.9) at a 0.49%
+// utilization cost.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sched/slurm.hpp"
+
+int main() {
+  using namespace si;
+  const bench::Context ctx = bench::init(
+      "Figure 12",
+      "Slurm multifactor + backfilling on SDSC-SP2, trained toward bsld");
+
+  const bench::SplitTrace split = bench::load_split_trace("SDSC-SP2", ctx);
+  // The multifactor policy calibrates fair shares and queue priorities from
+  // actual usage across the whole trace, as §4.5 describes.
+  PolicyPtr policy = make_slurm_policy(split.full);
+
+  TrainerConfig tconfig = bench::default_trainer_config(ctx);
+  tconfig.sim.backfill = true;  // Slurm backfills by default
+  Trainer trainer(split.train, *policy, tconfig);
+  ActorCritic agent = trainer.make_agent();
+  const TrainResult result = trainer.train(agent);
+  std::printf("%s\n", bench::render_curve("Slurm multifactor", result).c_str());
+
+  EvalConfig econfig = bench::default_eval_config(ctx);
+  econfig.sim.backfill = true;
+  const EvalResult eval =
+      evaluate(split.test, *policy, agent, trainer.features(), econfig);
+
+  TextTable table({"", "Original", "Inspected", "change"});
+  bench::add_comparison_row(table, "bsld", eval.mean_base(Metric::kBsld),
+                            eval.mean_inspected(Metric::kBsld));
+  const double ub = eval.mean_base_utilization() * 100.0;
+  const double ui = eval.mean_inspected_utilization() * 100.0;
+  char delta[16];
+  std::snprintf(delta, sizeof delta, "%+.2f%%", ui - ub);
+  table.row()
+      .cell("utilization")
+      .cell(format_double(ub, 2) + "%")
+      .cell(format_double(ui, 2) + "%")
+      .cell(delta);
+  std::printf("Figure 12 — Slurm base vs. inspected on test sequences:\n%s",
+              table.render().c_str());
+  std::printf("\npaper: bsld 82.9 -> 62.4 (24.7%% better), utilization "
+              "79.31%% -> 78.82%% (-0.49%%)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 4 — training curves of SchedInspector on the four job traces using
+// SJF and F1 as base schedulers, metric bsld, percentage reward, manual
+// features. The paper's result shape: curves start below zero (inspector
+// worse than base) and converge to positive improvements on every trace.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace si;
+  const bench::Context ctx = bench::init(
+      "Figure 4",
+      "Training curves: SJF and F1 on CTC-SP2 / SDSC-SP2 / HPC2N / Lublin "
+      "(bsld)");
+
+  TextTable summary({"policy", "trace", "first-epoch improvement",
+                     "converged improvement", "rejection ratio",
+                     "greedy test bsld (base -> insp)"});
+  for (const char* policy_name : {"SJF", "F1"}) {
+    for (const std::string& trace_name : table2_trace_names()) {
+      const bench::SplitTrace split = bench::load_split_trace(trace_name, ctx);
+      PolicyPtr policy = make_policy(policy_name);
+      const TrainerConfig config = bench::default_trainer_config(ctx);
+      Trainer trainer(split.train, *policy, config);
+      ActorCritic agent = trainer.make_agent();
+      const TrainResult result = trainer.train(agent);
+      std::printf("%s", bench::render_curve(
+                            std::string(policy_name) + " / " + trace_name,
+                            result)
+                            .c_str());
+      std::printf("\n");
+      const bench::GreedyValidation v = bench::validate_greedy(
+          split.test, *policy, agent, trainer.features(), ctx, Metric::kBsld);
+      summary.row()
+          .cell(policy_name)
+          .cell(trace_name)
+          .cell(result.curve.front().mean_improvement, 3)
+          .cell(result.converged_improvement, 3)
+          .cell(result.converged_rejection_ratio, 3)
+          .cell(format_double(v.base, 1) + " -> " +
+                format_double(v.inspected, 1) + " (" +
+                format_percent(v.relative_improvement()) + ")");
+    }
+  }
+  std::printf("Figure 4 summary (improvement = bsld_orig - bsld_inspected; "
+              "> 0 means SchedInspector beats the base policy):\n%s",
+              summary.render().c_str());
+  return 0;
+}

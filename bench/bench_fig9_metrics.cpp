@@ -1,0 +1,44 @@
+// Figure 9 — training toward other job-execution metrics: average waiting
+// time (wait) and maximal bounded slowdown (mbsld), on SDSC-SP2 with SJF
+// and F1. Paper shape: starts below the base scheduler, converges to 25-50%
+// relative improvements on both metrics.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace si;
+  const bench::Context ctx = bench::init(
+      "Figure 9",
+      "Training toward wait and mbsld on SDSC-SP2 with SJF and F1");
+
+  const bench::SplitTrace split = bench::load_split_trace("SDSC-SP2", ctx);
+  TextTable summary({"metric", "policy", "converged improvement",
+                     "rejection ratio", "greedy test (base -> insp)"});
+  for (const Metric metric : {Metric::kWait, Metric::kMaxBsld}) {
+    for (const char* policy_name : {"SJF", "F1"}) {
+      PolicyPtr policy = make_policy(policy_name);
+      const TrainerConfig config = bench::default_trainer_config(ctx, metric);
+      Trainer trainer(split.train, *policy, config);
+      ActorCritic agent = trainer.make_agent();
+      const TrainResult result = trainer.train(agent);
+      const std::string label =
+          metric_name(metric) + " / " + policy_name;
+      std::printf("%s\n", bench::render_curve(label, result).c_str());
+      const bench::GreedyValidation v = bench::validate_greedy(
+          split.test, *policy, agent, trainer.features(), ctx, metric);
+      summary.row()
+          .cell(metric_name(metric))
+          .cell(policy_name)
+          .cell(result.converged_improvement, 3)
+          .cell(result.converged_rejection_ratio, 3)
+          .cell(format_double(v.base, 1) + " -> " +
+                format_double(v.inspected, 1) + " (" +
+                format_percent(v.relative_improvement()) + ")");
+    }
+  }
+  std::printf("Figure 9 summary (paper: converges to 25%%-50%% relative "
+              "improvement on both metrics):\n%s",
+              summary.render().c_str());
+  return 0;
+}

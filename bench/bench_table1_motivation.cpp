@@ -1,0 +1,132 @@
+// Table 1 / Figure 1 — the §2.1 motivating example: a 5-node cluster under
+// SJF (no backfilling), two cases, each with and without a scheduling
+// inspector. Prints the exact per-case waiting time and bounded-slowdown
+// rows of Table 1, plus the per-job schedule (our Figure 1 equivalent).
+#include <cstdio>
+
+#include "common.hpp"
+#include "sched/policies.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace si;
+
+constexpr double kMin = 60.0;
+
+Job make_job(std::int64_t id, double submit_min, double est_min,
+             double run_min, int procs) {
+  Job j;
+  j.id = id;
+  j.submit = submit_min * kMin;
+  j.estimate = est_min * kMin;
+  j.run = run_min * kMin;
+  j.procs = procs;
+  return j;
+}
+
+class ScriptedInspector final : public Inspector {
+ public:
+  ScriptedInspector(std::int64_t job_id, int times)
+      : job_id_(job_id), times_(times) {}
+  bool reject(const InspectionView& view) override {
+    if (view.job->id == job_id_ && rejected_ < times_) {
+      ++rejected_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::int64_t job_id_;
+  int times_;
+  int rejected_ = 0;
+};
+
+double mean_wait_minutes(const SequenceResult& r) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i < r.records.size(); ++i) sum += r.records[i].wait();
+  return sum / kMin / static_cast<double>(r.records.size() - 1);
+}
+
+double mean_bsld(const SequenceResult& r) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i < r.records.size(); ++i)
+    sum += r.records[i].bounded_slowdown();
+  return sum / static_cast<double>(r.records.size() - 1);
+}
+
+void print_schedule(const char* label, const SequenceResult& r) {
+  std::printf("  %s\n", label);
+  static const char* names[] = {"Jp", "J0", "J1", "J2"};
+  for (std::size_t i = 0; i < r.records.size(); ++i) {
+    const JobRecord& rec = r.records[i];
+    std::printf("    %-3s procs=%d  submit=t%-2.0f start=t%-2.0f finish=t%-2.0f"
+                "  wait=%.0fmin  bsld=%.2f  rejections=%d\n",
+                names[i], rec.procs, rec.submit / kMin, rec.start / kMin,
+                rec.finish / kMin, rec.wait() / kMin, rec.bounded_slowdown(),
+                rec.rejections);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace si;
+  bench::init("Table 1 / Figure 1",
+              "Motivating example: SJF on a 5-node cluster, with/without "
+              "inspection");
+
+  Simulator sim(5, SimConfig{});
+  SjfPolicy sjf;
+
+  // Case (a): sufficient resources for the selected job.
+  const std::vector<Job> case_a = {
+      make_job(0, 0.0, 1.0, 5.0, 2),  // Jp
+      make_job(1, 0.0, 5.0, 5.0, 2),  // J0
+      make_job(2, 0.0, 5.0, 5.0, 2),  // J1
+      make_job(3, 1.0, 3.0, 3.0, 3),  // J2 (arrives t1)
+  };
+  // Case (b): the selected job cannot run immediately.
+  const std::vector<Job> case_b = {
+      make_job(0, 0.0, 1.0, 3.0, 2),  // Jp
+      make_job(1, 0.0, 5.0, 5.0, 4),  // J0 (insufficient at t0)
+      make_job(2, 1.0, 3.0, 3.0, 2),  // J1 (arrives t1)
+  };
+
+  const auto a_base = sim.run(case_a, sjf);
+  ScriptedInspector a_script(1, 2);
+  const auto a_insp = sim.run(case_a, sjf, &a_script);
+  const auto b_base = sim.run(case_b, sjf);
+  ScriptedInspector b_script(1, 1);
+  const auto b_insp = sim.run(case_b, sjf, &b_script);
+
+  std::printf("Figure 1 schedules (times in minutes, Jp = preliminary job):\n");
+  print_schedule("Case (a) — no inspection:", a_base);
+  print_schedule("Case (a) — inspected (J0 rejected at t0, t1):", a_insp);
+  print_schedule("Case (b) — no inspection:", b_base);
+  print_schedule("Case (b) — inspected (J0 rejected at t0):", b_insp);
+
+  TextTable table({"Scheduling Cases", "Waiting time", "Bounded job slowdown",
+                   "paper wait", "paper bsld"});
+  auto row = [&](const char* label, const SequenceResult& r,
+                 const char* paper_wait, const char* paper_bsld) {
+    table.row()
+        .cell(label)
+        .cell(mean_wait_minutes(r), 2)
+        .cell(mean_bsld(r), 2)
+        .cell(paper_wait)
+        .cell(paper_bsld);
+  };
+  row("Case(a)-NoInspect", a_base, "3", "1.77");
+  row("Case(a)-Inspected", a_insp, "3", "1.53");
+  row("Case(b)-NoInspect", b_base, "5", "2.45");
+  row("Case(b)-Inspected", b_insp, "2", "1.4");
+  std::printf("\nTable 1 — performance metrics of the example cases:\n%s",
+              table.render().c_str());
+  std::printf(
+      "\nNote: case (b) matches Table 1 exactly. Case (a)'s inspected row\n"
+      "computes bsld 1.60 under the paper's own committed-head simulator\n"
+      "semantics (the hand-drawn figure implies 1.53); see EXPERIMENTS.md.\n");
+  return 0;
+}

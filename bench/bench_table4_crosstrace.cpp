@@ -1,0 +1,65 @@
+// Table 4 — cross-trace generality: schedule each trace Y with (1) plain
+// SJF, (2) SchedInspector trained on SDSC-SP2 and transferred to Y, and
+// (3) SchedInspector trained on Y itself. Paper shape: Y->Y best, but
+// SDSC-SP2->Y still beats the base scheduler on every trace.
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+
+int main() {
+  using namespace si;
+  const bench::Context ctx = bench::init(
+      "Table 4",
+      "Cross-trace stability: Base->Y vs. 'SDSC-SP2'->Y vs. Y->Y (SJF, "
+      "bsld)");
+
+  // Train the transfer model once on SDSC-SP2.
+  const bench::SplitTrace sdsc = bench::load_split_trace("SDSC-SP2", ctx);
+  PolicyPtr sdsc_policy = make_policy("SJF");
+  const TrainerConfig tconfig = bench::default_trainer_config(ctx);
+  Trainer sdsc_trainer(sdsc.train, *sdsc_policy, tconfig);
+  ActorCritic transfer_agent = sdsc_trainer.make_agent();
+  sdsc_trainer.train(transfer_agent);
+
+  TextTable table({"Base->Y", "'SDSC-SP2'->Y", "Y->Y", "trace Y"});
+  for (const std::string& trace_name : table2_trace_names()) {
+    const bench::SplitTrace split = bench::load_split_trace(trace_name, ctx);
+    PolicyPtr policy = make_policy("SJF");
+    const EvalConfig econfig = bench::default_eval_config(ctx);
+
+    // Column 1: plain base scheduler on Y.
+    const double base =
+        mean_of(evaluate_base(split.test, *policy, Metric::kBsld, econfig));
+
+    // Column 2: the SDSC-SP2-trained model applied to Y. Feature scales
+    // come from the target trace, as they would in deployment.
+    FeatureBuilder target_features(FeatureMode::kManual, Metric::kBsld,
+                                   FeatureScales::from_trace(split.full),
+                                   tconfig.sim.max_interval);
+    const EvalResult transferred = evaluate(
+        split.test, *policy, transfer_agent, target_features, econfig);
+
+    // Column 3: a model trained on Y itself.
+    PolicyPtr own_policy = make_policy("SJF");
+    Trainer own_trainer(split.train, *own_policy, tconfig);
+    ActorCritic own_agent = own_trainer.make_agent();
+    own_trainer.train(own_agent);
+    const EvalResult own = evaluate(split.test, *own_policy, own_agent,
+                                    own_trainer.features(), econfig);
+
+    table.row()
+        .cell(base, 2)
+        .cell(transferred.mean_inspected(Metric::kBsld), 2)
+        .cell(own.mean_inspected(Metric::kBsld), 2)
+        .cell(trace_name);
+    std::printf("done: %s\n", trace_name.c_str());
+  }
+  std::printf("\nTable 4 — bsld under the three scheduling scenarios "
+              "(smaller is better):\n%s",
+              table.render().c_str());
+  std::printf("\npaper values: SDSC-SP2 149.5/130.75/130.75, CTC-SP2 "
+              "13.36/10.79/10.1, Lublin 333.19/320.39/27.97, HPC2N "
+              "8.26/4.39/3.27\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace si::bench {
+
+Context init(const std::string& experiment, const std::string& description) {
+  Context ctx;
+  ctx.scale = bench_scale();
+  ctx.seed = bench_seed();
+  ctx.full = full_scale_run();
+  std::printf("==============================================================\n");
+  std::printf("SchedInspector reproduction — %s\n", experiment.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("scale: %s (epochs=%d, trajectories=%d, seq=%d, eval=%dx%d)\n",
+              ctx.full ? "FULL (paper)" : "fast (set SCHEDINSPECTOR_FULL=1)",
+              ctx.scale.epochs, ctx.scale.trajectories,
+              ctx.scale.sequence_length, ctx.scale.eval_sequences,
+              ctx.scale.eval_length);
+  std::printf("seed: %llu\n", static_cast<unsigned long long>(ctx.seed));
+  std::printf("==============================================================\n\n");
+  return ctx;
+}
+
+SplitTrace load_split_trace(const std::string& name, const Context& ctx) {
+  Trace full = make_trace(name, kDefaultTraceJobs, ctx.seed);
+  auto [train, test] = full.split(0.2);
+  return SplitTrace{std::move(full), std::move(train), std::move(test)};
+}
+
+TrainerConfig default_trainer_config(const Context& ctx, Metric metric) {
+  TrainerConfig config;
+  config.metric = metric;
+  config.reward = RewardKind::kPercentage;
+  config.features = FeatureMode::kManual;
+  config.epochs = ctx.scale.epochs;
+  config.trajectories_per_epoch = ctx.scale.trajectories;
+  config.sequence_length = ctx.scale.sequence_length;
+  config.seed = ctx.seed;
+  return config;
+}
+
+EvalConfig default_eval_config(const Context& ctx) {
+  EvalConfig config;
+  config.sequences = ctx.scale.eval_sequences;
+  config.sequence_length = ctx.scale.eval_length;
+  config.seed = ctx.seed ^ 0xe7a1ULL;
+  return config;
+}
+
+std::string render_curve(const std::string& label, const TrainResult& result) {
+  TextTable table({"epoch", "improvement", "pct", "reject_ratio", "entropy"});
+  const std::size_t n = result.curve.size();
+  const std::size_t step = n <= 12 ? 1 : n / 12;
+  for (std::size_t i = 0; i < n; i += step) {
+    const EpochStats& e = result.curve[i];
+    table.row()
+        .cell(e.epoch)
+        .cell(e.mean_improvement, 3)
+        .cell(format_percent(e.mean_pct_improvement))
+        .cell(e.rejection_ratio, 3)
+        .cell(e.entropy, 3);
+  }
+  if (step > 1 && (n - 1) % step != 0) {
+    const EpochStats& e = result.curve.back();
+    table.row()
+        .cell(e.epoch)
+        .cell(e.mean_improvement, 3)
+        .cell(format_percent(e.mean_pct_improvement))
+        .cell(e.rejection_ratio, 3)
+        .cell(e.entropy, 3);
+  }
+  std::string out = "--- training curve: " + label + " ---\n";
+  out += table.render();
+  out += "converged improvement (tail mean): " +
+         format_double(result.converged_improvement, 3) +
+         ", rejection ratio: " +
+         format_double(result.converged_rejection_ratio, 3) + "\n";
+  return out;
+}
+
+GreedyValidation validate_greedy(const Trace& test_trace,
+                                 SchedulingPolicy& policy,
+                                 const ActorCritic& agent,
+                                 const FeatureBuilder& features,
+                                 const Context& ctx, Metric metric,
+                                 const SimConfig& sim) {
+  EvalConfig config = default_eval_config(ctx);
+  config.sim = sim;
+  const EvalResult eval =
+      evaluate(test_trace, policy, agent, features, config);
+  GreedyValidation v;
+  v.base = eval.mean_base(metric);
+  v.inspected = eval.mean_inspected(metric);
+  v.base_util = eval.mean_base_utilization();
+  v.inspected_util = eval.mean_inspected_utilization();
+  return v;
+}
+
+void add_comparison_row(TextTable& table, const std::string& label,
+                        double base, double inspected, int decimals) {
+  const double delta = base > 0.0 ? (base - inspected) / base : 0.0;
+  table.row()
+      .cell(label)
+      .cell(base, decimals)
+      .cell(inspected, decimals)
+      .cell(format_percent(delta));
+}
+
+}  // namespace si::bench

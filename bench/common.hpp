@@ -1,0 +1,78 @@
+// Shared plumbing for the per-table/figure bench binaries: banner printing,
+// standard trace loading with the paper's 20/80 train-test split, default
+// trainer/evaluator configurations derived from the active BenchScale, and
+// terminal-friendly training-curve rendering.
+#pragma once
+
+#include <string>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "sched/factory.hpp"
+#include "workload/registry.hpp"
+
+namespace si::bench {
+
+/// Run-wide context printed in the banner so results are reproducible.
+struct Context {
+  BenchScale scale;
+  std::uint64_t seed = 0;
+  bool full = false;
+};
+
+/// Prints the bench banner (experiment id, scale, seed) and returns the
+/// context.
+Context init(const std::string& experiment, const std::string& description);
+
+/// A trace with its 20%/80% train/test split (§4.4).
+struct SplitTrace {
+  Trace full;
+  Trace train;
+  Trace test;
+};
+
+/// Builds the named Table 2 trace at the default length and splits it.
+SplitTrace load_split_trace(const std::string& name, const Context& ctx);
+
+/// TrainerConfig prefilled from the bench scale (paper hyper-parameters:
+/// percentage reward, manual features, MAX_INTERVAL 600 s,
+/// MAX_REJECTION_TIMES 72, lr 1e-3).
+TrainerConfig default_trainer_config(const Context& ctx,
+                                     Metric metric = Metric::kBsld);
+
+/// EvalConfig prefilled from the bench scale (paper: 50 sequences x 256
+/// jobs).
+EvalConfig default_eval_config(const Context& ctx);
+
+/// Renders a training curve as an epoch table (sampled every few epochs) —
+/// the textual stand-in for the paper's line plots. `improvement` is the
+/// mean orig-inspected difference on the training metric; larger is better.
+std::string render_curve(const std::string& label, const TrainResult& result);
+
+/// Renders an aligned base-vs-inspected summary row.
+void add_comparison_row(TextTable& table, const std::string& label,
+                        double base, double inspected, int decimals = 2);
+
+/// Deterministic greedy validation of a trained agent on the test split:
+/// base vs. inspected means on `metric` plus utilizations. Used by the
+/// ablation benches so comparisons are not polluted by exploration noise.
+struct GreedyValidation {
+  double base = 0.0;
+  double inspected = 0.0;
+  double base_util = 0.0;
+  double inspected_util = 0.0;
+
+  double relative_improvement() const {
+    return base > 0.0 ? (base - inspected) / base : 0.0;
+  }
+};
+GreedyValidation validate_greedy(const Trace& test_trace,
+                                 SchedulingPolicy& policy,
+                                 const ActorCritic& agent,
+                                 const FeatureBuilder& features,
+                                 const Context& ctx, Metric metric,
+                                 const SimConfig& sim = {});
+
+}  // namespace si::bench

@@ -1,0 +1,82 @@
+// Policy playground: head-to-head comparison of every base scheduling
+// policy, with and without a trained SchedInspector, on one workload.
+//
+// This is the "which policy + inspector combo should I deploy?" tool: it
+// trains one inspector per base policy (small budget), then evaluates all
+// of them on the same held-out sequences and ranks the combinations.
+//
+// Run:  ./build/examples/policy_playground [trace-name] [epochs]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "sched/factory.hpp"
+#include "workload/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace si;
+  const std::string trace_name = argc > 1 ? argv[1] : "SDSC-SP2";
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  const Trace trace = make_trace(trace_name, 4000, 42);
+  auto [train_split, test_split] = trace.split(0.2);
+  std::printf("playground on %s (%zu jobs, %d procs), %d training epochs "
+              "per policy\n\n",
+              trace.name().c_str(), trace.size(), trace.cluster_procs(),
+              epochs);
+
+  struct Row {
+    std::string label;
+    double bsld;
+    double wait;
+    double util;
+  };
+  std::vector<Row> rows;
+
+  EvalConfig eval_config;
+  eval_config.sequences = 16;
+  eval_config.sequence_length = 128;
+
+  for (const std::string& name : heuristic_policy_names()) {
+    PolicyPtr policy = make_policy(name);
+
+    TrainerConfig config;
+    config.epochs = epochs;
+    config.trajectories_per_epoch = 24;
+    config.sequence_length = 64;
+    config.seed = 42;
+    Trainer trainer(train_split, *policy, config);
+    ActorCritic agent = trainer.make_agent();
+    trainer.train(agent);
+
+    const EvalResult eval =
+        evaluate(test_split, *policy, agent, trainer.features(), eval_config);
+    rows.push_back({name, eval.mean_base(Metric::kBsld),
+                    eval.mean_base(Metric::kWait),
+                    eval.mean_base_utilization()});
+    rows.push_back({name + "+inspector", eval.mean_inspected(Metric::kBsld),
+                    eval.mean_inspected(Metric::kWait),
+                    eval.mean_inspected_utilization()});
+    std::printf("trained %s (converged rejection ratio from training run "
+                "shown in bench_fig7_policies)\n",
+                name.c_str());
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.bsld < b.bsld; });
+  TextTable table({"rank", "scheduler", "avg bsld", "avg wait (s)", "util"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.row()
+        .cell(static_cast<long long>(i + 1))
+        .cell(rows[i].label)
+        .cell(rows[i].bsld, 2)
+        .cell(rows[i].wait, 0)
+        .cell(format_double(rows[i].util * 100.0, 1) + "%");
+  }
+  std::printf("\nranking by held-out bsld (smaller is better):\n%s",
+              table.render().c_str());
+  return 0;
+}

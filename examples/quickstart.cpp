@@ -1,0 +1,76 @@
+// Quickstart: the complete SchedInspector workflow in ~60 lines.
+//
+//   1. Build (or load) a workload trace.
+//   2. Pick a base scheduling policy (here: SJF).
+//   3. Train the RL inspector on the first 20% of the trace.
+//   4. Evaluate base vs. inspected scheduling on held-out job sequences.
+//   5. Save the trained model for deployment.
+//
+// Run:  ./build/examples/quickstart [trace-name] [policy]
+//       trace-name in {CTC-SP2, SDSC-SP2, HPC2N, Lublin}; default SDSC-SP2.
+#include <cstdio>
+#include <string>
+
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "rl/model_io.hpp"
+#include "sched/factory.hpp"
+#include "workload/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace si;
+  const std::string trace_name = argc > 1 ? argv[1] : "SDSC-SP2";
+  const std::string policy_name = argc > 2 ? argv[2] : "SJF";
+
+  // 1. Workload: a calibrated synthetic trace (drop in a real SWF log with
+  //    load_swf_file("path.swf") instead).
+  const Trace trace = make_trace(trace_name, 4000, /*seed=*/42);
+  auto [train_split, test_split] = trace.split(0.2);
+  std::printf("trace %s: %zu jobs on %d processors\n", trace.name().c_str(),
+              trace.size(), trace.cluster_procs());
+
+  // 2. Base scheduler.
+  PolicyPtr policy = make_policy(policy_name);
+
+  // 3. Train the inspector toward average bounded slowdown.
+  TrainerConfig config;
+  config.metric = Metric::kBsld;
+  config.epochs = 15;
+  config.trajectories_per_epoch = 24;
+  config.sequence_length = 64;
+  config.seed = 42;
+  Trainer trainer(train_split, *policy, config);
+  ActorCritic agent = trainer.make_agent();
+  std::printf("training %s inspector (%d epochs x %d trajectories)...\n",
+              policy->name().c_str(), config.epochs,
+              config.trajectories_per_epoch);
+  const TrainResult result = trainer.train(agent);
+  std::printf("converged improvement: %.2f bsld (rejection ratio %.0f%%)\n",
+              result.converged_improvement,
+              result.converged_rejection_ratio * 100.0);
+
+  // 4. Evaluate on held-out sequences.
+  EvalConfig eval_config;
+  eval_config.sequences = 20;
+  eval_config.sequence_length = 128;
+  const EvalResult eval =
+      evaluate(test_split, *policy, agent, trainer.features(), eval_config);
+  const double base = eval.mean_base(Metric::kBsld);
+  const double inspected = eval.mean_inspected(Metric::kBsld);
+  std::printf("\nheld-out evaluation (%d sequences x %d jobs):\n",
+              eval_config.sequences, eval_config.sequence_length);
+  std::printf("  %-22s bsld %8.2f   util %5.2f%%\n",
+              (policy->name() + " alone:").c_str(), base,
+              eval.mean_base_utilization() * 100.0);
+  std::printf("  %-22s bsld %8.2f   util %5.2f%%\n",
+              (policy->name() + " + inspector:").c_str(), inspected,
+              eval.mean_inspected_utilization() * 100.0);
+  std::printf("  improvement: %.1f%%\n",
+              base > 0.0 ? (base - inspected) / base * 100.0 : 0.0);
+
+  // 5. Persist the model.
+  const std::string model_path = "/tmp/schedinspector_" + trace_name + ".model";
+  save_model_file(model_path, agent);
+  std::printf("\nmodel saved to %s\n", model_path.c_str());
+  return 0;
+}

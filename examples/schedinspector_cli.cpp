@@ -1,0 +1,211 @@
+// schedinspector_cli — the deployable front-end: train an inspector on a
+// workload (built-in synthetic or a real SWF file), evaluate a trained
+// model, or explain its decisions, all from the command line.
+//
+//   schedinspector_cli train --trace SDSC-SP2 --policy SJF \
+//       --metric bsld --epochs 24 --out /tmp/model.txt
+//   schedinspector_cli eval  --trace SDSC-SP2 --policy SJF \
+//       --model /tmp/model.txt --sequences 20
+//   schedinspector_cli analyze --trace SDSC-SP2 --policy SJF \
+//       --model /tmp/model.txt
+//
+// --trace accepts a registry name (CTC-SP2, SDSC-SP2, HPC2N, Lublin) or a
+// path to an SWF file. --policy accepts any Table 3 name or "Slurm".
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "rl/model_io.hpp"
+#include "sched/factory.hpp"
+#include "workload/registry.hpp"
+#include "workload/swf.hpp"
+
+namespace {
+
+using namespace si;
+
+struct Options {
+  std::string command;
+  std::string trace = "SDSC-SP2";
+  std::string policy = "SJF";
+  std::string metric = "bsld";
+  std::string model_path = "/tmp/schedinspector.model";
+  int epochs = 24;
+  int trajectories = 40;
+  int sequence_length = 64;
+  int sequences = 20;
+  bool backfill = false;
+  std::uint64_t seed = 42;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: schedinspector_cli <train|eval|analyze> [options]\n"
+               "  --trace <name|file.swf>   workload (default SDSC-SP2)\n"
+               "  --policy <name>           base policy (default SJF)\n"
+               "  --metric <bsld|wait|mbsld>\n"
+               "  --model <path>            model file (out for train)\n"
+               "  --epochs / --trajectories / --seq-len   training scale\n"
+               "  --sequences <n>           evaluation sample count\n"
+               "  --backfill                enable EASY backfilling\n"
+               "  --seed <n>\n");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--backfill") {
+      opts.backfill = true;
+      continue;
+    }
+    const char* value = next();
+    if (value == nullptr) return false;
+    if (arg == "--trace") opts.trace = value;
+    else if (arg == "--policy") opts.policy = value;
+    else if (arg == "--metric") opts.metric = value;
+    else if (arg == "--model") opts.model_path = value;
+    else if (arg == "--epochs") opts.epochs = std::atoi(value);
+    else if (arg == "--trajectories") opts.trajectories = std::atoi(value);
+    else if (arg == "--seq-len") opts.sequence_length = std::atoi(value);
+    else if (arg == "--sequences") opts.sequences = std::atoi(value);
+    else if (arg == "--seed")
+      opts.seed = static_cast<std::uint64_t>(std::atoll(value));
+    else
+      return false;
+  }
+  return opts.command == "train" || opts.command == "eval" ||
+         opts.command == "analyze";
+}
+
+Trace load_trace(const Options& opts) {
+  if (opts.trace.size() > 4 &&
+      opts.trace.rfind(".swf") == opts.trace.size() - 4)
+    return load_swf_file(opts.trace);
+  return make_trace(opts.trace, kDefaultTraceJobs, opts.seed);
+}
+
+PolicyPtr load_policy(const Options& opts, const Trace& trace) {
+  if (opts.policy == "Slurm") return make_slurm_policy(trace);
+  return make_policy(opts.policy);
+}
+
+TrainerConfig trainer_config(const Options& opts) {
+  TrainerConfig config;
+  config.metric = metric_from_name(opts.metric);
+  config.epochs = opts.epochs;
+  config.trajectories_per_epoch = opts.trajectories;
+  config.sequence_length = opts.sequence_length;
+  config.sim.backfill = opts.backfill;
+  config.seed = opts.seed;
+  return config;
+}
+
+int cmd_train(const Options& opts) {
+  const Trace trace = load_trace(opts);
+  auto [train_split, test_split] = trace.split(0.2);
+  PolicyPtr policy = load_policy(opts, trace);
+  Trainer trainer(train_split, *policy, trainer_config(opts));
+  ActorCritic agent = trainer.make_agent();
+  std::printf("training on %s (%zu jobs, %d procs), policy %s, metric %s\n",
+              trace.name().c_str(), trace.size(), trace.cluster_procs(),
+              policy->name().c_str(), opts.metric.c_str());
+  const TrainResult result = trainer.train(agent);
+  for (std::size_t i = 0; i < result.curve.size();
+       i += std::max<std::size_t>(result.curve.size() / 10, 1)) {
+    const EpochStats& e = result.curve[i];
+    std::printf("  epoch %3d  improvement %10.3f  reject ratio %.3f\n",
+                e.epoch, e.mean_improvement, e.rejection_ratio);
+  }
+  std::printf("converged improvement %.3f, rejection ratio %.3f\n",
+              result.converged_improvement,
+              result.converged_rejection_ratio);
+  save_model_file(opts.model_path, agent);
+  std::printf("model written to %s\n", opts.model_path.c_str());
+  return 0;
+}
+
+int cmd_eval(const Options& opts) {
+  const Trace trace = load_trace(opts);
+  auto [train_split, test_split] = trace.split(0.2);
+  PolicyPtr policy = load_policy(opts, trace);
+  const ActorCritic agent = load_model_file(opts.model_path);
+  const Metric metric = metric_from_name(opts.metric);
+  FeatureBuilder features(FeatureMode::kManual, metric,
+                          FeatureScales::from_trace(trace), 600.0);
+  if (agent.obs_size() != features.feature_count()) {
+    std::fprintf(stderr, "model expects %d features, builder provides %d\n",
+                 agent.obs_size(), features.feature_count());
+    return 1;
+  }
+  EvalConfig config;
+  config.sequences = opts.sequences;
+  config.sequence_length = std::min<int>(256, static_cast<int>(
+                                                  test_split.size()));
+  config.sim.backfill = opts.backfill;
+  config.seed = opts.seed;
+  const EvalResult eval =
+      evaluate(test_split, *policy, agent, features, config);
+  const double base = eval.mean_base(metric);
+  const double insp = eval.mean_inspected(metric);
+  std::printf("%s on %s, %d sequences x %d jobs\n", policy->name().c_str(),
+              trace.name().c_str(), config.sequences,
+              config.sequence_length);
+  std::printf("  base      %s = %.3f, util %.2f%%\n", opts.metric.c_str(),
+              base, eval.mean_base_utilization() * 100.0);
+  std::printf("  inspected %s = %.3f, util %.2f%%\n", opts.metric.c_str(),
+              insp, eval.mean_inspected_utilization() * 100.0);
+  std::printf("  improvement %.2f%%\n",
+              base > 0.0 ? (base - insp) / base * 100.0 : 0.0);
+  return 0;
+}
+
+int cmd_analyze(const Options& opts) {
+  const Trace trace = load_trace(opts);
+  PolicyPtr policy = load_policy(opts, trace);
+  const ActorCritic agent = load_model_file(opts.model_path);
+  const Metric metric = metric_from_name(opts.metric);
+  FeatureBuilder features(FeatureMode::kManual, metric,
+                          FeatureScales::from_trace(trace), 600.0);
+  if (agent.obs_size() != features.feature_count()) {
+    std::fprintf(stderr, "model/feature width mismatch\n");
+    return 1;
+  }
+  DecisionRecorder recorder(features.feature_names());
+  RlInspector inspector(agent, features, InspectorMode::kGreedy);
+  inspector.set_recorder(&recorder);
+  SimConfig sim_config;
+  sim_config.backfill = opts.backfill;
+  Simulator sim(trace.cluster_procs(), sim_config);
+  std::vector<Job> jobs = trace.jobs();
+  sim.run(jobs, *policy, &inspector);
+  std::printf("%zu inspections, %zu rejections (%.1f%%)\n",
+              recorder.total_samples(), recorder.rejected_samples(),
+              recorder.rejection_ratio() * 100.0);
+  std::printf("%s", recorder.render(10).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse(argc, argv, opts)) return usage();
+  try {
+    if (opts.command == "train") return cmd_train(opts);
+    if (opts.command == "eval") return cmd_eval(opts);
+    return cmd_analyze(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

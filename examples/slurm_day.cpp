@@ -1,0 +1,88 @@
+// Slurm day: a realistic-settings walkthrough (§4.5) on an annotated
+// workload. Builds the Slurm multifactor priority policy (age + fairshare +
+// job-attribute + partition factors, all weights 1000) from a trace with
+// user/queue annotations, explains the priority of a few sample jobs
+// factor-by-factor, then trains SchedInspector on top of Slurm (with EASY
+// backfilling, as Slurm defaults to) and reports the improvement.
+//
+// Run:  ./build/examples/slurm_day
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "sched/slurm.hpp"
+#include "workload/registry.hpp"
+
+int main() {
+  using namespace si;
+  const Trace trace = make_trace("SDSC-SP2", 4000, 42);
+  auto [train_split, test_split] = trace.split(0.2);
+
+  SlurmMultifactorPolicy slurm(trace);
+  std::printf("Slurm multifactor policy calibrated on %s (%zu jobs)\n\n",
+              trace.name().c_str(), trace.size());
+
+  // Explain a few job priorities factor by factor, as a Slurm admin would
+  // with `sprio`.
+  std::printf("priority breakdown for three waiting jobs at t = 2 h (all "
+              "weights 1000):\n");
+  TextTable prio({"job", "user", "queue", "age", "fairshare", "job_attr",
+                  "partition", "priority"});
+  const Time now = 2.0 * 3600;
+  for (std::size_t i = 100; i < 103; ++i) {
+    const Job& j = trace.jobs()[i];
+    prio.row()
+        .cell("job" + std::to_string(j.id))
+        .cell(static_cast<long long>(j.user))
+        .cell(static_cast<long long>(j.queue))
+        .cell(slurm.age_factor(j, now), 3)
+        .cell(slurm.fairshare_factor(j.user), 3)
+        .cell(slurm.job_attribute_factor(j), 3)
+        .cell(slurm.partition_factor(j.queue), 3)
+        .cell(slurm.priority(j, now), 0);
+  }
+  std::printf("%s\n", prio.render().c_str());
+
+  // Train SchedInspector on top of Slurm, backfilling on.
+  TrainerConfig config;
+  config.epochs = 12;
+  config.trajectories_per_epoch = 24;
+  config.sequence_length = 64;
+  config.sim.backfill = true;
+  config.seed = 42;
+  std::printf("training SchedInspector on Slurm + backfilling (%d epochs)"
+              "...\n",
+              config.epochs);
+  Trainer trainer(train_split, slurm, config);
+  ActorCritic agent = trainer.make_agent();
+  const TrainResult result = trainer.train(agent);
+  std::printf("converged improvement: %.2f bsld, rejection ratio %.0f%%\n\n",
+              result.converged_improvement,
+              result.converged_rejection_ratio * 100.0);
+
+  EvalConfig eval_config;
+  eval_config.sequences = 16;
+  eval_config.sequence_length = 128;
+  eval_config.sim.backfill = true;
+  const EvalResult eval =
+      evaluate(test_split, slurm, agent, trainer.features(), eval_config);
+  TextTable table({"", "Slurm", "Slurm + SchedInspector"});
+  table.row()
+      .cell("avg bsld")
+      .cell(eval.mean_base(Metric::kBsld), 2)
+      .cell(eval.mean_inspected(Metric::kBsld), 2);
+  table.row()
+      .cell("avg wait (s)")
+      .cell(eval.mean_base(Metric::kWait), 0)
+      .cell(eval.mean_inspected(Metric::kWait), 0);
+  table.row()
+      .cell("utilization")
+      .cell(format_double(eval.mean_base_utilization() * 100.0, 2) + "%")
+      .cell(format_double(eval.mean_inspected_utilization() * 100.0, 2) +
+            "%");
+  std::printf("held-out comparison:\n%s", table.render().c_str());
+  std::printf("\n(the paper's Figure 12 reports 24.7%% better bsld at a "
+              "0.49%% utilization cost in this setting)\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Trace explorer: inspect a workload before scheduling against it.
+//
+// Loads one of the built-in calibrated traces (or a real SWF file) and
+// prints its Table 2-style statistics, size/runtime/arrival distributions,
+// and how every base scheduling policy performs on sampled sequences —
+// useful for deciding which policy to enhance with SchedInspector.
+//
+// Run:  ./build/examples/trace_explorer [trace-name | /path/to/log.swf]
+#include <cstdio>
+#include <string>
+
+#include "common/cdf.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/registry.hpp"
+#include "workload/swf.hpp"
+
+namespace {
+
+using namespace si;
+
+Trace load(const std::string& arg) {
+  if (arg.find(".swf") != std::string::npos) return load_swf_file(arg);
+  return make_trace(arg, 4000, 42);
+}
+
+void print_distribution(const char* label, std::vector<double> sample,
+                        const char* unit) {
+  const EmpiricalCdf cdf(std::move(sample));
+  std::printf("  %-18s p10 %10.0f | p50 %10.0f | p90 %10.0f | p99 %10.0f %s\n",
+              label, cdf.inverse(0.10), cdf.inverse(0.50), cdf.inverse(0.90),
+              cdf.inverse(0.99), unit);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace si;
+  const std::string arg = argc > 1 ? argv[1] : "SDSC-SP2";
+  const Trace trace = load(arg);
+  const TraceStats stats = trace.stats();
+
+  std::printf("trace %s\n", trace.name().c_str());
+  std::printf("  jobs: %zu, cluster: %d processors\n", stats.jobs,
+              stats.cluster_procs);
+  std::printf("  mean inter-arrival: %.0f s, mean estimate: %.0f s, mean "
+              "size: %.1f procs\n\n",
+              stats.mean_interarrival, stats.mean_estimate, stats.mean_procs);
+
+  std::vector<double> runtimes;
+  std::vector<double> estimates;
+  std::vector<double> sizes;
+  std::vector<double> gaps;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Job& j = trace.jobs()[i];
+    runtimes.push_back(j.run);
+    estimates.push_back(j.estimate);
+    sizes.push_back(static_cast<double>(j.procs));
+    if (i > 0) gaps.push_back(j.submit - trace.jobs()[i - 1].submit);
+  }
+  std::printf("distributions:\n");
+  print_distribution("actual runtime", runtimes, "s");
+  print_distribution("estimated runtime", estimates, "s");
+  print_distribution("requested procs", sizes, "");
+  print_distribution("arrival gap", gaps, "s");
+
+  // How does each base policy fare on this workload?
+  std::printf("\nbase-policy comparison (20 sampled 128-job sequences, no "
+              "backfilling):\n");
+  TextTable table({"policy", "avg bsld", "avg wait (s)", "max bsld", "util"});
+  Rng rng(7);
+  std::vector<std::vector<Job>> sequences;
+  for (int s = 0; s < 20; ++s)
+    sequences.push_back(trace.sample_window(rng, std::min<std::size_t>(
+                                                     128, trace.size())));
+  for (const std::string& name : heuristic_policy_names()) {
+    PolicyPtr policy = make_policy(name);
+    Simulator sim(trace.cluster_procs(), SimConfig{});
+    RunningStats bsld;
+    RunningStats wait;
+    RunningStats mbsld;
+    RunningStats util;
+    for (const auto& jobs : sequences) {
+      const SequenceMetrics m = sim.run(jobs, *policy).metrics;
+      bsld.add(m.avg_bsld);
+      wait.add(m.avg_wait);
+      mbsld.add(m.max_bsld);
+      util.add(m.utilization);
+    }
+    table.row()
+        .cell(name)
+        .cell(bsld.mean(), 2)
+        .cell(wait.mean(), 0)
+        .cell(mbsld.mean(), 1)
+        .cell(format_double(util.mean() * 100.0, 1) + "%");
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nhint: policies with poor bsld here are the ones "
+              "SchedInspector can improve most (see bench_fig7_policies)\n");
+  return 0;
+}

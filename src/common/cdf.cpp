@@ -1,0 +1,97 @@
+#include "common/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace si {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> sample)
+    : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::inverse(double q) const {
+  SI_REQUIRE(!sorted_.empty());
+  SI_REQUIRE(q >= 0.0 && q <= 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double EmpiricalCdf::min() const {
+  SI_REQUIRE(!sorted_.empty());
+  return sorted_.front();
+}
+
+double EmpiricalCdf::max() const {
+  SI_REQUIRE(!sorted_.empty());
+  return sorted_.back();
+}
+
+std::vector<double> EmpiricalCdf::curve(double lo, double hi,
+                                        std::size_t points) const {
+  SI_REQUIRE(points >= 2);
+  SI_REQUIRE(lo <= hi);
+  std::vector<double> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back(at(x));
+  }
+  return out;
+}
+
+double ks_distance(const EmpiricalCdf& a, const EmpiricalCdf& b) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty() ? 0.0 : 1.0;
+  const double lo = std::min(a.min(), b.min());
+  const double hi = std::max(a.max(), b.max());
+  // Evaluate on a dense grid plus both sample supports' endpoints; for
+  // step-function CDFs a dense grid is an adequate and simple approximation.
+  constexpr std::size_t kGrid = 2048;
+  double worst = 0.0;
+  for (std::size_t i = 0; i <= kGrid; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(kGrid);
+    worst = std::max(worst, std::abs(a.at(x) - b.at(x)));
+  }
+  return worst;
+}
+
+std::string render_cdf_table(const std::string& label,
+                             const EmpiricalCdf& rejected,
+                             const EmpiricalCdf& total, std::size_t points) {
+  SI_REQUIRE(points >= 2);
+  std::string out = "# " + label + "\n";
+  out += "#    x    CDF(rejected)  CDF(total)\n";
+  if (rejected.empty() || total.empty()) {
+    out += "# (empty sample)\n";
+    return out;
+  }
+  const double lo = std::min(rejected.min(), total.min());
+  const double hi = std::max(rejected.max(), total.max());
+  const auto rc = rejected.curve(lo, hi, points);
+  const auto tc = total.curve(lo, hi, points);
+  char buf[96];
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    std::snprintf(buf, sizeof buf, "%8.4f   %10.4f   %10.4f\n", x, rc[i], tc[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace si

@@ -1,0 +1,50 @@
+// Empirical cumulative distribution functions. Used by the Figure 13
+// reproduction (CDFs of state features for rejected vs. total inspection
+// samples) and by workload validation tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace si {
+
+/// An empirical CDF over a fixed sample. The sample is sorted at
+/// construction; evaluation is O(log n).
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> sample);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// P[X <= x]; 0 for an empty CDF.
+  double at(double x) const;
+
+  /// Inverse CDF (quantile), q in [0,1]. Requires a non-empty sample.
+  double inverse(double q) const;
+
+  double min() const;
+  double max() const;
+
+  /// Evaluates the CDF at `points` evenly spaced x positions spanning
+  /// [lo, hi]; used to print comparable curves for two distributions.
+  std::vector<double> curve(double lo, double hi, std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Kolmogorov-Smirnov distance between two empirical CDFs — the maximum
+/// absolute difference. Used by tests to compare synthesized traces against
+/// their target distributions and by the Figure 13 analysis to quantify how
+/// far rejected samples deviate from the overall population.
+double ks_distance(const EmpiricalCdf& a, const EmpiricalCdf& b);
+
+/// Renders two CDFs as a fixed-width ASCII chart (rows of `x  cdfA  cdfB`)
+/// for terminal-friendly figure output.
+std::string render_cdf_table(const std::string& label,
+                             const EmpiricalCdf& rejected,
+                             const EmpiricalCdf& total, std::size_t points);
+
+}  // namespace si

@@ -1,0 +1,39 @@
+// Lightweight precondition / invariant checking in the spirit of the C++
+// Core Guidelines' Expects()/Ensures(). Violations throw rather than abort so
+// tests can assert on them and long benchmark runs fail loudly with context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace si {
+
+/// Thrown when a precondition or invariant stated with SI_REQUIRE fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace si
+
+/// Precondition check; throws si::ContractViolation on failure.
+#define SI_REQUIRE(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::si::detail::contract_fail("precondition", #expr, __FILE__, __LINE__); \
+  } while (0)
+
+/// Invariant / postcondition check; throws si::ContractViolation on failure.
+#define SI_ENSURE(expr)                                                    \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::si::detail::contract_fail("invariant", #expr, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,39 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace si {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+bool full_scale_run() { return env_int("SCHEDINSPECTOR_FULL", 0) != 0; }
+
+std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env_int("SCHEDINSPECTOR_SEED", 42));
+}
+
+BenchScale bench_scale() {
+  if (full_scale_run()) {
+    return BenchScale{/*epochs=*/80, /*trajectories=*/100,
+                      /*sequence_length=*/128, /*eval_sequences=*/50,
+                      /*eval_length=*/256};
+  }
+  return BenchScale{/*epochs=*/24, /*trajectories=*/40,
+                    /*sequence_length=*/64, /*eval_sequences=*/16,
+                    /*eval_length=*/128};
+}
+
+}  // namespace si

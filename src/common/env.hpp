@@ -1,0 +1,39 @@
+// Environment-variable driven run configuration shared by the bench
+// binaries: SCHEDINSPECTOR_FULL=1 switches from the fast default scale to
+// the paper's full training scale; SCHEDINSPECTOR_SEED overrides the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace si {
+
+/// Reads an environment variable, returning `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Reads an integer environment variable; returns `fallback` when unset or
+/// unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// True when SCHEDINSPECTOR_FULL is set to a non-zero value — bench binaries
+/// then run at the paper's full scale instead of the fast CI scale.
+bool full_scale_run();
+
+/// Global default seed for bench binaries (SCHEDINSPECTOR_SEED, default 42).
+std::uint64_t bench_seed();
+
+/// Scale factors a bench binary applies to its epoch / trajectory / sequence
+/// counts; derived from full_scale_run().
+struct BenchScale {
+  int epochs;             ///< PPO epochs per training run
+  int trajectories;      ///< trajectories per epoch (paper: 100)
+  int sequence_length;   ///< jobs per trajectory (paper: 128)
+  int eval_sequences;    ///< sampled test sequences (paper: 50)
+  int eval_length;       ///< jobs per test sequence (paper: 256)
+};
+
+/// The active scale: the paper's numbers under SCHEDINSPECTOR_FULL, a
+/// fast-but-representative reduction otherwise.
+BenchScale bench_scale();
+
+}  // namespace si

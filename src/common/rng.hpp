@@ -1,0 +1,76 @@
+// Deterministic, seedable random number generation for every stochastic
+// component in the repository (trace synthesis, sequence sampling, network
+// initialization, PPO exploration). We hand-roll SplitMix64 and Xoshiro256**
+// instead of using <random> engines so results are bit-identical across
+// standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace si {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state. Also usable directly as a small fast generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse generator. Fast, high quality, tiny state.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second draw).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (mean = 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Gamma(shape, scale) via Marsaglia-Tsang; handles shape < 1.
+  double gamma(double shape, double scale);
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Splits off an independently-seeded child generator. Deterministic:
+  /// the child's seed derives from this generator's stream.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace si

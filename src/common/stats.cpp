@@ -1,0 +1,76 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> sample, double q) {
+  SI_REQUIRE(!sample.empty());
+  SI_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+BoxSummary box_summary(const std::vector<double>& sample) {
+  SI_REQUIRE(!sample.empty());
+  BoxSummary b;
+  b.min = quantile(sample, 0.0);
+  b.q1 = quantile(sample, 0.25);
+  b.median = quantile(sample, 0.5);
+  b.q3 = quantile(sample, 0.75);
+  b.max = quantile(sample, 1.0);
+  b.mean = mean_of(sample);
+  b.count = sample.size();
+  return b;
+}
+
+double mean_of(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : sample) s += x;
+  return s / static_cast<double>(sample.size());
+}
+
+std::vector<double> ema_smooth(const std::vector<double>& series, double alpha) {
+  SI_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  std::vector<double> out;
+  out.reserve(series.size());
+  double ema = 0.0;
+  bool first = true;
+  for (double x : series) {
+    ema = first ? x : alpha * x + (1.0 - alpha) * ema;
+    first = false;
+    out.push_back(ema);
+  }
+  return out;
+}
+
+}  // namespace si

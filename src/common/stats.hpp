@@ -1,0 +1,59 @@
+// Streaming and batch summary statistics used throughout the evaluation
+// harness: per-sequence metric summaries, box-and-whisker data for the
+// Figure 8/10-style reports, and Welford running moments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace si {
+
+/// Welford-style streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Five-number box-and-whisker summary plus mean, as plotted in the paper's
+/// Figure 8/10 box plots.
+struct BoxSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+/// Linear-interpolated quantile of a sample (q in [0,1]). Requires a
+/// non-empty sample; the input is copied and sorted internally.
+double quantile(std::vector<double> sample, double q);
+
+/// Builds the box summary of a non-empty sample.
+BoxSummary box_summary(const std::vector<double>& sample);
+
+/// Mean of a sample (0 for an empty one).
+double mean_of(const std::vector<double>& sample);
+
+/// Exponential moving average smoothing used when rendering training curves.
+std::vector<double> ema_smooth(const std::vector<double>& series, double alpha);
+
+}  // namespace si

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace si {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SI_REQUIRE(!header_.empty());
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& value) {
+  SI_REQUIRE(!rows_.empty());
+  SI_REQUIRE(rows_.back().size() < header_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int decimals) {
+  return cell(format_double(value, decimals));
+}
+
+TextTable& TextTable::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string();
+      out += v;
+      out.append(width[c] - v.size(), ' ');
+      if (c + 1 < header_.size()) out += " | ";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 3 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit_row(r, out);
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  auto escape = [](const std::string& v) {
+    if (v.find(',') == std::string::npos && v.find('"') == std::string::npos)
+      return v;
+    std::string out = "\"";
+    for (char ch : v) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) out += ',';
+      out += escape(r[c]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_percent(double ratio, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace si

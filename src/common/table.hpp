@@ -1,0 +1,49 @@
+// Aligned plain-text table rendering. Every bench binary prints its
+// paper-table/figure reproduction through this so the output stays uniform
+// and greppable; a CSV escape hatch supports downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace si {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent cell() calls append to it.
+  TextTable& row();
+  TextTable& cell(const std::string& value);
+  TextTable& cell(const char* value) { return cell(std::string(value)); }
+  /// Formats a double with the given number of decimals.
+  TextTable& cell(double value, int decimals = 2);
+  TextTable& cell(long long value);
+  TextTable& cell(int value) { return cell(static_cast<long long>(value)); }
+  TextTable& cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+
+  /// Renders with column padding, a header underline, and `| `-separated
+  /// columns.
+  std::string render() const;
+
+  /// Renders as CSV (comma-separated, quotes around cells containing commas).
+  std::string render_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like printf("%.*f").
+std::string format_double(double value, int decimals);
+
+/// Formats a ratio as a signed percentage string, e.g. "-0.27%".
+std::string format_percent(double ratio, int decimals = 2);
+
+}  // namespace si

@@ -1,0 +1,64 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace si {
+
+DecisionRecorder::DecisionRecorder(std::vector<std::string> feature_names)
+    : names_(std::move(feature_names)), values_(names_.size()) {
+  SI_REQUIRE(!names_.empty());
+}
+
+void DecisionRecorder::record(const std::vector<double>& features,
+                              bool rejected) {
+  SI_REQUIRE(features.size() == names_.size());
+  for (std::size_t f = 0; f < features.size(); ++f)
+    values_[f].push_back(features[f]);
+  rejected_flags_.push_back(rejected);
+  ++total_;
+  if (rejected) ++rejected_;
+}
+
+double DecisionRecorder::rejection_ratio() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(rejected_) / static_cast<double>(total_);
+}
+
+EmpiricalCdf DecisionRecorder::cdf_total(std::size_t feature) const {
+  SI_REQUIRE(feature < values_.size());
+  return EmpiricalCdf(values_[feature]);
+}
+
+EmpiricalCdf DecisionRecorder::cdf_rejected(std::size_t feature) const {
+  SI_REQUIRE(feature < values_.size());
+  std::vector<double> sample;
+  sample.reserve(rejected_);
+  const auto& all = values_[feature];
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (rejected_flags_[i]) sample.push_back(all[i]);
+  return EmpiricalCdf(std::move(sample));
+}
+
+double DecisionRecorder::rejected_max(std::size_t feature) const {
+  SI_REQUIRE(feature < values_.size());
+  double worst = 0.0;
+  const auto& all = values_[feature];
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (rejected_flags_[i]) worst = std::max(worst, all[i]);
+  return worst;
+}
+
+std::string DecisionRecorder::render(std::size_t points) const {
+  std::string out;
+  out += "total samples: " + std::to_string(total_) +
+         ", rejected samples: " + std::to_string(rejected_) + "\n";
+  for (std::size_t f = 0; f < names_.size(); ++f) {
+    out += render_cdf_table(names_[f], cdf_rejected(f), cdf_total(f), points);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace si

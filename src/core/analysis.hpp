@@ -1,0 +1,49 @@
+// Decision analysis for §5 / Figure 13: record every inspection's feature
+// vector and outcome while a trained model schedules a trace, then compare
+// the feature distributions of rejected samples against all samples via
+// empirical CDFs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/cdf.hpp"
+
+namespace si {
+
+class DecisionRecorder {
+ public:
+  explicit DecisionRecorder(std::vector<std::string> feature_names);
+
+  /// Records one inspection: its features and whether it was rejected.
+  void record(const std::vector<double>& features, bool rejected);
+
+  std::size_t total_samples() const { return total_; }
+  std::size_t rejected_samples() const { return rejected_; }
+  double rejection_ratio() const;
+
+  const std::vector<std::string>& feature_names() const { return names_; }
+
+  /// Distribution of feature `i` over all inspection samples.
+  EmpiricalCdf cdf_total(std::size_t feature) const;
+  /// Distribution of feature `i` over rejected samples only.
+  EmpiricalCdf cdf_rejected(std::size_t feature) const;
+
+  /// Largest feature value ever seen among rejected samples — the paper's
+  /// "hard cap" observation (queue delays above 0.22 are never rejected).
+  double rejected_max(std::size_t feature) const;
+
+  /// Renders the rejected-vs-total CDF table of every feature (Figure 13).
+  std::string render(std::size_t points) const;
+
+ private:
+  std::vector<std::string> names_;
+  // values_[f] holds feature f of every sample, in record order;
+  // rejected_flags_ holds the matching outcomes.
+  std::vector<std::vector<double>> values_;
+  std::vector<bool> rejected_flags_;
+  std::size_t total_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace si

@@ -1,0 +1,89 @@
+#include "core/evaluator.hpp"
+
+#include "common/check.hpp"
+#include "sim/simulator.hpp"
+
+namespace si {
+
+std::vector<double> EvalResult::base_values(Metric metric) const {
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const EvalPair& p : pairs) out.push_back(p.base.value(metric));
+  return out;
+}
+
+std::vector<double> EvalResult::inspected_values(Metric metric) const {
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const EvalPair& p : pairs) out.push_back(p.inspected.value(metric));
+  return out;
+}
+
+double EvalResult::mean_base(Metric metric) const {
+  return mean_of(base_values(metric));
+}
+
+double EvalResult::mean_inspected(Metric metric) const {
+  return mean_of(inspected_values(metric));
+}
+
+double EvalResult::mean_base_utilization() const {
+  std::vector<double> u;
+  u.reserve(pairs.size());
+  for (const EvalPair& p : pairs) u.push_back(p.base.utilization);
+  return mean_of(u);
+}
+
+double EvalResult::mean_inspected_utilization() const {
+  std::vector<double> u;
+  u.reserve(pairs.size());
+  for (const EvalPair& p : pairs) u.push_back(p.inspected.utilization);
+  return mean_of(u);
+}
+
+BoxSummary EvalResult::base_box(Metric metric) const {
+  return box_summary(base_values(metric));
+}
+
+BoxSummary EvalResult::inspected_box(Metric metric) const {
+  return box_summary(inspected_values(metric));
+}
+
+EvalResult evaluate(const Trace& test_trace, SchedulingPolicy& policy,
+                    const ActorCritic& ac, const FeatureBuilder& features,
+                    const EvalConfig& config, DecisionRecorder* recorder) {
+  SI_REQUIRE(config.sequences > 0);
+  SI_REQUIRE(config.sequence_length > 0);
+  SI_REQUIRE(static_cast<std::size_t>(config.sequence_length) <=
+             test_trace.size());
+
+  Rng rng(config.seed);
+  Simulator sim(test_trace.cluster_procs(), config.sim);
+  EvalResult result;
+  result.pairs.reserve(static_cast<std::size_t>(config.sequences));
+  for (int s = 0; s < config.sequences; ++s) {
+    const std::vector<Job> jobs = test_trace.sample_window(
+        rng, static_cast<std::size_t>(config.sequence_length));
+    result.pairs.push_back(
+        rollout_eval(sim, jobs, policy, ac, features, recorder));
+  }
+  return result;
+}
+
+std::vector<double> evaluate_base(const Trace& test_trace,
+                                  SchedulingPolicy& policy, Metric metric,
+                                  const EvalConfig& config) {
+  SI_REQUIRE(config.sequences > 0);
+  Rng rng(config.seed);
+  Simulator sim(test_trace.cluster_procs(), config.sim);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(config.sequences));
+  for (int s = 0; s < config.sequences; ++s) {
+    const std::vector<Job> jobs = test_trace.sample_window(
+        rng, static_cast<std::size_t>(config.sequence_length));
+    out.push_back(sim.run(jobs, policy).metrics.value(metric));
+  }
+  return out;
+}
+
+}  // namespace si

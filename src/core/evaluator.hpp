@@ -1,0 +1,55 @@
+// Test-time evaluation (§4.4): sample N job-sequence windows from the test
+// split, schedule each with the base policy and with the greedy trained
+// inspector, and aggregate all metrics per side. Powers Figure 8/10/12,
+// Tables 4/5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/analysis.hpp"
+#include "core/features.hpp"
+#include "core/rollout.hpp"
+#include "rl/actor_critic.hpp"
+#include "sched/policy.hpp"
+#include "sim/config.hpp"
+#include "workload/trace.hpp"
+
+namespace si {
+
+struct EvalConfig {
+  int sequences = 50;        ///< paper: 50 sampled sequences
+  int sequence_length = 256; ///< paper: 256 continuous jobs each
+  SimConfig sim;
+  std::uint64_t seed = 7;
+};
+
+/// All per-sequence pairs plus aggregate helpers.
+struct EvalResult {
+  std::vector<EvalPair> pairs;
+
+  std::vector<double> base_values(Metric metric) const;
+  std::vector<double> inspected_values(Metric metric) const;
+  double mean_base(Metric metric) const;
+  double mean_inspected(Metric metric) const;
+  double mean_base_utilization() const;
+  double mean_inspected_utilization() const;
+  BoxSummary base_box(Metric metric) const;
+  BoxSummary inspected_box(Metric metric) const;
+};
+
+/// Runs the paired evaluation. `recorder`, when given, collects every
+/// inspection decision of the inspected runs (Figure 13).
+EvalResult evaluate(const Trace& test_trace, SchedulingPolicy& policy,
+                    const ActorCritic& ac, const FeatureBuilder& features,
+                    const EvalConfig& config,
+                    DecisionRecorder* recorder = nullptr);
+
+/// Evaluates the base policy alone over the sampled sequences (used for the
+/// Base->Y column of Table 4). Returns per-sequence metric values.
+std::vector<double> evaluate_base(const Trace& test_trace,
+                                  SchedulingPolicy& policy, Metric metric,
+                                  const EvalConfig& config);
+
+}  // namespace si

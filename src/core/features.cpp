@@ -1,0 +1,184 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+
+std::string feature_mode_name(FeatureMode mode) {
+  switch (mode) {
+    case FeatureMode::kManual:
+      return "manual";
+    case FeatureMode::kCompacted:
+      return "compacted";
+    case FeatureMode::kNative:
+      return "native";
+  }
+  return "?";
+}
+
+FeatureScales FeatureScales::from_trace(const Trace& trace) {
+  const TraceStats stats = trace.stats();
+  FeatureScales scales;
+  scales.max_estimate = std::max(stats.max_estimate, 1.0);
+  scales.cluster_procs = std::max(stats.cluster_procs, 1);
+  scales.wait_scale = std::max(stats.mean_interarrival * 10.0, 600.0);
+  return scales;
+}
+
+FeatureBuilder::FeatureBuilder(FeatureMode mode, Metric metric,
+                               FeatureScales scales, double max_interval)
+    : mode_(mode), metric_(metric), scales_(scales),
+      max_interval_(max_interval) {
+  SI_REQUIRE(max_interval_ > 0.0);
+  SI_REQUIRE(scales_.max_estimate > 0.0);
+  SI_REQUIRE(scales_.cluster_procs > 0);
+}
+
+int FeatureBuilder::feature_count() const {
+  switch (mode_) {
+    case FeatureMode::kManual:
+      return 8;
+    case FeatureMode::kCompacted:
+      return 5;
+    case FeatureMode::kNative:
+      return 5 + 3 * kNativeQueueJobs;
+  }
+  return 0;
+}
+
+std::vector<std::string> FeatureBuilder::feature_names() const {
+  switch (mode_) {
+    case FeatureMode::kManual:
+      return {"wait",       "estimate",    "procs",    "rejected_times",
+              "queue_delays", "cluster_avail", "runnable", "backfill_contrib"};
+    case FeatureMode::kCompacted:
+      return {"wait", "estimate", "procs", "cluster_avail", "runnable"};
+    case FeatureMode::kNative: {
+      std::vector<std::string> names = {"wait", "estimate", "procs",
+                                        "cluster_avail", "runnable"};
+      for (int i = 0; i < kNativeQueueJobs; ++i) {
+        const std::string suffix = std::to_string(i);
+        names.push_back("q" + suffix + "_wait");
+        names.push_back("q" + suffix + "_estimate");
+        names.push_back("q" + suffix + "_procs");
+      }
+      return names;
+    }
+  }
+  return {};
+}
+
+double FeatureBuilder::norm_wait(double wait) const {
+  const double w = std::max(wait, 0.0);
+  return w / (w + scales_.wait_scale);
+}
+
+double FeatureBuilder::norm_estimate(double est) const {
+  return std::clamp(est / scales_.max_estimate, 0.0, 1.0);
+}
+
+double FeatureBuilder::norm_procs(int procs) const {
+  return std::clamp(
+      static_cast<double>(procs) / static_cast<double>(scales_.cluster_procs),
+      0.0, 1.0);
+}
+
+double FeatureBuilder::raw_queue_delay(const InspectionView& view) const {
+  SI_REQUIRE(view.waiting != nullptr);
+  double total = 0.0;
+  switch (metric_) {
+    case Metric::kBsld:
+    case Metric::kMaxBsld:
+      // A Δt idle raises every waiting job's bsld by ~Δt / max(est_j, 10).
+      for (const Job* j : *view.waiting)
+        total += max_interval_ / std::max(j->estimate, 10.0);
+      break;
+    case Metric::kWait:
+      // A Δt idle raises every waiting job's wait by Δt; express the sum in
+      // hours to keep the raw magnitude in the same ballpark as the bsld
+      // variant before soft normalization.
+      total = static_cast<double>(view.waiting->size()) * max_interval_ /
+              3600.0;
+      break;
+  }
+  return total;
+}
+
+void FeatureBuilder::append_manual(const InspectionView& view,
+                                   std::vector<double>& out) const {
+  const Job& job = *view.job;
+  out.push_back(norm_wait(view.job_wait));
+  out.push_back(norm_estimate(job.estimate));
+  out.push_back(norm_procs(job.procs));
+  out.push_back(view.max_rejection_times > 0
+                    ? static_cast<double>(view.job_rejections) /
+                          static_cast<double>(view.max_rejection_times)
+                    : 0.0);
+  const double qd = raw_queue_delay(view);
+  out.push_back(qd / (qd + scales_.queue_delay_scale));
+  out.push_back(static_cast<double>(view.free_procs) /
+                static_cast<double>(view.total_procs));
+  out.push_back(view.runnable() ? 1.0 : 0.0);
+  const double bf = view.backfill_enabled
+                        ? static_cast<double>(view.backfillable_jobs)
+                        : 0.0;
+  out.push_back(bf / (bf + scales_.backfill_scale));
+}
+
+void FeatureBuilder::append_compacted(const InspectionView& view,
+                                      std::vector<double>& out) const {
+  const Job& job = *view.job;
+  out.push_back(norm_wait(view.job_wait));
+  out.push_back(norm_estimate(job.estimate));
+  out.push_back(norm_procs(job.procs));
+  out.push_back(static_cast<double>(view.free_procs) /
+                static_cast<double>(view.total_procs));
+  out.push_back(view.runnable() ? 1.0 : 0.0);
+}
+
+void FeatureBuilder::append_native(const InspectionView& view,
+                                   std::vector<double>& out) const {
+  append_compacted(view, out);
+  // The raw environment: individual attributes of up to kNativeQueueJobs
+  // waiting jobs, zero-padded — no aggregation, mimicking the "feed the raw
+  // state and let the network figure it out" strategy the paper ablates.
+  const auto& waiting = *view.waiting;
+  for (int i = 0; i < kNativeQueueJobs; ++i) {
+    if (static_cast<std::size_t>(i) < waiting.size()) {
+      const Job& j = *waiting[static_cast<std::size_t>(i)];
+      out.push_back(norm_wait(view.now - j.submit));
+      out.push_back(norm_estimate(j.estimate));
+      out.push_back(norm_procs(j.procs));
+    } else {
+      out.push_back(0.0);
+      out.push_back(0.0);
+      out.push_back(0.0);
+    }
+  }
+}
+
+std::vector<double> FeatureBuilder::build(const InspectionView& view) const {
+  SI_REQUIRE(view.job != nullptr);
+  SI_REQUIRE(view.waiting != nullptr);
+  SI_REQUIRE(view.total_procs > 0);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(feature_count()));
+  switch (mode_) {
+    case FeatureMode::kManual:
+      append_manual(view, out);
+      break;
+    case FeatureMode::kCompacted:
+      append_compacted(view, out);
+      break;
+    case FeatureMode::kNative:
+      append_native(view, out);
+      break;
+  }
+  SI_ENSURE(static_cast<int>(out.size()) == feature_count());
+  return out;
+}
+
+}  // namespace si

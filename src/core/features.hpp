@@ -1,0 +1,92 @@
+// State-feature building (§3.3). The raw scheduling context exposed by the
+// simulator is summarized into a small, normalized feature vector that the
+// RL agent observes:
+//
+//   manual (the paper's design, 8 features):
+//     wait_j, est_j, res_j            — the scheduled job
+//     rejected_times                   — vs. MAX_REJECTION_TIMES
+//     queue_delays                     — metric-aware cost of one idle step
+//     cluster_availability             — free / total processors
+//     runnable                         — can the job start right now
+//     backfilling_contributions        — EASY-backfillable waiting jobs
+//
+//   compacted (ablation, Figure 5): only the current job + cluster state,
+//     dropping the aggregated queue-delay / backfill features.
+//
+//   native (ablation, Figure 5): the raw environmental state — candidate
+//     job, cluster state, and the first kNativeQueueJobs waiting jobs'
+//     individual attributes, zero-padded.
+//
+// All features are normalized into [0, 1]; unbounded quantities use the
+// soft map x / (x + scale) with trace-derived scales.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/inspector.hpp"
+#include "sim/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace si {
+
+enum class FeatureMode { kManual, kCompacted, kNative };
+
+std::string feature_mode_name(FeatureMode mode);
+
+/// Trace-derived normalization scales.
+struct FeatureScales {
+  double max_estimate = 1.0;   ///< seconds; caps the est feature
+  int cluster_procs = 1;       ///< caps the res feature
+  double wait_scale = 3600.0;  ///< soft scale of job waiting time
+  double queue_delay_scale = 10.0;   ///< soft scale of the queue-delay sum
+  double backfill_scale = 5.0;       ///< soft scale of the backfillable count
+
+  /// Derives scales from a trace: max estimate, cluster size, and a waiting
+  /// scale of 10x the mean inter-arrival (a "fairly long wait" for that
+  /// workload).
+  static FeatureScales from_trace(const Trace& trace);
+};
+
+class FeatureBuilder {
+ public:
+  /// `max_interval` is the simulator's rejection retry bound — the Δt used
+  /// when pricing the queue-delay feature.
+  FeatureBuilder(FeatureMode mode, Metric metric, FeatureScales scales,
+                 double max_interval);
+
+  FeatureMode mode() const { return mode_; }
+  int feature_count() const;
+  std::vector<std::string> feature_names() const;
+
+  /// Builds the feature vector for one inspection opportunity.
+  std::vector<double> build(const InspectionView& view) const;
+
+  /// The metric-aware queue-delay sum *before* soft normalization (exposed
+  /// for tests and for the Figure 13 analysis): for bsld-like metrics,
+  /// sum over waiting jobs of max_interval / max(est_j, 10); for wait, the
+  /// number of waiting jobs times max_interval (in hours, to keep the
+  /// magnitude comparable).
+  double raw_queue_delay(const InspectionView& view) const;
+
+  /// Number of waiting jobs the native mode embeds individually.
+  static constexpr int kNativeQueueJobs = 16;
+
+ private:
+  FeatureMode mode_;
+  Metric metric_;
+  FeatureScales scales_;
+  double max_interval_;
+
+  double norm_wait(double wait) const;
+  double norm_estimate(double est) const;
+  double norm_procs(int procs) const;
+  void append_manual(const InspectionView& view,
+                     std::vector<double>& out) const;
+  void append_compacted(const InspectionView& view,
+                        std::vector<double>& out) const;
+  void append_native(const InspectionView& view,
+                     std::vector<double>& out) const;
+};
+
+}  // namespace si

@@ -1,0 +1,159 @@
+#include "core/learned.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "sim/simulator.hpp"
+
+namespace si {
+
+namespace {
+std::vector<int> score_net_layers(const std::vector<int>& hidden) {
+  std::vector<int> layers;
+  layers.push_back(3);  // wait, estimate, procs
+  for (int h : hidden) layers.push_back(h);
+  layers.push_back(1);
+  return layers;
+}
+}  // namespace
+
+NeuralPriorityPolicy::NeuralPriorityPolicy(double max_estimate,
+                                           int cluster_procs,
+                                           double wait_scale,
+                                           std::vector<int> hidden)
+    : net_(score_net_layers(hidden)),
+      max_estimate_(max_estimate),
+      cluster_procs_(cluster_procs),
+      wait_scale_(wait_scale) {
+  SI_REQUIRE(max_estimate_ > 0.0);
+  SI_REQUIRE(cluster_procs_ > 0);
+  SI_REQUIRE(wait_scale_ > 0.0);
+  init_like_sjf();
+}
+
+void NeuralPriorityPolicy::init_like_sjf() {
+  // Zero weights except a positive path from the estimate input through the
+  // first hidden unit: score ~ tanh(est) — monotone in the estimate, i.e.
+  // SJF-like ordering.
+  auto params = net_.params();
+  std::fill(params.begin(), params.end(), 0.0);
+  const auto& layers = net_.layer_sizes();
+  // First layer weight (row 0, column 1 = estimate input).
+  params[1] = 1.0;
+  // Chain of unit weights through the first neuron of every later layer.
+  std::size_t offset =
+      static_cast<std::size_t>(layers[0]) * static_cast<std::size_t>(layers[1]) +
+      static_cast<std::size_t>(layers[1]);
+  for (std::size_t l = 1; l + 1 < layers.size(); ++l) {
+    params[offset] = 1.0;  // weight (0,0) of layer l
+    offset += static_cast<std::size_t>(layers[l]) *
+                  static_cast<std::size_t>(layers[l + 1]) +
+              static_cast<std::size_t>(layers[l + 1]);
+  }
+}
+
+double NeuralPriorityPolicy::score(const Job& job,
+                                   const SchedContext& ctx) const {
+  const double wait = std::max(ctx.now - job.submit, 0.0);
+  const double features[3] = {
+      wait / (wait + wait_scale_),
+      std::clamp(job.estimate / max_estimate_, 0.0, 1.0),
+      std::clamp(static_cast<double>(job.procs) /
+                     static_cast<double>(cluster_procs_),
+                 0.0, 1.0)};
+  return net_.forward(features)[0];
+}
+
+EsResult train_neural_priority(NeuralPriorityPolicy& policy,
+                               const Trace& trace, const EsConfig& config) {
+  SI_REQUIRE(config.generations > 0);
+  SI_REQUIRE(config.population >= 2);
+  SI_REQUIRE(config.elites >= 1 && config.elites <= config.population);
+  SI_REQUIRE(config.windows > 0);
+  SI_REQUIRE(static_cast<std::size_t>(config.sequence_length) <=
+             trace.size());
+
+  Rng rng(config.seed);
+
+  // Fixed evaluation windows: every candidate in every generation faces the
+  // same workload, so fitness differences are purely due to the policy.
+  std::vector<std::vector<Job>> windows;
+  windows.reserve(static_cast<std::size_t>(config.windows));
+  for (int w = 0; w < config.windows; ++w)
+    windows.push_back(trace.sample_window(
+        rng, static_cast<std::size_t>(config.sequence_length)));
+
+  Simulator sim(trace.cluster_procs(), SimConfig{});
+  auto fitness = [&](NeuralPriorityPolicy& candidate) {
+    double total = 0.0;
+    for (const auto& jobs : windows)
+      total += sim.run(jobs, candidate).metrics.value(config.metric);
+    return total / static_cast<double>(config.windows);
+  };
+
+  const std::size_t dim = policy.net().param_count();
+  std::vector<double> mean(policy.net().params().begin(),
+                           policy.net().params().end());
+  double sigma = config.sigma;
+
+  EsResult result;
+  std::vector<std::vector<double>> candidates(
+      static_cast<std::size_t>(config.population));
+  std::vector<double> scores(static_cast<std::size_t>(config.population));
+  std::vector<double> best_params = mean;
+  double best_score = std::numeric_limits<double>::infinity();
+
+  for (int gen = 0; gen < config.generations; ++gen) {
+    for (int c = 0; c < config.population; ++c) {
+      auto& params = candidates[static_cast<std::size_t>(c)];
+      params = mean;
+      // Keep the current mean itself in the population (elitism).
+      if (c > 0)
+        for (std::size_t d = 0; d < dim; ++d)
+          params[d] += sigma * rng.normal();
+      std::copy(params.begin(), params.end(),
+                policy.net().params().begin());
+      scores[static_cast<std::size_t>(c)] = fitness(policy);
+    }
+
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return scores[a] < scores[b];
+    });
+
+    // New mean = average of the elite candidates.
+    std::vector<double> next(dim, 0.0);
+    for (int e = 0; e < config.elites; ++e) {
+      const auto& elite = candidates[order[static_cast<std::size_t>(e)]];
+      for (std::size_t d = 0; d < dim; ++d) next[d] += elite[d];
+    }
+    for (double& v : next) v /= static_cast<double>(config.elites);
+    mean = std::move(next);
+    sigma *= config.sigma_decay;
+
+    if (scores[order.front()] < best_score) {
+      best_score = scores[order.front()];
+      best_params = candidates[order.front()];
+    }
+
+    EsGeneration g;
+    g.generation = gen;
+    g.best = scores[order.front()];
+    g.mean = std::accumulate(scores.begin(), scores.end(), 0.0) /
+             static_cast<double>(scores.size());
+    result.curve.push_back(g);
+  }
+
+  // Ship the best candidate ever evaluated, not the final mean — ES means
+  // can drift past the optimum late in a run.
+  std::copy(best_params.begin(), best_params.end(),
+            policy.net().params().begin());
+  result.final_value = best_score;
+  return result;
+}
+
+}  // namespace si

@@ -1,0 +1,86 @@
+// A learned (neural) priority policy plus its evolution-strategy trainer —
+// the "intelligent scheduling policy" of the paper's future work (§7:
+// "incorporate SchedInspector with intelligent scheduling policies, such as
+// RLScheduler"). Like RLScheduler and F1, the policy maps per-job features
+// to a priority score; unlike the fixed F1 regression it is trained, on the
+// target workload, to directly minimize a chosen metric.
+//
+// Training uses a simple (mu, lambda) evolution strategy over the score
+// network's weights: each generation perturbs the current parameters,
+// evaluates every candidate on a fixed set of job-sequence windows in the
+// simulator, and moves to the mean of the elite. ES needs no gradient
+// through the (discrete, non-differentiable) scheduling process and is
+// deterministic given its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rl/mlp.hpp"
+#include "sched/policy.hpp"
+#include "sim/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace si {
+
+/// A scheduling policy whose priority score is a small MLP over normalized
+/// job features [wait, estimate, procs] (the attributes Table 3's heuristics
+/// weigh). Lower network output = scheduled first.
+class NeuralPriorityPolicy final : public SchedulingPolicy {
+ public:
+  /// Scales normalize the features; typically derived from the training
+  /// trace. `hidden` defaults to one small layer — priority functions are
+  /// simple shapes (F1 is log-linear).
+  NeuralPriorityPolicy(double max_estimate, int cluster_procs,
+                       double wait_scale, std::vector<int> hidden = {8, 4});
+
+  std::string name() const override { return "NeuralPriority"; }
+  PolicyPtr clone() const override {
+    return std::make_unique<NeuralPriorityPolicy>(*this);
+  }
+  double score(const Job& job, const SchedContext& ctx) const override;
+
+  Mlp& net() { return net_; }
+  const Mlp& net() const { return net_; }
+
+  /// Seeds the network with SJF-like behaviour (score grows with the
+  /// estimate) so ES starts from a sensible policy instead of noise.
+  void init_like_sjf();
+
+ private:
+  Mlp net_;
+  double max_estimate_;
+  int cluster_procs_;
+  double wait_scale_;
+};
+
+/// (mu, lambda) evolution strategy configuration.
+struct EsConfig {
+  Metric metric = Metric::kBsld;
+  int generations = 15;
+  int population = 16;       ///< lambda: candidates per generation
+  int elites = 4;            ///< mu: averaged into the next mean
+  double sigma = 0.1;        ///< perturbation standard deviation
+  double sigma_decay = 0.95; ///< per-generation sigma shrink
+  int windows = 8;           ///< evaluation sequences per candidate
+  int sequence_length = 64;
+  std::uint64_t seed = 42;
+};
+
+/// Per-generation ES diagnostics.
+struct EsGeneration {
+  int generation = 0;
+  double best = 0.0;   ///< best candidate's mean metric (lower = better)
+  double mean = 0.0;   ///< population mean
+};
+
+struct EsResult {
+  std::vector<EsGeneration> curve;
+  double final_value = 0.0;  ///< the trained policy's mean metric
+};
+
+/// Trains `policy`'s network in place on windows sampled from `trace`.
+EsResult train_neural_priority(NeuralPriorityPolicy& policy,
+                               const Trace& trace, const EsConfig& config);
+
+}  // namespace si

@@ -1,0 +1,58 @@
+#include "core/reward.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace si {
+
+std::string reward_kind_name(RewardKind kind) {
+  switch (kind) {
+    case RewardKind::kNative:
+      return "native";
+    case RewardKind::kWinLoss:
+      return "winloss";
+    case RewardKind::kPercentage:
+      return "percentage";
+  }
+  return "?";
+}
+
+RewardKind reward_kind_from_name(const std::string& name) {
+  if (name == "native") return RewardKind::kNative;
+  if (name == "winloss") return RewardKind::kWinLoss;
+  if (name == "percentage") return RewardKind::kPercentage;
+  throw std::out_of_range("unknown reward kind: " + name);
+}
+
+double compute_reward(RewardKind kind, double orig, double inspected,
+                      double floor) {
+  SI_REQUIRE(orig >= 0.0);
+  SI_REQUIRE(inspected >= 0.0);
+  SI_REQUIRE(floor > 0.0);
+  switch (kind) {
+    case RewardKind::kNative:
+      return orig - inspected;
+    case RewardKind::kWinLoss:
+      if (inspected < orig) return 1.0;
+      if (inspected > orig) return -1.0;
+      return 0.0;
+    case RewardKind::kPercentage:
+      return (orig - inspected) / std::max(orig, floor);
+  }
+  return 0.0;
+}
+
+double reward_floor(Metric metric) {
+  switch (metric) {
+    case Metric::kBsld:
+    case Metric::kMaxBsld:
+      return 1.0;  // bounded slowdown >= 1 by definition
+    case Metric::kWait:
+      return 600.0;  // differences under the retry interval are noise
+  }
+  return 1.0;
+}
+
+}  // namespace si

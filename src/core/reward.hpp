@@ -1,0 +1,40 @@
+// Reward functions (§3.4). All three compare the inspected schedule's
+// metric value against the base scheduler's on the *same* job sequence;
+// lower metric values are better, so positive rewards mean the inspector
+// helped:
+//
+//   native:     orig - inspected            (high variance across sequences)
+//   win/loss:   sign(orig - inspected)      (variance-free, gain-blind)
+//   percentage: (orig - inspected) / orig   (the paper's design: variance-
+//                                            normalized, big gains rewarded)
+#pragma once
+
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace si {
+
+enum class RewardKind { kNative, kWinLoss, kPercentage };
+
+std::string reward_kind_name(RewardKind kind);
+
+/// Parses "native" / "winloss" / "percentage"; throws std::out_of_range
+/// otherwise.
+RewardKind reward_kind_from_name(const std::string& name);
+
+/// Computes the trajectory-final reward given the base scheduler's metric
+/// value `orig` and the inspected run's `inspected`. Requires orig >= 0 and
+/// inspected >= 0 (all supported metrics are non-negative). `floor` bounds
+/// the percentage reward's denominator: sequences whose base metric is near
+/// zero (e.g. every job starts instantly, wait == 0) would otherwise yield
+/// astronomically negative rewards that destabilize training.
+double compute_reward(RewardKind kind, double orig, double inspected,
+                      double floor = 1e-9);
+
+/// The natural denominator floor per metric: bounded slowdowns are >= 1 by
+/// definition; for waiting time, differences below the 600 s retry interval
+/// are scheduling noise.
+double reward_floor(Metric metric);
+
+}  // namespace si

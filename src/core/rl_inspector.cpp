@@ -1,0 +1,46 @@
+#include "core/rl_inspector.hpp"
+
+#include "common/check.hpp"
+
+namespace si {
+
+RlInspector::RlInspector(const ActorCritic& ac, const FeatureBuilder& features,
+                         InspectorMode mode, Rng* rng)
+    : ac_(ac), features_(features), mode_(mode), rng_(rng) {
+  SI_REQUIRE(ac_.obs_size() == features_.feature_count());
+  SI_REQUIRE(mode_ != InspectorMode::kSample || rng_ != nullptr);
+}
+
+bool RlInspector::reject(const InspectionView& view) {
+  std::vector<double> obs = features_.build(view);
+  int action = 0;
+  double log_prob = 0.0;
+  if (mode_ == InspectorMode::kSample) {
+    const SampledAction sampled = ac_.sample(obs, *rng_);
+    action = sampled.action;
+    log_prob = sampled.log_prob;
+  } else {
+    action = ac_.act_greedy(obs);
+  }
+
+  if (recorder_ != nullptr) recorder_->record(obs, action == 1);
+  if (trajectory_ != nullptr) {
+    Step step;
+    step.action = action;
+    step.log_prob = log_prob;
+    step.obs = std::move(obs);
+    trajectory_->steps.push_back(std::move(step));
+  }
+  return action == 1;
+}
+
+RandomInspector::RandomInspector(double reject_prob, Rng& rng)
+    : reject_prob_(reject_prob), rng_(rng) {
+  SI_REQUIRE(reject_prob_ >= 0.0 && reject_prob_ <= 1.0);
+}
+
+bool RandomInspector::reject(const InspectionView&) {
+  return rng_.bernoulli(reject_prob_);
+}
+
+}  // namespace si

@@ -1,0 +1,65 @@
+// The RL-backed scheduling inspector — SchedInspector itself. Plugs an
+// actor-critic policy into the simulator's Inspector hook, translating every
+// inspection opportunity through the feature builder. In sampling mode it
+// explores (training); in greedy mode it takes the argmax action
+// (inference). It can transparently record training steps into a Trajectory
+// and/or analysis samples into a DecisionRecorder.
+#pragma once
+
+#include "core/analysis.hpp"
+#include "core/features.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/buffer.hpp"
+#include "sim/inspector.hpp"
+
+namespace si {
+
+enum class InspectorMode {
+  kSample,  ///< draw from pi(reject | state) — training-time exploration
+  kGreedy,  ///< reject iff P(reject) > 0.5 — inference
+};
+
+class RlInspector final : public Inspector {
+ public:
+  /// `rng` is required in sampling mode and may be null in greedy mode.
+  RlInspector(const ActorCritic& ac, const FeatureBuilder& features,
+              InspectorMode mode, Rng* rng = nullptr);
+
+  bool reject(const InspectionView& view) override;
+
+  /// When set, every decision appends a Step (obs, action, logp) — PPO
+  /// rollout collection. Pass nullptr to stop recording.
+  void set_trajectory(Trajectory* trajectory) { trajectory_ = trajectory; }
+
+  /// When set, every decision is recorded for Figure 13-style analysis.
+  void set_recorder(DecisionRecorder* recorder) { recorder_ = recorder; }
+
+ private:
+  const ActorCritic& ac_;
+  const FeatureBuilder& features_;
+  InspectorMode mode_;
+  Rng* rng_;
+  Trajectory* trajectory_ = nullptr;
+  DecisionRecorder* recorder_ = nullptr;
+};
+
+/// An inspector that rejects with fixed probability — the naive random
+/// baseline used by tests and ablations.
+class RandomInspector final : public Inspector {
+ public:
+  RandomInspector(double reject_prob, Rng& rng);
+  bool reject(const InspectionView& view) override;
+
+ private:
+  double reject_prob_;
+  Rng& rng_;
+};
+
+/// An inspector that always rejects (until each job's budget runs out) —
+/// the worst-case stressor used by simulator tests.
+class AlwaysRejectInspector final : public Inspector {
+ public:
+  bool reject(const InspectionView&) override { return true; }
+};
+
+}  // namespace si

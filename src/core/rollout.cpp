@@ -1,0 +1,37 @@
+#include "core/rollout.hpp"
+
+namespace si {
+
+TrainingRollout rollout_training(Simulator& sim, const std::vector<Job>& jobs,
+                                 SchedulingPolicy& policy,
+                                 const ActorCritic& ac,
+                                 const FeatureBuilder& features,
+                                 Metric metric, RewardKind reward_kind,
+                                 Rng& rng) {
+  TrainingRollout out;
+  out.base = sim.run(jobs, policy).metrics;
+
+  RlInspector inspector(ac, features, InspectorMode::kSample, &rng);
+  inspector.set_trajectory(&out.trajectory);
+  out.inspected = sim.run(jobs, policy, &inspector).metrics;
+
+  out.trajectory.reward =
+      compute_reward(reward_kind, out.base.value(metric),
+                     out.inspected.value(metric), reward_floor(metric));
+  return out;
+}
+
+EvalPair rollout_eval(Simulator& sim, const std::vector<Job>& jobs,
+                      SchedulingPolicy& policy, const ActorCritic& ac,
+                      const FeatureBuilder& features,
+                      DecisionRecorder* recorder) {
+  EvalPair out;
+  out.base = sim.run(jobs, policy).metrics;
+
+  RlInspector inspector(ac, features, InspectorMode::kGreedy);
+  inspector.set_recorder(recorder);
+  out.inspected = sim.run(jobs, policy, &inspector).metrics;
+  return out;
+}
+
+}  // namespace si

@@ -1,0 +1,47 @@
+// Paired rollouts (§3.4): every reward compares the inspected schedule
+// against the base scheduler on the same job sequence, so a training or
+// evaluation rollout always runs the simulator twice — once plain, once with
+// the inspector — and derives the reward / improvement from the pair.
+#pragma once
+
+#include "core/analysis.hpp"
+#include "core/features.hpp"
+#include "core/reward.hpp"
+#include "core/rl_inspector.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/buffer.hpp"
+#include "sim/simulator.hpp"
+
+namespace si {
+
+/// One training rollout: base and inspected metrics plus the recorded
+/// trajectory (reward already filled in).
+struct TrainingRollout {
+  SequenceMetrics base;
+  SequenceMetrics inspected;
+  Trajectory trajectory;
+};
+
+/// Runs the paired training rollout on `jobs` (policy sampled, steps
+/// recorded, final reward computed per `reward_kind` on `metric`).
+TrainingRollout rollout_training(Simulator& sim, const std::vector<Job>& jobs,
+                                 SchedulingPolicy& policy,
+                                 const ActorCritic& ac,
+                                 const FeatureBuilder& features,
+                                 Metric metric, RewardKind reward_kind,
+                                 Rng& rng);
+
+/// One evaluation pair: base vs. greedy-inspected metrics.
+struct EvalPair {
+  SequenceMetrics base;
+  SequenceMetrics inspected;
+};
+
+/// Runs the paired greedy rollout; optionally records every decision for
+/// Figure 13-style analysis.
+EvalPair rollout_eval(Simulator& sim, const std::vector<Job>& jobs,
+                      SchedulingPolicy& policy, const ActorCritic& ac,
+                      const FeatureBuilder& features,
+                      DecisionRecorder* recorder = nullptr);
+
+}  // namespace si

@@ -1,0 +1,42 @@
+#include "core/rule_inspector.hpp"
+
+#include "common/check.hpp"
+
+namespace si {
+
+namespace {
+// Manual feature indices (§3.3 / FeatureBuilder::feature_names()).
+constexpr std::size_t kWait = 0;
+constexpr std::size_t kEstimate = 1;
+constexpr std::size_t kProcs = 2;
+constexpr std::size_t kQueueDelays = 4;
+constexpr std::size_t kClusterAvail = 5;
+}  // namespace
+
+RuleInspector::RuleInspector(const FeatureBuilder& features,
+                             RuleInspectorConfig config)
+    : features_(features), config_(config) {
+  SI_REQUIRE(features_.mode() == FeatureMode::kManual);
+}
+
+bool RuleInspector::reject_features(const std::vector<double>& f) const {
+  SI_REQUIRE(f.size() == 8);
+  // Hard cap: a crowded queue makes every delay expensive (§5).
+  if (f[kQueueDelays] > config_.queue_delay_cap) return false;
+  // Only delay jobs that have not waited long yet.
+  if (f[kWait] > config_.max_wait) return false;
+  // The job must be worth delaying: long or wide.
+  const bool demanding =
+      f[kEstimate] >= config_.min_estimate || f[kProcs] >= config_.min_procs;
+  if (!demanding) return false;
+  // The cluster state must make the delay a big-gain (full) or small-loss
+  // (idle) opportunity; moderately loaded clusters see no rejections.
+  const double avail = f[kClusterAvail];
+  return avail <= config_.busy_threshold || avail >= config_.idle_threshold;
+}
+
+bool RuleInspector::reject(const InspectionView& view) {
+  return reject_features(features_.build(view));
+}
+
+}  // namespace si

@@ -1,0 +1,49 @@
+// A hand-written inspector distilled from §5's analysis of what the RL
+// agent learns. The paper summarizes the learned strategy as: delay jobs
+// that (a) have waited only briefly, (b) are long and/or wide, (c) arrive
+// when the cluster is either very full (big gain: avoid saturating it) or
+// very idle (small loss: few waiting jobs pay for the delay), and (d) never
+// delay once the queue-delay feature exceeds a hard cap (the paper observes
+// 0.22).
+//
+// This rule inspector is both an interpretable deployment option (no model
+// file, auditable thresholds) and the natural ablation baseline: how much of
+// the RL agent's gain do the distilled rules alone recover?
+#pragma once
+
+#include "core/features.hpp"
+#include "sim/inspector.hpp"
+
+namespace si {
+
+/// Thresholds over the *manual* (normalized, [0,1]) features of §3.3.
+struct RuleInspectorConfig {
+  double max_wait = 0.35;        ///< only delay jobs that waited less
+  double min_estimate = 0.30;    ///< ...that are estimated longer
+  double min_procs = 0.10;       ///< ...or request more processors
+  double queue_delay_cap = 0.22; ///< never delay above this (paper's cap)
+  double busy_threshold = 0.25;  ///< cluster availability below => "full"
+  double idle_threshold = 0.70;  ///< cluster availability above => "idle"
+};
+
+class RuleInspector final : public Inspector {
+ public:
+  /// `features` must be a FeatureMode::kManual builder (the thresholds are
+  /// defined over the manual feature vector).
+  explicit RuleInspector(const FeatureBuilder& features,
+                         RuleInspectorConfig config = {});
+
+  bool reject(const InspectionView& view) override;
+
+  /// The rule evaluated on an already-built manual feature vector
+  /// (exposed for tests).
+  bool reject_features(const std::vector<double>& features) const;
+
+  const RuleInspectorConfig& config() const { return config_; }
+
+ private:
+  const FeatureBuilder& features_;
+  RuleInspectorConfig config_;
+};
+
+}  // namespace si

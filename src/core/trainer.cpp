@@ -1,0 +1,141 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/check.hpp"
+#include "sim/simulator.hpp"
+
+namespace si {
+
+Trainer::Trainer(const Trace& trace, SchedulingPolicy& policy,
+                 TrainerConfig config)
+    : trace_(trace),
+      policy_(policy),
+      config_(std::move(config)),
+      features_(config_.features, config_.metric,
+                FeatureScales::from_trace(trace), config_.sim.max_interval) {
+  SI_REQUIRE(config_.epochs > 0);
+  SI_REQUIRE(config_.trajectories_per_epoch > 0);
+  SI_REQUIRE(config_.sequence_length > 0);
+  SI_REQUIRE(static_cast<std::size_t>(config_.sequence_length) <=
+             trace_.size());
+}
+
+ActorCritic Trainer::make_agent() const {
+  ActorCritic ac(features_.feature_count(), config_.hidden,
+                 config_.seed ^ 0xac0ac0ULL);
+  ac.policy_net().set_output_bias(config_.initial_reject_logit);
+  return ac;
+}
+
+TrainResult Trainer::train(ActorCritic& ac) {
+  SI_REQUIRE(ac.obs_size() == features_.feature_count());
+  Rng rng(config_.seed);
+  PpoUpdater updater(ac, config_.ppo);
+
+  // Rollout workers: each owns a private simulator and policy clone so
+  // stateful policies (Slurm fair-share) never race. Trajectories are
+  // seeded and stored by index, so results are identical for any worker
+  // count.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers = std::min<std::size_t>(
+      {hw, 8, static_cast<std::size_t>(config_.trajectories_per_epoch)});
+
+  TrainResult result;
+  result.curve.reserve(static_cast<std::size_t>(config_.epochs));
+
+  const auto traj_count =
+      static_cast<std::size_t>(config_.trajectories_per_epoch);
+  std::vector<TrainingRollout> rollouts(traj_count);
+  std::vector<std::vector<Job>> windows(traj_count);
+  std::vector<std::uint64_t> seeds(traj_count);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    RolloutBatch batch;
+    EpochStats stats;
+    stats.epoch = epoch;
+    std::size_t inspections = 0;
+    std::size_t rejections = 0;
+
+    // Deterministic per-trajectory inputs drawn from the master stream.
+    for (std::size_t t = 0; t < traj_count; ++t) {
+      windows[t] = trace_.sample_window(
+          rng, static_cast<std::size_t>(config_.sequence_length));
+      seeds[t] = rng.next_u64();
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      Simulator sim(trace_.cluster_procs(), config_.sim);
+      const PolicyPtr policy = policy_.clone();
+      for (;;) {
+        const std::size_t t = next.fetch_add(1);
+        if (t >= traj_count) break;
+        Rng traj_rng(seeds[t]);
+        rollouts[t] =
+            rollout_training(sim, windows[t], *policy, ac, features_,
+                             config_.metric, config_.reward, traj_rng);
+      }
+    };
+    if (workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
+
+    for (TrainingRollout& rollout : rollouts) {
+      const double orig = rollout.base.value(config_.metric);
+      const double inspected = rollout.inspected.value(config_.metric);
+      stats.mean_reward += rollout.trajectory.reward;
+      stats.mean_improvement += orig - inspected;
+      stats.mean_pct_improvement += (orig - inspected) / std::max(orig, 1e-9);
+      inspections += rollout.inspected.inspections;
+      rejections += rollout.inspected.rejections;
+      batch.add(std::move(rollout.trajectory));
+    }
+
+    const auto n = static_cast<double>(config_.trajectories_per_epoch);
+    stats.mean_reward /= n;
+    stats.mean_improvement /= n;
+    stats.mean_pct_improvement /= n;
+    stats.rejection_ratio =
+        inspections > 0
+            ? static_cast<double>(rejections) / static_cast<double>(inspections)
+            : 0.0;
+
+    if (!batch.empty()) {
+      const PpoStats ppo = updater.update(batch);
+      stats.approx_kl = ppo.approx_kl;
+      stats.entropy = ppo.entropy;
+      stats.policy_loss = ppo.policy_loss;
+      stats.value_loss = ppo.value_loss;
+    }
+    result.curve.push_back(stats);
+  }
+
+  // "Converged" value: mean over the final quarter of the curve.
+  const std::size_t tail = std::max<std::size_t>(result.curve.size() / 4, 1);
+  for (std::size_t i = result.curve.size() - tail; i < result.curve.size();
+       ++i) {
+    result.converged_improvement += result.curve[i].mean_improvement;
+    result.converged_rejection_ratio += result.curve[i].rejection_ratio;
+  }
+  result.converged_improvement /= static_cast<double>(tail);
+  result.converged_rejection_ratio /= static_cast<double>(tail);
+  return result;
+}
+
+TrainedInspector train_inspector(const Trace& trace, SchedulingPolicy& policy,
+                                 const TrainerConfig& config) {
+  Trainer trainer(trace, policy, config);
+  TrainedInspector out{trainer.make_agent(), TrainResult{}};
+  out.result = trainer.train(out.agent);
+  return out;
+}
+
+}  // namespace si

@@ -1,0 +1,77 @@
+#include "rl/actor_critic.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+
+double sigmoid(double logit) {
+  if (logit >= 0.0) {
+    const double e = std::exp(-logit);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(logit);
+  return e / (1.0 + e);
+}
+
+double bernoulli_log_prob(double logit, int action) {
+  SI_REQUIRE(action == 0 || action == 1);
+  // log sigma(z) = -softplus(-z); log(1 - sigma(z)) = -softplus(z).
+  auto softplus = [](double x) {
+    if (x > 30.0) return x;
+    if (x < -30.0) return std::exp(x);
+    return std::log1p(std::exp(x));
+  };
+  return action == 1 ? -softplus(-logit) : -softplus(logit);
+}
+
+double bernoulli_entropy(double logit) {
+  const double p = sigmoid(logit);
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+}
+
+namespace {
+std::vector<int> full_layers(int obs_size, const std::vector<int>& hidden) {
+  SI_REQUIRE(obs_size > 0);
+  std::vector<int> layers;
+  layers.push_back(obs_size);
+  for (int h : hidden) layers.push_back(h);
+  layers.push_back(1);
+  return layers;
+}
+}  // namespace
+
+ActorCritic::ActorCritic(int obs_size, std::vector<int> hidden,
+                         std::uint64_t seed)
+    : policy_(full_layers(obs_size, hidden)),
+      value_(full_layers(obs_size, hidden)) {
+  Rng rng(seed);
+  policy_.init_xavier(rng);
+  value_.init_xavier(rng);
+}
+
+SampledAction ActorCritic::sample(std::span<const double> obs,
+                                  Rng& rng) const {
+  const double logit = policy_.forward(obs)[0];
+  SampledAction out;
+  out.prob = sigmoid(logit);
+  out.action = rng.bernoulli(out.prob) ? 1 : 0;
+  out.log_prob = bernoulli_log_prob(logit, out.action);
+  return out;
+}
+
+int ActorCritic::act_greedy(std::span<const double> obs) const {
+  return policy_.forward(obs)[0] > 0.0 ? 1 : 0;
+}
+
+double ActorCritic::reject_prob(std::span<const double> obs) const {
+  return sigmoid(policy_.forward(obs)[0]);
+}
+
+double ActorCritic::value(std::span<const double> obs) const {
+  return value_.forward(obs)[0];
+}
+
+}  // namespace si

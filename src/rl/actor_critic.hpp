@@ -1,0 +1,64 @@
+// Actor-critic pair with a Bernoulli policy head (§3.1): two MLPs of the
+// same architecture over the same inputs. The policy net emits one logit —
+// sigmoid of which is the probability of rejecting the inspected scheduling
+// decision — and the value net emits the expected cumulative reward of the
+// state, used as the baseline that stabilizes policy-gradient training.
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "rl/mlp.hpp"
+
+namespace si {
+
+/// A sampled Bernoulli action with its log-probability under the policy.
+struct SampledAction {
+  int action = 0;      ///< 1 = reject, 0 = accept
+  double log_prob = 0.0;
+  double prob = 0.0;   ///< P(reject)
+};
+
+/// Numerically stable helpers for the Bernoulli head over a raw logit.
+double sigmoid(double logit);
+/// log P(action | logit) for action in {0,1}.
+double bernoulli_log_prob(double logit, int action);
+/// Entropy of Bernoulli(sigmoid(logit)).
+double bernoulli_entropy(double logit);
+
+class ActorCritic {
+ public:
+  /// `hidden` lists the hidden layer widths (paper: {32, 16, 8}); both nets
+  /// map obs_size inputs to one output.
+  ActorCritic(int obs_size, std::vector<int> hidden, std::uint64_t seed);
+
+  int obs_size() const { return policy_.input_size(); }
+
+  /// Samples reject/accept from the current policy.
+  SampledAction sample(std::span<const double> obs, Rng& rng) const;
+
+  /// Deterministic greedy action (used at inference/evaluation time).
+  int act_greedy(std::span<const double> obs) const;
+
+  /// P(reject | obs).
+  double reject_prob(std::span<const double> obs) const;
+
+  /// Value estimate of the state.
+  double value(std::span<const double> obs) const;
+
+  Mlp& policy_net() { return policy_; }
+  const Mlp& policy_net() const { return policy_; }
+  Mlp& value_net() { return value_; }
+  const Mlp& value_net() const { return value_; }
+
+  /// Total trainable parameters across both networks.
+  std::size_t param_count() const {
+    return policy_.param_count() + value_.param_count();
+  }
+
+ private:
+  Mlp policy_;
+  Mlp value_;
+};
+
+}  // namespace si

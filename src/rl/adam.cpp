@@ -1,0 +1,38 @@
+#include "rl/adam.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+
+Adam::Adam(std::size_t param_count, AdamConfig config)
+    : config_(config), m_(param_count, 0.0), v_(param_count, 0.0) {
+  SI_REQUIRE(config_.learning_rate > 0.0);
+  SI_REQUIRE(config_.beta1 >= 0.0 && config_.beta1 < 1.0);
+  SI_REQUIRE(config_.beta2 >= 0.0 && config_.beta2 < 1.0);
+}
+
+void Adam::step(std::span<double> params, std::span<const double> grads) {
+  SI_REQUIRE(params.size() == m_.size());
+  SI_REQUIRE(grads.size() == m_.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * grads[i];
+    v_[i] = config_.beta2 * v_[i] + (1.0 - config_.beta2) * grads[i] * grads[i];
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    params[i] -=
+        config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+  }
+}
+
+void Adam::reset() {
+  m_.assign(m_.size(), 0.0);
+  v_.assign(v_.size(), 0.0);
+  t_ = 0;
+}
+
+}  // namespace si

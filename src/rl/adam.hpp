@@ -1,0 +1,39 @@
+// The Adam optimizer (Kingma & Ba, 2015) over a flat parameter array — the
+// update rule behind the paper's 1e-3 learning-rate network training (§4.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace si {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+class Adam {
+ public:
+  Adam(std::size_t param_count, AdamConfig config = {});
+
+  /// Applies one Adam step: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  /// `params` and `grads` must match the constructor's param_count.
+  void step(std::span<double> params, std::span<const double> grads);
+
+  /// Resets the first/second moment estimates and the step counter.
+  void reset();
+
+  const AdamConfig& config() const { return config_; }
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace si

@@ -1,0 +1,47 @@
+// Trajectory storage for PPO. One trajectory holds the inspection steps of
+// one simulated job sequence; its reward is computed only after the whole
+// sequence is scheduled (§3: intermediate rewards are 0, a single final
+// reward is broadcast as every step's return).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace si {
+
+/// One inspection decision as recorded during rollout.
+struct Step {
+  std::vector<double> obs;  ///< state features (§3.3)
+  int action = 0;           ///< 1 = rejected, 0 = accepted
+  double log_prob = 0.0;    ///< log pi_old(action | obs)
+};
+
+/// One episode: all inspection steps of a job sequence + its final reward.
+struct Trajectory {
+  std::vector<Step> steps;
+  double reward = 0.0;  ///< final reward (§3.4)
+};
+
+/// A flat batch view over many trajectories, ready for a PPO update.
+struct RolloutBatch {
+  std::vector<Step> steps;       ///< all steps, trajectory order
+  std::vector<double> returns;   ///< per-step return = its trajectory reward
+
+  std::size_t size() const { return steps.size(); }
+  bool empty() const { return steps.empty(); }
+
+  /// Appends all of `t`'s steps, broadcasting the trajectory reward.
+  void add(Trajectory&& t) {
+    for (Step& s : t.steps) {
+      steps.push_back(std::move(s));
+      returns.push_back(t.reward);
+    }
+  }
+
+  void clear() {
+    steps.clear();
+    returns.clear();
+  }
+};
+
+}  // namespace si

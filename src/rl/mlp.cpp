@@ -1,0 +1,120 @@
+#include "rl/mlp.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+
+Mlp::Mlp(std::vector<int> layer_sizes) : layers_(std::move(layer_sizes)) {
+  SI_REQUIRE(layers_.size() >= 2);
+  std::size_t offset = 0;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    SI_REQUIRE(layers_[l] > 0 && layers_[l + 1] > 0);
+    LayerView view;
+    view.in = layers_[l];
+    view.out = layers_[l + 1];
+    view.weight_offset = offset;
+    offset += static_cast<std::size_t>(view.in) * static_cast<std::size_t>(view.out);
+    view.bias_offset = offset;
+    offset += static_cast<std::size_t>(view.out);
+    views_.push_back(view);
+  }
+  params_.assign(offset, 0.0);
+  grads_.assign(offset, 0.0);
+}
+
+void Mlp::init_xavier(Rng& rng) {
+  for (const LayerView& v : views_) {
+    const double bound = std::sqrt(6.0 / static_cast<double>(v.in + v.out));
+    double* w = params_.data() + v.weight_offset;
+    for (int i = 0; i < v.in * v.out; ++i) w[i] = rng.uniform(-bound, bound);
+    double* b = params_.data() + v.bias_offset;
+    for (int i = 0; i < v.out; ++i) b[i] = 0.0;
+  }
+}
+
+void Mlp::set_output_bias(double value) {
+  const LayerView& last = views_.back();
+  for (int o = 0; o < last.out; ++o)
+    params_[last.bias_offset + static_cast<std::size_t>(o)] = value;
+}
+
+std::vector<double> Mlp::forward(std::span<const double> input) const {
+  Workspace ws;
+  return forward(input, ws);
+}
+
+std::vector<double> Mlp::forward(std::span<const double> input,
+                                 Workspace& ws) const {
+  SI_REQUIRE(static_cast<int>(input.size()) == layers_.front());
+  ws.activations.resize(views_.size() + 1);
+  ws.activations[0].assign(input.begin(), input.end());
+
+  for (std::size_t l = 0; l < views_.size(); ++l) {
+    const LayerView& v = views_[l];
+    const std::vector<double>& x = ws.activations[l];
+    std::vector<double>& y = ws.activations[l + 1];
+    y.assign(static_cast<std::size_t>(v.out), 0.0);
+    const double* w = params_.data() + v.weight_offset;
+    const double* b = params_.data() + v.bias_offset;
+    const bool is_output = (l + 1 == views_.size());
+    for (int o = 0; o < v.out; ++o) {
+      double acc = b[o];
+      const double* row = w + static_cast<std::size_t>(o) * v.in;
+      for (int i = 0; i < v.in; ++i) acc += row[i] * x[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(o)] = is_output ? acc : std::tanh(acc);
+    }
+  }
+  return ws.activations.back();
+}
+
+void Mlp::backward(const Workspace& ws, std::span<const double> grad_output) {
+  backward_into(ws, grad_output, grads_);
+}
+
+void Mlp::backward_into(const Workspace& ws,
+                        std::span<const double> grad_output,
+                        std::span<double> grads) const {
+  SI_REQUIRE(ws.activations.size() == views_.size() + 1);
+  SI_REQUIRE(static_cast<int>(grad_output.size()) == layers_.back());
+  SI_REQUIRE(grads.size() == params_.size());
+
+  // delta = dL/d(pre-activation) of the current layer; the output layer is
+  // linear so its delta equals grad_output directly.
+  std::vector<double> delta(grad_output.begin(), grad_output.end());
+
+  for (std::size_t li = views_.size(); li-- > 0;) {
+    const LayerView& v = views_[li];
+    const std::vector<double>& x = ws.activations[li];
+    const double* w = params_.data() + v.weight_offset;
+    double* gw = grads.data() + v.weight_offset;
+    double* gb = grads.data() + v.bias_offset;
+
+    for (int o = 0; o < v.out; ++o) {
+      const double d = delta[static_cast<std::size_t>(o)];
+      gb[o] += d;
+      double* grow = gw + static_cast<std::size_t>(o) * v.in;
+      for (int i = 0; i < v.in; ++i)
+        grow[i] += d * x[static_cast<std::size_t>(i)];
+    }
+
+    if (li == 0) break;
+    // Propagate to the previous layer's post-activation, then through tanh:
+    // activations[li] stores tanh(pre), so dtanh = 1 - a^2.
+    std::vector<double> prev(static_cast<std::size_t>(v.in), 0.0);
+    for (int i = 0; i < v.in; ++i) {
+      double acc = 0.0;
+      for (int o = 0; o < v.out; ++o)
+        acc += w[static_cast<std::size_t>(o) * v.in + i] *
+               delta[static_cast<std::size_t>(o)];
+      const double a = x[static_cast<std::size_t>(i)];
+      prev[static_cast<std::size_t>(i)] = acc * (1.0 - a * a);
+    }
+    delta = std::move(prev);
+  }
+}
+
+void Mlp::zero_grad() { grads_.assign(grads_.size(), 0.0); }
+
+}  // namespace si

@@ -1,0 +1,82 @@
+// A small fully-connected network with tanh hidden activations and a linear
+// output layer — the paper's 3-hidden-layer (32/16/8) perceptron (§3.1).
+// Parameters and gradients live in flat arrays so the Adam optimizer and
+// model serialization stay trivial; backprop is hand-rolled.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace si {
+
+/// Multi-layer perceptron. Layer sizes include input and output, e.g.
+/// {8, 32, 16, 8, 1}. Hidden layers use tanh; the output is linear (callers
+/// apply sigmoid for a Bernoulli head or use it raw as a value estimate).
+class Mlp {
+ public:
+  explicit Mlp(std::vector<int> layer_sizes);
+
+  int input_size() const { return layers_.front(); }
+  int output_size() const { return layers_.back(); }
+  const std::vector<int>& layer_sizes() const { return layers_; }
+  std::size_t param_count() const { return params_.size(); }
+
+  /// Xavier/Glorot-uniform initialization; biases start at zero.
+  void init_xavier(Rng& rng);
+
+  /// Overwrites the output layer's biases (all outputs). Used to start a
+  /// Bernoulli policy head biased toward one action.
+  void set_output_bias(double value);
+
+  /// Inference-only forward pass.
+  std::vector<double> forward(std::span<const double> input) const;
+
+  /// Activation cache for backprop. One Workspace may be reused across
+  /// calls; it is resized as needed.
+  struct Workspace {
+    // activations[0] is the input; activations[L] the (linear) output.
+    std::vector<std::vector<double>> activations;
+  };
+
+  /// Forward pass that records activations for a subsequent backward().
+  std::vector<double> forward(std::span<const double> input,
+                              Workspace& ws) const;
+
+  /// Accumulates parameter gradients for dL/d(output) = `grad_output`,
+  /// given the activations recorded by the forward pass. Returns nothing;
+  /// call grads() to read and zero_grad() to reset.
+  void backward(const Workspace& ws, std::span<const double> grad_output);
+
+  /// Thread-safe variant: accumulates into a caller-provided gradient
+  /// buffer (sized param_count()) instead of the internal one, so several
+  /// workers can backprop chunks of a batch concurrently against the same
+  /// (read-only) parameters.
+  void backward_into(const Workspace& ws, std::span<const double> grad_output,
+                     std::span<double> grads) const;
+
+  void zero_grad();
+
+  std::span<double> params() { return params_; }
+  std::span<const double> params() const { return params_; }
+  std::span<double> grads() { return grads_; }
+  std::span<const double> grads() const { return grads_; }
+
+ private:
+  // Offsets of layer l's weight matrix (rows = out, cols = in) and bias.
+  struct LayerView {
+    std::size_t weight_offset = 0;
+    std::size_t bias_offset = 0;
+    int in = 0;
+    int out = 0;
+  };
+
+  std::vector<int> layers_;
+  std::vector<LayerView> views_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+};
+
+}  // namespace si

@@ -1,0 +1,76 @@
+#include "rl/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace si {
+
+namespace {
+constexpr const char* kMagic = "schedinspector-model";
+constexpr const char* kVersion = "v1";
+
+void write_params(std::ostream& out, std::span<const double> params) {
+  out << params.size() << '\n';
+  out << std::setprecision(17);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out << params[i] << (i + 1 == params.size() ? '\n' : ' ');
+  }
+  if (params.empty()) out << '\n';
+}
+
+void read_params(std::istream& in, std::span<double> params) {
+  std::size_t count = 0;
+  if (!(in >> count) || count != params.size())
+    throw std::runtime_error("model_io: parameter count mismatch");
+  for (double& p : params)
+    if (!(in >> p)) throw std::runtime_error("model_io: truncated parameters");
+}
+}  // namespace
+
+void save_model(std::ostream& out, const ActorCritic& ac) {
+  out << kMagic << ' ' << kVersion << '\n';
+  const auto& layers = ac.policy_net().layer_sizes();
+  out << layers.size() << '\n';
+  for (std::size_t i = 0; i < layers.size(); ++i)
+    out << layers[i] << (i + 1 == layers.size() ? '\n' : ' ');
+  write_params(out, ac.policy_net().params());
+  write_params(out, ac.value_net().params());
+  if (!out) throw std::runtime_error("model_io: write failure");
+}
+
+void save_model_file(const std::string& path, const ActorCritic& ac) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("model_io: cannot open " + path);
+  save_model(out, ac);
+}
+
+ActorCritic load_model(std::istream& in) {
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != kMagic || version != kVersion)
+    throw std::runtime_error("model_io: bad header");
+  std::size_t layer_count = 0;
+  if (!(in >> layer_count) || layer_count < 2)
+    throw std::runtime_error("model_io: bad layer count");
+  std::vector<int> layers(layer_count);
+  for (int& l : layers)
+    if (!(in >> l) || l <= 0)
+      throw std::runtime_error("model_io: bad layer size");
+  if (layers.back() != 1)
+    throw std::runtime_error("model_io: output layer must be 1");
+  std::vector<int> hidden(layers.begin() + 1, layers.end() - 1);
+  ActorCritic ac(layers.front(), hidden, /*seed=*/0);
+  read_params(in, ac.policy_net().params());
+  read_params(in, ac.value_net().params());
+  return ac;
+}
+
+ActorCritic load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("model_io: cannot open " + path);
+  return load_model(in);
+}
+
+}  // namespace si

@@ -1,0 +1,29 @@
+// Plain-text (de)serialization of trained actor-critic models, so a model
+// trained on one trace can be evaluated on another (Table 4) and inspection
+// policies can be shipped to a production scheduler.
+//
+// Format: a header line "schedinspector-model v1", the layer sizes, then the
+// policy and value parameter arrays in full hex-precision decimal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rl/actor_critic.hpp"
+
+namespace si {
+
+/// Writes `ac` to the stream. Throws std::runtime_error on stream failure.
+void save_model(std::ostream& out, const ActorCritic& ac);
+
+/// Saves to a file path.
+void save_model_file(const std::string& path, const ActorCritic& ac);
+
+/// Reads a model; the architecture is restored from the file. Throws
+/// std::runtime_error on malformed input.
+ActorCritic load_model(std::istream& in);
+
+/// Loads from a file path.
+ActorCritic load_model_file(const std::string& path);
+
+}  // namespace si

@@ -1,0 +1,191 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace si {
+
+namespace {
+
+// The batch is always split into this many fixed chunks; each chunk
+// accumulates gradients into its own buffer and the buffers are reduced in
+// chunk order. Results are therefore bit-identical no matter how many
+// hardware threads actually run the chunks.
+constexpr std::size_t kChunks = 4;
+
+struct ChunkAccumulator {
+  std::vector<double> grads;
+  double loss = 0.0;
+  double kl = 0.0;
+  double entropy = 0.0;
+};
+
+// Runs `work(chunk_index, begin, end)` over the kChunks fixed ranges,
+// in parallel when the batch is big enough to amortize thread startup.
+template <typename Work>
+void for_each_chunk(std::size_t batch_size, Work&& work) {
+  std::array<std::pair<std::size_t, std::size_t>, kChunks> ranges;
+  const std::size_t per = (batch_size + kChunks - 1) / kChunks;
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    const std::size_t begin = std::min(c * per, batch_size);
+    const std::size_t end = std::min(begin + per, batch_size);
+    ranges[c] = {begin, end};
+  }
+  const bool parallel =
+      batch_size >= 512 && std::thread::hardware_concurrency() > 1;
+  if (!parallel) {
+    for (std::size_t c = 0; c < kChunks; ++c)
+      work(c, ranges[c].first, ranges[c].second);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kChunks);
+  for (std::size_t c = 0; c < kChunks; ++c)
+    threads.emplace_back([&, c] { work(c, ranges[c].first, ranges[c].second); });
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+
+PpoUpdater::PpoUpdater(ActorCritic& ac, PpoConfig config)
+    : ac_(ac),
+      config_(config),
+      policy_opt_(ac.policy_net().param_count(),
+                  AdamConfig{.learning_rate = config.policy_lr}),
+      value_opt_(ac.value_net().param_count(),
+                 AdamConfig{.learning_rate = config.value_lr}) {
+  SI_REQUIRE(config_.clip_ratio > 0.0);
+  SI_REQUIRE(config_.policy_iters > 0 && config_.value_iters > 0);
+}
+
+std::vector<double> PpoUpdater::compute_advantages(
+    const RolloutBatch& batch) const {
+  std::vector<double> adv(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    adv[i] = batch.returns[i] - ac_.value(batch.steps[i].obs);
+  if (config_.normalize_advantage && batch.size() >= 2) {
+    double mean = 0.0;
+    for (double a : adv) mean += a;
+    mean /= static_cast<double>(adv.size());
+    double var = 0.0;
+    for (double a : adv) var += (a - mean) * (a - mean);
+    var /= static_cast<double>(adv.size());
+    const double stddev = std::sqrt(std::max(var, 1e-12));
+    for (double& a : adv) a = (a - mean) / stddev;
+  }
+  return adv;
+}
+
+PpoStats PpoUpdater::update(const RolloutBatch& batch) {
+  SI_REQUIRE(!batch.empty());
+  SI_REQUIRE(batch.steps.size() == batch.returns.size());
+  for (const Step& s : batch.steps)
+    SI_REQUIRE(static_cast<int>(s.obs.size()) == ac_.obs_size());
+
+  const std::vector<double> advantages = compute_advantages(batch);
+  const double inv_n = 1.0 / static_cast<double>(batch.size());
+  PpoStats stats;
+
+  Mlp& policy = ac_.policy_net();
+
+  // --- policy: clipped surrogate with entropy bonus; early stop on KL ---
+  std::array<ChunkAccumulator, kChunks> acc;
+  for (int iter = 0; iter < config_.policy_iters; ++iter) {
+    for_each_chunk(batch.size(), [&](std::size_t c, std::size_t begin,
+                                     std::size_t end) {
+      ChunkAccumulator& a = acc[c];
+      a.grads.assign(policy.param_count(), 0.0);
+      a.loss = a.kl = a.entropy = 0.0;
+      Mlp::Workspace ws;
+      for (std::size_t i = begin; i < end; ++i) {
+        const Step& step = batch.steps[i];
+        const double logit = policy.forward(step.obs, ws)[0];
+        const double logp = bernoulli_log_prob(logit, step.action);
+        const double ratio = std::exp(logp - step.log_prob);
+        const double adv = advantages[i];
+        a.kl += step.log_prob - logp;
+        a.entropy += bernoulli_entropy(logit);
+
+        const double clipped = std::clamp(ratio, 1.0 - config_.clip_ratio,
+                                          1.0 + config_.clip_ratio);
+        a.loss += -std::min(ratio * adv, clipped * adv);
+
+        // d(surrogate)/d(logp): ratio * adv unless the clip is active on
+        // the pessimistic side, in which case the gradient vanishes.
+        const bool clip_active =
+            (adv >= 0.0 && ratio > 1.0 + config_.clip_ratio) ||
+            (adv < 0.0 && ratio < 1.0 - config_.clip_ratio);
+        const double dsurr_dlogp = clip_active ? 0.0 : ratio * adv;
+        const double p = sigmoid(logit);
+        // d(logp)/d(logit) for a Bernoulli head = action - p.
+        const double dlogp_dlogit = static_cast<double>(step.action) - p;
+        // d(entropy)/d(logit) = -logit * p * (1 - p).
+        const double dent_dlogit = -logit * p * (1.0 - p);
+        const double dloss_dlogit =
+            (-dsurr_dlogp * dlogp_dlogit -
+             config_.entropy_coef * dent_dlogit) *
+            inv_n;
+        const double grad_out[1] = {dloss_dlogit};
+        policy.backward_into(ws, grad_out, a.grads);
+      }
+    });
+
+    policy.zero_grad();
+    double loss = 0.0;
+    double kl = 0.0;
+    double entropy = 0.0;
+    auto grads = policy.grads();
+    for (const ChunkAccumulator& a : acc) {
+      for (std::size_t g = 0; g < grads.size(); ++g) grads[g] += a.grads[g];
+      loss += a.loss;
+      kl += a.kl;
+      entropy += a.entropy;
+    }
+    loss *= inv_n;
+    kl *= inv_n;
+    entropy *= inv_n;
+    stats.policy_loss = loss - config_.entropy_coef * entropy;
+    stats.approx_kl = kl;
+    stats.entropy = entropy;
+    stats.policy_iters_run = iter + 1;
+    if (kl > 1.5 * config_.target_kl) break;
+    policy_opt_.step(policy.params(), policy.grads());
+  }
+
+  // --- value: mean squared error against the returns ---
+  Mlp& value = ac_.value_net();
+  for (int iter = 0; iter < config_.value_iters; ++iter) {
+    for_each_chunk(batch.size(), [&](std::size_t c, std::size_t begin,
+                                     std::size_t end) {
+      ChunkAccumulator& a = acc[c];
+      a.grads.assign(value.param_count(), 0.0);
+      a.loss = 0.0;
+      Mlp::Workspace ws;
+      for (std::size_t i = begin; i < end; ++i) {
+        const Step& step = batch.steps[i];
+        const double v = value.forward(step.obs, ws)[0];
+        const double err = v - batch.returns[i];
+        a.loss += err * err;
+        const double grad_out[1] = {2.0 * err * inv_n};
+        value.backward_into(ws, grad_out, a.grads);
+      }
+    });
+    value.zero_grad();
+    double loss = 0.0;
+    auto grads = value.grads();
+    for (const ChunkAccumulator& a : acc) {
+      for (std::size_t g = 0; g < grads.size(); ++g) grads[g] += a.grads[g];
+      loss += a.loss;
+    }
+    stats.value_loss = loss * inv_n;
+    value_opt_.step(value.params(), value.grads());
+  }
+
+  return stats;
+}
+
+}  // namespace si

@@ -1,0 +1,55 @@
+// Proximal Policy Optimization (Schulman et al., 2017) with the clipped
+// surrogate objective — the training algorithm of §4.1. The update consumes
+// a RolloutBatch of Bernoulli inspection decisions whose returns are the
+// broadcast sequence-final rewards; advantages are returns minus the critic
+// baseline, normalized per batch.
+#pragma once
+
+#include "rl/actor_critic.hpp"
+#include "rl/adam.hpp"
+#include "rl/buffer.hpp"
+
+namespace si {
+
+struct PpoConfig {
+  double clip_ratio = 0.2;
+  double policy_lr = 1e-3;       ///< paper: 1e-3
+  double value_lr = 1e-3;
+  int policy_iters = 40;         ///< gradient steps per update
+  int value_iters = 40;
+  double target_kl = 0.015;      ///< early-stop threshold (x1.5 rule)
+  double entropy_coef = 0.01;    ///< exploration bonus
+  bool normalize_advantage = true;
+};
+
+/// Diagnostics of one PPO update.
+struct PpoStats {
+  double policy_loss = 0.0;      ///< after the last policy step
+  double value_loss = 0.0;       ///< after the last value step
+  double approx_kl = 0.0;        ///< mean(logp_old - logp_new) at stop
+  double entropy = 0.0;          ///< mean Bernoulli entropy at stop
+  int policy_iters_run = 0;      ///< may stop early on KL
+};
+
+/// PPO updater bound to one ActorCritic. Owns the Adam state for both nets.
+class PpoUpdater {
+ public:
+  PpoUpdater(ActorCritic& ac, PpoConfig config = {});
+
+  /// Runs one PPO update over the batch. Requires a non-empty batch whose
+  /// observation width matches the networks.
+  PpoStats update(const RolloutBatch& batch);
+
+  const PpoConfig& config() const { return config_; }
+
+ private:
+  ActorCritic& ac_;
+  PpoConfig config_;
+  Adam policy_opt_;
+  Adam value_opt_;
+
+  /// Advantage of each step (return - V(obs)), optionally normalized.
+  std::vector<double> compute_advantages(const RolloutBatch& batch) const;
+};
+
+}  // namespace si

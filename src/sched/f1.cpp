@@ -1,0 +1,18 @@
+#include "sched/f1.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace si {
+
+double F1Policy::score(const Job& job, const SchedContext&) const {
+  // log10 arguments are clamped to >= 1 second: trace windows are re-based
+  // so the first job submits at t = 0, and estimates may legitimately be
+  // sub-second in synthetic workloads.
+  const double est = std::max(job.estimate, 1.0);
+  const double submit = std::max(job.submit, 1.0);
+  return std::log10(est) * static_cast<double>(job.procs) +
+         870.0 * std::log10(submit);
+}
+
+}  // namespace si

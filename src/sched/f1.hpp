@@ -1,0 +1,19 @@
+// The F1 policy of Carastan-Santos & de Camargo (SC'17) — the paper's
+// state-of-the-art heuristic baseline (Table 3):
+//   score = log10(est_j) * res_j + 870 * log10(s_j)
+// where s_j is the job's submission time. It was obtained by non-linear
+// regression against simulated optimal bsld schedules; smaller is better.
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace si {
+
+class F1Policy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "F1"; }
+  PolicyPtr clone() const override { return std::make_unique<F1Policy>(*this); }
+  double score(const Job& job, const SchedContext& ctx) const override;
+};
+
+}  // namespace si

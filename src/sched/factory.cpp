@@ -1,0 +1,32 @@
+#include "sched/factory.hpp"
+
+#include <stdexcept>
+
+#include "sched/f1.hpp"
+#include "sched/policies.hpp"
+#include "sched/slurm.hpp"
+
+namespace si {
+
+const std::vector<std::string>& heuristic_policy_names() {
+  static const std::vector<std::string> names = {"FCFS", "LCFS", "SJF", "SQF",
+                                                 "SAF",  "SRF",  "F1"};
+  return names;
+}
+
+PolicyPtr make_policy(const std::string& name) {
+  if (name == "FCFS") return std::make_unique<FcfsPolicy>();
+  if (name == "LCFS") return std::make_unique<LcfsPolicy>();
+  if (name == "SJF") return std::make_unique<SjfPolicy>();
+  if (name == "SQF") return std::make_unique<SqfPolicy>();
+  if (name == "SAF") return std::make_unique<SafPolicy>();
+  if (name == "SRF") return std::make_unique<SrfPolicy>();
+  if (name == "F1") return std::make_unique<F1Policy>();
+  throw std::out_of_range("unknown scheduling policy: " + name);
+}
+
+PolicyPtr make_slurm_policy(const Trace& trace) {
+  return std::make_unique<SlurmMultifactorPolicy>(trace);
+}
+
+}  // namespace si

@@ -1,0 +1,24 @@
+// Name-based construction of base scheduling policies, used by benches,
+// examples, and parameterized tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/policy.hpp"
+#include "workload/trace.hpp"
+
+namespace si {
+
+/// All stateless Table 3 policy names, in paper order:
+/// FCFS, LCFS, SJF, SQF, SAF, SRF, F1.
+const std::vector<std::string>& heuristic_policy_names();
+
+/// Builds a stateless policy by name. Throws std::out_of_range for unknown
+/// names ("Slurm" requires a trace — use make_slurm_policy).
+PolicyPtr make_policy(const std::string& name);
+
+/// Builds the Slurm multifactor policy calibrated on `trace` (§4.5).
+PolicyPtr make_slurm_policy(const Trace& trace);
+
+}  // namespace si

@@ -1,0 +1,9 @@
+#include "sched/policy.hpp"
+
+namespace si {
+
+void SchedulingPolicy::on_job_start(const Job&, Time) {}
+
+void SchedulingPolicy::reset() {}
+
+}  // namespace si

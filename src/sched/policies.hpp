@@ -1,0 +1,80 @@
+// The single- and two-attribute heuristic policies of Table 3:
+//   FCFS  max(wait_j)        -> score = submit_j
+//   LCFS  min(wait_j)        -> score = -submit_j
+//   SJF   min(est_j)
+//   SQF   min(res_j)   (Smallest Resource Requirement First, §1)
+//   SAF   min(est_j * res_j)
+//   SRF   min(est_j / res_j)
+#pragma once
+
+#include "sched/policy.hpp"
+
+namespace si {
+
+class FcfsPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "FCFS"; }
+  PolicyPtr clone() const override {
+    return std::make_unique<FcfsPolicy>(*this);
+  }
+  double score(const Job& job, const SchedContext&) const override {
+    return job.submit;
+  }
+};
+
+class LcfsPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "LCFS"; }
+  PolicyPtr clone() const override {
+    return std::make_unique<LcfsPolicy>(*this);
+  }
+  double score(const Job& job, const SchedContext&) const override {
+    return -job.submit;
+  }
+};
+
+class SjfPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "SJF"; }
+  PolicyPtr clone() const override {
+    return std::make_unique<SjfPolicy>(*this);
+  }
+  double score(const Job& job, const SchedContext&) const override {
+    return job.estimate;
+  }
+};
+
+class SqfPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "SQF"; }
+  PolicyPtr clone() const override {
+    return std::make_unique<SqfPolicy>(*this);
+  }
+  double score(const Job& job, const SchedContext&) const override {
+    return static_cast<double>(job.procs);
+  }
+};
+
+class SafPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "SAF"; }
+  PolicyPtr clone() const override {
+    return std::make_unique<SafPolicy>(*this);
+  }
+  double score(const Job& job, const SchedContext&) const override {
+    return job.estimated_area();
+  }
+};
+
+class SrfPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "SRF"; }
+  PolicyPtr clone() const override {
+    return std::make_unique<SrfPolicy>(*this);
+  }
+  double score(const Job& job, const SchedContext&) const override {
+    return job.estimated_ratio();
+  }
+};
+
+}  // namespace si

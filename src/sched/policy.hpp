@@ -1,0 +1,49 @@
+// The base-scheduler abstraction SchedInspector sits on top of. A policy
+// assigns every waiting job a score; the simulator selects the job with the
+// *smallest* score (ties broken by smaller job id, as in the paper's §2.1
+// example). Policies may keep state across job starts (the Slurm multifactor
+// policy tracks fair-share usage); reset() returns them to a fresh sequence.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace si {
+
+/// Scheduling context made available to priority functions.
+struct SchedContext {
+  Time now = 0.0;        ///< current simulation time
+  int total_procs = 0;   ///< cluster size
+  int free_procs = 0;    ///< currently idle processors
+};
+
+/// Interface of a batch-job scheduling policy (Table 3).
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Short name, e.g. "SJF".
+  virtual std::string name() const = 0;
+
+  /// Deep copy, including any calibration state (but callers should reset()
+  /// the clone before a new sequence). Lets rollout workers run private
+  /// instances of stateful policies concurrently.
+  virtual std::unique_ptr<SchedulingPolicy> clone() const = 0;
+
+  /// Priority score — the waiting job with the smallest score is scheduled
+  /// next. Must be a pure function of (job, ctx) and internal policy state.
+  virtual double score(const Job& job, const SchedContext& ctx) const = 0;
+
+  /// Notification that `job` started executing at `now`; stateful policies
+  /// (fair-share) accrue usage here. Default: no-op.
+  virtual void on_job_start(const Job& job, Time now);
+
+  /// Returns the policy to its initial state before a new sequence.
+  virtual void reset();
+};
+
+using PolicyPtr = std::unique_ptr<SchedulingPolicy>;
+
+}  // namespace si

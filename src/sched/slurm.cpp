@@ -1,0 +1,84 @@
+#include "sched/slurm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+
+SlurmMultifactorPolicy::SlurmMultifactorPolicy(const Trace& trace) {
+  SI_REQUIRE(!trace.empty());
+  std::unordered_map<int, double> user_usage;
+  std::unordered_map<int, double> queue_usage;
+  double total = 0.0;
+  for (const Job& j : trace.jobs()) {
+    const double cpu_seconds = j.run * static_cast<double>(j.procs);
+    user_usage[j.user] += cpu_seconds;
+    queue_usage[j.queue] += cpu_seconds;
+    total += cpu_seconds;
+    max_estimate_ = std::max(max_estimate_, j.estimate);
+  }
+  SI_ENSURE(total > 0.0);
+  for (const auto& [user, usage] : user_usage)
+    assigned_share_[user] = std::max(usage / total, 1e-6);
+  double max_queue = 0.0;
+  for (const auto& [queue, usage] : queue_usage)
+    max_queue = std::max(max_queue, usage);
+  for (const auto& [queue, usage] : queue_usage)
+    queue_priority_[queue] = usage / max_queue;
+}
+
+double SlurmMultifactorPolicy::age_factor(const Job& job, Time now) const {
+  const double wait = std::max(now - job.submit, 0.0);
+  return std::min(wait / kAgeNormalization, 1.0);
+}
+
+double SlurmMultifactorPolicy::fairshare_factor(int user) const {
+  if (total_used_cpu_seconds_ <= 0.0) return 1.0;
+  const auto share_it = assigned_share_.find(user);
+  // Users absent from the training trace get a neutral minimal share.
+  const double share =
+      share_it != assigned_share_.end() ? share_it->second : 1e-6;
+  const auto usage_it = used_cpu_seconds_.find(user);
+  const double usage =
+      usage_it != used_cpu_seconds_.end() ? usage_it->second : 0.0;
+  const double usage_frac = usage / total_used_cpu_seconds_;
+  // Slurm's classic fair-share curve: 1 when under-served, decaying
+  // exponentially as a user's consumption exceeds her share.
+  return std::clamp(std::exp2(-usage_frac / share / 2.0), 0.0, 1.0);
+}
+
+double SlurmMultifactorPolicy::job_attribute_factor(const Job& job) const {
+  return std::clamp(job.estimate / max_estimate_, 0.0, 1.0);
+}
+
+double SlurmMultifactorPolicy::partition_factor(int queue) const {
+  const auto it = queue_priority_.find(queue);
+  return it != queue_priority_.end() ? it->second : 0.0;
+}
+
+double SlurmMultifactorPolicy::priority(const Job& job, Time now) const {
+  return kWeight * age_factor(job, now) +
+         kWeight * fairshare_factor(job.user) +
+         kWeight * job_attribute_factor(job) +
+         kWeight * partition_factor(job.queue);
+}
+
+double SlurmMultifactorPolicy::score(const Job& job,
+                                     const SchedContext& ctx) const {
+  return -priority(job, ctx.now);
+}
+
+void SlurmMultifactorPolicy::on_job_start(const Job& job, Time) {
+  const double cpu_seconds = job.run * static_cast<double>(job.procs);
+  used_cpu_seconds_[job.user] += cpu_seconds;
+  total_used_cpu_seconds_ += cpu_seconds;
+}
+
+void SlurmMultifactorPolicy::reset() {
+  used_cpu_seconds_.clear();
+  total_used_cpu_seconds_ = 0.0;
+}
+
+}  // namespace si

@@ -1,0 +1,21 @@
+// Simulator knobs, matching §3.2 / §4.1 of the paper.
+#pragma once
+
+namespace si {
+
+struct SimConfig {
+  /// EASY backfilling on/off (§4.4.5). Off by default, as in the paper's
+  /// main experiments.
+  bool backfill = false;
+
+  /// MAX_INTERVAL: the maximal time the base scheduler waits before retrying
+  /// after a rejection (paper: 600 s). The next scheduling point after a
+  /// rejection is min(next arrival, next completion, now + max_interval).
+  double max_interval = 600.0;
+
+  /// MAX_REJECTION_TIMES: once a job has been rejected this many times the
+  /// inspector is bypassed for it (paper: 72, i.e. at most ~12 h of delay).
+  int max_rejection_times = 72;
+};
+
+}  // namespace si

@@ -1,0 +1,49 @@
+// The inspector hook the simulator exposes (§3.2). At every scheduling
+// point, after the base policy has picked its top-priority job, the
+// simulator consults the inspector (unless the job exhausted its rejection
+// budget). Returning true cancels the scheduling: the job goes back to the
+// waiting queue and the simulator moves to the next scheduling point.
+//
+// The view deliberately surfaces the raw scheduling context — feature
+// engineering (§3.3) lives in src/core/features.*, not here — so alternative
+// inspectors (rule-based, random, oracle) can be built on the same hook.
+#pragma once
+
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace si {
+
+/// Everything an inspector may observe at one scheduling point. Pointers are
+/// only valid for the duration of the inspect() call.
+struct InspectionView {
+  Time now = 0.0;
+  const Job* job = nullptr;       ///< the base policy's top-priority job
+  double job_wait = 0.0;          ///< how long it has waited so far
+  int job_rejections = 0;         ///< times this job was already rejected
+  int max_rejection_times = 0;    ///< the configured budget
+  int free_procs = 0;
+  int total_procs = 0;
+  bool backfill_enabled = false;
+  int backfillable_jobs = 0;      ///< EASY-backfillable waiting jobs were the
+                                  ///< candidate accepted-but-blocked (0 when
+                                  ///< it is runnable or backfill is off)
+  /// Waiting jobs other than the candidate.
+  const std::vector<const Job*>* waiting = nullptr;
+
+  /// True when the candidate could start immediately.
+  bool runnable() const { return job != nullptr && job->procs <= free_procs; }
+};
+
+/// Inspector interface. Implementations: the RL SchedInspector
+/// (core/inspector.*), plus the always-accept base behaviour (nullptr).
+class Inspector {
+ public:
+  virtual ~Inspector() = default;
+
+  /// True => reject this scheduling decision.
+  virtual bool reject(const InspectionView& view) = 0;
+};
+
+}  // namespace si

@@ -1,0 +1,71 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace si {
+
+Metric metric_from_name(const std::string& name) {
+  if (name == "bsld") return Metric::kBsld;
+  if (name == "wait") return Metric::kWait;
+  if (name == "mbsld") return Metric::kMaxBsld;
+  throw std::out_of_range("unknown metric: " + name);
+}
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kBsld:
+      return "bsld";
+    case Metric::kWait:
+      return "wait";
+    case Metric::kMaxBsld:
+      return "mbsld";
+  }
+  return "?";
+}
+
+double SequenceMetrics::value(Metric metric) const {
+  switch (metric) {
+    case Metric::kBsld:
+      return avg_bsld;
+    case Metric::kWait:
+      return avg_wait;
+    case Metric::kMaxBsld:
+      return max_bsld;
+  }
+  return 0.0;
+}
+
+double SequenceMetrics::rejection_ratio() const {
+  if (inspections == 0) return 0.0;
+  return static_cast<double>(rejections) / static_cast<double>(inspections);
+}
+
+SequenceMetrics compute_metrics(const std::vector<JobRecord>& records,
+                                int total_procs) {
+  SI_REQUIRE(total_procs > 0);
+  SequenceMetrics m;
+  m.jobs = records.size();
+  if (records.empty()) return m;
+  double busy_node_seconds = 0.0;
+  for (const JobRecord& r : records) {
+    SI_REQUIRE(r.started());
+    m.avg_wait += r.wait();
+    const double bsld = r.bounded_slowdown();
+    m.avg_bsld += bsld;
+    m.max_bsld = std::max(m.max_bsld, bsld);
+    m.makespan = std::max(m.makespan, r.finish);
+    busy_node_seconds += r.run * static_cast<double>(r.procs);
+  }
+  const auto n = static_cast<double>(records.size());
+  m.avg_wait /= n;
+  m.avg_bsld /= n;
+  if (m.makespan > 0.0)
+    m.utilization =
+        busy_node_seconds / (static_cast<double>(total_procs) * m.makespan);
+  return m;
+}
+
+}  // namespace si

@@ -1,0 +1,46 @@
+// Sequence-level performance metrics (§2.1, §4.4.3, §4.4.4):
+//   wait   — average job waiting time
+//   bsld   — average bounded job slowdown (10 s interactivity threshold)
+//   mbsld  — maximal bounded job slowdown of the sequence
+//   util   — executed node-seconds / available node-seconds over the makespan
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace si {
+
+/// Which metric a scheduler / SchedInspector optimizes. Lower is better for
+/// all three job-execution metrics.
+enum class Metric { kBsld, kWait, kMaxBsld };
+
+/// Parses "bsld" / "wait" / "mbsld"; throws std::out_of_range otherwise.
+Metric metric_from_name(const std::string& name);
+std::string metric_name(Metric metric);
+
+struct SequenceMetrics {
+  std::size_t jobs = 0;
+  double avg_wait = 0.0;
+  double avg_bsld = 0.0;
+  double max_bsld = 0.0;
+  double utilization = 0.0;
+  double makespan = 0.0;
+  std::size_t inspections = 0;  ///< times the inspector was consulted
+  std::size_t rejections = 0;   ///< times it rejected
+
+  /// The value of the chosen metric (avg_wait / avg_bsld / max_bsld).
+  double value(Metric metric) const;
+
+  /// Rejection ratio (rejections / inspections; 0 when never consulted).
+  double rejection_ratio() const;
+};
+
+/// Aggregates per-job records into sequence metrics. Every record must have
+/// started (the simulator runs sequences to completion).
+SequenceMetrics compute_metrics(const std::vector<JobRecord>& records,
+                                int total_procs);
+
+}  // namespace si

@@ -1,0 +1,292 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace si {
+
+namespace {
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+
+// Min-heap on actual finish time.
+struct RunningLater {
+  template <typename R>
+  bool operator()(const R& a, const R& b) const {
+    return a.finish > b.finish;
+  }
+};
+}  // namespace
+
+Simulator::Simulator(int total_procs, SimConfig config)
+    : total_procs_(total_procs), config_(config) {
+  SI_REQUIRE(total_procs_ > 0);
+  SI_REQUIRE(config_.max_interval > 0.0);
+  SI_REQUIRE(config_.max_rejection_times >= 0);
+}
+
+SchedContext Simulator::context() const {
+  SchedContext ctx;
+  ctx.now = now_;
+  ctx.total_procs = total_procs_;
+  ctx.free_procs = free_procs_;
+  return ctx;
+}
+
+bool Simulator::fits(std::size_t index) const {
+  return (*jobs_)[index].procs <= free_procs_;
+}
+
+void Simulator::admit_arrivals() {
+  const auto& jobs = *jobs_;
+  while (next_arrival_ < jobs.size() && jobs[next_arrival_].submit <= now_) {
+    waiting_.push_back(next_arrival_);
+    ++next_arrival_;
+  }
+}
+
+void Simulator::process_completions() {
+  while (!running_.empty() && running_.front().finish <= now_) {
+    std::pop_heap(running_.begin(), running_.end(), RunningLater{});
+    const Running done = running_.back();
+    running_.pop_back();
+    free_procs_ += done.procs;
+    ++completed_;
+    SI_ENSURE(free_procs_ <= total_procs_);
+  }
+}
+
+void Simulator::start_job(std::size_t index) {
+  const Job& job = (*jobs_)[index];
+  SI_REQUIRE(job.procs <= free_procs_);
+  free_procs_ -= job.procs;
+  JobRecord& rec = records_[index];
+  rec.start = now_;
+  rec.finish = now_ + job.run;
+  Running r;
+  r.finish = rec.finish;
+  r.estimated_finish = now_ + job.estimate;
+  r.procs = job.procs;
+  r.index = index;
+  running_.push_back(r);
+  std::push_heap(running_.begin(), running_.end(), RunningLater{});
+  policy_->on_job_start(job, now_);
+}
+
+std::size_t Simulator::pick_top_priority() const {
+  SI_REQUIRE(!waiting_.empty());
+  const SchedContext ctx = context();
+  std::size_t best = waiting_.front();
+  double best_score = policy_->score((*jobs_)[best], ctx);
+  for (std::size_t i = 1; i < waiting_.size(); ++i) {
+    const std::size_t idx = waiting_[i];
+    const double s = policy_->score((*jobs_)[idx], ctx);
+    if (s < best_score ||
+        (s == best_score && (*jobs_)[idx].id < (*jobs_)[best].id)) {
+      best = idx;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+Simulator::Shadow Simulator::compute_shadow(int procs_needed) const {
+  Shadow shadow;
+  if (procs_needed <= free_procs_) {
+    shadow.time = now_;
+    shadow.extra = free_procs_ - procs_needed;
+    return shadow;
+  }
+  // Walk running jobs in estimated-finish order, accumulating freed
+  // processors. Estimates may already be exceeded (the job ran longer than
+  // the user requested); the scheduler then treats its release as imminent.
+  std::vector<std::pair<Time, int>> releases;
+  releases.reserve(running_.size());
+  for (const Running& r : running_)
+    releases.emplace_back(std::max(r.estimated_finish, now_), r.procs);
+  std::sort(releases.begin(), releases.end());
+  int free = free_procs_;
+  for (const auto& [time, procs] : releases) {
+    free += procs;
+    if (free >= procs_needed) {
+      shadow.time = time;
+      shadow.extra = free - procs_needed;
+      return shadow;
+    }
+  }
+  // Unreachable: procs_needed <= total_procs, so draining every running job
+  // always suffices.
+  SI_ENSURE(false);
+  return shadow;
+}
+
+void Simulator::backfill_around_blocked() {
+  SI_REQUIRE(has_blocked_);
+  if (waiting_.empty() || free_procs_ == 0) return;
+  const Shadow shadow = compute_shadow((*jobs_)[blocked_].procs);
+  int extra = shadow.extra;
+
+  // Consider candidates in base-policy priority order.
+  std::vector<std::size_t> order = waiting_;
+  const SchedContext ctx = context();
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double sa = policy_->score((*jobs_)[a], ctx);
+    const double sb = policy_->score((*jobs_)[b], ctx);
+    if (sa != sb) return sa < sb;
+    return (*jobs_)[a].id < (*jobs_)[b].id;
+  });
+
+  std::vector<std::size_t> started;
+  for (std::size_t idx : order) {
+    const Job& job = (*jobs_)[idx];
+    if (job.procs > free_procs_) continue;
+    const bool ends_before_shadow = now_ + job.estimate <= shadow.time;
+    if (!ends_before_shadow && job.procs > extra) continue;
+    if (!ends_before_shadow) extra -= job.procs;
+    start_job(idx);
+    started.push_back(idx);
+    if (free_procs_ == 0) break;
+  }
+  if (!started.empty()) {
+    waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
+                                  [&](std::size_t idx) {
+                                    return std::find(started.begin(),
+                                                     started.end(),
+                                                     idx) != started.end();
+                                  }),
+                   waiting_.end());
+  }
+}
+
+int Simulator::count_backfillable(std::size_t candidate) const {
+  if (!config_.backfill) return 0;
+  if (fits(candidate)) return 0;  // no reservation => nothing backfills
+  const Shadow shadow = compute_shadow((*jobs_)[candidate].procs);
+  int extra = shadow.extra;
+  int free = free_procs_;
+  int count = 0;
+  for (std::size_t idx : waiting_) {
+    if (idx == candidate) continue;
+    const Job& job = (*jobs_)[idx];
+    if (job.procs > free) continue;
+    const bool ends_before_shadow = now_ + job.estimate <= shadow.time;
+    if (!ends_before_shadow && job.procs > extra) continue;
+    if (!ends_before_shadow) extra -= job.procs;
+    free -= job.procs;
+    ++count;
+  }
+  return count;
+}
+
+void Simulator::advance_time(Time extra_bound) {
+  Time next = kInf;
+  if (next_arrival_ < jobs_->size())
+    next = std::min(next, (*jobs_)[next_arrival_].submit);
+  if (!running_.empty()) next = std::min(next, running_.front().finish);
+  if (extra_bound >= 0.0) next = std::min(next, extra_bound);
+  SI_ENSURE(next < kInf);
+  SI_ENSURE(next > now_);
+  now_ = next;
+}
+
+SequenceResult Simulator::run(const std::vector<Job>& jobs,
+                              SchedulingPolicy& policy, Inspector* inspector) {
+  SI_REQUIRE(!jobs.empty());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SI_REQUIRE(jobs[i].procs > 0 && jobs[i].procs <= total_procs_);
+    SI_REQUIRE(jobs[i].run >= 0.0 && jobs[i].estimate >= 0.0);
+    SI_REQUIRE(i == 0 || jobs[i - 1].submit <= jobs[i].submit);
+  }
+
+  jobs_ = &jobs;
+  policy_ = &policy;
+  inspector_ = inspector;
+  records_.assign(jobs.size(), JobRecord{});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    records_[i].id = jobs[i].id;
+    records_[i].submit = jobs[i].submit;
+    records_[i].run = jobs[i].run;
+    records_[i].procs = jobs[i].procs;
+  }
+  waiting_.clear();
+  running_.clear();
+  next_arrival_ = 0;
+  completed_ = 0;
+  free_procs_ = total_procs_;
+  now_ = jobs.front().submit;
+  has_blocked_ = false;
+  inspections_ = 0;
+  rejections_ = 0;
+  policy.reset();
+
+  while (completed_ < jobs.size()) {
+    admit_arrivals();
+    process_completions();
+
+    if (has_blocked_) {
+      if (fits(blocked_)) {
+        const std::size_t idx = blocked_;
+        has_blocked_ = false;
+        start_job(idx);
+        continue;
+      }
+      if (config_.backfill) backfill_around_blocked();
+      if (has_blocked_) advance_time(-1.0);
+      continue;
+    }
+
+    if (waiting_.empty()) {
+      if (next_arrival_ < jobs.size() || !running_.empty())
+        advance_time(-1.0);
+      continue;
+    }
+
+    const std::size_t top = pick_top_priority();
+    bool rejected = false;
+    if (inspector_ != nullptr &&
+        records_[top].rejections < config_.max_rejection_times) {
+      std::vector<const Job*> others;
+      others.reserve(waiting_.size());
+      for (std::size_t idx : waiting_)
+        if (idx != top) others.push_back(&jobs[idx]);
+      InspectionView view;
+      view.now = now_;
+      view.job = &jobs[top];
+      view.job_wait = now_ - jobs[top].submit;
+      view.job_rejections = records_[top].rejections;
+      view.max_rejection_times = config_.max_rejection_times;
+      view.free_procs = free_procs_;
+      view.total_procs = total_procs_;
+      view.backfill_enabled = config_.backfill;
+      view.backfillable_jobs = count_backfillable(top);
+      view.waiting = &others;
+      ++inspections_;
+      rejected = inspector_->reject(view);
+    }
+
+    if (rejected) {
+      ++records_[top].rejections;
+      ++rejections_;
+      advance_time(now_ + config_.max_interval);
+      continue;
+    }
+
+    waiting_.erase(std::find(waiting_.begin(), waiting_.end(), top));
+    if (fits(top)) {
+      start_job(top);
+    } else {
+      has_blocked_ = true;
+      blocked_ = top;
+    }
+  }
+
+  SequenceResult result;
+  result.records = std::move(records_);
+  result.metrics = compute_metrics(result.records, total_procs_);
+  result.metrics.inspections = inspections_;
+  result.metrics.rejections = rejections_;
+  return result;
+}
+
+}  // namespace si

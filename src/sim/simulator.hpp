@@ -1,0 +1,105 @@
+// The discrete-event HPC cluster simulator — our SchedGym equivalent
+// (§3.2). It schedules a finite job sequence on a cluster of identical
+// processors under a base scheduling policy, optionally scrutinized by an
+// inspector:
+//
+//   * A *scheduling point* occurs on job arrival, job completion, or
+//     MAX_INTERVAL after a rejection.
+//   * At each point the base policy picks the waiting job with the smallest
+//     score (ties by id). The inspector may reject it (bounded by
+//     MAX_REJECTION_TIMES per job); the job then returns to the queue.
+//   * An accepted job that fits starts immediately. One that does not fit
+//     blocks the scheduler: it holds a reservation until enough resources
+//     free up, and — when backfilling is enabled — other waiting jobs may
+//     EASY-backfill around it if they cannot delay its reserved start
+//     (computed from *estimated* runtimes; completions use actual runtimes).
+#pragma once
+
+#include <vector>
+
+#include "sched/policy.hpp"
+#include "sim/config.hpp"
+#include "sim/inspector.hpp"
+#include "sim/metrics.hpp"
+#include "workload/job.hpp"
+
+namespace si {
+
+/// Outcome of simulating one job sequence.
+struct SequenceResult {
+  std::vector<JobRecord> records;  ///< per-job outcomes, indexed like input
+  SequenceMetrics metrics;
+};
+
+class Simulator {
+ public:
+  Simulator(int total_procs, SimConfig config);
+
+  int total_procs() const { return total_procs_; }
+  const SimConfig& config() const { return config_; }
+
+  /// Schedules `jobs` to completion under `policy`. `inspector` may be null
+  /// (base behaviour: every decision accepted). The policy is reset() before
+  /// the run. Jobs must satisfy 0 < procs <= total_procs and run >= 0, and
+  /// be sorted by submit time.
+  SequenceResult run(const std::vector<Job>& jobs, SchedulingPolicy& policy,
+                     Inspector* inspector = nullptr);
+
+ private:
+  struct Running {
+    Time finish = 0.0;           ///< actual completion time
+    Time estimated_finish = 0.0; ///< start + estimate (backfill reservation)
+    int procs = 0;
+    std::size_t index = 0;
+  };
+
+  // --- per-run state (valid inside run()) ---
+  const std::vector<Job>* jobs_ = nullptr;
+  SchedulingPolicy* policy_ = nullptr;
+  Inspector* inspector_ = nullptr;
+  std::vector<JobRecord> records_;
+  std::vector<std::size_t> waiting_;
+  std::vector<Running> running_;  // min-heap on finish
+  std::size_t next_arrival_ = 0;
+  std::size_t completed_ = 0;
+  int free_procs_ = 0;
+  Time now_ = 0.0;
+  bool has_blocked_ = false;
+  std::size_t blocked_ = 0;  ///< accepted job waiting for resources
+  std::size_t inspections_ = 0;
+  std::size_t rejections_ = 0;
+
+  int total_procs_;
+  SimConfig config_;
+
+  void admit_arrivals();
+  void process_completions();
+  void start_job(std::size_t index);
+  bool fits(std::size_t index) const;
+
+  /// Earliest time (by estimated finishes) when `procs_needed` processors
+  /// will be free, plus how many *extra* processors remain free then. Used
+  /// for the EASY reservation.
+  struct Shadow {
+    Time time = 0.0;
+    int extra = 0;
+  };
+  Shadow compute_shadow(int procs_needed) const;
+
+  /// Starts EASY-backfillable waiting jobs around the blocked reservation.
+  void backfill_around_blocked();
+
+  /// Counts backfillable jobs without starting them (inspector feature).
+  int count_backfillable(std::size_t candidate) const;
+
+  /// The waiting job with the smallest policy score (ties by id).
+  std::size_t pick_top_priority() const;
+
+  /// Advances simulated time to the next arrival/completion; `extra_bound`
+  /// (if >= 0) additionally caps the jump (rejection retry interval).
+  void advance_time(Time extra_bound);
+
+  SchedContext context() const;
+};
+
+}  // namespace si

@@ -1,0 +1,63 @@
+// The batch-job model. A Job carries exactly the attributes the paper's
+// simulator distinguishes: submission time, *actual* execution time (used to
+// compute finish times), *estimated* execution time (used by schedulers and
+// by SchedInspector), and the requested processor count, plus the user/queue
+// annotations needed by the Slurm multifactor experiment (§4.5).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace si {
+
+/// Simulation time in seconds since trace start.
+using Time = double;
+
+/// One batch job as read from an SWF trace or produced by a generator.
+struct Job {
+  std::int64_t id = 0;      ///< trace-unique job id
+  Time submit = 0.0;        ///< submission (arrival) time, seconds
+  Time run = 0.0;           ///< actual execution time, seconds (exe_j)
+  Time estimate = 0.0;      ///< user-estimated execution time, seconds (est_j)
+  int procs = 1;            ///< requested processors (res_j)
+  int user = 0;             ///< submitting user id (Slurm fairshare factor)
+  int queue = 0;            ///< queue / partition id (Slurm partition factor)
+
+  /// Estimated node-seconds area (est_j * res_j), the SAF priority input.
+  double estimated_area() const { return estimate * static_cast<double>(procs); }
+
+  /// Estimated time-per-node ratio (est_j / res_j), the SRF priority input.
+  double estimated_ratio() const {
+    return estimate / static_cast<double>(procs);
+  }
+};
+
+/// Scheduling outcome of one job within a simulated sequence.
+struct JobRecord {
+  std::int64_t id = 0;
+  Time submit = 0.0;
+  Time start = -1.0;        ///< start time; < 0 while not yet started
+  Time finish = -1.0;       ///< completion time (submit + wait + run)
+  Time run = 0.0;           ///< actual execution time used
+  int procs = 0;
+  int rejections = 0;       ///< times SchedInspector rejected this job
+
+  bool started() const { return start >= 0.0; }
+
+  Time wait() const { return started() ? start - submit : 0.0; }
+
+  /// Bounded slowdown with the paper's 10-second interactivity threshold:
+  /// max((wait + run) / max(run, 10), 1).
+  double bounded_slowdown() const {
+    constexpr double kThreshold = 10.0;
+    if (!started()) return 1.0;
+    const double denom = run > kThreshold ? run : kThreshold;
+    const double sld = (wait() + run) / denom;
+    return sld > 1.0 ? sld : 1.0;
+  }
+};
+
+/// Sentinel for "no time" / unset time values.
+inline constexpr Time kNoTime = -std::numeric_limits<Time>::infinity();
+
+}  // namespace si

@@ -1,0 +1,93 @@
+#include "workload/lublin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+
+namespace {
+
+// Rounds a parallel size to the nearest power of two, clamped to the
+// cluster.
+int round_pow2(double raw, int cluster_procs) {
+  const double l = std::log2(std::max(raw, 1.0));
+  const int exp = static_cast<int>(std::lround(l));
+  const double size = std::exp2(static_cast<double>(std::max(exp, 0)));
+  return static_cast<int>(
+      std::clamp(size, 1.0, static_cast<double>(cluster_procs)));
+}
+
+}  // namespace
+
+int lublin_sample_size(const LublinParams& params, Rng& rng) {
+  SI_REQUIRE(params.cluster_procs >= 2);
+  if (rng.bernoulli(params.serial_prob)) return 1;
+  const double uhi = std::log2(static_cast<double>(params.cluster_procs));
+  const double umed =
+      std::max(params.ulow + 0.1, uhi - params.umed_offset);
+  // Two-stage log-uniform.
+  const double log2size = rng.bernoulli(params.uprob)
+                              ? rng.uniform(params.ulow, umed)
+                              : rng.uniform(umed, uhi);
+  const double raw = std::exp2(log2size);
+  if (rng.bernoulli(params.pow2_prob)) {
+    return round_pow2(raw, params.cluster_procs);
+  }
+  const int size = static_cast<int>(std::lround(raw));
+  return std::clamp(size, 1, params.cluster_procs);
+}
+
+double lublin_sample_runtime(const LublinParams& params, int size, Rng& rng) {
+  SI_REQUIRE(size >= 1);
+  // Hyper-gamma on the log2 scale, as in the published model: the mixing
+  // probability of the short-job component decreases with job size.
+  const double p = std::clamp(
+      params.pb - params.pa * static_cast<double>(size), 0.0, 1.0);
+  const double x = rng.bernoulli(p)
+                       ? rng.gamma(params.a1, params.b1)
+                       : rng.gamma(params.a2, params.b2);
+  const double coupling =
+      std::pow(static_cast<double>(size), params.size_coupling_exponent);
+  const double seconds = std::exp2(x) * coupling * params.runtime_scale;
+  return std::clamp(seconds, 1.0, 7.0 * 24.0 * 3600.0);
+}
+
+Trace generate_lublin(const LublinParams& params, std::size_t num_jobs,
+                      std::uint64_t seed) {
+  SI_REQUIRE(num_jobs > 0);
+  Rng rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(num_jobs);
+
+  const double gamma_scale =
+      params.mean_interarrival / params.arrival_shape;
+  double now = 0.0;
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    // Daily-cycle modulation: divide the drawn gap by the instantaneous
+    // submission-rate multiplier (>= 1 - depth, <= 1 + depth).
+    const double base_gap =
+        rng.gamma(params.arrival_shape, gamma_scale);
+    const double hour = std::fmod(now / 3600.0, 24.0);
+    const double rate =
+        1.0 + params.daily_cycle_depth *
+                  std::cos((hour - params.peak_hour) * 2.0 * M_PI / 24.0);
+    now += base_gap / std::max(rate, 0.05);
+
+    Job j;
+    j.id = static_cast<std::int64_t>(i);
+    j.submit = now;
+    j.procs = lublin_sample_size(params, rng);
+    j.run = lublin_sample_runtime(params, j.procs, rng);
+    const double slack = rng.uniform(1.0, 1.0 + params.estimate_slack);
+    // Walltime requests come in 5-minute granules.
+    j.estimate = std::ceil(j.run * slack / 300.0) * 300.0;
+    j.user = static_cast<int>(rng.uniform_index(64));
+    j.queue = static_cast<int>(rng.uniform_index(4));
+    jobs.push_back(j);
+  }
+  return Trace("Lublin", params.cluster_procs, std::move(jobs));
+}
+
+}  // namespace si

@@ -1,0 +1,51 @@
+#include "workload/registry.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "workload/lublin.hpp"
+#include "workload/synthetic.hpp"
+
+namespace si {
+
+const std::vector<std::string>& table2_trace_names() {
+  static const std::vector<std::string> names = {"CTC-SP2", "SDSC-SP2",
+                                                 "HPC2N", "Lublin"};
+  return names;
+}
+
+namespace {
+
+Trace make_lublin(std::size_t num_jobs, std::uint64_t seed) {
+  LublinParams params;  // Table 2 row: 256 procs, 771 s, 4862 s, 22 procs
+  params.cluster_procs = 256;
+  params.mean_interarrival = 771.0;
+
+  // Calibrate the runtime scale against the generated sample itself: the
+  // hyper-gamma runtime distribution is heavy-tailed, so a pilot-based
+  // scale would leave the production sample mean far off target. Scaling
+  // runs and estimates by one factor preserves the distribution shape while
+  // landing the sample-mean estimate exactly on the Table 2 value.
+  constexpr double kTargetMeanEstimate = 4862.0;
+  const Trace raw = generate_lublin(params, num_jobs, seed);
+  const double raw_mean = raw.stats().mean_estimate;
+  SI_ENSURE(raw_mean > 0.0);
+  const double scale = kTargetMeanEstimate / raw_mean;
+  std::vector<Job> jobs = raw.jobs();
+  for (Job& j : jobs) {
+    j.run *= scale;
+    j.estimate *= scale;
+  }
+  return Trace("Lublin", params.cluster_procs, std::move(jobs));
+}
+
+}  // namespace
+
+Trace make_trace(const std::string& name, std::size_t num_jobs,
+                 std::uint64_t seed) {
+  SI_REQUIRE(num_jobs >= 2);
+  if (name == "Lublin") return make_lublin(num_jobs, seed);
+  return generate_synthetic(table2_spec(name), num_jobs, seed);
+}
+
+}  // namespace si

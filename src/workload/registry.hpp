@@ -1,0 +1,28 @@
+// Central registry of the paper's four evaluation traces (Table 2). Returns
+// calibrated synthetic traces by name; the Lublin trace additionally runs a
+// pilot-based calibration of the hyper-gamma runtime scale so its mean
+// estimate lands on the Table 2 value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace si {
+
+/// The four trace names of Table 2, in paper order.
+const std::vector<std::string>& table2_trace_names();
+
+/// Builds the named trace ("CTC-SP2", "SDSC-SP2", "HPC2N", "Lublin") with
+/// `num_jobs` jobs. Deterministic in (name, num_jobs, seed). Throws
+/// std::out_of_range for unknown names.
+Trace make_trace(const std::string& name, std::size_t num_jobs,
+                 std::uint64_t seed);
+
+/// Default trace length used by benches and examples: long enough that 50
+/// disjoint-ish 256-job windows fit in the 80% test split.
+inline constexpr std::size_t kDefaultTraceJobs = 8000;
+
+}  // namespace si

@@ -1,0 +1,144 @@
+#include "workload/swf.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace si {
+
+namespace {
+
+// Extracts "; MaxProcs: N" style header values; returns 0 when absent.
+int parse_header_procs(std::string_view line) {
+  for (const char* key : {"MaxProcs:", "MaxNodes:"}) {
+    const auto pos = line.find(key);
+    if (pos == std::string_view::npos) continue;
+    std::string_view rest = line.substr(pos + std::string_view(key).size());
+    while (!rest.empty() && std::isspace(static_cast<unsigned char>(rest.front())))
+      rest.remove_prefix(1);
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(rest.data(), rest.data() + rest.size(), value);
+    if (ec == std::errc() && ptr != rest.data() && value > 0) return value;
+  }
+  return 0;
+}
+
+// Splits a whitespace-separated record into up to 18 double fields.
+bool parse_fields(std::string_view line, std::array<double, 18>& fields,
+                  std::size_t& count) {
+  count = 0;
+  std::size_t i = 0;
+  while (i < line.size() && count < fields.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    const std::string token(line.substr(start, i - start));
+    try {
+      fields[count++] = std::stod(token);
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return count > 0;
+}
+
+}  // namespace
+
+Trace read_swf(std::istream& in, const std::string& name,
+               const SwfOptions& options) {
+  int cluster_procs = options.default_cluster_procs;
+  std::vector<Job> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    while (!sv.empty() && std::isspace(static_cast<unsigned char>(sv.front())))
+      sv.remove_prefix(1);
+    if (sv.empty()) continue;
+    if (sv.front() == ';') {
+      if (const int p = parse_header_procs(sv); p > 0) cluster_procs = p;
+      continue;
+    }
+    std::array<double, 18> f{};
+    f.fill(-1.0);
+    std::size_t n = 0;
+    if (!parse_fields(sv, f, n) || n < 5) {
+      throw std::runtime_error("swf: malformed record at line " +
+                               std::to_string(line_no));
+    }
+    Job j;
+    j.id = static_cast<std::int64_t>(f[0]);
+    j.submit = f[1];
+    j.run = f[3];
+    const double alloc_procs = f[4];
+    const double req_procs = n > 7 ? f[7] : -1.0;
+    const double req_time = n > 8 ? f[8] : -1.0;
+    j.procs = static_cast<int>(req_procs > 0 ? req_procs : alloc_procs);
+    j.estimate = req_time > 0 ? req_time : j.run;
+    j.user = n > 11 && f[11] >= 0 ? static_cast<int>(f[11]) : 0;
+    j.queue = n > 14 && f[14] >= 0 ? static_cast<int>(f[14]) : 0;
+    if (options.drop_invalid && (j.run <= 0.0 || j.procs <= 0)) continue;
+    jobs.push_back(j);
+  }
+  if (cluster_procs <= 0) {
+    throw std::runtime_error(
+        "swf: no MaxProcs header and no default_cluster_procs given");
+  }
+  for (Job& j : jobs) j.procs = std::min(j.procs, cluster_procs);
+  return Trace(name, cluster_procs, std::move(jobs));
+}
+
+Trace read_swf_text(const std::string& text, const std::string& name,
+                    const SwfOptions& options) {
+  std::istringstream in(text);
+  return read_swf(in, name, options);
+}
+
+Trace load_swf_file(const std::string& path, const SwfOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("swf: cannot open " + path);
+  // Use the file stem as the trace name.
+  auto slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (auto dot = stem.find_last_of('.'); dot != std::string::npos)
+    stem = stem.substr(0, dot);
+  return read_swf(in, stem, options);
+}
+
+void write_swf(std::ostream& out, const Trace& trace) {
+  out << "; SWF trace written by schedinspector\n";
+  out << "; MaxProcs: " << trace.cluster_procs() << "\n";
+  // Full round-trip precision: synthetic traces carry fractional seconds.
+  out << std::setprecision(17);
+  for (const Job& j : trace.jobs()) {
+    // job submit wait run alloc avgcpu mem reqprocs reqtime reqmem status
+    // user group exe queue partition preceding think
+    out << j.id << ' ' << j.submit << ' ' << -1 << ' ' << j.run << ' '
+        << j.procs << ' ' << -1 << ' ' << -1 << ' ' << j.procs << ' '
+        << j.estimate << ' ' << -1 << ' ' << 1 << ' ' << j.user << ' ' << -1
+        << ' ' << -1 << ' ' << j.queue << ' ' << -1 << ' ' << -1 << ' ' << -1
+        << '\n';
+  }
+}
+
+std::string write_swf_text(const Trace& trace) {
+  std::ostringstream out;
+  write_swf(out, trace);
+  return out.str();
+}
+
+}  // namespace si

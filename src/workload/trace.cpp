@@ -1,0 +1,94 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace si {
+
+Trace::Trace(std::string name, int cluster_procs, std::vector<Job> jobs)
+    : name_(std::move(name)),
+      cluster_procs_(cluster_procs),
+      jobs_(std::move(jobs)) {
+  SI_REQUIRE(cluster_procs_ > 0);
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const Job& a, const Job& b) {
+                     if (a.submit != b.submit) return a.submit < b.submit;
+                     return a.id < b.id;
+                   });
+  rebase_sequence(jobs_);
+  for (const Job& j : jobs_) {
+    SI_REQUIRE(j.procs > 0);
+    SI_REQUIRE(j.procs <= cluster_procs_);
+    SI_REQUIRE(j.run >= 0.0);
+    SI_REQUIRE(j.estimate >= 0.0);
+  }
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.jobs = jobs_.size();
+  s.cluster_procs = cluster_procs_;
+  if (jobs_.empty()) return s;
+  double sum_est = 0.0;
+  double sum_procs = 0.0;
+  double sum_run = 0.0;
+  for (const Job& j : jobs_) {
+    sum_est += j.estimate;
+    sum_procs += j.procs;
+    sum_run += j.run;
+    s.max_estimate = std::max(s.max_estimate, j.estimate);
+    s.max_procs = std::max(s.max_procs, j.procs);
+  }
+  const auto n = static_cast<double>(jobs_.size());
+  s.mean_estimate = sum_est / n;
+  s.mean_procs = sum_procs / n;
+  s.mean_run = sum_run / n;
+  if (jobs_.size() >= 2) {
+    const double span = jobs_.back().submit - jobs_.front().submit;
+    s.mean_interarrival = span / static_cast<double>(jobs_.size() - 1);
+  }
+  return s;
+}
+
+std::vector<Job> Trace::window(std::size_t start_index,
+                               std::size_t length) const {
+  SI_REQUIRE(length > 0);
+  SI_REQUIRE(start_index + length <= jobs_.size());
+  std::vector<Job> out(jobs_.begin() + static_cast<std::ptrdiff_t>(start_index),
+                       jobs_.begin() +
+                           static_cast<std::ptrdiff_t>(start_index + length));
+  rebase_sequence(out);
+  return out;
+}
+
+std::vector<Job> Trace::sample_window(Rng& rng, std::size_t length) const {
+  SI_REQUIRE(length > 0);
+  SI_REQUIRE(length <= jobs_.size());
+  const std::size_t max_start = jobs_.size() - length;
+  const auto start = static_cast<std::size_t>(rng.uniform_index(max_start + 1));
+  return window(start, length);
+}
+
+std::pair<Trace, Trace> Trace::split(double fraction) const {
+  SI_REQUIRE(fraction > 0.0 && fraction < 1.0);
+  const auto cut = static_cast<std::size_t>(
+      fraction * static_cast<double>(jobs_.size()));
+  SI_REQUIRE(cut > 0 && cut < jobs_.size());
+  std::vector<Job> head(jobs_.begin(), jobs_.begin() + static_cast<std::ptrdiff_t>(cut));
+  std::vector<Job> tail(jobs_.begin() + static_cast<std::ptrdiff_t>(cut), jobs_.end());
+  return {Trace(name_ + "-train", cluster_procs_, std::move(head)),
+          Trace(name_ + "-test", cluster_procs_, std::move(tail))};
+}
+
+void rebase_sequence(std::vector<Job>& jobs) {
+  if (jobs.empty()) return;
+  const Time base = jobs.front().submit;
+  std::int64_t next_id = 0;
+  for (Job& j : jobs) {
+    j.submit -= base;
+    j.id = next_id++;
+  }
+}
+
+}  // namespace si

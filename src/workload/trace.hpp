@@ -1,0 +1,66 @@
+// A job trace: an ordered sequence of jobs plus the cluster geometry it was
+// collected on. Provides the statistics the paper reports in Table 2, the
+// random 128/256-job window sampling used for training trajectories and test
+// evaluation (§4.1, §4.4), and the 20%/80% train/test split (§4.4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/job.hpp"
+
+namespace si {
+
+/// Aggregate trace characteristics as reported in the paper's Table 2.
+struct TraceStats {
+  std::size_t jobs = 0;
+  int cluster_procs = 0;
+  double mean_interarrival = 0.0;  ///< seconds between consecutive submits
+  double mean_estimate = 0.0;      ///< mean est_j, seconds
+  double mean_procs = 0.0;         ///< mean res_j
+  double mean_run = 0.0;           ///< mean actual runtime
+  double max_estimate = 0.0;
+  int max_procs = 0;
+};
+
+/// An immutable batch-job trace bound to a cluster size.
+class Trace {
+ public:
+  Trace() = default;
+  /// Jobs need not be pre-sorted; they are sorted by submit time (ties by
+  /// id) and re-based so the first submission happens at t = 0.
+  Trace(std::string name, int cluster_procs, std::vector<Job> jobs);
+
+  const std::string& name() const { return name_; }
+  int cluster_procs() const { return cluster_procs_; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+
+  TraceStats stats() const;
+
+  /// Extracts `length` consecutive jobs starting at `start_index`, re-based
+  /// so the window's first submission is t = 0. Requires the window to fit.
+  std::vector<Job> window(std::size_t start_index, std::size_t length) const;
+
+  /// Samples a uniformly random window of `length` jobs. Requires
+  /// length <= size().
+  std::vector<Job> sample_window(Rng& rng, std::size_t length) const;
+
+  /// Splits into (first `fraction` of jobs, remainder) — the paper trains on
+  /// the first 20% and tests on the remaining 80%.
+  std::pair<Trace, Trace> split(double fraction) const;
+
+ private:
+  std::string name_;
+  int cluster_procs_ = 0;
+  std::vector<Job> jobs_;
+};
+
+/// Re-bases a job sequence in place so its earliest submit time is zero and
+/// ids are re-numbered 0..n-1 in submit order.
+void rebase_sequence(std::vector<Job>& jobs);
+
+}  // namespace si

@@ -1,0 +1,126 @@
+#include "common/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace si {
+namespace {
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.at(0.0), 0.0);
+  EXPECT_THROW(cdf.inverse(0.5), ContractViolation);
+  EXPECT_THROW(cdf.min(), ContractViolation);
+}
+
+TEST(EmpiricalCdf, StepFunctionValues) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, HandlesDuplicates) {
+  EmpiricalCdf cdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(1.9), 0.0);
+}
+
+TEST(EmpiricalCdf, InverseMatchesQuantiles) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 30.0);
+}
+
+TEST(EmpiricalCdf, MinMax) {
+  EmpiricalCdf cdf({3.0, -1.0, 7.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), -1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 7.0);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotonic) {
+  Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.normal());
+  EmpiricalCdf cdf(sample);
+  const auto curve = cdf.curve(-4.0, 4.0, 64);
+  ASSERT_EQ(curve.size(), 64u);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i], curve[i - 1]);
+  EXPECT_NEAR(curve.back(), 1.0, 1e-9);
+}
+
+TEST(EmpiricalCdf, CurveRequiresTwoPoints) {
+  EmpiricalCdf cdf({1.0});
+  EXPECT_THROW(cdf.curve(0.0, 1.0, 1), ContractViolation);
+}
+
+TEST(KsDistance, IdenticalSamplesAreZero) {
+  EmpiricalCdf a({1.0, 2.0, 3.0});
+  EmpiricalCdf b({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.0);
+}
+
+TEST(KsDistance, DisjointSamplesAreOne) {
+  EmpiricalCdf a({1.0, 2.0});
+  EmpiricalCdf b({10.0, 20.0});
+  EXPECT_NEAR(ks_distance(a, b), 1.0, 1e-9);
+}
+
+TEST(KsDistance, SameDistributionIsSmall) {
+  Rng rng(9);
+  std::vector<double> s1;
+  std::vector<double> s2;
+  for (int i = 0; i < 4000; ++i) {
+    s1.push_back(rng.normal());
+    s2.push_back(rng.normal());
+  }
+  EXPECT_LT(ks_distance(EmpiricalCdf(s1), EmpiricalCdf(s2)), 0.06);
+}
+
+TEST(KsDistance, ShiftedDistributionIsLarge) {
+  Rng rng(9);
+  std::vector<double> s1;
+  std::vector<double> s2;
+  for (int i = 0; i < 4000; ++i) {
+    s1.push_back(rng.normal());
+    s2.push_back(rng.normal() + 2.0);
+  }
+  EXPECT_GT(ks_distance(EmpiricalCdf(s1), EmpiricalCdf(s2)), 0.5);
+}
+
+TEST(KsDistance, EmptyVsEmptyIsZeroEmptyVsFullIsOne) {
+  EmpiricalCdf empty;
+  EmpiricalCdf full({1.0});
+  EXPECT_DOUBLE_EQ(ks_distance(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(ks_distance(empty, full), 1.0);
+}
+
+TEST(RenderCdfTable, ContainsLabelAndRows) {
+  EmpiricalCdf rejected({0.1, 0.2});
+  EmpiricalCdf total({0.1, 0.2, 0.3, 0.4});
+  const std::string out = render_cdf_table("Waiting Time", rejected, total, 8);
+  EXPECT_NE(out.find("Waiting Time"), std::string::npos);
+  // Header + 8 data rows.
+  std::size_t lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 2u + 8u);
+}
+
+TEST(RenderCdfTable, EmptySampleIsGraceful) {
+  EmpiricalCdf empty;
+  EmpiricalCdf total({1.0});
+  const std::string out = render_cdf_table("x", empty, total, 4);
+  EXPECT_NE(out.find("empty sample"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace si

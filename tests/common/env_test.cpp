@@ -1,0 +1,77 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace si {
+namespace {
+
+TEST(Env, StringFallbackWhenUnset) {
+  ::unsetenv("SI_TEST_VAR");
+  EXPECT_EQ(env_string("SI_TEST_VAR", "fallback"), "fallback");
+}
+
+TEST(Env, StringReadsValue) {
+  ::setenv("SI_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("SI_TEST_VAR", "fallback"), "hello");
+  ::unsetenv("SI_TEST_VAR");
+}
+
+TEST(Env, EmptyStringUsesFallback) {
+  ::setenv("SI_TEST_VAR", "", 1);
+  EXPECT_EQ(env_string("SI_TEST_VAR", "fb"), "fb");
+  ::unsetenv("SI_TEST_VAR");
+}
+
+TEST(Env, IntFallbackWhenUnset) {
+  ::unsetenv("SI_TEST_INT");
+  EXPECT_EQ(env_int("SI_TEST_INT", 99), 99);
+}
+
+TEST(Env, IntParsesValue) {
+  ::setenv("SI_TEST_INT", "-42", 1);
+  EXPECT_EQ(env_int("SI_TEST_INT", 0), -42);
+  ::unsetenv("SI_TEST_INT");
+}
+
+TEST(Env, IntUnparsableUsesFallback) {
+  ::setenv("SI_TEST_INT", "notanumber", 1);
+  EXPECT_EQ(env_int("SI_TEST_INT", 7), 7);
+  ::unsetenv("SI_TEST_INT");
+}
+
+TEST(Env, FullScaleRunFlag) {
+  ::unsetenv("SCHEDINSPECTOR_FULL");
+  EXPECT_FALSE(full_scale_run());
+  ::setenv("SCHEDINSPECTOR_FULL", "1", 1);
+  EXPECT_TRUE(full_scale_run());
+  ::setenv("SCHEDINSPECTOR_FULL", "0", 1);
+  EXPECT_FALSE(full_scale_run());
+  ::unsetenv("SCHEDINSPECTOR_FULL");
+}
+
+TEST(Env, BenchScaleFastVsFull) {
+  ::unsetenv("SCHEDINSPECTOR_FULL");
+  const BenchScale fast = bench_scale();
+  ::setenv("SCHEDINSPECTOR_FULL", "1", 1);
+  const BenchScale full = bench_scale();
+  ::unsetenv("SCHEDINSPECTOR_FULL");
+  EXPECT_LT(fast.epochs, full.epochs);
+  EXPECT_LT(fast.trajectories, full.trajectories);
+  EXPECT_EQ(full.trajectories, 100);   // paper batch size
+  EXPECT_EQ(full.sequence_length, 128);  // paper trajectory length
+  EXPECT_EQ(full.eval_sequences, 50);
+  EXPECT_EQ(full.eval_length, 256);
+}
+
+TEST(Env, BenchSeedDefaultAndOverride) {
+  ::unsetenv("SCHEDINSPECTOR_SEED");
+  EXPECT_EQ(bench_seed(), 42u);
+  ::setenv("SCHEDINSPECTOR_SEED", "123", 1);
+  EXPECT_EQ(bench_seed(), 123u);
+  ::unsetenv("SCHEDINSPECTOR_SEED");
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,198 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 12.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 12.25);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), ContractViolation);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng rng(13);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsShifts) {
+  Rng rng(17);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(19);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+  EXPECT_THROW(rng.exponential(-1.0), ContractViolation);
+}
+
+struct GammaParams {
+  double shape;
+  double scale;
+};
+
+class GammaMoments : public ::testing::TestWithParam<GammaParams> {};
+
+TEST_P(GammaMoments, MeanAndVarianceMatchTheory) {
+  const auto [shape, scale] = GetParam();
+  Rng rng(23);
+  constexpr int kN = 300000;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gamma(shape, scale);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.03 * shape * scale + 0.01);
+  EXPECT_NEAR(var, shape * scale * scale,
+              0.1 * shape * scale * scale + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaMoments,
+                         ::testing::Values(GammaParams{0.5, 1.0},
+                                           GammaParams{1.0, 2.0},
+                                           GammaParams{4.2, 0.94},
+                                           GammaParams{10.23, 75.0},
+                                           GammaParams{312.0, 0.03}));
+
+TEST(Rng, GammaRejectsBadParams) {
+  Rng rng(1);
+  EXPECT_THROW(rng.gamma(0.0, 1.0), ContractViolation);
+  EXPECT_THROW(rng.gamma(1.0, 0.0), ContractViolation);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(29);
+  constexpr int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream must differ from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(37);
+  Rng b(37);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,130 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {3.0, -1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, VarianceNeedsTwoSamples) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);
+}
+
+TEST(Quantile, EndpointsAndMidpoint) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, LinearInterpolationBetweenPoints) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, UnsortedInputIsHandled) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, EmptySampleThrows) {
+  EXPECT_THROW(quantile({}, 0.5), ContractViolation);
+}
+
+TEST(Quantile, OutOfRangeQThrows) {
+  EXPECT_THROW(quantile({1.0}, -0.1), ContractViolation);
+  EXPECT_THROW(quantile({1.0}, 1.1), ContractViolation);
+}
+
+TEST(BoxSummaryTest, KnownFiveNumberSummary) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxSummary b = box_summary(xs);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_DOUBLE_EQ(b.mean, 5.0);
+  EXPECT_EQ(b.count, 9u);
+}
+
+TEST(BoxSummaryTest, EmptyThrows) {
+  EXPECT_THROW(box_summary({}), ContractViolation);
+}
+
+TEST(MeanOf, EmptyIsZero) { EXPECT_DOUBLE_EQ(mean_of({}), 0.0); }
+
+TEST(MeanOf, SimpleAverage) {
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0, 6.0}), 4.0);
+}
+
+TEST(EmaSmooth, AlphaOneIsIdentity) {
+  const std::vector<double> xs = {1.0, -2.0, 3.0};
+  EXPECT_EQ(ema_smooth(xs, 1.0), xs);
+}
+
+TEST(EmaSmooth, SmoothsTowardHistory) {
+  const auto out = ema_smooth({0.0, 10.0}, 0.5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+}
+
+TEST(EmaSmooth, FirstValuePassesThrough) {
+  const auto out = ema_smooth({42.0}, 0.1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 42.0);
+}
+
+TEST(EmaSmooth, BadAlphaThrows) {
+  EXPECT_THROW(ema_smooth({1.0}, 0.0), ContractViolation);
+  EXPECT_THROW(ema_smooth({1.0}, 1.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,101 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("b").cell(22.125, 3);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("22.125"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.row().cell("x").cell("y");
+  t.row().cell("longer").cell("z");
+  const std::string out = t.render();
+  // Every line should place the separator at the same column.
+  std::vector<std::size_t> bars;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = out.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = out.substr(start, nl - start);
+    if (line.find('|') != std::string::npos)
+      bars.push_back(line.find('|'));
+    start = nl + 1;
+  }
+  ASSERT_GE(bars.size(), 3u);
+  for (std::size_t b : bars) EXPECT_EQ(b, bars.front());
+}
+
+TEST(TextTable, IntegerCells) {
+  TextTable t({"n"});
+  t.row().cell(42);
+  t.row().cell(static_cast<std::size_t>(7));
+  t.row().cell(static_cast<long long>(-3));
+  const std::string out = t.render();
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("-3"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(TextTable, CsvEscapesCommasAndQuotes) {
+  TextTable t({"a", "b"});
+  t.row().cell("x,y").cell("he said \"hi\"");
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, CsvPlainCellsUnquoted) {
+  TextTable t({"a"});
+  t.row().cell("plain");
+  EXPECT_NE(t.render_csv().find("plain\n"), std::string::npos);
+  EXPECT_EQ(t.render_csv().find("\"plain\""), std::string::npos);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(TextTable, CellWithoutRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.cell("x"), ContractViolation);
+}
+
+TEST(TextTable, TooManyCellsThrows) {
+  TextTable t({"a"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), ContractViolation);
+}
+
+TEST(TextTable, ShortRowsRenderPadded) {
+  TextTable t({"a", "b"});
+  t.row().cell("only");
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+}
+
+TEST(FormatPercent, SignedOutput) {
+  EXPECT_EQ(format_percent(0.0123, 2), "+1.23%");
+  EXPECT_EQ(format_percent(-0.005, 2), "-0.50%");
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,80 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+DecisionRecorder make_recorder() {
+  return DecisionRecorder({"wait", "estimate"});
+}
+
+TEST(DecisionRecorder, CountsSamples) {
+  DecisionRecorder rec = make_recorder();
+  rec.record({0.1, 0.2}, true);
+  rec.record({0.3, 0.4}, false);
+  rec.record({0.5, 0.6}, true);
+  EXPECT_EQ(rec.total_samples(), 3u);
+  EXPECT_EQ(rec.rejected_samples(), 2u);
+  EXPECT_NEAR(rec.rejection_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(DecisionRecorder, EmptyRatioIsZero) {
+  DecisionRecorder rec = make_recorder();
+  EXPECT_DOUBLE_EQ(rec.rejection_ratio(), 0.0);
+}
+
+TEST(DecisionRecorder, CdfsSeparateRejectedFromTotal) {
+  DecisionRecorder rec = make_recorder();
+  // Rejected samples cluster at low wait; accepted at high wait.
+  for (int i = 0; i < 50; ++i) rec.record({0.1, 0.5}, true);
+  for (int i = 0; i < 50; ++i) rec.record({0.9, 0.5}, false);
+  const EmpiricalCdf rejected = rec.cdf_rejected(0);
+  const EmpiricalCdf total = rec.cdf_total(0);
+  EXPECT_EQ(rejected.size(), 50u);
+  EXPECT_EQ(total.size(), 100u);
+  // At x = 0.5: all rejected samples are below, half of total.
+  EXPECT_DOUBLE_EQ(rejected.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(total.at(0.5), 0.5);
+}
+
+TEST(DecisionRecorder, RejectedMaxTracksHardCap) {
+  DecisionRecorder rec = make_recorder();
+  rec.record({0.1, 0.22}, true);
+  rec.record({0.2, 0.95}, false);  // high value but accepted
+  rec.record({0.15, 0.18}, true);
+  // The paper's §5 observation style: rejections never exceed a cap.
+  EXPECT_DOUBLE_EQ(rec.rejected_max(1), 0.22);
+}
+
+TEST(DecisionRecorder, FeatureSizeMismatchThrows) {
+  DecisionRecorder rec = make_recorder();
+  EXPECT_THROW(rec.record({0.1}, true), ContractViolation);
+}
+
+TEST(DecisionRecorder, FeatureIndexOutOfRangeThrows) {
+  DecisionRecorder rec = make_recorder();
+  rec.record({0.1, 0.2}, true);
+  EXPECT_THROW(rec.cdf_total(2), ContractViolation);
+  EXPECT_THROW(rec.cdf_rejected(5), ContractViolation);
+  EXPECT_THROW(rec.rejected_max(9), ContractViolation);
+}
+
+TEST(DecisionRecorder, RenderListsEveryFeature) {
+  DecisionRecorder rec = make_recorder();
+  rec.record({0.5, 0.5}, true);
+  rec.record({0.7, 0.2}, false);
+  const std::string out = rec.render(8);
+  EXPECT_NE(out.find("wait"), std::string::npos);
+  EXPECT_NE(out.find("estimate"), std::string::npos);
+  EXPECT_NE(out.find("total samples: 2"), std::string::npos);
+}
+
+TEST(DecisionRecorder, EmptyNamesRejected) {
+  EXPECT_THROW(DecisionRecorder({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,122 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sched/factory.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+struct Harness {
+  Trace trace = make_trace("SDSC-SP2", 400, 17);
+  FeatureBuilder features{FeatureMode::kManual, Metric::kBsld,
+                          FeatureScales::from_trace(trace), 600.0};
+  ActorCritic ac{8, {16, 8}, 9};
+  PolicyPtr policy = make_policy("SJF");
+
+  EvalConfig config() const {
+    EvalConfig c;
+    c.sequences = 6;
+    c.sequence_length = 48;
+    c.seed = 3;
+    return c;
+  }
+};
+
+TEST(Evaluator, ProducesRequestedPairCount) {
+  Harness h;
+  const EvalResult result =
+      evaluate(h.trace, *h.policy, h.ac, h.features, h.config());
+  EXPECT_EQ(result.pairs.size(), 6u);
+}
+
+TEST(Evaluator, AggregatesMatchPairs) {
+  Harness h;
+  const EvalResult result =
+      evaluate(h.trace, *h.policy, h.ac, h.features, h.config());
+  double base_sum = 0.0;
+  for (const EvalPair& p : result.pairs) base_sum += p.base.avg_bsld;
+  EXPECT_NEAR(result.mean_base(Metric::kBsld), base_sum / 6.0, 1e-12);
+  EXPECT_EQ(result.base_values(Metric::kBsld).size(), 6u);
+  EXPECT_EQ(result.inspected_values(Metric::kWait).size(), 6u);
+}
+
+TEST(Evaluator, UtilizationAggregates) {
+  Harness h;
+  const EvalResult result =
+      evaluate(h.trace, *h.policy, h.ac, h.features, h.config());
+  EXPECT_GT(result.mean_base_utilization(), 0.0);
+  EXPECT_LE(result.mean_base_utilization(), 1.0);
+  EXPECT_GT(result.mean_inspected_utilization(), 0.0);
+  EXPECT_LE(result.mean_inspected_utilization(), 1.0);
+}
+
+TEST(Evaluator, BoxSummariesWellFormed) {
+  Harness h;
+  const EvalResult result =
+      evaluate(h.trace, *h.policy, h.ac, h.features, h.config());
+  const BoxSummary box = result.base_box(Metric::kBsld);
+  EXPECT_LE(box.min, box.q1);
+  EXPECT_LE(box.q1, box.median);
+  EXPECT_LE(box.median, box.q3);
+  EXPECT_LE(box.q3, box.max);
+  EXPECT_EQ(box.count, 6u);
+}
+
+TEST(Evaluator, DeterministicInSeed) {
+  Harness h;
+  const EvalResult a =
+      evaluate(h.trace, *h.policy, h.ac, h.features, h.config());
+  const EvalResult b =
+      evaluate(h.trace, *h.policy, h.ac, h.features, h.config());
+  EXPECT_DOUBLE_EQ(a.mean_inspected(Metric::kBsld),
+                   b.mean_inspected(Metric::kBsld));
+}
+
+TEST(Evaluator, SeedChangesSampledSequences) {
+  Harness h;
+  EvalConfig other = h.config();
+  other.seed = 4;
+  const EvalResult a =
+      evaluate(h.trace, *h.policy, h.ac, h.features, h.config());
+  const EvalResult b = evaluate(h.trace, *h.policy, h.ac, h.features, other);
+  EXPECT_NE(a.mean_base(Metric::kBsld), b.mean_base(Metric::kBsld));
+}
+
+TEST(Evaluator, EvaluateBaseMatchesPairBases) {
+  Harness h;
+  const EvalResult result =
+      evaluate(h.trace, *h.policy, h.ac, h.features, h.config());
+  const std::vector<double> base_only =
+      evaluate_base(h.trace, *h.policy, Metric::kBsld, h.config());
+  ASSERT_EQ(base_only.size(), result.pairs.size());
+  for (std::size_t i = 0; i < base_only.size(); ++i)
+    EXPECT_DOUBLE_EQ(base_only[i], result.pairs[i].base.avg_bsld);
+}
+
+TEST(Evaluator, RecorderCollectsAcrossSequences) {
+  Harness h;
+  DecisionRecorder recorder(h.features.feature_names());
+  const EvalResult result =
+      evaluate(h.trace, *h.policy, h.ac, h.features, h.config(), &recorder);
+  std::size_t inspections = 0;
+  for (const EvalPair& p : result.pairs) inspections += p.inspected.inspections;
+  EXPECT_EQ(recorder.total_samples(), inspections);
+}
+
+TEST(Evaluator, RejectsBadConfig) {
+  Harness h;
+  EvalConfig bad = h.config();
+  bad.sequences = 0;
+  EXPECT_THROW(evaluate(h.trace, *h.policy, h.ac, h.features, bad),
+               ContractViolation);
+  bad = h.config();
+  bad.sequence_length = 100000;
+  EXPECT_THROW(evaluate(h.trace, *h.policy, h.ac, h.features, bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace si

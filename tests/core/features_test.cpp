@@ -1,0 +1,227 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+struct ViewFixture {
+  Job job;
+  std::vector<Job> queue_storage;
+  std::vector<const Job*> waiting;
+  InspectionView view;
+
+  explicit ViewFixture(int queue_jobs = 3) {
+    job.id = 1;
+    job.submit = 0.0;
+    job.estimate = 3600.0;
+    job.run = 3000.0;
+    job.procs = 16;
+    for (int i = 0; i < queue_jobs; ++i) {
+      Job q;
+      q.id = 10 + i;
+      q.submit = 0.0;
+      q.estimate = 600.0 * (i + 1);
+      q.run = q.estimate;
+      q.procs = 4;
+      queue_storage.push_back(q);
+    }
+    for (const Job& q : queue_storage) waiting.push_back(&q);
+    view.now = 1000.0;
+    view.job = &job;
+    view.job_wait = 500.0;
+    view.job_rejections = 6;
+    view.max_rejection_times = 72;
+    view.free_procs = 32;
+    view.total_procs = 128;
+    view.backfill_enabled = false;
+    view.backfillable_jobs = 0;
+    view.waiting = &waiting;
+  }
+};
+
+FeatureScales test_scales() {
+  FeatureScales s;
+  s.max_estimate = 7200.0;
+  s.cluster_procs = 128;
+  s.wait_scale = 1000.0;
+  return s;
+}
+
+TEST(FeatureModeName, AllModes) {
+  EXPECT_EQ(feature_mode_name(FeatureMode::kManual), "manual");
+  EXPECT_EQ(feature_mode_name(FeatureMode::kCompacted), "compacted");
+  EXPECT_EQ(feature_mode_name(FeatureMode::kNative), "native");
+}
+
+TEST(FeatureScalesTest, FromTraceUsesStats) {
+  const Trace t = make_trace("SDSC-SP2", 500, 1);
+  const FeatureScales s = FeatureScales::from_trace(t);
+  EXPECT_EQ(s.cluster_procs, 128);
+  EXPECT_DOUBLE_EQ(s.max_estimate, t.stats().max_estimate);
+  EXPECT_GE(s.wait_scale, 600.0);
+}
+
+TEST(FeatureBuilder, CountsPerMode) {
+  const FeatureScales s = test_scales();
+  EXPECT_EQ(FeatureBuilder(FeatureMode::kManual, Metric::kBsld, s, 600)
+                .feature_count(),
+            8);
+  EXPECT_EQ(FeatureBuilder(FeatureMode::kCompacted, Metric::kBsld, s, 600)
+                .feature_count(),
+            5);
+  EXPECT_EQ(FeatureBuilder(FeatureMode::kNative, Metric::kBsld, s, 600)
+                .feature_count(),
+            5 + 3 * FeatureBuilder::kNativeQueueJobs);
+}
+
+TEST(FeatureBuilder, NamesMatchCounts) {
+  const FeatureScales s = test_scales();
+  for (FeatureMode mode : {FeatureMode::kManual, FeatureMode::kCompacted,
+                           FeatureMode::kNative}) {
+    const FeatureBuilder fb(mode, Metric::kBsld, s, 600);
+    EXPECT_EQ(static_cast<int>(fb.feature_names().size()),
+              fb.feature_count());
+  }
+}
+
+TEST(FeatureBuilder, ManualFeaturesInUnitInterval) {
+  ViewFixture f;
+  const FeatureBuilder fb(FeatureMode::kManual, Metric::kBsld, test_scales(),
+                          600);
+  const auto features = fb.build(f.view);
+  ASSERT_EQ(features.size(), 8u);
+  for (double v : features) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(FeatureBuilder, ManualFeatureValues) {
+  ViewFixture f;
+  const FeatureBuilder fb(FeatureMode::kManual, Metric::kBsld, test_scales(),
+                          600);
+  const auto features = fb.build(f.view);
+  // wait: 500 / (500 + 1000)
+  EXPECT_NEAR(features[0], 500.0 / 1500.0, 1e-12);
+  // estimate: 3600 / 7200
+  EXPECT_NEAR(features[1], 0.5, 1e-12);
+  // procs: 16 / 128
+  EXPECT_NEAR(features[2], 0.125, 1e-12);
+  // rejected: 6 / 72
+  EXPECT_NEAR(features[3], 6.0 / 72.0, 1e-12);
+  // cluster availability: 32 / 128
+  EXPECT_NEAR(features[5], 0.25, 1e-12);
+  // runnable: 16 <= 32
+  EXPECT_DOUBLE_EQ(features[6], 1.0);
+  // backfill disabled -> 0
+  EXPECT_DOUBLE_EQ(features[7], 0.0);
+}
+
+TEST(FeatureBuilder, RunnableFlagFalseWhenTooBig) {
+  ViewFixture f;
+  f.view.free_procs = 8;  // < procs 16
+  const FeatureBuilder fb(FeatureMode::kManual, Metric::kBsld, test_scales(),
+                          600);
+  EXPECT_DOUBLE_EQ(fb.build(f.view)[6], 0.0);
+}
+
+TEST(FeatureBuilder, QueueDelayIsMetricAware) {
+  ViewFixture f;
+  const FeatureScales s = test_scales();
+  const FeatureBuilder bsld_fb(FeatureMode::kManual, Metric::kBsld, s, 600);
+  const FeatureBuilder wait_fb(FeatureMode::kManual, Metric::kWait, s, 600);
+  // bsld: sum of 600 / max(est, 10) over queue jobs with est 600/1200/1800.
+  const double expected_bsld = 600.0 / 600 + 600.0 / 1200 + 600.0 / 1800;
+  EXPECT_NEAR(bsld_fb.raw_queue_delay(f.view), expected_bsld, 1e-12);
+  // wait: |Q| * 600 s expressed in hours.
+  EXPECT_NEAR(wait_fb.raw_queue_delay(f.view), 3.0 * 600.0 / 3600.0, 1e-12);
+  EXPECT_NE(bsld_fb.build(f.view)[4], wait_fb.build(f.view)[4]);
+}
+
+TEST(FeatureBuilder, MaxBsldUsesBsldQueueDelay) {
+  ViewFixture f;
+  const FeatureScales s = test_scales();
+  const FeatureBuilder a(FeatureMode::kManual, Metric::kBsld, s, 600);
+  const FeatureBuilder b(FeatureMode::kManual, Metric::kMaxBsld, s, 600);
+  EXPECT_DOUBLE_EQ(a.raw_queue_delay(f.view), b.raw_queue_delay(f.view));
+}
+
+TEST(FeatureBuilder, QueueDelayGrowsWithQueueLength) {
+  ViewFixture small(2);
+  ViewFixture large(20);
+  const FeatureBuilder fb(FeatureMode::kManual, Metric::kBsld, test_scales(),
+                          600);
+  EXPECT_LT(fb.build(small.view)[4], fb.build(large.view)[4]);
+}
+
+TEST(FeatureBuilder, BackfillContributionWhenEnabled) {
+  ViewFixture f;
+  f.view.backfill_enabled = true;
+  f.view.backfillable_jobs = 5;
+  const FeatureBuilder fb(FeatureMode::kManual, Metric::kBsld, test_scales(),
+                          600);
+  EXPECT_NEAR(fb.build(f.view)[7], 5.0 / 10.0, 1e-12);  // 5 / (5 + 5)
+}
+
+TEST(FeatureBuilder, CompactedDropsAggregates) {
+  ViewFixture f;
+  const FeatureBuilder fb(FeatureMode::kCompacted, Metric::kBsld,
+                          test_scales(), 600);
+  const auto features = fb.build(f.view);
+  ASSERT_EQ(features.size(), 5u);
+  // wait, est, procs, avail, runnable — same leading values as manual.
+  EXPECT_NEAR(features[0], 500.0 / 1500.0, 1e-12);
+  EXPECT_NEAR(features[3], 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(features[4], 1.0);
+}
+
+TEST(FeatureBuilder, NativeEmbedsQueueJobs) {
+  ViewFixture f(2);
+  const FeatureBuilder fb(FeatureMode::kNative, Metric::kBsld, test_scales(),
+                          600);
+  const auto features = fb.build(f.view);
+  ASSERT_EQ(static_cast<int>(features.size()),
+            5 + 3 * FeatureBuilder::kNativeQueueJobs);
+  // First queue job: est 600 / 7200.
+  EXPECT_NEAR(features[6], 600.0 / 7200.0, 1e-12);
+  // Zero padding beyond the 2 real queue jobs.
+  for (std::size_t i = 5 + 3 * 2; i < features.size(); ++i)
+    EXPECT_DOUBLE_EQ(features[i], 0.0);
+}
+
+TEST(FeatureBuilder, EstimateClampedToOne) {
+  ViewFixture f;
+  f.job.estimate = 1e9;
+  const FeatureBuilder fb(FeatureMode::kManual, Metric::kBsld, test_scales(),
+                          600);
+  EXPECT_DOUBLE_EQ(fb.build(f.view)[1], 1.0);
+}
+
+TEST(FeatureBuilder, NullViewPartsThrow) {
+  ViewFixture f;
+  const FeatureBuilder fb(FeatureMode::kManual, Metric::kBsld, test_scales(),
+                          600);
+  InspectionView bad = f.view;
+  bad.job = nullptr;
+  EXPECT_THROW(fb.build(bad), ContractViolation);
+  bad = f.view;
+  bad.waiting = nullptr;
+  EXPECT_THROW(fb.build(bad), ContractViolation);
+}
+
+TEST(FeatureBuilder, RejectsBadConstruction) {
+  EXPECT_THROW(FeatureBuilder(FeatureMode::kManual, Metric::kBsld,
+                              test_scales(), 0.0),
+               ContractViolation);
+  FeatureScales bad = test_scales();
+  bad.max_estimate = 0.0;
+  EXPECT_THROW(FeatureBuilder(FeatureMode::kManual, Metric::kBsld, bad, 600),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace si

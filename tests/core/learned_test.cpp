@@ -1,0 +1,149 @@
+#include "core/learned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "sched/policies.hpp"
+#include "sim/simulator.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+NeuralPriorityPolicy make_policy_for(const Trace& trace) {
+  const TraceStats s = trace.stats();
+  return NeuralPriorityPolicy(s.max_estimate, s.cluster_procs,
+                              std::max(s.mean_interarrival * 10.0, 600.0));
+}
+
+Job probe(std::int64_t id, Time submit, double est, int procs) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.estimate = est;
+  j.run = est;
+  j.procs = procs;
+  return j;
+}
+
+TEST(NeuralPriority, SjfInitOrdersByEstimate) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  NeuralPriorityPolicy policy = make_policy_for(trace);
+  SchedContext ctx;
+  ctx.now = 100.0;
+  ctx.total_procs = trace.cluster_procs();
+  const Job shorter = probe(0, 0.0, 600.0, 4);
+  const Job longer = probe(1, 0.0, 6000.0, 4);
+  EXPECT_LT(policy.score(shorter, ctx), policy.score(longer, ctx));
+}
+
+TEST(NeuralPriority, CloneIsIndependent) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  NeuralPriorityPolicy policy = make_policy_for(trace);
+  const PolicyPtr copy = policy.clone();
+  SchedContext ctx;
+  ctx.now = 0.0;
+  const Job j = probe(0, 0.0, 1000.0, 4);
+  EXPECT_DOUBLE_EQ(copy->score(j, ctx), policy.score(j, ctx));
+  // Mutating the original's weights must not affect the clone.
+  for (double& p : policy.net().params()) p += 1.0;
+  EXPECT_NE(copy->score(j, ctx), policy.score(j, ctx));
+}
+
+TEST(NeuralPriority, RejectsBadScales) {
+  EXPECT_THROW(NeuralPriorityPolicy(0.0, 16, 600.0), ContractViolation);
+  EXPECT_THROW(NeuralPriorityPolicy(100.0, 0, 600.0), ContractViolation);
+}
+
+TEST(NeuralPriority, WorksAsSimulatorPolicy) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  NeuralPriorityPolicy policy = make_policy_for(trace);
+  Simulator sim(trace.cluster_procs(), SimConfig{});
+  Rng rng(7);
+  const auto jobs = trace.sample_window(rng, 96);
+  const auto result = sim.run(jobs, policy);
+  for (const JobRecord& r : result.records) EXPECT_TRUE(r.started());
+}
+
+TEST(EsTrainer, ImprovesOverInitialization) {
+  const Trace trace = make_trace("SDSC-SP2", 1200, 11);
+  NeuralPriorityPolicy policy = make_policy_for(trace);
+  EsConfig config;
+  config.generations = 6;
+  config.population = 8;
+  config.elites = 2;
+  config.windows = 4;
+  config.sequence_length = 48;
+  config.seed = 5;
+  const EsResult result = train_neural_priority(policy, trace, config);
+  ASSERT_EQ(result.curve.size(), 6u);
+  // The shipped parameters are the best candidate ever evaluated, so the
+  // final value equals the minimum per-generation best.
+  double min_best = result.curve.front().best;
+  for (const EsGeneration& g : result.curve)
+    min_best = std::min(min_best, g.best);
+  EXPECT_DOUBLE_EQ(result.final_value, min_best);
+  // ...and never exceeds the SJF-like initialization's fitness.
+  EXPECT_LE(result.final_value, result.curve.front().best + 1e-9);
+  EXPECT_TRUE(std::isfinite(result.final_value));
+}
+
+TEST(EsTrainer, DeterministicInSeed) {
+  const Trace trace = make_trace("SDSC-SP2", 800, 13);
+  auto run_once = [&] {
+    NeuralPriorityPolicy policy = make_policy_for(trace);
+    EsConfig config;
+    config.generations = 3;
+    config.population = 6;
+    config.elites = 2;
+    config.windows = 3;
+    config.sequence_length = 48;
+    config.seed = 9;
+    return train_neural_priority(policy, trace, config).final_value;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(EsTrainer, RejectsBadConfig) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  NeuralPriorityPolicy policy = make_policy_for(trace);
+  EsConfig bad;
+  bad.generations = 0;
+  EXPECT_THROW(train_neural_priority(policy, trace, bad), ContractViolation);
+  bad = EsConfig{};
+  bad.elites = 100;
+  EXPECT_THROW(train_neural_priority(policy, trace, bad), ContractViolation);
+}
+
+TEST(EsTrainer, BeatsOrMatchesFcfsOnCongestedWorkload) {
+  // The learned priority function should at least match FCFS (it starts
+  // SJF-like, which dominates FCFS on bsld for heavy-tailed workloads).
+  const Trace trace = make_trace("SDSC-SP2", 1200, 17);
+  NeuralPriorityPolicy policy = make_policy_for(trace);
+  EsConfig config;
+  config.generations = 5;
+  config.population = 8;
+  config.elites = 2;
+  config.windows = 4;
+  config.sequence_length = 48;
+  config.seed = 21;
+  train_neural_priority(policy, trace, config);
+
+  FcfsPolicy fcfs;
+  Simulator sim(trace.cluster_procs(), SimConfig{});
+  Rng rng(23);
+  RunningStats learned_bsld;
+  RunningStats fcfs_bsld;
+  for (int i = 0; i < 10; ++i) {
+    const auto jobs = trace.sample_window(rng, 64);
+    learned_bsld.add(sim.run(jobs, policy).metrics.avg_bsld);
+    fcfs_bsld.add(sim.run(jobs, fcfs).metrics.avg_bsld);
+  }
+  EXPECT_LE(learned_bsld.mean(), fcfs_bsld.mean() * 1.05);
+}
+
+}  // namespace
+}  // namespace si

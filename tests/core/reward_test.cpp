@@ -1,0 +1,82 @@
+#include "core/reward.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+TEST(RewardNames, RoundTrip) {
+  EXPECT_EQ(reward_kind_from_name("native"), RewardKind::kNative);
+  EXPECT_EQ(reward_kind_from_name("winloss"), RewardKind::kWinLoss);
+  EXPECT_EQ(reward_kind_from_name("percentage"), RewardKind::kPercentage);
+  EXPECT_EQ(reward_kind_name(RewardKind::kNative), "native");
+  EXPECT_EQ(reward_kind_name(RewardKind::kWinLoss), "winloss");
+  EXPECT_EQ(reward_kind_name(RewardKind::kPercentage), "percentage");
+}
+
+TEST(RewardNames, UnknownThrows) {
+  EXPECT_THROW(reward_kind_from_name("sparse"), std::out_of_range);
+}
+
+TEST(Reward, NativeIsDirectDifference) {
+  EXPECT_DOUBLE_EQ(compute_reward(RewardKind::kNative, 100.0, 60.0), 40.0);
+  EXPECT_DOUBLE_EQ(compute_reward(RewardKind::kNative, 60.0, 100.0), -40.0);
+  EXPECT_DOUBLE_EQ(compute_reward(RewardKind::kNative, 5.0, 5.0), 0.0);
+}
+
+TEST(Reward, WinLossIsSign) {
+  EXPECT_DOUBLE_EQ(compute_reward(RewardKind::kWinLoss, 100.0, 60.0), 1.0);
+  EXPECT_DOUBLE_EQ(compute_reward(RewardKind::kWinLoss, 60.0, 100.0), -1.0);
+  EXPECT_DOUBLE_EQ(compute_reward(RewardKind::kWinLoss, 5.0, 5.0), 0.0);
+}
+
+TEST(Reward, WinLossIgnoresMagnitude) {
+  EXPECT_DOUBLE_EQ(compute_reward(RewardKind::kWinLoss, 2414.0, 1.0),
+                   compute_reward(RewardKind::kWinLoss, 2.0, 1.9));
+}
+
+TEST(Reward, PercentageNormalizesByBase) {
+  EXPECT_DOUBLE_EQ(compute_reward(RewardKind::kPercentage, 100.0, 60.0), 0.4);
+  EXPECT_DOUBLE_EQ(compute_reward(RewardKind::kPercentage, 100.0, 150.0),
+                   -0.5);
+}
+
+TEST(Reward, PercentageRewardsBigGainsMore) {
+  // The paper's design goal: a 69% gain outranks a 5% gain regardless of
+  // the absolute bsld scale.
+  const double big = compute_reward(RewardKind::kPercentage, 2414.0, 750.0);
+  const double small = compute_reward(RewardKind::kPercentage, 2.0, 1.9);
+  EXPECT_GT(big, small);
+}
+
+TEST(Reward, PercentageEliminatesScaleBias) {
+  // Equal relative improvements score equally across wildly different
+  // sequence difficulty.
+  EXPECT_NEAR(compute_reward(RewardKind::kPercentage, 2414.0, 1207.0),
+              compute_reward(RewardKind::kPercentage, 2.0, 1.0), 1e-9);
+}
+
+TEST(Reward, ZeroBaseGuarded) {
+  // Degenerate sequences (e.g. every job starts instantly under wait) must
+  // not divide by zero.
+  const double r = compute_reward(RewardKind::kPercentage, 0.0, 0.0);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(Reward, NegativeInputsRejected) {
+  EXPECT_THROW(compute_reward(RewardKind::kNative, -1.0, 0.0),
+               ContractViolation);
+  EXPECT_THROW(compute_reward(RewardKind::kNative, 0.0, -1.0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,120 @@
+#include "core/rl_inspector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sched/policies.hpp"
+#include "sim/simulator.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+struct Harness {
+  Trace trace = make_trace("SDSC-SP2", 300, 13);
+  FeatureScales scales = FeatureScales::from_trace(trace);
+  SimConfig sim_config;
+  FeatureBuilder features{FeatureMode::kManual, Metric::kBsld, scales, 600.0};
+  ActorCritic ac{8, {16, 8}, 21};
+  SjfPolicy policy;
+
+  std::vector<Job> jobs() {
+    Rng rng(5);
+    return trace.sample_window(rng, 64);
+  }
+};
+
+TEST(RlInspector, ObsSizeMismatchRejectedAtConstruction) {
+  Harness h;
+  ActorCritic wrong(5, {8}, 1);
+  EXPECT_THROW(RlInspector(wrong, h.features, InspectorMode::kGreedy),
+               ContractViolation);
+}
+
+TEST(RlInspector, SampleModeRequiresRng) {
+  Harness h;
+  EXPECT_THROW(RlInspector(h.ac, h.features, InspectorMode::kSample, nullptr),
+               ContractViolation);
+}
+
+TEST(RlInspector, TrajectoryRecordsEveryInspection) {
+  Harness h;
+  Rng rng(3);
+  RlInspector inspector(h.ac, h.features, InspectorMode::kSample, &rng);
+  Trajectory traj;
+  inspector.set_trajectory(&traj);
+  Simulator sim(h.trace.cluster_procs(), h.sim_config);
+  const auto result = sim.run(h.jobs(), h.policy, &inspector);
+  EXPECT_EQ(traj.steps.size(), result.metrics.inspections);
+  EXPECT_GT(traj.steps.size(), 0u);
+  std::size_t rejects = 0;
+  for (const Step& s : traj.steps) {
+    EXPECT_EQ(static_cast<int>(s.obs.size()), 8);
+    EXPECT_LE(s.log_prob, 0.0);
+    if (s.action == 1) ++rejects;
+  }
+  EXPECT_EQ(rejects, result.metrics.rejections);
+}
+
+TEST(RlInspector, GreedyIsDeterministic) {
+  Harness h;
+  RlInspector a(h.ac, h.features, InspectorMode::kGreedy);
+  RlInspector b(h.ac, h.features, InspectorMode::kGreedy);
+  Simulator sim(h.trace.cluster_procs(), h.sim_config);
+  const auto jobs = h.jobs();
+  const auto ra = sim.run(jobs, h.policy, &a);
+  const auto rb = sim.run(jobs, h.policy, &b);
+  EXPECT_DOUBLE_EQ(ra.metrics.avg_bsld, rb.metrics.avg_bsld);
+  EXPECT_EQ(ra.metrics.rejections, rb.metrics.rejections);
+}
+
+TEST(RlInspector, RecorderObservesEveryDecision) {
+  Harness h;
+  RlInspector inspector(h.ac, h.features, InspectorMode::kGreedy);
+  DecisionRecorder recorder(h.features.feature_names());
+  inspector.set_recorder(&recorder);
+  Simulator sim(h.trace.cluster_procs(), h.sim_config);
+  const auto result = sim.run(h.jobs(), h.policy, &inspector);
+  EXPECT_EQ(recorder.total_samples(), result.metrics.inspections);
+  EXPECT_EQ(recorder.rejected_samples(), result.metrics.rejections);
+}
+
+TEST(RandomInspectorTest, ProbabilityZeroNeverRejects) {
+  Harness h;
+  Rng rng(7);
+  RandomInspector inspector(0.0, rng);
+  Simulator sim(h.trace.cluster_procs(), h.sim_config);
+  const auto result = sim.run(h.jobs(), h.policy, &inspector);
+  EXPECT_EQ(result.metrics.rejections, 0u);
+}
+
+TEST(RandomInspectorTest, ProbabilityOneAlwaysRejects) {
+  Harness h;
+  Rng rng(7);
+  RandomInspector inspector(1.0, rng);
+  SimConfig config;
+  config.max_rejection_times = 2;
+  Simulator sim(h.trace.cluster_procs(), config);
+  const auto result = sim.run(h.jobs(), h.policy, &inspector);
+  for (const JobRecord& r : result.records) EXPECT_EQ(r.rejections, 2);
+}
+
+TEST(RandomInspectorTest, BadProbabilityThrows) {
+  Rng rng(1);
+  EXPECT_THROW(RandomInspector(-0.1, rng), ContractViolation);
+  EXPECT_THROW(RandomInspector(1.1, rng), ContractViolation);
+}
+
+TEST(RlInspector, ZeroRejectionBudgetBypassesInspector) {
+  Harness h;
+  SimConfig config;
+  config.max_rejection_times = 0;
+  Simulator sim(h.trace.cluster_procs(), config);
+  AlwaysRejectInspector inspector;
+  const auto result = sim.run(h.jobs(), h.policy, &inspector);
+  EXPECT_EQ(result.metrics.inspections, 0u);
+  EXPECT_EQ(result.metrics.rejections, 0u);
+}
+
+}  // namespace
+}  // namespace si

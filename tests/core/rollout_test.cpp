@@ -1,0 +1,99 @@
+#include "core/rollout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/policies.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+struct Harness {
+  Trace trace = make_trace("SDSC-SP2", 300, 31);
+  FeatureBuilder features{FeatureMode::kManual, Metric::kBsld,
+                          FeatureScales::from_trace(trace), 600.0};
+  ActorCritic ac{8, {16, 8}, 5};
+  SjfPolicy policy;
+  Simulator sim{trace.cluster_procs(), SimConfig{}};
+
+  std::vector<Job> jobs(std::uint64_t seed = 9) {
+    Rng rng(seed);
+    return trace.sample_window(rng, 64);
+  }
+};
+
+TEST(RolloutTraining, BaseRunHasNoInspections) {
+  Harness h;
+  Rng rng(1);
+  const TrainingRollout r =
+      rollout_training(h.sim, h.jobs(), h.policy, h.ac, h.features,
+                       Metric::kBsld, RewardKind::kPercentage, rng);
+  EXPECT_EQ(r.base.inspections, 0u);
+  EXPECT_GT(r.inspected.inspections, 0u);
+}
+
+TEST(RolloutTraining, TrajectoryMatchesInspectedRun) {
+  Harness h;
+  Rng rng(2);
+  const TrainingRollout r =
+      rollout_training(h.sim, h.jobs(), h.policy, h.ac, h.features,
+                       Metric::kBsld, RewardKind::kPercentage, rng);
+  EXPECT_EQ(r.trajectory.steps.size(), r.inspected.inspections);
+}
+
+TEST(RolloutTraining, RewardMatchesFormula) {
+  Harness h;
+  Rng rng(3);
+  const TrainingRollout r =
+      rollout_training(h.sim, h.jobs(), h.policy, h.ac, h.features,
+                       Metric::kBsld, RewardKind::kPercentage, rng);
+  const double expected = compute_reward(
+      RewardKind::kPercentage, r.base.avg_bsld, r.inspected.avg_bsld);
+  EXPECT_DOUBLE_EQ(r.trajectory.reward, expected);
+}
+
+TEST(RolloutTraining, MetricSelectsRewardBasis) {
+  Harness h;
+  Rng r1(4);
+  Rng r2(4);
+  const auto jobs = h.jobs();
+  const TrainingRollout a =
+      rollout_training(h.sim, jobs, h.policy, h.ac, h.features, Metric::kWait,
+                       RewardKind::kNative, r1);
+  EXPECT_DOUBLE_EQ(a.trajectory.reward,
+                   a.base.avg_wait - a.inspected.avg_wait);
+  const TrainingRollout b =
+      rollout_training(h.sim, jobs, h.policy, h.ac, h.features,
+                       Metric::kMaxBsld, RewardKind::kNative, r2);
+  EXPECT_DOUBLE_EQ(b.trajectory.reward,
+                   b.base.max_bsld - b.inspected.max_bsld);
+}
+
+TEST(RolloutEval, GreedyAndRepeatable) {
+  Harness h;
+  const auto jobs = h.jobs();
+  const EvalPair a = rollout_eval(h.sim, jobs, h.policy, h.ac, h.features);
+  const EvalPair b = rollout_eval(h.sim, jobs, h.policy, h.ac, h.features);
+  EXPECT_DOUBLE_EQ(a.inspected.avg_bsld, b.inspected.avg_bsld);
+  EXPECT_DOUBLE_EQ(a.base.avg_bsld, b.base.avg_bsld);
+}
+
+TEST(RolloutEval, BaseSideIndependentOfInspector) {
+  Harness h;
+  const auto jobs = h.jobs();
+  const EvalPair pair = rollout_eval(h.sim, jobs, h.policy, h.ac, h.features);
+  const auto direct = h.sim.run(jobs, h.policy);
+  EXPECT_DOUBLE_EQ(pair.base.avg_bsld, direct.metrics.avg_bsld);
+  EXPECT_DOUBLE_EQ(pair.base.avg_wait, direct.metrics.avg_wait);
+}
+
+TEST(RolloutEval, RecorderSeesInspectedDecisions) {
+  Harness h;
+  DecisionRecorder recorder(h.features.feature_names());
+  const EvalPair pair =
+      rollout_eval(h.sim, h.jobs(), h.policy, h.ac, h.features, &recorder);
+  EXPECT_EQ(recorder.total_samples(), pair.inspected.inspections);
+}
+
+}  // namespace
+}  // namespace si

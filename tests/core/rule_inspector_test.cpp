@@ -1,0 +1,128 @@
+#include "core/rule_inspector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sched/policies.hpp"
+#include "sim/simulator.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+FeatureBuilder manual_features() {
+  FeatureScales scales;
+  scales.max_estimate = 10000.0;
+  scales.cluster_procs = 128;
+  scales.wait_scale = 1000.0;
+  return FeatureBuilder(FeatureMode::kManual, Metric::kBsld, scales, 600.0);
+}
+
+// Manual feature layout: wait, est, procs, rejected, queue_delays, avail,
+// runnable, backfill.
+std::vector<double> features(double wait, double est, double procs,
+                             double queue_delay, double avail) {
+  return {wait, est, procs, 0.0, queue_delay, avail, 1.0, 0.0};
+}
+
+TEST(RuleInspector, RejectsDemandingFreshJobOnFullCluster) {
+  const FeatureBuilder fb = manual_features();
+  RuleInspector inspector(fb);
+  EXPECT_TRUE(inspector.reject_features(
+      features(/*wait=*/0.1, /*est=*/0.6, /*procs=*/0.3, /*qd=*/0.05,
+               /*avail=*/0.1)));
+}
+
+TEST(RuleInspector, RejectsDemandingFreshJobOnIdleCluster) {
+  const FeatureBuilder fb = manual_features();
+  RuleInspector inspector(fb);
+  EXPECT_TRUE(inspector.reject_features(
+      features(0.1, 0.6, 0.3, 0.05, /*avail=*/0.9)));
+}
+
+TEST(RuleInspector, AcceptsOnModeratelyLoadedCluster) {
+  const FeatureBuilder fb = manual_features();
+  RuleInspector inspector(fb);
+  EXPECT_FALSE(inspector.reject_features(
+      features(0.1, 0.6, 0.3, 0.05, /*avail=*/0.5)));
+}
+
+TEST(RuleInspector, QueueDelayHardCapWins) {
+  const FeatureBuilder fb = manual_features();
+  RuleInspector inspector(fb);
+  // Identical to a rejected case except the queue-delay cap is exceeded.
+  EXPECT_FALSE(inspector.reject_features(
+      features(0.1, 0.6, 0.3, /*qd=*/0.5, 0.1)));
+}
+
+TEST(RuleInspector, LongWaitersAreNeverDelayed) {
+  const FeatureBuilder fb = manual_features();
+  RuleInspector inspector(fb);
+  EXPECT_FALSE(inspector.reject_features(
+      features(/*wait=*/0.8, 0.6, 0.3, 0.05, 0.1)));
+}
+
+TEST(RuleInspector, UndemandingJobsRunImmediately) {
+  const FeatureBuilder fb = manual_features();
+  RuleInspector inspector(fb);
+  EXPECT_FALSE(inspector.reject_features(
+      features(0.1, /*est=*/0.05, /*procs=*/0.02, 0.05, 0.1)));
+}
+
+TEST(RuleInspector, WideJobAloneIsDemandingEnough) {
+  const FeatureBuilder fb = manual_features();
+  RuleInspector inspector(fb);
+  EXPECT_TRUE(inspector.reject_features(
+      features(0.1, /*est=*/0.05, /*procs=*/0.5, 0.05, 0.1)));
+}
+
+TEST(RuleInspector, RequiresManualFeatureMode) {
+  FeatureScales scales;
+  scales.max_estimate = 100.0;
+  scales.cluster_procs = 8;
+  const FeatureBuilder compact(FeatureMode::kCompacted, Metric::kBsld, scales,
+                               600.0);
+  EXPECT_THROW(RuleInspector{compact}, ContractViolation);
+}
+
+TEST(RuleInspector, ConfigThresholdsAreHonored) {
+  const FeatureBuilder fb = manual_features();
+  RuleInspectorConfig config;
+  config.min_estimate = 0.9;  // almost nothing is "long"
+  config.min_procs = 0.9;     // almost nothing is "wide"
+  RuleInspector inspector(fb, config);
+  EXPECT_FALSE(inspector.reject_features(features(0.1, 0.6, 0.3, 0.05, 0.1)));
+}
+
+TEST(RuleInspector, RunsEndToEndInSimulator) {
+  const Trace trace = make_trace("SDSC-SP2", 400, 3);
+  const FeatureBuilder fb(FeatureMode::kManual, Metric::kBsld,
+                          FeatureScales::from_trace(trace), 600.0);
+  RuleInspector inspector(fb);
+  SjfPolicy sjf;
+  Simulator sim(trace.cluster_procs(), SimConfig{});
+  Rng rng(5);
+  const auto jobs = trace.sample_window(rng, 128);
+  const auto result = sim.run(jobs, sjf, &inspector);
+  for (const JobRecord& r : result.records) EXPECT_TRUE(r.started());
+  // The rules should actually fire on a congested workload.
+  EXPECT_GT(result.metrics.rejections, 0u);
+}
+
+TEST(RuleInspector, DeterministicDecisions) {
+  const Trace trace = make_trace("SDSC-SP2", 400, 3);
+  const FeatureBuilder fb(FeatureMode::kManual, Metric::kBsld,
+                          FeatureScales::from_trace(trace), 600.0);
+  RuleInspector a(fb);
+  RuleInspector b(fb);
+  SjfPolicy sjf;
+  Simulator sim(trace.cluster_procs(), SimConfig{});
+  Rng rng(9);
+  const auto jobs = trace.sample_window(rng, 96);
+  const auto ra = sim.run(jobs, sjf, &a);
+  const auto rb = sim.run(jobs, sjf, &b);
+  EXPECT_DOUBLE_EQ(ra.metrics.avg_bsld, rb.metrics.avg_bsld);
+}
+
+}  // namespace
+}  // namespace si

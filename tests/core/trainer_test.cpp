@@ -1,0 +1,144 @@
+#include "core/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sched/factory.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+TrainerConfig tiny_config() {
+  TrainerConfig config;
+  config.epochs = 3;
+  config.trajectories_per_epoch = 4;
+  config.sequence_length = 32;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Trainer, CurveHasOneEntryPerEpoch) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  Trainer trainer(trace, *policy, tiny_config());
+  ActorCritic ac = trainer.make_agent();
+  const TrainResult result = trainer.train(ac);
+  ASSERT_EQ(result.curve.size(), 3u);
+  for (std::size_t i = 0; i < result.curve.size(); ++i) {
+    EXPECT_EQ(result.curve[i].epoch, static_cast<int>(i));
+    EXPECT_TRUE(std::isfinite(result.curve[i].mean_reward));
+    EXPECT_TRUE(std::isfinite(result.curve[i].mean_improvement));
+    EXPECT_GE(result.curve[i].rejection_ratio, 0.0);
+    EXPECT_LE(result.curve[i].rejection_ratio, 1.0);
+  }
+}
+
+TEST(Trainer, AgentWidthFollowsFeatureMode) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  TrainerConfig config = tiny_config();
+  config.features = FeatureMode::kCompacted;
+  Trainer trainer(trace, *policy, config);
+  EXPECT_EQ(trainer.make_agent().obs_size(), 5);
+  config.features = FeatureMode::kNative;
+  Trainer native_trainer(trace, *policy, config);
+  EXPECT_EQ(native_trainer.make_agent().obs_size(),
+            5 + 3 * FeatureBuilder::kNativeQueueJobs);
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  auto run_once = [&] {
+    PolicyPtr policy = make_policy("SJF");
+    Trainer trainer(trace, *policy, tiny_config());
+    ActorCritic ac = trainer.make_agent();
+    return trainer.train(ac).curve;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean_reward, b[i].mean_reward);
+    EXPECT_DOUBLE_EQ(a[i].mean_improvement, b[i].mean_improvement);
+  }
+}
+
+TEST(Trainer, ConvergedValuesAreTailAverages) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  TrainerConfig config = tiny_config();
+  config.epochs = 8;
+  Trainer trainer(trace, *policy, config);
+  ActorCritic ac = trainer.make_agent();
+  const TrainResult result = trainer.train(ac);
+  // Tail = last quarter = last 2 epochs.
+  const double expected = (result.curve[6].mean_improvement +
+                           result.curve[7].mean_improvement) /
+                          2.0;
+  EXPECT_NEAR(result.converged_improvement, expected, 1e-12);
+}
+
+TEST(Trainer, AgentObsMismatchThrows) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  Trainer trainer(trace, *policy, tiny_config());
+  ActorCritic wrong(3, {4}, 1);
+  EXPECT_THROW(trainer.train(wrong), ContractViolation);
+}
+
+TEST(Trainer, RejectsBadConfig) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  TrainerConfig config = tiny_config();
+  config.epochs = 0;
+  EXPECT_THROW(Trainer(trace, *policy, config), ContractViolation);
+  config = tiny_config();
+  config.sequence_length = 10000;  // longer than the trace
+  EXPECT_THROW(Trainer(trace, *policy, config), ContractViolation);
+}
+
+TEST(Trainer, TrainInspectorConvenience) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  const TrainedInspector trained =
+      train_inspector(trace, *policy, tiny_config());
+  EXPECT_EQ(trained.result.curve.size(), 3u);
+  EXPECT_EQ(trained.agent.obs_size(), 8);
+}
+
+TEST(Trainer, WorksWithBackfillEnabled) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  TrainerConfig config = tiny_config();
+  config.sim.backfill = true;
+  const TrainedInspector trained = train_inspector(trace, *policy, config);
+  EXPECT_EQ(trained.result.curve.size(), 3u);
+}
+
+TEST(Trainer, WorksWithSlurmPolicy) {
+  const Trace trace = make_trace("SDSC-SP2", 400, 3);
+  PolicyPtr policy = make_slurm_policy(trace);
+  TrainerConfig config = tiny_config();
+  config.sim.backfill = true;
+  const TrainedInspector trained = train_inspector(trace, *policy, config);
+  EXPECT_EQ(trained.result.curve.size(), 3u);
+  for (const EpochStats& e : trained.result.curve)
+    EXPECT_TRUE(std::isfinite(e.mean_improvement));
+}
+
+TEST(Trainer, WorksOnEveryMetric) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  for (Metric metric : {Metric::kBsld, Metric::kWait, Metric::kMaxBsld}) {
+    PolicyPtr policy = make_policy("SJF");
+    TrainerConfig config = tiny_config();
+    config.metric = metric;
+    const TrainedInspector trained = train_inspector(trace, *policy, config);
+    EXPECT_EQ(trained.result.curve.size(), 3u) << metric_name(metric);
+  }
+}
+
+}  // namespace
+}  // namespace si

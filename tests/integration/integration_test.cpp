@@ -1,0 +1,162 @@
+// End-to-end integration: train SchedInspector on a synthetic SDSC-SP2-like
+// trace with SJF and verify the full workflow — training runs, the model
+// improves over random behaviour, evaluation and serialization interoperate.
+// The scales here are reduced (CI-friendly); the bench binaries exercise the
+// paper-scale runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "rl/model_io.hpp"
+#include "sched/factory.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new Trace(make_trace("SDSC-SP2", 1500, 42));
+    auto [train, test] = trace_->split(0.2);
+    train_ = new Trace(std::move(train));
+    test_ = new Trace(std::move(test));
+
+    policy_ = make_policy("SJF").release();
+    TrainerConfig config;
+    config.epochs = 10;
+    config.trajectories_per_epoch = 16;
+    config.sequence_length = 48;
+    config.seed = 7;
+    Trainer trainer(*train_, *policy_, config);
+    agent_ = new ActorCritic(trainer.make_agent());
+    result_ = new TrainResult(trainer.train(*agent_));
+    features_ = new FeatureBuilder(trainer.features());
+  }
+
+  static void TearDownTestSuite() {
+    delete features_;
+    delete result_;
+    delete agent_;
+    delete policy_;
+    delete test_;
+    delete train_;
+    delete trace_;
+  }
+
+  static Trace* trace_;
+  static Trace* train_;
+  static Trace* test_;
+  static SchedulingPolicy* policy_;
+  static ActorCritic* agent_;
+  static TrainResult* result_;
+  static FeatureBuilder* features_;
+};
+
+Trace* IntegrationFixture::trace_ = nullptr;
+Trace* IntegrationFixture::train_ = nullptr;
+Trace* IntegrationFixture::test_ = nullptr;
+SchedulingPolicy* IntegrationFixture::policy_ = nullptr;
+ActorCritic* IntegrationFixture::agent_ = nullptr;
+TrainResult* IntegrationFixture::result_ = nullptr;
+FeatureBuilder* IntegrationFixture::features_ = nullptr;
+
+TEST_F(IntegrationFixture, TrainingCurveIsComplete) {
+  ASSERT_EQ(result_->curve.size(), 10u);
+  for (const EpochStats& e : result_->curve) {
+    EXPECT_TRUE(std::isfinite(e.mean_reward));
+    EXPECT_TRUE(std::isfinite(e.mean_improvement));
+    EXPECT_GE(e.rejection_ratio, 0.0);
+    EXPECT_LE(e.rejection_ratio, 1.0);
+  }
+}
+
+TEST_F(IntegrationFixture, LearningImprovesOverEarlyEpochs) {
+  // The converged (tail) improvement should beat the very first epoch's —
+  // the paper's Figure 4 "starts worse, converges better" shape.
+  EXPECT_GE(result_->converged_improvement,
+            result_->curve.front().mean_improvement - 1e-9);
+}
+
+TEST_F(IntegrationFixture, EvaluationOnHeldOutData) {
+  EvalConfig config;
+  config.sequences = 10;
+  config.sequence_length = 64;
+  config.seed = 5;
+  const EvalResult eval =
+      evaluate(*test_, *policy_, *agent_, *features_, config);
+  ASSERT_EQ(eval.pairs.size(), 10u);
+  // The trained inspector must at least not catastrophically regress the
+  // base scheduler on unseen data.
+  EXPECT_LT(eval.mean_inspected(Metric::kBsld),
+            eval.mean_base(Metric::kBsld) * 1.5 + 1.0);
+}
+
+TEST_F(IntegrationFixture, UtilizationImpactIsBounded) {
+  EvalConfig config;
+  config.sequences = 10;
+  config.sequence_length = 64;
+  config.seed = 5;
+  const EvalResult eval =
+      evaluate(*test_, *policy_, *agent_, *features_, config);
+  // §4.4.6: at convergence the paper sees ~1% utilization cost. This
+  // CI-scale model is trained for only a few epochs, so we assert the
+  // weaker invariant that rejections do not collapse utilization; the
+  // full-scale behaviour is exercised by bench_table5_util.
+  EXPECT_GT(eval.mean_inspected_utilization(),
+            eval.mean_base_utilization() * 0.7);
+}
+
+TEST_F(IntegrationFixture, ModelSurvivesSerialization) {
+  std::stringstream buffer;
+  save_model(buffer, *agent_);
+  const ActorCritic restored = load_model(buffer);
+
+  EvalConfig config;
+  config.sequences = 4;
+  config.sequence_length = 48;
+  config.seed = 9;
+  const EvalResult a = evaluate(*test_, *policy_, *agent_, *features_, config);
+  const EvalResult b = evaluate(*test_, *policy_, restored, *features_, config);
+  EXPECT_DOUBLE_EQ(a.mean_inspected(Metric::kBsld),
+                   b.mean_inspected(Metric::kBsld));
+}
+
+TEST_F(IntegrationFixture, CrossTraceTransferRuns) {
+  // Table 4 workflow: apply the SDSC-trained model to a different trace.
+  const Trace other = make_trace("HPC2N", 600, 11);
+  PolicyPtr sjf = make_policy("SJF");
+  // Feature scales must come from the target trace, as in deployment.
+  FeatureBuilder target_features(FeatureMode::kManual, Metric::kBsld,
+                                 FeatureScales::from_trace(other), 600.0);
+  EvalConfig config;
+  config.sequences = 5;
+  config.sequence_length = 64;
+  config.seed = 13;
+  const EvalResult eval =
+      evaluate(other, *sjf, *agent_, target_features, config);
+  EXPECT_EQ(eval.pairs.size(), 5u);
+  for (const EvalPair& p : eval.pairs)
+    EXPECT_TRUE(std::isfinite(p.inspected.avg_bsld));
+}
+
+TEST_F(IntegrationFixture, FcfsLearnsLowRejectionRatio) {
+  // §4.4.1: inspecting FCFS is pure waste; training should drive the
+  // rejection ratio down (the paper observes convergence toward ~5%).
+  PolicyPtr fcfs = make_policy("FCFS");
+  TrainerConfig config;
+  config.epochs = 10;
+  config.trajectories_per_epoch = 16;
+  config.sequence_length = 48;
+  config.seed = 19;
+  const TrainedInspector trained = train_inspector(*train_, *fcfs, config);
+  const double early = trained.result.curve.front().rejection_ratio;
+  const double late = trained.result.converged_rejection_ratio;
+  EXPECT_LT(late, early + 0.05);
+}
+
+}  // namespace
+}  // namespace si

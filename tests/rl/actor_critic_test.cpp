@@ -1,0 +1,118 @@
+#include "rl/actor_critic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace si {
+namespace {
+
+TEST(Sigmoid, MidpointAndSymmetry) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(2.0) + sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(Sigmoid, ExtremeLogitsAreStable) {
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(sigmoid(1e308)));
+  EXPECT_FALSE(std::isnan(sigmoid(-1e308)));
+}
+
+TEST(BernoulliLogProb, MatchesDirectComputation) {
+  for (double z : {-3.0, -0.5, 0.0, 0.5, 3.0}) {
+    const double p = sigmoid(z);
+    EXPECT_NEAR(bernoulli_log_prob(z, 1), std::log(p), 1e-10);
+    EXPECT_NEAR(bernoulli_log_prob(z, 0), std::log(1.0 - p), 1e-10);
+  }
+}
+
+TEST(BernoulliLogProb, StableForExtremeLogits) {
+  // log prob of the likely action tends to 0; of the unlikely one, to -z.
+  EXPECT_NEAR(bernoulli_log_prob(100.0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(bernoulli_log_prob(100.0, 0), -100.0, 1e-6);
+  EXPECT_NEAR(bernoulli_log_prob(-100.0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(bernoulli_log_prob(-100.0, 1), -100.0, 1e-6);
+}
+
+TEST(BernoulliLogProb, InvalidActionThrows) {
+  EXPECT_ANY_THROW(bernoulli_log_prob(0.0, 2));
+}
+
+TEST(BernoulliEntropy, MaximalAtZeroLogit) {
+  EXPECT_NEAR(bernoulli_entropy(0.0), std::log(2.0), 1e-12);
+  EXPECT_LT(bernoulli_entropy(1.0), bernoulli_entropy(0.0));
+  EXPECT_LT(bernoulli_entropy(-1.0), bernoulli_entropy(0.0));
+  EXPECT_NEAR(bernoulli_entropy(50.0), 0.0, 1e-9);
+}
+
+TEST(ActorCritic, PaperArchitectureParamCount) {
+  ActorCritic ac(8, {32, 16, 8}, 1);
+  // 961 parameters per network, policy + value.
+  EXPECT_EQ(ac.param_count(), 2u * 961u);
+  EXPECT_EQ(ac.obs_size(), 8);
+}
+
+TEST(ActorCritic, SampleRespectsPolicyProbability) {
+  ActorCritic ac(2, {8}, 3);
+  Rng rng(5);
+  const std::vector<double> obs = {0.3, 0.7};
+  const double p = ac.reject_prob(obs);
+  int rejects = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i)
+    if (ac.sample(obs, rng).action == 1) ++rejects;
+  EXPECT_NEAR(static_cast<double>(rejects) / kN, p, 0.02);
+}
+
+TEST(ActorCritic, SampleLogProbConsistentWithProb) {
+  ActorCritic ac(2, {8}, 7);
+  Rng rng(9);
+  const std::vector<double> obs = {0.1, -0.4};
+  const double p = ac.reject_prob(obs);
+  for (int i = 0; i < 50; ++i) {
+    const SampledAction s = ac.sample(obs, rng);
+    const double expected = s.action == 1 ? std::log(p) : std::log(1.0 - p);
+    EXPECT_NEAR(s.log_prob, expected, 1e-9);
+    EXPECT_NEAR(s.prob, p, 1e-12);
+  }
+}
+
+TEST(ActorCritic, GreedyMatchesProbabilityThreshold) {
+  ActorCritic ac(3, {8, 4}, 11);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> obs = {rng.uniform(), rng.uniform(),
+                                     rng.uniform()};
+    const int greedy = ac.act_greedy(obs);
+    const double p = ac.reject_prob(obs);
+    EXPECT_EQ(greedy, p > 0.5 ? 1 : 0);
+  }
+}
+
+TEST(ActorCritic, PolicyAndValueAreIndependentNetworks) {
+  ActorCritic ac(2, {4}, 13);
+  const std::vector<double> obs = {0.5, 0.5};
+  const double v_before = ac.value(obs);
+  // Perturb the policy network only.
+  for (double& p : ac.policy_net().params()) p += 0.1;
+  EXPECT_DOUBLE_EQ(ac.value(obs), v_before);
+}
+
+TEST(ActorCritic, SeedReproducibility) {
+  ActorCritic a(4, {8}, 99);
+  ActorCritic b(4, {8}, 99);
+  const std::vector<double> obs = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(a.reject_prob(obs), b.reject_prob(obs));
+  EXPECT_DOUBLE_EQ(a.value(obs), b.value(obs));
+}
+
+TEST(ActorCritic, DifferentSeedsDiffer) {
+  ActorCritic a(4, {8}, 1);
+  ActorCritic b(4, {8}, 2);
+  const std::vector<double> obs = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NE(a.reject_prob(obs), b.reject_prob(obs));
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,109 @@
+#include "rl/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2, grad = 2(x - 3).
+  std::vector<double> params = {0.0};
+  Adam opt(1, AdamConfig{.learning_rate = 0.05});
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<double> grads = {2.0 * (params[0] - 3.0)};
+    opt.step(params, grads);
+  }
+  EXPECT_NEAR(params[0], 3.0, 1e-3);
+}
+
+TEST(Adam, MinimizesMultiDimQuadratic) {
+  const std::vector<double> target = {1.0, -2.0, 0.5, 10.0};
+  std::vector<double> params(4, 0.0);
+  Adam opt(4, AdamConfig{.learning_rate = 0.1});
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<double> grads(4);
+    for (int d = 0; d < 4; ++d) grads[static_cast<std::size_t>(d)] =
+        2.0 * (params[static_cast<std::size_t>(d)] -
+               target[static_cast<std::size_t>(d)]);
+    opt.step(params, grads);
+  }
+  for (int d = 0; d < 4; ++d)
+    EXPECT_NEAR(params[static_cast<std::size_t>(d)],
+                target[static_cast<std::size_t>(d)], 1e-2);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // With bias correction, the very first Adam step has magnitude ~lr.
+  std::vector<double> params = {0.0};
+  Adam opt(1, AdamConfig{.learning_rate = 0.01});
+  const std::vector<double> grads = {123.0};
+  opt.step(params, grads);
+  EXPECT_NEAR(std::abs(params[0]), 0.01, 1e-6);
+}
+
+TEST(Adam, StepCountAdvancesAndResets) {
+  std::vector<double> params = {0.0};
+  Adam opt(1);
+  const std::vector<double> grads = {1.0};
+  EXPECT_EQ(opt.steps_taken(), 0u);
+  opt.step(params, grads);
+  opt.step(params, grads);
+  EXPECT_EQ(opt.steps_taken(), 2u);
+  opt.reset();
+  EXPECT_EQ(opt.steps_taken(), 0u);
+}
+
+TEST(Adam, ResetRestoresFirstStepBehaviour) {
+  std::vector<double> p1 = {0.0};
+  Adam opt(1, AdamConfig{.learning_rate = 0.01});
+  const std::vector<double> grads = {5.0};
+  opt.step(p1, grads);
+  const double first_step = p1[0];
+  opt.reset();
+  std::vector<double> p2 = {0.0};
+  opt.step(p2, grads);
+  EXPECT_DOUBLE_EQ(p2[0], first_step);
+}
+
+TEST(Adam, ZeroGradLeavesParamsUnchanged) {
+  std::vector<double> params = {1.5};
+  Adam opt(1);
+  const std::vector<double> grads = {0.0};
+  opt.step(params, grads);
+  EXPECT_DOUBLE_EQ(params[0], 1.5);
+}
+
+TEST(Adam, SizeMismatchThrows) {
+  std::vector<double> params = {0.0, 0.0};
+  Adam opt(1);
+  const std::vector<double> grads = {1.0};
+  EXPECT_THROW(opt.step(params, grads), ContractViolation);
+}
+
+TEST(Adam, RejectsBadConfig) {
+  EXPECT_THROW(Adam(1, AdamConfig{.learning_rate = 0.0}), ContractViolation);
+  EXPECT_THROW(Adam(1, AdamConfig{.beta1 = 1.0}), ContractViolation);
+  EXPECT_THROW(Adam(1, AdamConfig{.beta2 = -0.1}), ContractViolation);
+}
+
+TEST(Adam, AdaptsToGradientScale) {
+  // Two coordinates with gradients of wildly different scales should move
+  // at comparable speeds (Adam normalizes by RMS).
+  std::vector<double> params = {0.0, 0.0};
+  Adam opt(2, AdamConfig{.learning_rate = 0.01});
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> grads = {1e-4, 1e4};
+    opt.step(params, grads);
+  }
+  // epsilon slightly damps the tiny-gradient coordinate; they remain within
+  // a fraction of a percent of each other.
+  EXPECT_NEAR(params[0], params[1], 1e-3);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,219 @@
+#include "rl/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+TEST(Mlp, ParamCountMatchesFormula) {
+  // The paper's architecture: 8 inputs, hidden 32/16/8, 1 output.
+  Mlp net({8, 32, 16, 8, 1});
+  const std::size_t expected = (8 * 32 + 32) + (32 * 16 + 16) +
+                               (16 * 8 + 8) + (8 * 1 + 1);
+  EXPECT_EQ(net.param_count(), expected);
+  EXPECT_EQ(net.param_count(), 961u);
+}
+
+TEST(Mlp, LayerAccessors) {
+  Mlp net({3, 5, 1});
+  EXPECT_EQ(net.input_size(), 3);
+  EXPECT_EQ(net.output_size(), 1);
+  ASSERT_EQ(net.layer_sizes().size(), 3u);
+}
+
+TEST(Mlp, RequiresAtLeastTwoLayers) {
+  EXPECT_THROW(Mlp({4}), ContractViolation);
+  EXPECT_THROW(Mlp({4, 0, 1}), ContractViolation);
+}
+
+TEST(Mlp, ZeroInitGivesZeroOutput) {
+  Mlp net({4, 8, 1});
+  const std::vector<double> x = {1.0, -2.0, 0.5, 3.0};
+  const auto y = net.forward(x);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+}
+
+TEST(Mlp, XavierInitBoundsRespected) {
+  Mlp net({8, 32, 1});
+  Rng rng(5);
+  net.init_xavier(rng);
+  const double bound1 = std::sqrt(6.0 / (8 + 32));
+  bool any_nonzero = false;
+  for (double p : net.params()) {
+    EXPECT_LE(std::abs(p), std::max(bound1, std::sqrt(6.0 / 33)) + 1e-12);
+    any_nonzero |= p != 0.0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Mlp, ForwardIsDeterministic) {
+  Mlp net({4, 8, 8, 1});
+  Rng rng(7);
+  net.init_xavier(rng);
+  const std::vector<double> x = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(net.forward(x)[0], net.forward(x)[0]);
+}
+
+TEST(Mlp, InputSizeMismatchThrows) {
+  Mlp net({4, 8, 1});
+  const std::vector<double> x = {1.0, 2.0};
+  EXPECT_THROW(net.forward(x), ContractViolation);
+}
+
+TEST(Mlp, OutputBoundedByTanhSaturation) {
+  // Hidden activations are in [-1, 1]; the linear output is bounded by
+  // sum(|w|) + |b| of the last layer.
+  Mlp net({2, 4, 1});
+  Rng rng(11);
+  net.init_xavier(rng);
+  double bound = 0.0;
+  const auto params = net.params();
+  // last layer offset: (2*4 + 4) weights/biases precede it
+  for (std::size_t i = 12; i < params.size(); ++i) bound += std::abs(params[i]);
+  for (double a = -100.0; a <= 100.0; a += 25.0) {
+    const std::vector<double> x = {a, -a};
+    EXPECT_LE(std::abs(net.forward(x)[0]), bound + 1e-9);
+  }
+}
+
+TEST(Mlp, WorkspaceReuseGivesSameResult) {
+  Mlp net({3, 6, 1});
+  Rng rng(13);
+  net.init_xavier(rng);
+  Mlp::Workspace ws;
+  const std::vector<double> x1 = {1.0, 2.0, 3.0};
+  const std::vector<double> x2 = {-1.0, 0.0, 0.5};
+  const double y1 = net.forward(x1, ws)[0];
+  const double y2 = net.forward(x2, ws)[0];
+  EXPECT_DOUBLE_EQ(y1, net.forward(x1)[0]);
+  EXPECT_DOUBLE_EQ(y2, net.forward(x2)[0]);
+}
+
+// Property test: backprop gradients match central finite differences for a
+// sweep of architectures.
+class MlpGradientCheck
+    : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(MlpGradientCheck, BackwardMatchesFiniteDifferences) {
+  Mlp net(GetParam());
+  Rng rng(17);
+  net.init_xavier(rng);
+
+  std::vector<double> x(static_cast<std::size_t>(net.input_size()));
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+
+  // Loss = output[0] (identity), so dL/doutput = 1.
+  Mlp::Workspace ws;
+  net.forward(x, ws);
+  net.zero_grad();
+  const double grad_out[1] = {1.0};
+  net.backward(ws, grad_out);
+  std::vector<double> analytic(net.grads().begin(), net.grads().end());
+
+  constexpr double kEps = 1e-6;
+  auto params = net.params();
+  for (std::size_t i = 0; i < net.param_count(); i += 7) {  // sample params
+    const double saved = params[i];
+    params[i] = saved + kEps;
+    const double up = net.forward(x)[0];
+    params[i] = saved - kEps;
+    const double down = net.forward(x)[0];
+    params[i] = saved;
+    const double numeric = (up - down) / (2.0 * kEps);
+    EXPECT_NEAR(analytic[i], numeric, 1e-5)
+        << "param " << i << " of net with " << net.param_count();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, MlpGradientCheck,
+    ::testing::Values(std::vector<int>{2, 4, 1}, std::vector<int>{3, 8, 4, 1},
+                      std::vector<int>{8, 32, 16, 8, 1},
+                      std::vector<int>{5, 1}));
+
+TEST(Mlp, GradientsAccumulateAcrossBackwardCalls) {
+  Mlp net({2, 3, 1});
+  Rng rng(19);
+  net.init_xavier(rng);
+  const std::vector<double> x = {0.5, -0.5};
+  Mlp::Workspace ws;
+  net.forward(x, ws);
+  net.zero_grad();
+  const double g[1] = {1.0};
+  net.backward(ws, g);
+  std::vector<double> once(net.grads().begin(), net.grads().end());
+  net.backward(ws, g);
+  for (std::size_t i = 0; i < once.size(); ++i)
+    EXPECT_NEAR(net.grads()[i], 2.0 * once[i], 1e-12);
+}
+
+TEST(Mlp, ZeroGradClears) {
+  Mlp net({2, 3, 1});
+  Rng rng(23);
+  net.init_xavier(rng);
+  Mlp::Workspace ws;
+  const std::vector<double> x = {1.0, 1.0};
+  net.forward(x, ws);
+  const double g[1] = {1.0};
+  net.backward(ws, g);
+  net.zero_grad();
+  for (double v : net.grads()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Mlp, BackwardValidatesGradSize) {
+  Mlp net({2, 3, 1});
+  Mlp::Workspace ws;
+  const std::vector<double> x = {1.0, 1.0};
+  net.forward(x, ws);
+  const std::vector<double> bad = {1.0, 2.0};
+  EXPECT_THROW(net.backward(ws, bad), ContractViolation);
+}
+
+
+TEST(Mlp, BackwardIntoExternalBufferMatchesInternal) {
+  Mlp net({3, 6, 1});
+  Rng rng(29);
+  net.init_xavier(rng);
+  Mlp::Workspace ws;
+  const std::vector<double> x = {0.2, -0.7, 1.1};
+  net.forward(x, ws);
+  const double g[1] = {1.5};
+
+  net.zero_grad();
+  net.backward(ws, g);
+  const std::vector<double> internal(net.grads().begin(), net.grads().end());
+
+  std::vector<double> external(net.param_count(), 0.0);
+  net.backward_into(ws, g, external);
+  for (std::size_t i = 0; i < internal.size(); ++i)
+    EXPECT_DOUBLE_EQ(external[i], internal[i]);
+}
+
+TEST(Mlp, BackwardIntoValidatesBufferSize) {
+  Mlp net({2, 3, 1});
+  Mlp::Workspace ws;
+  const std::vector<double> x = {1.0, 1.0};
+  net.forward(x, ws);
+  const double g[1] = {1.0};
+  std::vector<double> too_small(3, 0.0);
+  EXPECT_THROW(net.backward_into(ws, g, too_small), ContractViolation);
+}
+
+TEST(Mlp, SetOutputBiasControlsZeroInputOutput) {
+  Mlp net({4, 8, 1});
+  Rng rng(31);
+  net.init_xavier(rng);
+  net.set_output_bias(-2.0);
+  // With a zero input, hidden tanh activations are tanh(bias=0) = 0, so the
+  // output equals the output bias exactly.
+  const std::vector<double> zero(4, 0.0);
+  EXPECT_DOUBLE_EQ(net.forward(zero)[0], -2.0);
+}
+
+}  // namespace
+}  // namespace si

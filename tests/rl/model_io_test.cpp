@@ -1,0 +1,77 @@
+#include "rl/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace si {
+namespace {
+
+TEST(ModelIo, RoundTripPreservesParameters) {
+  ActorCritic original(8, {32, 16, 8}, 77);
+  std::stringstream buffer;
+  save_model(buffer, original);
+  const ActorCritic restored = load_model(buffer);
+
+  ASSERT_EQ(restored.obs_size(), original.obs_size());
+  ASSERT_EQ(restored.param_count(), original.param_count());
+  const std::vector<double> obs = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  EXPECT_DOUBLE_EQ(restored.reject_prob(obs), original.reject_prob(obs));
+  EXPECT_DOUBLE_EQ(restored.value(obs), original.value(obs));
+}
+
+TEST(ModelIo, RoundTripBitExactParams) {
+  ActorCritic original(3, {4}, 5);
+  std::stringstream buffer;
+  save_model(buffer, original);
+  const ActorCritic restored = load_model(buffer);
+  const auto po = original.policy_net().params();
+  const auto pr = restored.policy_net().params();
+  for (std::size_t i = 0; i < po.size(); ++i) EXPECT_DOUBLE_EQ(po[i], pr[i]);
+}
+
+TEST(ModelIo, ArchitectureRestoredFromFile) {
+  ActorCritic original(5, {7, 3}, 9);
+  std::stringstream buffer;
+  save_model(buffer, original);
+  const ActorCritic restored = load_model(buffer);
+  EXPECT_EQ(restored.policy_net().layer_sizes(),
+            (std::vector<int>{5, 7, 3, 1}));
+}
+
+TEST(ModelIo, BadHeaderThrows) {
+  std::stringstream buffer("not-a-model v1\n");
+  EXPECT_THROW(load_model(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, WrongVersionThrows) {
+  std::stringstream buffer("schedinspector-model v9\n");
+  EXPECT_THROW(load_model(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, TruncatedFileThrows) {
+  ActorCritic original(3, {4}, 5);
+  std::stringstream buffer;
+  save_model(buffer, original);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_model(truncated), std::runtime_error);
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/nonexistent/model.txt"), std::runtime_error);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  ActorCritic original(4, {8}, 33);
+  const std::string path = ::testing::TempDir() + "/si_model.txt";
+  save_model_file(path, original);
+  const ActorCritic restored = load_model_file(path);
+  const std::vector<double> obs = {0.9, 0.1, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(restored.reject_prob(obs), original.reject_prob(obs));
+}
+
+}  // namespace
+}  // namespace si

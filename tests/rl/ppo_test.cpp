@@ -1,0 +1,226 @@
+#include "rl/ppo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+// Builds a contextual-bandit batch: in context A (obs[0]=1) rejecting pays
+// +1, in context B (obs[0]=0) rejecting pays -1. The final rewards are
+// broadcast per trajectory exactly like SchedInspector's sequence-final
+// rewards: a trajectory is "good" when its actions match the context.
+RolloutBatch make_bandit_batch(const ActorCritic& ac, Rng& rng, int episodes,
+                               int steps_per_episode) {
+  RolloutBatch batch;
+  for (int e = 0; e < episodes; ++e) {
+    Trajectory traj;
+    const bool context_a = rng.bernoulli(0.5);
+    int correct = 0;
+    for (int s = 0; s < steps_per_episode; ++s) {
+      Step step;
+      step.obs = {context_a ? 1.0 : 0.0, 0.5};
+      const SampledAction a = ac.sample(step.obs, rng);
+      step.action = a.action;
+      step.log_prob = a.log_prob;
+      if ((context_a && a.action == 1) || (!context_a && a.action == 0))
+        ++correct;
+      traj.steps.push_back(std::move(step));
+    }
+    traj.reward = 2.0 * correct / steps_per_episode - 1.0;  // in [-1, 1]
+    batch.add(std::move(traj));
+  }
+  return batch;
+}
+
+TEST(Ppo, LearnsContextualBandit) {
+  ActorCritic ac(2, {8, 8}, 42);
+  PpoConfig config;
+  config.policy_iters = 20;
+  config.value_iters = 20;
+  PpoUpdater updater(ac, config);
+  Rng rng(7);
+
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    RolloutBatch batch = make_bandit_batch(ac, rng, 24, 8);
+    updater.update(batch);
+  }
+
+  const std::vector<double> ctx_a = {1.0, 0.5};
+  const std::vector<double> ctx_b = {0.0, 0.5};
+  EXPECT_GT(ac.reject_prob(ctx_a), 0.8);
+  EXPECT_LT(ac.reject_prob(ctx_b), 0.2);
+}
+
+TEST(Ppo, ValueNetworkLearnsReturns) {
+  ActorCritic ac(2, {8}, 3);
+  PpoConfig config;
+  config.value_iters = 400;
+  config.policy_iters = 1;
+  PpoUpdater updater(ac, config);
+
+  // Returns depend deterministically on the observation.
+  RolloutBatch batch;
+  for (int i = 0; i < 64; ++i) {
+    Trajectory t;
+    Step s;
+    const double x = (i % 2 == 0) ? 1.0 : 0.0;
+    s.obs = {x, 1.0 - x};
+    s.action = 0;
+    s.log_prob = std::log(0.5);
+    t.steps.push_back(std::move(s));
+    t.reward = x > 0.5 ? 2.0 : -2.0;
+    batch.add(std::move(t));
+  }
+  updater.update(batch);
+  const std::vector<double> hi = {1.0, 0.0};
+  const std::vector<double> lo = {0.0, 1.0};
+  EXPECT_NEAR(ac.value(hi), 2.0, 0.5);
+  EXPECT_NEAR(ac.value(lo), -2.0, 0.5);
+}
+
+TEST(Ppo, KlEarlyStoppingBounds) {
+  ActorCritic ac(2, {8}, 5);
+  PpoConfig config;
+  config.policy_iters = 500;  // would overshoot without the KL guard
+  config.target_kl = 0.01;
+  config.entropy_coef = 0.0;
+  PpoUpdater updater(ac, config);
+  // A maximally consistent signal: every trajectory rejected and won big,
+  // driving the policy hard toward p(reject) = 1 and the KL upward.
+  RolloutBatch batch;
+  Rng rng(11);
+  for (int i = 0; i < 32; ++i) {
+    Trajectory t;
+    Step s;
+    s.obs = {rng.uniform(), rng.uniform()};
+    s.action = 1;
+    s.log_prob = ac.sample(s.obs, rng).action == 1
+                     ? bernoulli_log_prob(0.0, 1)
+                     : bernoulli_log_prob(0.0, 1);
+    t.steps.push_back(std::move(s));
+    t.reward = (i % 4 == 0) ? -1.0 : 1.0;  // mostly wins, some variance
+    batch.add(std::move(t));
+  }
+  const PpoStats stats = updater.update(batch);
+  EXPECT_LT(stats.policy_iters_run, 500);
+}
+
+TEST(Ppo, EmptyBatchThrows) {
+  ActorCritic ac(2, {4}, 1);
+  PpoUpdater updater(ac);
+  RolloutBatch batch;
+  EXPECT_THROW(updater.update(batch), ContractViolation);
+}
+
+TEST(Ppo, ObsSizeMismatchThrows) {
+  ActorCritic ac(3, {4}, 1);
+  PpoUpdater updater(ac);
+  RolloutBatch batch;
+  Trajectory t;
+  Step s;
+  s.obs = {1.0};  // wrong width
+  s.log_prob = std::log(0.5);
+  t.steps.push_back(std::move(s));
+  t.reward = 1.0;
+  batch.add(std::move(t));
+  EXPECT_THROW(updater.update(batch), ContractViolation);
+}
+
+TEST(Ppo, RejectsBadConfig) {
+  ActorCritic ac(2, {4}, 1);
+  PpoConfig bad;
+  bad.clip_ratio = 0.0;
+  EXPECT_THROW(PpoUpdater(ac, bad), ContractViolation);
+  bad = PpoConfig{};
+  bad.policy_iters = 0;
+  EXPECT_THROW(PpoUpdater(ac, bad), ContractViolation);
+}
+
+TEST(Ppo, StatsArePopulated) {
+  ActorCritic ac(2, {8}, 9);
+  PpoUpdater updater(ac);
+  Rng rng(13);
+  RolloutBatch batch = make_bandit_batch(ac, rng, 8, 4);
+  const PpoStats stats = updater.update(batch);
+  EXPECT_GT(stats.policy_iters_run, 0);
+  EXPECT_GE(stats.entropy, 0.0);
+  EXPECT_LE(stats.entropy, std::log(2.0) + 1e-9);
+  EXPECT_TRUE(std::isfinite(stats.policy_loss));
+  EXPECT_TRUE(std::isfinite(stats.value_loss));
+}
+
+TEST(Ppo, DeterministicGivenSameInputs) {
+  auto run_once = [] {
+    ActorCritic ac(2, {8}, 21);
+    PpoUpdater updater(ac);
+    Rng rng(23);
+    RolloutBatch batch = make_bandit_batch(ac, rng, 8, 4);
+    updater.update(batch);
+    const std::vector<double> obs = {1.0, 0.5};
+    return ac.reject_prob(obs);
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Ppo, RewardlessBatchLeavesEntropyHigh) {
+  // All-zero rewards carry no signal: the policy should stay near-uniform.
+  ActorCritic ac(2, {8}, 25);
+  PpoUpdater updater(ac);
+  Rng rng(27);
+  RolloutBatch batch;
+  for (int i = 0; i < 16; ++i) {
+    Trajectory t;
+    Step s;
+    s.obs = {rng.uniform(), rng.uniform()};
+    const SampledAction a = ac.sample(s.obs, rng);
+    s.action = a.action;
+    s.log_prob = a.log_prob;
+    t.steps.push_back(std::move(s));
+    t.reward = 0.0;
+    batch.add(std::move(t));
+  }
+  updater.update(batch);
+  const std::vector<double> obs = {0.5, 0.5};
+  EXPECT_GT(ac.reject_prob(obs), 0.1);
+  EXPECT_LT(ac.reject_prob(obs), 0.9);
+}
+
+
+TEST(Ppo, LargeBatchParallelPathIsDeterministic) {
+  // Batches above the parallel threshold exercise the chunked-thread
+  // gradient accumulation; fixed chunk reduction order keeps results
+  // bit-identical across runs.
+  auto run_once = [] {
+    ActorCritic ac(2, {8}, 31);
+    PpoUpdater updater(ac);
+    Rng rng(33);
+    RolloutBatch batch = make_bandit_batch(ac, rng, 64, 16);  // 1024 steps
+    updater.update(batch);
+    const std::vector<double> obs = {1.0, 0.5};
+    return ac.reject_prob(obs);
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Ppo, LargeBatchStillLearns) {
+  ActorCritic ac(2, {8, 8}, 35);
+  PpoConfig config;
+  config.policy_iters = 20;
+  config.value_iters = 20;
+  PpoUpdater updater(ac, config);
+  Rng rng(37);
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    RolloutBatch batch = make_bandit_batch(ac, rng, 48, 16);  // 768 steps
+    updater.update(batch);
+  }
+  const std::vector<double> ctx_a = {1.0, 0.5};
+  const std::vector<double> ctx_b = {0.0, 0.5};
+  EXPECT_GT(ac.reject_prob(ctx_a), ac.reject_prob(ctx_b));
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,172 @@
+#include "sched/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sched/f1.hpp"
+#include "sched/factory.hpp"
+
+namespace si {
+namespace {
+
+Job probe(std::int64_t id, Time submit, double est, int procs) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.estimate = est;
+  j.run = est;
+  j.procs = procs;
+  return j;
+}
+
+SchedContext ctx_at(Time now) {
+  SchedContext ctx;
+  ctx.now = now;
+  ctx.total_procs = 128;
+  ctx.free_procs = 64;
+  return ctx;
+}
+
+// A probe set with distinct attribute orderings:
+//   id  submit  est   procs
+//   0   0       100   8
+//   1   50      400   2
+//   2   100     50    32
+std::vector<Job> probe_set() {
+  return {probe(0, 0.0, 100.0, 8), probe(1, 50.0, 400.0, 2),
+          probe(2, 100.0, 50.0, 32)};
+}
+
+std::int64_t best_by(const SchedulingPolicy& p, const std::vector<Job>& jobs,
+                     Time now) {
+  const SchedContext ctx = ctx_at(now);
+  std::int64_t best = jobs.front().id;
+  double best_score = p.score(jobs.front(), ctx);
+  for (const Job& j : jobs) {
+    const double s = p.score(j, ctx);
+    if (s < best_score) {
+      best_score = s;
+      best = j.id;
+    }
+  }
+  return best;
+}
+
+TEST(Policies, FcfsPicksOldest) {
+  FcfsPolicy p;
+  EXPECT_EQ(best_by(p, probe_set(), 200.0), 0);
+}
+
+TEST(Policies, LcfsPicksNewest) {
+  LcfsPolicy p;
+  EXPECT_EQ(best_by(p, probe_set(), 200.0), 2);
+}
+
+TEST(Policies, SjfPicksShortestEstimate) {
+  SjfPolicy p;
+  EXPECT_EQ(best_by(p, probe_set(), 200.0), 2);
+}
+
+TEST(Policies, SqfPicksSmallestRequest) {
+  SqfPolicy p;
+  EXPECT_EQ(best_by(p, probe_set(), 200.0), 1);
+}
+
+TEST(Policies, SafPicksSmallestArea) {
+  SafPolicy p;
+  // areas: 800, 800, 1600 — tie between 0 and 1 resolved by score equality;
+  // our helper keeps the first strictly-smaller, so id 0 wins.
+  EXPECT_EQ(best_by(p, probe_set(), 200.0), 0);
+}
+
+TEST(Policies, SrfPicksSmallestRatio) {
+  SrfPolicy p;
+  // ratios: 12.5, 200, 1.5625
+  EXPECT_EQ(best_by(p, probe_set(), 200.0), 2);
+}
+
+TEST(Policies, ScoresMatchFormulas) {
+  const Job j = probe(7, 123.0, 600.0, 16);
+  const SchedContext ctx = ctx_at(1000.0);
+  EXPECT_DOUBLE_EQ(FcfsPolicy{}.score(j, ctx), 123.0);
+  EXPECT_DOUBLE_EQ(LcfsPolicy{}.score(j, ctx), -123.0);
+  EXPECT_DOUBLE_EQ(SjfPolicy{}.score(j, ctx), 600.0);
+  EXPECT_DOUBLE_EQ(SqfPolicy{}.score(j, ctx), 16.0);
+  EXPECT_DOUBLE_EQ(SafPolicy{}.score(j, ctx), 9600.0);
+  EXPECT_DOUBLE_EQ(SrfPolicy{}.score(j, ctx), 37.5);
+}
+
+TEST(F1, MatchesPublishedFormula) {
+  F1Policy p;
+  const Job j = probe(1, 1000.0, 3600.0, 8);
+  const SchedContext ctx = ctx_at(2000.0);
+  const double expected =
+      std::log10(3600.0) * 8.0 + 870.0 * std::log10(1000.0);
+  EXPECT_DOUBLE_EQ(p.score(j, ctx), expected);
+}
+
+TEST(F1, ClampsLogArgumentsToOne) {
+  F1Policy p;
+  const Job j = probe(1, 0.0, 0.5, 4);  // both logs clamp to log10(1) = 0
+  EXPECT_DOUBLE_EQ(p.score(j, ctx_at(0.0)), 0.0);
+}
+
+TEST(F1, PrefersSmallShortOverLargeLongAtSameSubmit) {
+  F1Policy p;
+  const Job small = probe(0, 100.0, 60.0, 1);
+  const Job large = probe(1, 100.0, 86400.0, 64);
+  const SchedContext ctx = ctx_at(200.0);
+  EXPECT_LT(p.score(small, ctx), p.score(large, ctx));
+}
+
+class FactoryNames : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FactoryNames, BuildsPolicyWithMatchingName) {
+  const PolicyPtr p = make_policy(GetParam());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHeuristics, FactoryNames,
+                         ::testing::Values("FCFS", "LCFS", "SJF", "SQF", "SAF",
+                                           "SRF", "F1"));
+
+TEST(Factory, ListsPaperPolicies) {
+  const auto& names = heuristic_policy_names();
+  EXPECT_EQ(names.size(), 7u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "SJF"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "F1"), names.end());
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_policy("EDF"), std::out_of_range);
+  EXPECT_THROW(make_policy("Slurm"), std::out_of_range);
+}
+
+TEST(Policies, StatelessPoliciesIgnoreStartNotifications) {
+  SjfPolicy p;
+  const Job j = probe(0, 0.0, 10.0, 1);
+  const double before = p.score(j, ctx_at(0.0));
+  p.on_job_start(j, 5.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.score(j, ctx_at(0.0)), before);
+}
+
+
+TEST(Policies, ClonePreservesBehaviour) {
+  for (const auto& name : heuristic_policy_names()) {
+    const PolicyPtr original = make_policy(name);
+    const PolicyPtr copy = original->clone();
+    ASSERT_NE(copy, nullptr) << name;
+    EXPECT_EQ(copy->name(), original->name());
+    const Job j = probe(3, 250.0, 1800.0, 12);
+    const SchedContext ctx = ctx_at(500.0);
+    EXPECT_DOUBLE_EQ(copy->score(j, ctx), original->score(j, ctx)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,163 @@
+#include "sched/slurm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+Job make_job(std::int64_t id, Time submit, double run, int procs, int user,
+             int queue) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.run = run;
+  j.estimate = run;
+  j.procs = procs;
+  j.user = user;
+  j.queue = queue;
+  return j;
+}
+
+Trace small_trace() {
+  // user 0 dominates usage; queue 1 is the busy queue.
+  std::vector<Job> jobs = {
+      make_job(0, 0.0, 1000.0, 8, /*user=*/0, /*queue=*/1),
+      make_job(1, 10.0, 1000.0, 8, 0, 1),
+      make_job(2, 20.0, 100.0, 2, 1, 0),
+      make_job(3, 30.0, 50.0, 1, 2, 0),
+  };
+  return Trace("small", 16, std::move(jobs));
+}
+
+TEST(Slurm, AgeFactorNormalizedBySevenDays) {
+  SlurmMultifactorPolicy p(small_trace());
+  Job j = make_job(0, 0.0, 10.0, 1, 0, 0);
+  EXPECT_DOUBLE_EQ(p.age_factor(j, 0.0), 0.0);
+  EXPECT_NEAR(p.age_factor(j, 3.5 * 24 * 3600), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(p.age_factor(j, 14.0 * 24 * 3600), 1.0);  // saturates
+}
+
+TEST(Slurm, FairshareStartsNeutral) {
+  SlurmMultifactorPolicy p(small_trace());
+  // No usage accrued yet: every user is maximally served.
+  EXPECT_DOUBLE_EQ(p.fairshare_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.fairshare_factor(1), 1.0);
+}
+
+TEST(Slurm, FairshareDecaysWithUsage) {
+  SlurmMultifactorPolicy p(small_trace());
+  const Job heavy = make_job(0, 0.0, 1000.0, 8, /*user=*/1, 0);
+  p.on_job_start(heavy, 0.0);
+  // User 1 just consumed all running usage but was assigned a small share:
+  // its factor must drop well below a user with no usage.
+  EXPECT_LT(p.fairshare_factor(1), 0.5);
+  EXPECT_GT(p.fairshare_factor(0), p.fairshare_factor(1));
+}
+
+TEST(Slurm, FairshareFactorInUnitInterval) {
+  SlurmMultifactorPolicy p(small_trace());
+  for (int user = 0; user < 3; ++user) {
+    const double f = p.fairshare_factor(user);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(Slurm, JobAttributeFactorNormalizedByMaxEstimate) {
+  SlurmMultifactorPolicy p(small_trace());
+  // max estimate in the trace is 1000 s.
+  EXPECT_DOUBLE_EQ(p.job_attribute_factor(make_job(0, 0, 1000.0, 1, 0, 0)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(p.job_attribute_factor(make_job(0, 0, 500.0, 1, 0, 0)),
+                   0.5);
+}
+
+TEST(Slurm, PartitionFactorTracksQueueUsage) {
+  SlurmMultifactorPolicy p(small_trace());
+  // Queue 1 carried the bulk of the CPU usage => priority 1.0.
+  EXPECT_DOUBLE_EQ(p.partition_factor(1), 1.0);
+  EXPECT_GT(p.partition_factor(1), p.partition_factor(0));
+  EXPECT_DOUBLE_EQ(p.partition_factor(99), 0.0);  // unknown queue
+}
+
+TEST(Slurm, PriorityIsWeightedSum) {
+  SlurmMultifactorPolicy p(small_trace());
+  const Job j = make_job(0, 0.0, 1000.0, 1, 0, 1);
+  const double expected = 1000.0 * (p.age_factor(j, 3600.0) +
+                                    p.fairshare_factor(0) +
+                                    p.job_attribute_factor(j) +
+                                    p.partition_factor(1));
+  EXPECT_DOUBLE_EQ(p.priority(j, 3600.0), expected);
+}
+
+TEST(Slurm, ScoreIsNegatedPriority) {
+  SlurmMultifactorPolicy p(small_trace());
+  const Job j = make_job(0, 0.0, 500.0, 1, 1, 0);
+  SchedContext ctx;
+  ctx.now = 100.0;
+  EXPECT_DOUBLE_EQ(p.score(j, ctx), -p.priority(j, 100.0));
+}
+
+TEST(Slurm, OlderJobOutranksEqualAlternatives) {
+  SlurmMultifactorPolicy p(small_trace());
+  SchedContext ctx;
+  ctx.now = 24.0 * 3600;
+  const Job old_job = make_job(0, 0.0, 500.0, 1, 1, 0);
+  const Job new_job = make_job(1, 23.0 * 3600, 500.0, 1, 1, 0);
+  EXPECT_LT(p.score(old_job, ctx), p.score(new_job, ctx));
+}
+
+TEST(Slurm, ResetClearsFairshareState) {
+  SlurmMultifactorPolicy p(small_trace());
+  p.on_job_start(make_job(0, 0.0, 1000.0, 8, 1, 0), 0.0);
+  const double depressed = p.fairshare_factor(1);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.fairshare_factor(1), 1.0);
+  EXPECT_LT(depressed, 1.0);
+}
+
+TEST(Slurm, UnknownUserGetsMinimalShare) {
+  SlurmMultifactorPolicy p(small_trace());
+  p.on_job_start(make_job(0, 0.0, 100.0, 1, /*user=*/42, 0), 0.0);
+  // Unknown user with usage: factor collapses toward 0.
+  EXPECT_LT(p.fairshare_factor(42), 0.01);
+}
+
+TEST(Slurm, EmptyTraceRejected) {
+  EXPECT_ANY_THROW(SlurmMultifactorPolicy(Trace{}));
+}
+
+TEST(Slurm, WorksOnSyntheticSdscTrace) {
+  const Trace t = make_trace("SDSC-SP2", 500, 3);
+  SlurmMultifactorPolicy p(t);
+  SchedContext ctx;
+  ctx.now = 1000.0;
+  for (const Job& j : t.jobs()) {
+    const double s = p.score(j, ctx);
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_LE(s, 0.0);  // priorities are non-negative
+  }
+}
+
+
+TEST(Slurm, CloneCopiesCalibrationButSharesNoState) {
+  SlurmMultifactorPolicy p(small_trace());
+  const PolicyPtr copy = p.clone();
+  // The clone carries the calibrated shares...
+  const Job j = make_job(0, 0.0, 500.0, 1, 1, 1);
+  SchedContext ctx;
+  ctx.now = 100.0;
+  EXPECT_DOUBLE_EQ(copy->score(j, ctx), p.score(j, ctx));
+  // ...but accruing usage on the original does not affect the clone.
+  p.on_job_start(make_job(0, 0.0, 1000.0, 8, 1, 0), 0.0);
+  EXPECT_NE(copy->score(j, ctx), p.score(j, ctx));
+}
+
+}  // namespace
+}  // namespace si

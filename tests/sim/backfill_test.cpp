@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "sched/policies.hpp"
+#include "sim/simulator.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+Job make_job(std::int64_t id, Time submit, double run, int procs,
+             double estimate = -1.0) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.run = run;
+  j.estimate = estimate >= 0.0 ? estimate : run;
+  j.procs = procs;
+  return j;
+}
+
+SimConfig backfill_on() {
+  SimConfig c;
+  c.backfill = true;
+  return c;
+}
+
+TEST(Backfill, ShortJobFillsHoleWithoutDelayingHead) {
+  Simulator sim(4, backfill_on());
+  FcfsPolicy fcfs;
+  // job0 occupies 3 procs until t=100. job1 (4 procs) blocks with a
+  // reservation at t=100. job2 (1 proc, 50 s) finishes by the reservation
+  // and must backfill immediately.
+  const auto result = sim.run(
+      {make_job(0, 0.0, 100.0, 3), make_job(1, 1.0, 100.0, 4),
+       make_job(2, 2.0, 50.0, 1)},
+      fcfs);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 2.0);    // backfilled
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);  // reservation held
+}
+
+TEST(Backfill, LongJobMayNotDelayReservation) {
+  Simulator sim(4, backfill_on());
+  FcfsPolicy fcfs;
+  // Same shape, but the 1-proc candidate runs 500 s — past the t=100
+  // reservation — and would steal the head's processors: it must wait.
+  const auto result = sim.run(
+      {make_job(0, 0.0, 100.0, 3), make_job(1, 1.0, 100.0, 4),
+       make_job(2, 2.0, 500.0, 1)},
+      fcfs);
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 200.0);  // after the head
+}
+
+TEST(Backfill, ExtraNodesAllowLongBackfill) {
+  Simulator sim(8, backfill_on());
+  FcfsPolicy fcfs;
+  // job0: 4 procs until t=100. job1 (head): 6 procs, reserved at t=100,
+  // leaving extra = 8 - 6 = 2 at the shadow time. job2: 2 procs, 1000 s —
+  // runs past the reservation but fits in the extra nodes: backfills now.
+  const auto result = sim.run(
+      {make_job(0, 0.0, 100.0, 4), make_job(1, 1.0, 100.0, 6),
+       make_job(2, 2.0, 1000.0, 2)},
+      fcfs);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 2.0);
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);
+}
+
+TEST(Backfill, ReservationUsesEstimatesNotActuals) {
+  Simulator sim(4, backfill_on());
+  FcfsPolicy fcfs;
+  // job0 is *estimated* to run 1000 s but actually finishes at t=100. The
+  // backfill window therefore looks 1000 s long, so the 500 s 1-proc job
+  // backfills at t=2 even though it runs past the actual completion.
+  const auto result = sim.run(
+      {make_job(0, 0.0, 100.0, 3, /*estimate=*/1000.0),
+       make_job(1, 1.0, 100.0, 4), make_job(2, 2.0, 500.0, 1)},
+      fcfs);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 2.0);
+  // The head starts once resources actually free (t=100 completion) is not
+  // enough — job2 holds 1 proc until t=502.
+  EXPECT_DOUBLE_EQ(result.records[1].start, 502.0);
+}
+
+TEST(Backfill, MultipleJobsBackfillInPriorityOrder) {
+  Simulator sim(8, backfill_on());
+  SjfPolicy sjf;
+  // Head needs the whole machine at t=100. Three 1-proc short jobs all fit
+  // the hole; they all backfill immediately.
+  const auto result = sim.run(
+      {make_job(0, 0.0, 100.0, 5), make_job(1, 1.0, 100.0, 8, 100.0),
+       make_job(2, 2.0, 50.0, 1, 90.0), make_job(3, 2.0, 40.0, 1, 90.0),
+       make_job(4, 2.0, 30.0, 1, 90.0)},
+      sjf);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 2.0);
+  EXPECT_DOUBLE_EQ(result.records[3].start, 2.0);
+  EXPECT_DOUBLE_EQ(result.records[4].start, 2.0);
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);
+}
+
+TEST(Backfill, DisabledMeansNoLeapfrogging) {
+  Simulator sim(4, SimConfig{});  // backfill off
+  FcfsPolicy fcfs;
+  const auto result = sim.run(
+      {make_job(0, 0.0, 100.0, 3), make_job(1, 1.0, 100.0, 4),
+       make_job(2, 2.0, 50.0, 1)},
+      fcfs);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 200.0);  // waits for the head
+}
+
+TEST(Backfill, ImprovesUtilizationOnCongestedWorkload) {
+  const Trace trace = make_trace("SDSC-SP2", 400, 21);
+  std::vector<Job> jobs = trace.window(0, 256);
+  SjfPolicy sjf;
+  Simulator plain(trace.cluster_procs(), SimConfig{});
+  Simulator easy(trace.cluster_procs(), backfill_on());
+  const auto base = plain.run(jobs, sjf);
+  const auto backfilled = easy.run(jobs, sjf);
+  EXPECT_GE(backfilled.metrics.utilization, base.metrics.utilization * 0.999);
+  EXPECT_LE(backfilled.metrics.avg_wait, base.metrics.avg_wait * 1.001);
+}
+
+TEST(Backfill, AllJobsStillComplete) {
+  const Trace trace = make_trace("CTC-SP2", 400, 23);
+  std::vector<Job> jobs = trace.window(50, 256);
+  SjfPolicy sjf;
+  Simulator sim(trace.cluster_procs(), backfill_on());
+  const auto result = sim.run(jobs, sjf);
+  for (const JobRecord& r : result.records) {
+    EXPECT_TRUE(r.started());
+    EXPECT_GE(r.start, r.submit);
+  }
+}
+
+}  // namespace
+}  // namespace si

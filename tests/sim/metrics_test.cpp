@@ -1,0 +1,97 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+JobRecord rec(Time submit, Time start, Time run, int procs) {
+  JobRecord r;
+  r.submit = submit;
+  r.start = start;
+  r.run = run;
+  r.finish = start + run;
+  r.procs = procs;
+  return r;
+}
+
+TEST(MetricNames, RoundTrip) {
+  EXPECT_EQ(metric_from_name("bsld"), Metric::kBsld);
+  EXPECT_EQ(metric_from_name("wait"), Metric::kWait);
+  EXPECT_EQ(metric_from_name("mbsld"), Metric::kMaxBsld);
+  EXPECT_EQ(metric_name(Metric::kBsld), "bsld");
+  EXPECT_EQ(metric_name(Metric::kWait), "wait");
+  EXPECT_EQ(metric_name(Metric::kMaxBsld), "mbsld");
+}
+
+TEST(MetricNames, UnknownThrows) {
+  EXPECT_THROW(metric_from_name("makespan"), std::out_of_range);
+}
+
+TEST(ComputeMetrics, EmptyRecords) {
+  const SequenceMetrics m = compute_metrics({}, 4);
+  EXPECT_EQ(m.jobs, 0u);
+  EXPECT_DOUBLE_EQ(m.avg_wait, 0.0);
+}
+
+TEST(ComputeMetrics, SingleImmediateJob) {
+  const SequenceMetrics m = compute_metrics({rec(0, 0, 100, 2)}, 4);
+  EXPECT_DOUBLE_EQ(m.avg_wait, 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_bsld, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_bsld, 1.0);
+  EXPECT_DOUBLE_EQ(m.makespan, 100.0);
+  // 100 s * 2 procs / (4 procs * 100 s) = 0.5
+  EXPECT_DOUBLE_EQ(m.utilization, 0.5);
+}
+
+TEST(ComputeMetrics, AveragesAcrossJobs) {
+  const std::vector<JobRecord> rs = {rec(0, 0, 100, 1), rec(0, 100, 100, 1)};
+  const SequenceMetrics m = compute_metrics(rs, 2);
+  EXPECT_DOUBLE_EQ(m.avg_wait, 50.0);
+  // bslds: 1 and (100+100)/100 = 2
+  EXPECT_DOUBLE_EQ(m.avg_bsld, 1.5);
+  EXPECT_DOUBLE_EQ(m.max_bsld, 2.0);
+  EXPECT_DOUBLE_EQ(m.makespan, 200.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 200.0 / 400.0);
+}
+
+TEST(ComputeMetrics, MetricValueSelector) {
+  SequenceMetrics m;
+  m.avg_bsld = 1.0;
+  m.avg_wait = 2.0;
+  m.max_bsld = 3.0;
+  EXPECT_DOUBLE_EQ(m.value(Metric::kBsld), 1.0);
+  EXPECT_DOUBLE_EQ(m.value(Metric::kWait), 2.0);
+  EXPECT_DOUBLE_EQ(m.value(Metric::kMaxBsld), 3.0);
+}
+
+TEST(ComputeMetrics, RejectionRatio) {
+  SequenceMetrics m;
+  EXPECT_DOUBLE_EQ(m.rejection_ratio(), 0.0);
+  m.inspections = 10;
+  m.rejections = 3;
+  EXPECT_DOUBLE_EQ(m.rejection_ratio(), 0.3);
+}
+
+TEST(ComputeMetrics, UnstartedRecordIsContractViolation) {
+  JobRecord r;
+  r.submit = 0.0;  // never started
+  EXPECT_THROW(compute_metrics({r}, 2), ContractViolation);
+}
+
+TEST(ComputeMetrics, NonPositiveClusterThrows) {
+  EXPECT_THROW(compute_metrics({}, 0), ContractViolation);
+}
+
+TEST(ComputeMetrics, ShortJobBoundedByThreshold) {
+  // 1-second job waiting 99 seconds: bsld = (99+1)/10 = 10.
+  const SequenceMetrics m = compute_metrics({rec(0, 99, 1, 1)}, 1);
+  EXPECT_DOUBLE_EQ(m.avg_bsld, 10.0);
+}
+
+}  // namespace
+}  // namespace si

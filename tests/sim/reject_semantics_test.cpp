@@ -1,0 +1,178 @@
+// Focused tests of the reject-and-retry semantics (§3.2) and of the
+// InspectionView contents the simulator hands the inspector.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/policies.hpp"
+#include "sim/simulator.hpp"
+
+namespace si {
+namespace {
+
+Job make_job(std::int64_t id, Time submit, double run, int procs,
+             double estimate = -1.0) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.run = run;
+  j.estimate = estimate >= 0.0 ? estimate : run;
+  j.procs = procs;
+  return j;
+}
+
+/// Records every InspectionView it sees (flattened) and applies a scripted
+/// decision sequence (missing entries = accept).
+class RecordingInspector final : public Inspector {
+ public:
+  explicit RecordingInspector(std::vector<bool> script = {})
+      : script_(std::move(script)) {}
+
+  bool reject(const InspectionView& view) override {
+    Seen seen;
+    seen.now = view.now;
+    seen.job_id = view.job->id;
+    seen.job_rejections = view.job_rejections;
+    seen.free_procs = view.free_procs;
+    seen.backfillable = view.backfillable_jobs;
+    seen.runnable = view.runnable();
+    for (const Job* j : *view.waiting) seen.waiting_ids.push_back(j->id);
+    views_.push_back(std::move(seen));
+    const std::size_t index = views_.size() - 1;
+    return index < script_.size() && script_[index];
+  }
+
+  struct Seen {
+    Time now = 0.0;
+    std::int64_t job_id = 0;
+    int job_rejections = 0;
+    int free_procs = 0;
+    int backfillable = 0;
+    bool runnable = false;
+    std::vector<std::int64_t> waiting_ids;
+  };
+  const std::vector<Seen>& views() const { return views_; }
+
+ private:
+  std::vector<bool> script_;
+  std::vector<Seen> views_;
+};
+
+TEST(RejectSemantics, RetryAfterExactlyMaxInterval) {
+  SimConfig config;
+  config.max_interval = 600.0;
+  Simulator sim(4, config);
+  FcfsPolicy fcfs;
+  RecordingInspector inspector({true});  // reject once
+  sim.run({make_job(0, 0.0, 100.0, 2)}, fcfs, &inspector);
+  ASSERT_EQ(inspector.views().size(), 2u);
+  EXPECT_DOUBLE_EQ(inspector.views()[0].now, 0.0);
+  EXPECT_DOUBLE_EQ(inspector.views()[1].now, 600.0);
+}
+
+TEST(RejectSemantics, RejectionCountVisibleToInspector) {
+  SimConfig config;
+  config.max_rejection_times = 3;
+  Simulator sim(4, config);
+  FcfsPolicy fcfs;
+  RecordingInspector inspector({true, true, true});
+  sim.run({make_job(0, 0.0, 100.0, 2)}, fcfs, &inspector);
+  ASSERT_EQ(inspector.views().size(), 3u);
+  EXPECT_EQ(inspector.views()[0].job_rejections, 0);
+  EXPECT_EQ(inspector.views()[1].job_rejections, 1);
+  EXPECT_EQ(inspector.views()[2].job_rejections, 2);
+  // Fourth inspection never happens: the budget forces acceptance.
+}
+
+TEST(RejectSemantics, CompletionCreatesEarlierRetry) {
+  SimConfig config;
+  config.max_interval = 600.0;
+  Simulator sim(4, config);
+  FcfsPolicy fcfs;
+  // job0 runs 0..50 on the full cluster; job1's rejection at t=0 retries at
+  // the completion (t=50), well before the 600 s bound.
+  RecordingInspector inspector({false, true});
+  sim.run({make_job(0, 0.0, 50.0, 4), make_job(1, 1.0, 10.0, 4)}, fcfs,
+          &inspector);
+  ASSERT_GE(inspector.views().size(), 3u);
+  EXPECT_DOUBLE_EQ(inspector.views()[1].now, 1.0);   // rejected here
+  EXPECT_DOUBLE_EQ(inspector.views()[2].now, 50.0);  // retried at completion
+}
+
+TEST(InspectionViewContents, WaitingListExcludesCandidate) {
+  Simulator sim(2, SimConfig{});
+  SjfPolicy sjf;
+  RecordingInspector inspector;
+  // Three jobs submitted together; cluster fits one at a time.
+  sim.run({make_job(0, 0.0, 10.0, 2, 10.0), make_job(1, 0.0, 20.0, 2, 20.0),
+           make_job(2, 0.0, 30.0, 2, 30.0)},
+          sjf, &inspector);
+  ASSERT_FALSE(inspector.views().empty());
+  const auto& first = inspector.views().front();
+  EXPECT_EQ(first.job_id, 0);  // SJF picks the shortest
+  EXPECT_EQ(first.waiting_ids.size(), 2u);
+  for (std::int64_t id : first.waiting_ids) EXPECT_NE(id, first.job_id);
+}
+
+TEST(InspectionViewContents, RunnableFlagMatchesFreeProcs) {
+  Simulator sim(4, SimConfig{});
+  FcfsPolicy fcfs;
+  RecordingInspector inspector;
+  sim.run({make_job(0, 0.0, 100.0, 3), make_job(1, 1.0, 10.0, 2)}, fcfs,
+          &inspector);
+  ASSERT_GE(inspector.views().size(), 2u);
+  EXPECT_TRUE(inspector.views()[0].runnable);   // 3 <= 4
+  EXPECT_FALSE(inspector.views()[1].runnable);  // 2 > 1 free
+}
+
+TEST(InspectionViewContents, BackfillableCountWhenBlocked) {
+  SimConfig config;
+  config.backfill = true;
+  Simulator sim(4, config);
+  FcfsPolicy fcfs;
+  RecordingInspector inspector;
+  // job0 occupies 3 procs until t=100. job1 (4 procs, FCFS head at t=1)
+  // cannot run; job2 (1 proc, 50 s) would backfill under job1's
+  // reservation. At job1's inspection, job2 is already waiting.
+  sim.run({make_job(0, 0.0, 100.0, 3), make_job(1, 1.0, 100.0, 4),
+           make_job(2, 1.0, 50.0, 1)},
+          fcfs, &inspector);
+  bool saw_blocked_head = false;
+  for (const auto& v : inspector.views()) {
+    if (v.job_id == 1 && !v.runnable) {
+      saw_blocked_head = true;
+      EXPECT_EQ(v.backfillable, 1);
+    }
+  }
+  EXPECT_TRUE(saw_blocked_head);
+}
+
+TEST(InspectionViewContents, BackfillableZeroWhenDisabled) {
+  Simulator sim(4, SimConfig{});  // backfill off
+  FcfsPolicy fcfs;
+  RecordingInspector inspector;
+  sim.run({make_job(0, 0.0, 100.0, 3), make_job(1, 1.0, 100.0, 4),
+           make_job(2, 1.0, 50.0, 1)},
+          fcfs, &inspector);
+  for (const auto& v : inspector.views()) EXPECT_EQ(v.backfillable, 0);
+}
+
+TEST(RejectSemantics, RejectingNonRunnableJobIsCheap) {
+  // §4.4.1: "rejecting a job that needs to wait for resources does not
+  // impact the performance" — the schedule with and without such a
+  // rejection is identical.
+  SimConfig config;
+  config.max_interval = 600.0;
+  Simulator sim(4, config);
+  FcfsPolicy fcfs;
+  const std::vector<Job> jobs = {make_job(0, 0.0, 100.0, 4),
+                                 make_job(1, 1.0, 50.0, 4)};
+  const auto base = sim.run(jobs, fcfs);
+  RecordingInspector inspector({false, true});  // reject job1 once at t=1
+  const auto inspected = sim.run(jobs, fcfs, &inspector);
+  EXPECT_DOUBLE_EQ(base.records[1].start, inspected.records[1].start);
+  EXPECT_DOUBLE_EQ(base.metrics.avg_bsld, inspected.metrics.avg_bsld);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,274 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/rl_inspector.hpp"
+#include "sched/policies.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+Job make_job(std::int64_t id, Time submit, double run, int procs,
+             double estimate = -1.0) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.run = run;
+  j.estimate = estimate >= 0.0 ? estimate : run;
+  j.procs = procs;
+  return j;
+}
+
+TEST(Simulator, SingleJobStartsImmediately) {
+  Simulator sim(4, SimConfig{});
+  FcfsPolicy fcfs;
+  const auto result = sim.run({make_job(0, 0.0, 100.0, 2)}, fcfs);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.records[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(result.records[0].finish, 100.0);
+  EXPECT_DOUBLE_EQ(result.metrics.avg_wait, 0.0);
+}
+
+TEST(Simulator, JobWaitsForResources) {
+  Simulator sim(4, SimConfig{});
+  FcfsPolicy fcfs;
+  // First job fills the cluster; second must wait for it.
+  const auto result = sim.run(
+      {make_job(0, 0.0, 100.0, 4), make_job(1, 10.0, 50.0, 4)}, fcfs);
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(result.records[1].wait(), 90.0);
+}
+
+TEST(Simulator, ParallelJobsShareCluster) {
+  Simulator sim(4, SimConfig{});
+  FcfsPolicy fcfs;
+  const auto result = sim.run(
+      {make_job(0, 0.0, 100.0, 2), make_job(1, 0.0, 100.0, 2)}, fcfs);
+  EXPECT_DOUBLE_EQ(result.records[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(result.records[1].start, 0.0);
+}
+
+TEST(Simulator, SjfOrdersByEstimate) {
+  Simulator sim(2, SimConfig{});
+  SjfPolicy sjf;
+  // Jobs 1 and 2 wait together while the cluster is busy until t=100; SJF
+  // commits to the shorter one when they are first considered.
+  const auto result =
+      sim.run({make_job(0, 0.0, 100.0, 2), make_job(1, 1.0, 50.0, 2),
+               make_job(2, 1.0, 10.0, 2)},
+              sjf);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 100.0);   // shortest first
+  EXPECT_DOUBLE_EQ(result.records[1].start, 110.0);
+}
+
+TEST(Simulator, HeadCommitmentFreezesQueueOrder) {
+  // §3.2 semantics: once the base policy picks a job, the simulator waits
+  // for its resources; a shorter job arriving later cannot leapfrog it
+  // without backfilling. (SchedInspector's rejections exist precisely to
+  // avoid such harmful commitments.)
+  Simulator sim(2, SimConfig{});
+  SjfPolicy sjf;
+  const auto result =
+      sim.run({make_job(0, 0.0, 100.0, 2), make_job(1, 1.0, 50.0, 2),
+               make_job(2, 2.0, 10.0, 2)},
+              sjf);
+  // Job 1 was committed at t=1, before the shorter job 2 arrived.
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 150.0);
+}
+
+TEST(Simulator, FcfsOrdersBySubmission) {
+  Simulator sim(2, SimConfig{});
+  FcfsPolicy fcfs;
+  const auto result =
+      sim.run({make_job(0, 0.0, 100.0, 2), make_job(1, 1.0, 50.0, 2),
+               make_job(2, 2.0, 10.0, 2)},
+              fcfs);
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 150.0);
+}
+
+TEST(Simulator, TieBrokenBySmallerId) {
+  Simulator sim(2, SimConfig{});
+  SjfPolicy sjf;
+  // Jobs 1 and 2 have equal estimates; the paper breaks ties by smaller id.
+  const auto result =
+      sim.run({make_job(0, 0.0, 100.0, 2), make_job(1, 1.0, 50.0, 2),
+               make_job(2, 2.0, 50.0, 2)},
+              sjf);
+  EXPECT_LT(result.records[1].start, result.records[2].start);
+}
+
+TEST(Simulator, HeadOfLineBlocksWithoutBackfill) {
+  // The committed head (4 procs) blocks a later 1-proc job even though it
+  // would fit — the §2.1 case (b) semantics.
+  Simulator sim(4, SimConfig{});
+  FcfsPolicy fcfs;
+  const auto result = sim.run(
+      {make_job(0, 0.0, 100.0, 3), make_job(1, 1.0, 500.0, 4),
+       make_job(2, 2.0, 10.0, 1)},
+      fcfs);
+  // Job 1 starts when job 0 finishes; job 2 cannot leapfrog it.
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 600.0);
+}
+
+TEST(Simulator, EstimatedTimeDoesNotAffectCompletion) {
+  Simulator sim(2, SimConfig{});
+  SjfPolicy sjf;
+  // Estimate wildly exceeds actual runtime; completion uses the actual.
+  const auto result =
+      sim.run({make_job(0, 0.0, 10.0, 2, /*estimate=*/10000.0)}, sjf);
+  EXPECT_DOUBLE_EQ(result.records[0].finish, 10.0);
+}
+
+TEST(Simulator, EstimateDrivesSjfOrdering) {
+  Simulator sim(2, SimConfig{});
+  SjfPolicy sjf;
+  // Job 1 has the larger actual runtime but the smaller estimate: SJF must
+  // trust the estimate.
+  const auto result =
+      sim.run({make_job(0, 0.0, 100.0, 2), make_job(1, 1.0, 500.0, 2, 10.0),
+               make_job(2, 2.0, 20.0, 2, 50.0)},
+              sjf);
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 600.0);
+}
+
+TEST(Simulator, RejectionDelaysScheduling) {
+  SimConfig config;
+  config.max_interval = 600.0;
+  config.max_rejection_times = 1;
+  Simulator sim(4, config);
+  FcfsPolicy fcfs;
+  AlwaysRejectInspector inspector;
+  const auto result = sim.run({make_job(0, 0.0, 100.0, 2)}, fcfs, &inspector);
+  // One rejection, then the budget forces acceptance at t = 600.
+  EXPECT_EQ(result.records[0].rejections, 1);
+  EXPECT_DOUBLE_EQ(result.records[0].start, 600.0);
+  EXPECT_EQ(result.metrics.rejections, 1u);
+  EXPECT_EQ(result.metrics.inspections, 1u);
+}
+
+TEST(Simulator, MaxRejectionTimesBoundsDelay) {
+  SimConfig config;
+  config.max_interval = 600.0;
+  config.max_rejection_times = 72;
+  Simulator sim(4, config);
+  FcfsPolicy fcfs;
+  AlwaysRejectInspector inspector;
+  const auto result = sim.run({make_job(0, 0.0, 100.0, 2)}, fcfs, &inspector);
+  EXPECT_EQ(result.records[0].rejections, 72);
+  // 72 rejections x 600 s = 43200 s (12 h), the paper's bound.
+  EXPECT_DOUBLE_EQ(result.records[0].start, 43200.0);
+}
+
+TEST(Simulator, RejectionRetriesEarlyOnArrival) {
+  SimConfig config;
+  config.max_interval = 600.0;
+  Simulator sim(4, config);
+  SjfPolicy sjf;
+  // Reject the first decision only; a new arrival at t=50 creates the next
+  // scheduling point before the 600 s retry bound.
+  class RejectOnce final : public Inspector {
+   public:
+    bool reject(const InspectionView&) override { return count_++ == 0; }
+
+   private:
+    int count_ = 0;
+  };
+  RejectOnce inspector;
+  Simulator sim2(2, config);
+  const auto result = sim2.run(
+      {make_job(0, 0.0, 100.0, 2), make_job(1, 50.0, 10.0, 2)}, sjf,
+      &inspector);
+  // At t=50 the shorter job 1 is selected and accepted.
+  EXPECT_DOUBLE_EQ(result.records[1].start, 50.0);
+  EXPECT_DOUBLE_EQ(result.records[0].start, 60.0);
+}
+
+TEST(Simulator, NoInspectorMeansNoInspections) {
+  Simulator sim(4, SimConfig{});
+  FcfsPolicy fcfs;
+  const auto result = sim.run({make_job(0, 0.0, 10.0, 1)}, fcfs);
+  EXPECT_EQ(result.metrics.inspections, 0u);
+  EXPECT_EQ(result.metrics.rejections, 0u);
+}
+
+TEST(Simulator, AllJobsComplete) {
+  Simulator sim(8, SimConfig{});
+  SjfPolicy sjf;
+  const Trace trace = make_trace("SDSC-SP2", 300, 5);
+  std::vector<Job> jobs = trace.window(0, 200);
+  for (Job& j : jobs) j.procs = std::min(j.procs, 8);
+  const auto result = sim.run(jobs, sjf);
+  for (const JobRecord& r : result.records) {
+    EXPECT_TRUE(r.started());
+    EXPECT_GE(r.start, r.submit);
+    EXPECT_DOUBLE_EQ(r.finish, r.start + r.run);
+  }
+}
+
+TEST(Simulator, UtilizationInUnitInterval) {
+  Simulator sim(8, SimConfig{});
+  SjfPolicy sjf;
+  const Trace trace = make_trace("HPC2N", 300, 5);
+  std::vector<Job> jobs = trace.window(10, 150);
+  for (Job& j : jobs) j.procs = std::min(j.procs, 8);
+  const auto result = sim.run(jobs, sjf);
+  EXPECT_GT(result.metrics.utilization, 0.0);
+  EXPECT_LE(result.metrics.utilization, 1.0);
+}
+
+TEST(Simulator, DeterministicForSameInput) {
+  Simulator sim(16, SimConfig{});
+  SjfPolicy sjf;
+  const Trace trace = make_trace("CTC-SP2", 300, 5);
+  std::vector<Job> jobs = trace.window(0, 100);
+  for (Job& j : jobs) j.procs = std::min(j.procs, 16);
+  const auto a = sim.run(jobs, sjf);
+  const auto b = sim.run(jobs, sjf);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_bsld, b.metrics.avg_bsld);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_wait, b.metrics.avg_wait);
+}
+
+TEST(Simulator, RejectsInvalidInputs) {
+  Simulator sim(4, SimConfig{});
+  FcfsPolicy fcfs;
+  EXPECT_THROW(sim.run({}, fcfs), ContractViolation);
+  EXPECT_THROW(sim.run({make_job(0, 0.0, 1.0, 8)}, fcfs), ContractViolation);
+  // Unsorted submits
+  EXPECT_THROW(sim.run({make_job(0, 10.0, 1.0, 1), make_job(1, 0.0, 1.0, 1)},
+                       fcfs),
+               ContractViolation);
+}
+
+TEST(Simulator, RejectsBadConfig) {
+  EXPECT_THROW(Simulator(0, SimConfig{}), ContractViolation);
+  SimConfig bad;
+  bad.max_interval = 0.0;
+  EXPECT_THROW(Simulator(4, bad), ContractViolation);
+}
+
+TEST(Simulator, RandomInspectorStillCompletesEverything) {
+  SimConfig config;
+  config.max_rejection_times = 5;
+  Simulator sim(16, config);
+  SjfPolicy sjf;
+  Rng rng(3);
+  RandomInspector inspector(0.5, rng);
+  const Trace trace = make_trace("SDSC-SP2", 200, 9);
+  std::vector<Job> jobs = trace.window(0, 120);
+  for (Job& j : jobs) j.procs = std::min(j.procs, 16);
+  const auto result = sim.run(jobs, sjf, &inspector);
+  for (const JobRecord& r : result.records) {
+    EXPECT_TRUE(r.started());
+    EXPECT_LE(r.rejections, 5);
+  }
+  EXPECT_GT(result.metrics.rejections, 0u);
+}
+
+}  // namespace
+}  // namespace si

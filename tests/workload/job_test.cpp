@@ -1,0 +1,76 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace si {
+namespace {
+
+TEST(Job, EstimatedAreaAndRatio) {
+  Job j;
+  j.estimate = 100.0;
+  j.procs = 4;
+  EXPECT_DOUBLE_EQ(j.estimated_area(), 400.0);
+  EXPECT_DOUBLE_EQ(j.estimated_ratio(), 25.0);
+}
+
+TEST(JobRecord, WaitIsStartMinusSubmit) {
+  JobRecord r;
+  r.submit = 10.0;
+  r.start = 25.0;
+  EXPECT_TRUE(r.started());
+  EXPECT_DOUBLE_EQ(r.wait(), 15.0);
+}
+
+TEST(JobRecord, UnstartedHasZeroWait) {
+  JobRecord r;
+  r.submit = 10.0;
+  EXPECT_FALSE(r.started());
+  EXPECT_DOUBLE_EQ(r.wait(), 0.0);
+}
+
+TEST(JobRecord, BoundedSlowdownIsAtLeastOne) {
+  JobRecord r;
+  r.submit = 0.0;
+  r.start = 0.0;
+  r.run = 100.0;
+  EXPECT_DOUBLE_EQ(r.bounded_slowdown(), 1.0);
+}
+
+TEST(JobRecord, BoundedSlowdownBasicFormula) {
+  JobRecord r;
+  r.submit = 0.0;
+  r.start = 50.0;  // wait 50
+  r.run = 100.0;
+  // (50 + 100) / max(100, 10) = 1.5
+  EXPECT_DOUBLE_EQ(r.bounded_slowdown(), 1.5);
+}
+
+TEST(JobRecord, TenSecondThresholdBoundsShortJobs) {
+  JobRecord r;
+  r.submit = 0.0;
+  r.start = 90.0;  // wait 90
+  r.run = 1.0;     // a 1 s job: denominator clamps to 10 s
+  // (90 + 1) / 10 = 9.1 instead of 91.
+  EXPECT_DOUBLE_EQ(r.bounded_slowdown(), 9.1);
+}
+
+TEST(JobRecord, ThresholdBoundaryExactlyTenSeconds) {
+  JobRecord r;
+  r.submit = 0.0;
+  r.start = 10.0;
+  r.run = 10.0;
+  // (10 + 10) / 10 = 2.
+  EXPECT_DOUBLE_EQ(r.bounded_slowdown(), 2.0);
+}
+
+TEST(JobRecord, PaperTable1Values) {
+  // Case(a)-NoInspect J2: wait 4 min, exec 3 min -> bsld 2.33.
+  JobRecord r;
+  r.submit = 60.0;      // arrives t1 (minutes in seconds)
+  r.start = 60.0 * 5;   // starts t5
+  r.run = 60.0 * 3;
+  EXPECT_NEAR(r.bounded_slowdown(), (4.0 + 3.0) / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace si

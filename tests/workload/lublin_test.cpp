@@ -1,0 +1,142 @@
+#include "workload/lublin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace si {
+namespace {
+
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+TEST(Lublin, DeterministicInSeed) {
+  LublinParams p;
+  const Trace a = generate_lublin(p, 200, 7);
+  const Trace b = generate_lublin(p, 200, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].submit, b.jobs()[i].submit);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].run, b.jobs()[i].run);
+    EXPECT_EQ(a.jobs()[i].procs, b.jobs()[i].procs);
+  }
+}
+
+TEST(Lublin, DifferentSeedsDiffer) {
+  LublinParams p;
+  const Trace a = generate_lublin(p, 50, 1);
+  const Trace b = generate_lublin(p, 50, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_diff |= a.jobs()[i].run != b.jobs()[i].run;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Lublin, SizesWithinCluster) {
+  LublinParams p;
+  p.cluster_procs = 256;
+  const Trace t = generate_lublin(p, 2000, 3);
+  for (const Job& j : t.jobs()) {
+    EXPECT_GE(j.procs, 1);
+    EXPECT_LE(j.procs, 256);
+  }
+}
+
+TEST(Lublin, SerialFractionNearParameter) {
+  LublinParams p;
+  Rng rng(11);
+  int serial = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i)
+    if (lublin_sample_size(p, rng) == 1) ++serial;
+  // Serial probability 0.244 plus a few parallel draws rounding down to 1.
+  EXPECT_NEAR(static_cast<double>(serial) / kN, p.serial_prob, 0.05);
+}
+
+TEST(Lublin, PowerOfTwoBias) {
+  LublinParams p;
+  Rng rng(13);
+  int pow2 = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i)
+    if (is_power_of_two(lublin_sample_size(p, rng))) ++pow2;
+  // Power-of-two rounding applies to most parallel jobs, and serial jobs
+  // (size 1) are powers of two as well.
+  EXPECT_GT(static_cast<double>(pow2) / kN, 0.6);
+}
+
+TEST(Lublin, RuntimesArePositiveAndBounded) {
+  LublinParams p;
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const double r = lublin_sample_runtime(p, 4, rng);
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, 7.0 * 24.0 * 3600.0);
+  }
+}
+
+TEST(Lublin, RuntimeScaleIsMultiplicative) {
+  LublinParams p1;
+  LublinParams p2;
+  p2.runtime_scale = 2.0;
+  Rng r1(19);
+  Rng r2(19);
+  double sum1 = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    sum1 += lublin_sample_runtime(p1, 8, r1);
+    sum2 += lublin_sample_runtime(p2, 8, r2);
+  }
+  EXPECT_NEAR(sum2 / sum1, 2.0, 0.05);
+}
+
+TEST(Lublin, LargerJobsRunLongerOnAverage) {
+  // The hyper-gamma mixing probability shifts toward the long component as
+  // size grows (p = pb - pa * size).
+  LublinParams p;
+  Rng r1(23);
+  Rng r2(23);
+  double small_sum = 0.0;
+  double large_sum = 0.0;
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) {
+    small_sum += lublin_sample_runtime(p, 1, r1);
+    large_sum += lublin_sample_runtime(p, 100, r2);
+  }
+  EXPECT_GT(large_sum / kN, small_sum / kN);
+}
+
+TEST(Lublin, MeanInterarrivalNearTarget) {
+  LublinParams p;
+  p.mean_interarrival = 771.0;
+  const Trace t = generate_lublin(p, 8000, 29);
+  const double measured = t.stats().mean_interarrival;
+  // The daily-cycle modulation perturbs the gamma mean; stay within 30%.
+  EXPECT_NEAR(measured, 771.0, 771.0 * 0.3);
+}
+
+TEST(Lublin, EstimatesAtLeastRuntimeInFiveMinuteGranules) {
+  LublinParams p;
+  const Trace t = generate_lublin(p, 1000, 31);
+  for (const Job& j : t.jobs()) {
+    EXPECT_GE(j.estimate, j.run);
+    EXPECT_NEAR(std::fmod(j.estimate, 300.0), 0.0, 1e-6);
+  }
+}
+
+TEST(Lublin, SubmitTimesNonDecreasing) {
+  LublinParams p;
+  const Trace t = generate_lublin(p, 1000, 37);
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_GE(t.jobs()[i].submit, t.jobs()[i - 1].submit);
+}
+
+TEST(Lublin, TraceNameAndCluster) {
+  LublinParams p;
+  p.cluster_procs = 256;
+  const Trace t = generate_lublin(p, 10, 1);
+  EXPECT_EQ(t.name(), "Lublin");
+  EXPECT_EQ(t.cluster_procs(), 256);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,71 @@
+#include "workload/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace si {
+namespace {
+
+TEST(Registry, Table2NamesInPaperOrder) {
+  const auto& names = table2_trace_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "CTC-SP2");
+  EXPECT_EQ(names[1], "SDSC-SP2");
+  EXPECT_EQ(names[2], "HPC2N");
+  EXPECT_EQ(names[3], "Lublin");
+}
+
+TEST(Registry, BuildsAllFourTraces) {
+  for (const auto& name : table2_trace_names()) {
+    const Trace t = make_trace(name, 1000, 42);
+    EXPECT_EQ(t.name().substr(0, name.size()), name) << name;
+    EXPECT_EQ(t.size(), 1000u);
+    EXPECT_GT(t.cluster_procs(), 0);
+  }
+}
+
+TEST(Registry, ClusterSizesMatchTable2) {
+  EXPECT_EQ(make_trace("CTC-SP2", 100, 1).cluster_procs(), 338);
+  EXPECT_EQ(make_trace("SDSC-SP2", 100, 1).cluster_procs(), 128);
+  EXPECT_EQ(make_trace("HPC2N", 100, 1).cluster_procs(), 240);
+  EXPECT_EQ(make_trace("Lublin", 100, 1).cluster_procs(), 256);
+}
+
+TEST(Registry, LublinCalibratedToTable2Estimate) {
+  const Trace t = make_trace("Lublin", 6000, 42);
+  const TraceStats s = t.stats();
+  // Pilot calibration lands the mean estimate near 4862 s; the pilot and
+  // production samples differ, so allow 15%.
+  EXPECT_NEAR(s.mean_estimate, 4862.0, 4862.0 * 0.15);
+  EXPECT_NEAR(s.mean_interarrival, 771.0, 771.0 * 0.3);
+}
+
+TEST(Registry, LublinMeanSizeNearTable2) {
+  const Trace t = make_trace("Lublin", 6000, 42);
+  // Table 2 reports mean size 22 for the Lublin trace.
+  EXPECT_NEAR(t.stats().mean_procs, 22.0, 8.0);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_trace("KIT-FH2", 100, 1), std::out_of_range);
+}
+
+TEST(Registry, DeterministicAcrossCalls) {
+  const Trace a = make_trace("SDSC-SP2", 300, 77);
+  const Trace b = make_trace("SDSC-SP2", 300, 77);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.jobs()[i].run, b.jobs()[i].run);
+}
+
+TEST(Registry, SeedChangesTrace) {
+  const Trace a = make_trace("SDSC-SP2", 300, 1);
+  const Trace b = make_trace("SDSC-SP2", 300, 2);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    differs |= a.jobs()[i].run != b.jobs()[i].run;
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,123 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace si {
+namespace {
+
+constexpr const char* kSample = R"(; Comment line
+; MaxProcs: 128
+; UnixStartTime: 0
+1 0 -1 100 4 -1 -1 4 200 -1 1 10 -1 -1 2 -1 -1 -1
+2 50 -1 300 8 -1 -1 8 600 -1 1 11 -1 -1 1 -1 -1 -1
+)";
+
+TEST(Swf, ParsesHeaderMaxProcs) {
+  const Trace t = read_swf_text(kSample, "sample");
+  EXPECT_EQ(t.cluster_procs(), 128);
+}
+
+TEST(Swf, ParsesJobFields) {
+  const Trace t = read_swf_text(kSample, "sample");
+  ASSERT_EQ(t.size(), 2u);
+  const Job& j0 = t.jobs()[0];
+  EXPECT_DOUBLE_EQ(j0.submit, 0.0);
+  EXPECT_DOUBLE_EQ(j0.run, 100.0);
+  EXPECT_DOUBLE_EQ(j0.estimate, 200.0);  // requested time field
+  EXPECT_EQ(j0.procs, 4);                // requested processors field
+  EXPECT_EQ(j0.user, 10);
+  EXPECT_EQ(j0.queue, 2);
+}
+
+TEST(Swf, UsesAllocatedProcsWhenRequestedMissing) {
+  const std::string text = "; MaxProcs: 64\n1 0 -1 100 4 -1 -1 -1 -1 -1 1\n";
+  const Trace t = read_swf_text(text, "x");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.jobs()[0].procs, 4);
+  // estimate falls back to actual runtime
+  EXPECT_DOUBLE_EQ(t.jobs()[0].estimate, 100.0);
+}
+
+TEST(Swf, DropsInvalidRecordsByDefault) {
+  const std::string text =
+      "; MaxProcs: 64\n"
+      "1 0 -1 -1 4 -1 -1 4 100 -1 0\n"   // negative runtime: cancelled
+      "2 10 -1 50 0 -1 -1 0 100 -1 1\n"  // zero processors
+      "3 20 -1 50 2 -1 -1 2 100 -1 1\n";
+  const Trace t = read_swf_text(text, "x");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Swf, KeepsInvalidWhenAskedButStillValidates) {
+  SwfOptions opts;
+  opts.drop_invalid = false;
+  const std::string text = "; MaxProcs: 64\n1 0 -1 50 0 -1 -1 0 100 -1 1\n";
+  // Zero-processor jobs violate the Trace invariant.
+  EXPECT_ANY_THROW(read_swf_text(text, "x", opts));
+}
+
+TEST(Swf, ClampsOversizedRequests) {
+  const std::string text = "; MaxProcs: 8\n1 0 -1 50 16 -1 -1 16 100 -1 1\n";
+  const Trace t = read_swf_text(text, "x");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.jobs()[0].procs, 8);
+}
+
+TEST(Swf, NoHeaderUsesDefaultClusterProcs) {
+  SwfOptions opts;
+  opts.default_cluster_procs = 32;
+  const std::string text = "1 0 -1 50 4 -1 -1 4 100 -1 1\n";
+  const Trace t = read_swf_text(text, "x", opts);
+  EXPECT_EQ(t.cluster_procs(), 32);
+}
+
+TEST(Swf, NoHeaderNoDefaultThrows) {
+  const std::string text = "1 0 -1 50 4 -1 -1 4 100 -1 1\n";
+  EXPECT_THROW(read_swf_text(text, "x"), std::runtime_error);
+}
+
+TEST(Swf, MalformedRecordThrows) {
+  const std::string text = "; MaxProcs: 8\nnot numbers at all\n";
+  EXPECT_THROW(read_swf_text(text, "x"), std::runtime_error);
+}
+
+TEST(Swf, TooFewFieldsThrows) {
+  const std::string text = "; MaxProcs: 8\n1 0 3\n";
+  EXPECT_THROW(read_swf_text(text, "x"), std::runtime_error);
+}
+
+TEST(Swf, MaxNodesHeaderAlsoAccepted) {
+  const std::string text = "; MaxNodes: 100\n1 0 -1 50 4 -1 -1 4 100 -1 1\n";
+  EXPECT_EQ(read_swf_text(text, "x").cluster_procs(), 100);
+}
+
+TEST(Swf, RoundTripPreservesJobs) {
+  const Trace original = read_swf_text(kSample, "sample");
+  const std::string text = write_swf_text(original);
+  const Trace restored = read_swf_text(text, "sample");
+  ASSERT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.cluster_procs(), original.cluster_procs());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.jobs()[i].submit, original.jobs()[i].submit);
+    EXPECT_DOUBLE_EQ(restored.jobs()[i].run, original.jobs()[i].run);
+    EXPECT_DOUBLE_EQ(restored.jobs()[i].estimate, original.jobs()[i].estimate);
+    EXPECT_EQ(restored.jobs()[i].procs, original.jobs()[i].procs);
+    EXPECT_EQ(restored.jobs()[i].user, original.jobs()[i].user);
+    EXPECT_EQ(restored.jobs()[i].queue, original.jobs()[i].queue);
+  }
+}
+
+TEST(Swf, LoadMissingFileThrows) {
+  EXPECT_THROW(load_swf_file("/nonexistent/path.swf"), std::runtime_error);
+}
+
+TEST(Swf, BlankLinesAndWhitespaceSkipped) {
+  const std::string text =
+      "; MaxProcs: 8\n\n   \n  1 0 -1 50 4 -1 -1 4 100 -1 1\n";
+  EXPECT_EQ(read_swf_text(text, "x").size(), 1u);
+}
+
+}  // namespace
+}  // namespace si

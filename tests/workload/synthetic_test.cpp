@@ -1,0 +1,108 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace si {
+namespace {
+
+class Table2Traces : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Table2Traces, CalibratedMeansHitTargets) {
+  const SyntheticTraceSpec spec = table2_spec(GetParam());
+  const Trace t = generate_synthetic(spec, 6000, 42);
+  const TraceStats s = t.stats();
+  // Inter-arrival is calibrated exactly on the sample mean.
+  EXPECT_NEAR(s.mean_interarrival, spec.target_mean_interarrival,
+              spec.target_mean_interarrival * 0.01);
+  // Estimates are calibrated before clamping; allow 5%.
+  EXPECT_NEAR(s.mean_estimate, spec.target_mean_estimate,
+              spec.target_mean_estimate * 0.05);
+  // Size is discrete; the bisection lands within 10%.
+  EXPECT_NEAR(s.mean_procs, spec.target_mean_procs,
+              spec.target_mean_procs * 0.10);
+  EXPECT_EQ(s.cluster_procs, spec.cluster_procs);
+}
+
+TEST_P(Table2Traces, JobsAreValid) {
+  const SyntheticTraceSpec spec = table2_spec(GetParam());
+  const Trace t = generate_synthetic(spec, 2000, 1);
+  for (const Job& j : t.jobs()) {
+    EXPECT_GE(j.procs, 1);
+    EXPECT_LE(j.procs, spec.cluster_procs);
+    EXPECT_GT(j.run, 0.0);
+    EXPECT_GE(j.estimate, j.run);  // slack factor >= 1
+    EXPECT_GE(j.user, 0);
+    EXPECT_LT(j.user, spec.num_users);
+    EXPECT_GE(j.queue, 0);
+    EXPECT_LT(j.queue, spec.num_queues);
+  }
+}
+
+TEST_P(Table2Traces, DeterministicInSeed) {
+  const SyntheticTraceSpec spec = table2_spec(GetParam());
+  const Trace a = generate_synthetic(spec, 500, 9);
+  const Trace b = generate_synthetic(spec, 500, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].submit, b.jobs()[i].submit);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].run, b.jobs()[i].run);
+    EXPECT_EQ(a.jobs()[i].procs, b.jobs()[i].procs);
+    EXPECT_EQ(a.jobs()[i].user, b.jobs()[i].user);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTraces, Table2Traces,
+                         ::testing::Values("CTC-SP2", "SDSC-SP2", "HPC2N"));
+
+TEST(Synthetic, UnknownTable2NameThrows) {
+  EXPECT_THROW(table2_spec("Lublin"), std::out_of_range);
+  EXPECT_THROW(table2_spec("nope"), std::out_of_range);
+}
+
+TEST(Synthetic, ZipfUsersAreSkewed) {
+  const SyntheticTraceSpec spec = table2_spec("SDSC-SP2");
+  const Trace t = generate_synthetic(spec, 6000, 5);
+  std::vector<int> counts(static_cast<std::size_t>(spec.num_users), 0);
+  for (const Job& j : t.jobs()) ++counts[static_cast<std::size_t>(j.user)];
+  // The busiest user should dominate a uniform share by a wide margin.
+  int max_count = 0;
+  for (int c : counts) max_count = std::max(max_count, c);
+  const double uniform_share = 6000.0 / spec.num_users;
+  EXPECT_GT(max_count, 3.0 * uniform_share);
+}
+
+TEST(Synthetic, BurstyArrivalsHaveHighCv) {
+  // Gamma gaps with shape < 1 should give coefficient of variation > 1.
+  const SyntheticTraceSpec spec = table2_spec("SDSC-SP2");
+  const Trace t = generate_synthetic(spec, 4000, 11);
+  double mean = 0.0;
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    gaps.push_back(t.jobs()[i].submit - t.jobs()[i - 1].submit);
+    mean += gaps.back();
+  }
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  EXPECT_GT(std::sqrt(var) / mean, 1.0);
+}
+
+TEST(Synthetic, SmallJobCountStillWorks) {
+  const SyntheticTraceSpec spec = table2_spec("HPC2N");
+  const Trace t = generate_synthetic(spec, 2, 3);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Synthetic, RejectsDegenerateRequests) {
+  SyntheticTraceSpec spec = table2_spec("HPC2N");
+  EXPECT_ANY_THROW(generate_synthetic(spec, 1, 3));
+  spec.target_mean_interarrival = 0.0;
+  EXPECT_ANY_THROW(generate_synthetic(spec, 10, 3));
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,154 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace si {
+namespace {
+
+Job make_job(std::int64_t id, Time submit, Time run, int procs) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.run = run;
+  j.estimate = run;
+  j.procs = procs;
+  return j;
+}
+
+TEST(Trace, SortsAndRebases) {
+  std::vector<Job> jobs = {make_job(0, 100.0, 10.0, 1),
+                           make_job(1, 50.0, 20.0, 2)};
+  Trace trace("t", 8, jobs);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.jobs()[0].submit, 0.0);
+  EXPECT_DOUBLE_EQ(trace.jobs()[1].submit, 50.0);
+  // ids renumbered in submit order
+  EXPECT_EQ(trace.jobs()[0].id, 0);
+  EXPECT_EQ(trace.jobs()[1].id, 1);
+  // the t=0 job is the one that ran 20 s
+  EXPECT_DOUBLE_EQ(trace.jobs()[0].run, 20.0);
+}
+
+TEST(Trace, TieBreaksBySubmitThenId) {
+  std::vector<Job> jobs = {make_job(5, 10.0, 1.0, 1),
+                           make_job(2, 10.0, 2.0, 1)};
+  Trace trace("t", 4, jobs);
+  EXPECT_DOUBLE_EQ(trace.jobs()[0].run, 2.0);  // id 2 before id 5
+}
+
+TEST(Trace, StatsMatchHandComputation) {
+  std::vector<Job> jobs = {make_job(0, 0.0, 100.0, 2),
+                           make_job(1, 10.0, 200.0, 4),
+                           make_job(2, 30.0, 300.0, 6)};
+  Trace trace("t", 16, jobs);
+  const TraceStats s = trace.stats();
+  EXPECT_EQ(s.jobs, 3u);
+  EXPECT_EQ(s.cluster_procs, 16);
+  EXPECT_DOUBLE_EQ(s.mean_interarrival, 15.0);  // 30 / 2
+  EXPECT_DOUBLE_EQ(s.mean_estimate, 200.0);
+  EXPECT_DOUBLE_EQ(s.mean_procs, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_run, 200.0);
+  EXPECT_DOUBLE_EQ(s.max_estimate, 300.0);
+  EXPECT_EQ(s.max_procs, 6);
+}
+
+TEST(Trace, EmptyStats) {
+  Trace trace;
+  EXPECT_EQ(trace.stats().jobs, 0u);
+}
+
+TEST(Trace, WindowIsRebased) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 10; ++i)
+    jobs.push_back(make_job(i, 100.0 * i, 10.0, 1));
+  Trace trace("t", 4, jobs);
+  const auto window = trace.window(3, 4);
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_DOUBLE_EQ(window[0].submit, 0.0);
+  EXPECT_DOUBLE_EQ(window[1].submit, 100.0);
+  EXPECT_EQ(window[0].id, 0);
+  EXPECT_EQ(window[3].id, 3);
+}
+
+TEST(Trace, WindowOutOfRangeThrows) {
+  std::vector<Job> jobs = {make_job(0, 0.0, 1.0, 1)};
+  Trace trace("t", 4, jobs);
+  EXPECT_THROW(trace.window(0, 2), ContractViolation);
+  EXPECT_THROW(trace.window(1, 1), ContractViolation);
+}
+
+TEST(Trace, SampleWindowDeterministicInSeed) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 100; ++i)
+    jobs.push_back(make_job(i, 10.0 * i, static_cast<double>(i + 1), 1));
+  Trace trace("t", 4, jobs);
+  Rng a(99);
+  Rng b(99);
+  const auto wa = trace.sample_window(a, 16);
+  const auto wb = trace.sample_window(b, 16);
+  ASSERT_EQ(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i)
+    EXPECT_DOUBLE_EQ(wa[i].run, wb[i].run);
+}
+
+TEST(Trace, SampleWindowCoversFullLengthEdge) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 5; ++i) jobs.push_back(make_job(i, 10.0 * i, 1.0, 1));
+  Trace trace("t", 4, jobs);
+  Rng rng(1);
+  const auto w = trace.sample_window(rng, 5);
+  EXPECT_EQ(w.size(), 5u);
+}
+
+TEST(Trace, SplitPreservesJobsAndOrder) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 10; ++i)
+    jobs.push_back(make_job(i, 10.0 * i, static_cast<double>(100 + i), 1));
+  Trace trace("t", 4, jobs);
+  const auto [train, test] = trace.split(0.2);
+  EXPECT_EQ(train.size(), 2u);
+  EXPECT_EQ(test.size(), 8u);
+  EXPECT_DOUBLE_EQ(train.jobs()[0].run, 100.0);
+  EXPECT_DOUBLE_EQ(test.jobs()[0].run, 102.0);
+  EXPECT_EQ(train.name(), "t-train");
+  EXPECT_EQ(test.name(), "t-test");
+}
+
+TEST(Trace, SplitFractionBounds) {
+  std::vector<Job> jobs = {make_job(0, 0.0, 1.0, 1),
+                           make_job(1, 1.0, 1.0, 1)};
+  Trace trace("t", 4, jobs);
+  EXPECT_THROW(trace.split(0.0), ContractViolation);
+  EXPECT_THROW(trace.split(1.0), ContractViolation);
+}
+
+TEST(Trace, RejectsJobsExceedingCluster) {
+  std::vector<Job> jobs = {make_job(0, 0.0, 1.0, 100)};
+  EXPECT_THROW(Trace("t", 8, jobs), ContractViolation);
+}
+
+TEST(Trace, RejectsNonPositiveProcs) {
+  std::vector<Job> jobs = {make_job(0, 0.0, 1.0, 0)};
+  EXPECT_THROW(Trace("t", 8, jobs), ContractViolation);
+}
+
+TEST(RebaseSequence, EmptyIsNoop) {
+  std::vector<Job> jobs;
+  rebase_sequence(jobs);
+  EXPECT_TRUE(jobs.empty());
+}
+
+TEST(RebaseSequence, ShiftsToZeroAndRenumbers) {
+  std::vector<Job> jobs = {make_job(17, 500.0, 1.0, 1),
+                           make_job(23, 600.0, 1.0, 1)};
+  rebase_sequence(jobs);
+  EXPECT_DOUBLE_EQ(jobs[0].submit, 0.0);
+  EXPECT_DOUBLE_EQ(jobs[1].submit, 100.0);
+  EXPECT_EQ(jobs[0].id, 0);
+  EXPECT_EQ(jobs[1].id, 1);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,99 @@
+// Property sweeps over the workload substrate: every registry trace
+// satisfies the Trace invariants, SWF round-trips, and the parser survives
+// arbitrary junk without crashing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.hpp"
+#include "workload/registry.hpp"
+#include "workload/swf.hpp"
+
+namespace si {
+namespace {
+
+class TraceProperties : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceProperties, InvariantsHold) {
+  const Trace t = make_trace(GetParam(), 1500, 99);
+  ASSERT_EQ(t.size(), 1500u);
+  EXPECT_DOUBLE_EQ(t.jobs().front().submit, 0.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Job& j = t.jobs()[i];
+    EXPECT_EQ(j.id, static_cast<std::int64_t>(i));
+    EXPECT_GE(j.procs, 1);
+    EXPECT_LE(j.procs, t.cluster_procs());
+    EXPECT_GT(j.run, 0.0);
+    EXPECT_GE(j.estimate, j.run * 0.999);
+    if (i > 0) EXPECT_GE(j.submit, t.jobs()[i - 1].submit);
+  }
+}
+
+TEST_P(TraceProperties, SwfRoundTripPreservesScheduleInputs) {
+  const Trace original = make_trace(GetParam(), 400, 7);
+  const Trace restored =
+      read_swf_text(write_swf_text(original), original.name());
+  ASSERT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.cluster_procs(), original.cluster_procs());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.jobs()[i].submit, original.jobs()[i].submit);
+    EXPECT_DOUBLE_EQ(restored.jobs()[i].run, original.jobs()[i].run);
+    EXPECT_DOUBLE_EQ(restored.jobs()[i].estimate,
+                     original.jobs()[i].estimate);
+    EXPECT_EQ(restored.jobs()[i].procs, original.jobs()[i].procs);
+  }
+}
+
+TEST_P(TraceProperties, SplitPartitionsWithoutLoss) {
+  const Trace t = make_trace(GetParam(), 1000, 3);
+  const auto [train, test] = t.split(0.2);
+  EXPECT_EQ(train.size() + test.size(), t.size());
+  EXPECT_EQ(train.size(), 200u);
+  // Window sampling from either split stays in bounds.
+  Rng rng(5);
+  EXPECT_EQ(train.sample_window(rng, 128).size(), 128u);
+  EXPECT_EQ(test.sample_window(rng, 256).size(), 256u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTraces, TraceProperties,
+                         ::testing::Values("CTC-SP2", "SDSC-SP2", "HPC2N",
+                                           "Lublin"));
+
+TEST(SwfFuzz, RandomJunkNeverCrashes) {
+  Rng rng(123);
+  const std::string alphabet =
+      "0123456789 .-;eE+\tabcXYZ\n";
+  for (int round = 0; round < 200; ++round) {
+    std::string text = "; MaxProcs: 64\n";
+    const int len = static_cast<int>(rng.uniform_index(400));
+    for (int i = 0; i < len; ++i)
+      text += alphabet[rng.uniform_index(alphabet.size())];
+    // Must either parse into a valid trace or throw a std::exception —
+    // never crash or corrupt.
+    try {
+      const Trace t = read_swf_text(text, "fuzz");
+      for (const Job& j : t.jobs()) {
+        EXPECT_GE(j.procs, 1);
+        EXPECT_LE(j.procs, 64);
+      }
+    } catch (const std::exception&) {
+      // acceptable outcome for malformed input
+    }
+  }
+}
+
+TEST(SwfFuzz, NumericEdgeValuesHandled) {
+  // Huge, tiny, and scientific-notation fields.
+  const std::string text =
+      "; MaxProcs: 128\n"
+      "1 0 -1 1e5 4 -1 -1 4 2e5 -1 1 10 -1 -1 2 -1 -1 -1\n"
+      "2 1e3 -1 0.5 1 -1 -1 1 1 -1 1 11 -1 -1 1 -1 -1 -1\n";
+  const Trace t = read_swf_text(text, "edge");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.jobs()[0].run, 1e5);
+  EXPECT_DOUBLE_EQ(t.jobs()[1].run, 0.5);
+}
+
+}  // namespace
+}  // namespace si
