@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inspectors.dir/bench_ablation_inspectors.cpp.o"
+  "CMakeFiles/bench_ablation_inspectors.dir/bench_ablation_inspectors.cpp.o.d"
+  "bench_ablation_inspectors"
+  "bench_ablation_inspectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inspectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_inference.dir/bench_cost_inference.cpp.o"
+  "CMakeFiles/bench_cost_inference.dir/bench_cost_inference.cpp.o.d"
+  "bench_cost_inference"
+  "bench_cost_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

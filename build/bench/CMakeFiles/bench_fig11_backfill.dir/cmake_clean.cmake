@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_backfill.dir/bench_fig11_backfill.cpp.o"
+  "CMakeFiles/bench_fig11_backfill.dir/bench_fig11_backfill.cpp.o.d"
+  "bench_fig11_backfill"
+  "bench_fig11_backfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_slurm.dir/bench_fig12_slurm.cpp.o"
+  "CMakeFiles/bench_fig12_slurm.dir/bench_fig12_slurm.cpp.o.d"
+  "bench_fig12_slurm"
+  "bench_fig12_slurm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

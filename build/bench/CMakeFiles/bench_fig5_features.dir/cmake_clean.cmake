@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_features.dir/bench_fig5_features.cpp.o"
+  "CMakeFiles/bench_fig5_features.dir/bench_fig5_features.cpp.o.d"
+  "bench_fig5_features"
+  "bench_fig5_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rewards.dir/bench_fig6_rewards.cpp.o"
+  "CMakeFiles/bench_fig6_rewards.dir/bench_fig6_rewards.cpp.o.d"
+  "bench_fig6_rewards"
+  "bench_fig6_rewards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rewards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_test_bsld.cpp" "bench/CMakeFiles/bench_fig8_test_bsld.dir/bench_fig8_test_bsld.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_test_bsld.dir/bench_fig8_test_bsld.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/si_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/si_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/si_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/si_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/si_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/si_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_test_bsld.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_crosstrace.dir/bench_table4_crosstrace.cpp.o"
+  "CMakeFiles/bench_table4_crosstrace.dir/bench_table4_crosstrace.cpp.o.d"
+  "bench_table4_crosstrace"
+  "bench_table4_crosstrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_crosstrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_util.dir/bench_table5_util.cpp.o"
+  "CMakeFiles/bench_table5_util.dir/bench_table5_util.cpp.o.d"
+  "bench_table5_util"
+  "bench_table5_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_bench_common.dir/common.cpp.o"
+  "CMakeFiles/si_bench_common.dir/common.cpp.o.d"
+  "libsi_bench_common.a"
+  "libsi_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

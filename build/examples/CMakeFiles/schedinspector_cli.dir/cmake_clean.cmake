@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedinspector_cli.dir/schedinspector_cli.cpp.o"
+  "CMakeFiles/schedinspector_cli.dir/schedinspector_cli.cpp.o.d"
+  "schedinspector_cli"
+  "schedinspector_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedinspector_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

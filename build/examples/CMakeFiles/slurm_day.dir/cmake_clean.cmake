@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slurm_day.dir/slurm_day.cpp.o"
+  "CMakeFiles/slurm_day.dir/slurm_day.cpp.o.d"
+  "slurm_day"
+  "slurm_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slurm_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_common.dir/cdf.cpp.o"
+  "CMakeFiles/si_common.dir/cdf.cpp.o.d"
+  "CMakeFiles/si_common.dir/env.cpp.o"
+  "CMakeFiles/si_common.dir/env.cpp.o.d"
+  "CMakeFiles/si_common.dir/rng.cpp.o"
+  "CMakeFiles/si_common.dir/rng.cpp.o.d"
+  "CMakeFiles/si_common.dir/stats.cpp.o"
+  "CMakeFiles/si_common.dir/stats.cpp.o.d"
+  "CMakeFiles/si_common.dir/table.cpp.o"
+  "CMakeFiles/si_common.dir/table.cpp.o.d"
+  "libsi_common.a"
+  "libsi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

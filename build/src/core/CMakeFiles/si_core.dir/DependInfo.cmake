@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/si_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/si_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/si_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/si_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/si_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/si_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/learned.cpp" "src/core/CMakeFiles/si_core.dir/learned.cpp.o" "gcc" "src/core/CMakeFiles/si_core.dir/learned.cpp.o.d"
+  "/root/repo/src/core/reward.cpp" "src/core/CMakeFiles/si_core.dir/reward.cpp.o" "gcc" "src/core/CMakeFiles/si_core.dir/reward.cpp.o.d"
+  "/root/repo/src/core/rl_inspector.cpp" "src/core/CMakeFiles/si_core.dir/rl_inspector.cpp.o" "gcc" "src/core/CMakeFiles/si_core.dir/rl_inspector.cpp.o.d"
+  "/root/repo/src/core/rollout.cpp" "src/core/CMakeFiles/si_core.dir/rollout.cpp.o" "gcc" "src/core/CMakeFiles/si_core.dir/rollout.cpp.o.d"
+  "/root/repo/src/core/rule_inspector.cpp" "src/core/CMakeFiles/si_core.dir/rule_inspector.cpp.o" "gcc" "src/core/CMakeFiles/si_core.dir/rule_inspector.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/si_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/si_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/si_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/si_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/si_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/si_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_core.dir/analysis.cpp.o"
+  "CMakeFiles/si_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/si_core.dir/evaluator.cpp.o"
+  "CMakeFiles/si_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/si_core.dir/features.cpp.o"
+  "CMakeFiles/si_core.dir/features.cpp.o.d"
+  "CMakeFiles/si_core.dir/learned.cpp.o"
+  "CMakeFiles/si_core.dir/learned.cpp.o.d"
+  "CMakeFiles/si_core.dir/reward.cpp.o"
+  "CMakeFiles/si_core.dir/reward.cpp.o.d"
+  "CMakeFiles/si_core.dir/rl_inspector.cpp.o"
+  "CMakeFiles/si_core.dir/rl_inspector.cpp.o.d"
+  "CMakeFiles/si_core.dir/rollout.cpp.o"
+  "CMakeFiles/si_core.dir/rollout.cpp.o.d"
+  "CMakeFiles/si_core.dir/rule_inspector.cpp.o"
+  "CMakeFiles/si_core.dir/rule_inspector.cpp.o.d"
+  "CMakeFiles/si_core.dir/trainer.cpp.o"
+  "CMakeFiles/si_core.dir/trainer.cpp.o.d"
+  "libsi_core.a"
+  "libsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_rl.dir/actor_critic.cpp.o"
+  "CMakeFiles/si_rl.dir/actor_critic.cpp.o.d"
+  "CMakeFiles/si_rl.dir/adam.cpp.o"
+  "CMakeFiles/si_rl.dir/adam.cpp.o.d"
+  "CMakeFiles/si_rl.dir/mlp.cpp.o"
+  "CMakeFiles/si_rl.dir/mlp.cpp.o.d"
+  "CMakeFiles/si_rl.dir/model_io.cpp.o"
+  "CMakeFiles/si_rl.dir/model_io.cpp.o.d"
+  "CMakeFiles/si_rl.dir/ppo.cpp.o"
+  "CMakeFiles/si_rl.dir/ppo.cpp.o.d"
+  "libsi_rl.a"
+  "libsi_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/f1.cpp" "src/sched/CMakeFiles/si_sched.dir/f1.cpp.o" "gcc" "src/sched/CMakeFiles/si_sched.dir/f1.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/si_sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/si_sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/policies.cpp" "src/sched/CMakeFiles/si_sched.dir/policies.cpp.o" "gcc" "src/sched/CMakeFiles/si_sched.dir/policies.cpp.o.d"
+  "/root/repo/src/sched/slurm.cpp" "src/sched/CMakeFiles/si_sched.dir/slurm.cpp.o" "gcc" "src/sched/CMakeFiles/si_sched.dir/slurm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/si_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_sched.dir/f1.cpp.o"
+  "CMakeFiles/si_sched.dir/f1.cpp.o.d"
+  "CMakeFiles/si_sched.dir/factory.cpp.o"
+  "CMakeFiles/si_sched.dir/factory.cpp.o.d"
+  "CMakeFiles/si_sched.dir/policies.cpp.o"
+  "CMakeFiles/si_sched.dir/policies.cpp.o.d"
+  "CMakeFiles/si_sched.dir/slurm.cpp.o"
+  "CMakeFiles/si_sched.dir/slurm.cpp.o.d"
+  "libsi_sched.a"
+  "libsi_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_sim.dir/metrics.cpp.o"
+  "CMakeFiles/si_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/si_sim.dir/simulator.cpp.o"
+  "CMakeFiles/si_sim.dir/simulator.cpp.o.d"
+  "libsi_sim.a"
+  "libsi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

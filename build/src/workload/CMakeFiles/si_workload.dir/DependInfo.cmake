@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/lublin.cpp" "src/workload/CMakeFiles/si_workload.dir/lublin.cpp.o" "gcc" "src/workload/CMakeFiles/si_workload.dir/lublin.cpp.o.d"
+  "/root/repo/src/workload/registry.cpp" "src/workload/CMakeFiles/si_workload.dir/registry.cpp.o" "gcc" "src/workload/CMakeFiles/si_workload.dir/registry.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/si_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/si_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/si_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/si_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/si_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/si_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

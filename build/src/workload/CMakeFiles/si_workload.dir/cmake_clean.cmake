@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_workload.dir/lublin.cpp.o"
+  "CMakeFiles/si_workload.dir/lublin.cpp.o.d"
+  "CMakeFiles/si_workload.dir/registry.cpp.o"
+  "CMakeFiles/si_workload.dir/registry.cpp.o.d"
+  "CMakeFiles/si_workload.dir/swf.cpp.o"
+  "CMakeFiles/si_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/si_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/si_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/si_workload.dir/trace.cpp.o"
+  "CMakeFiles/si_workload.dir/trace.cpp.o.d"
+  "libsi_workload.a"
+  "libsi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

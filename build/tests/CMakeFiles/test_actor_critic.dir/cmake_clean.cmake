@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_actor_critic.dir/rl/actor_critic_test.cpp.o"
+  "CMakeFiles/test_actor_critic.dir/rl/actor_critic_test.cpp.o.d"
+  "test_actor_critic"
+  "test_actor_critic.pdb"
+  "test_actor_critic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_actor_critic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

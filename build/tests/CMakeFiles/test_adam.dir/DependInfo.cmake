@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rl/adam_test.cpp" "tests/CMakeFiles/test_adam.dir/rl/adam_test.cpp.o" "gcc" "tests/CMakeFiles/test_adam.dir/rl/adam_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/si_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/si_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/si_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/si_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/si_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

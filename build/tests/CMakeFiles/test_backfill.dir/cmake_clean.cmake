@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backfill.dir/sim/backfill_test.cpp.o"
+  "CMakeFiles/test_backfill.dir/sim/backfill_test.cpp.o.d"
+  "test_backfill"
+  "test_backfill.pdb"
+  "test_backfill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job.dir/workload/job_test.cpp.o"
+  "CMakeFiles/test_job.dir/workload/job_test.cpp.o.d"
+  "test_job"
+  "test_job.pdb"
+  "test_job[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learned.dir/core/learned_test.cpp.o"
+  "CMakeFiles/test_learned.dir/core/learned_test.cpp.o.d"
+  "test_learned"
+  "test_learned.pdb"
+  "test_learned[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lublin.dir/workload/lublin_test.cpp.o"
+  "CMakeFiles/test_lublin.dir/workload/lublin_test.cpp.o.d"
+  "test_lublin"
+  "test_lublin.pdb"
+  "test_lublin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lublin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_motivation.dir/sim/motivation_test.cpp.o"
+  "CMakeFiles/test_motivation.dir/sim/motivation_test.cpp.o.d"
+  "test_motivation"
+  "test_motivation.pdb"
+  "test_motivation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reject_semantics.dir/sim/reject_semantics_test.cpp.o"
+  "CMakeFiles/test_reject_semantics.dir/sim/reject_semantics_test.cpp.o.d"
+  "test_reject_semantics"
+  "test_reject_semantics.pdb"
+  "test_reject_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reject_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_inspector.dir/core/rl_inspector_test.cpp.o"
+  "CMakeFiles/test_rl_inspector.dir/core/rl_inspector_test.cpp.o.d"
+  "test_rl_inspector"
+  "test_rl_inspector.pdb"
+  "test_rl_inspector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rollout.dir/core/rollout_test.cpp.o"
+  "CMakeFiles/test_rollout.dir/core/rollout_test.cpp.o.d"
+  "test_rollout"
+  "test_rollout.pdb"
+  "test_rollout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rule_inspector.dir/core/rule_inspector_test.cpp.o"
+  "CMakeFiles/test_rule_inspector.dir/core/rule_inspector_test.cpp.o.d"
+  "test_rule_inspector"
+  "test_rule_inspector.pdb"
+  "test_rule_inspector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rule_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slurm.dir/sched/slurm_test.cpp.o"
+  "CMakeFiles/test_slurm.dir/sched/slurm_test.cpp.o.d"
+  "test_slurm"
+  "test_slurm.pdb"
+  "test_slurm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_properties.dir/workload/workload_property_test.cpp.o"
+  "CMakeFiles/test_workload_properties.dir/workload/workload_property_test.cpp.o.d"
+  "test_workload_properties"
+  "test_workload_properties.pdb"
+  "test_workload_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
