@@ -21,6 +21,7 @@
 #include "core/trainer.hpp"
 #include "rl/model_io.hpp"
 #include "sched/factory.hpp"
+#include "sim/metrics.hpp"
 #include "workload/registry.hpp"
 #include "workload/swf.hpp"
 
@@ -34,25 +35,44 @@ struct Options {
   std::string policy = "SJF";
   std::string metric = "bsld";
   std::string model_path = "/tmp/schedinspector.model";
+  std::string resume;
   int epochs = 24;
   int trajectories = 40;
   int sequence_length = 64;
   int sequences = 20;
   bool backfill = false;
+  bool faults = false;
+  bool swf_lenient = false;
   std::uint64_t seed = 42;
 };
 
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += '|';
+    out += n;
+  }
+  return out;
+}
+
 int usage() {
+  const std::string policies = join_names(known_policies());
+  const std::string metrics = join_names(known_metric_names());
   std::fprintf(stderr,
                "usage: schedinspector_cli <train|eval|analyze> [options]\n"
                "  --trace <name|file.swf>   workload (default SDSC-SP2)\n"
-               "  --policy <name>           base policy (default SJF)\n"
-               "  --metric <bsld|wait|mbsld>\n"
+               "  --policy <%s>\n"
+               "  --metric <%s>\n"
                "  --model <path>            model file (out for train)\n"
                "  --epochs / --trajectories / --seq-len   training scale\n"
                "  --sequences <n>           evaluation sample count\n"
                "  --backfill                enable EASY backfilling\n"
-               "  --seed <n>\n");
+               "  --faults                  inject node drains / job failures\n"
+               "  --resume <path>           checkpoint file; resumes training\n"
+               "                            from it when it already exists\n"
+               "  --swf-lenient             repair/skip malformed SWF records\n"
+               "  --seed <n>\n",
+               policies.c_str(), metrics.c_str());
   return 2;
 }
 
@@ -68,12 +88,21 @@ bool parse(int argc, char** argv, Options& opts) {
       opts.backfill = true;
       continue;
     }
+    if (arg == "--faults") {
+      opts.faults = true;
+      continue;
+    }
+    if (arg == "--swf-lenient") {
+      opts.swf_lenient = true;
+      continue;
+    }
     const char* value = next();
     if (value == nullptr) return false;
     if (arg == "--trace") opts.trace = value;
     else if (arg == "--policy") opts.policy = value;
     else if (arg == "--metric") opts.metric = value;
     else if (arg == "--model") opts.model_path = value;
+    else if (arg == "--resume") opts.resume = value;
     else if (arg == "--epochs") opts.epochs = std::atoi(value);
     else if (arg == "--trajectories") opts.trajectories = std::atoi(value);
     else if (arg == "--seq-len") opts.sequence_length = std::atoi(value);
@@ -89,14 +118,41 @@ bool parse(int argc, char** argv, Options& opts) {
 
 Trace load_trace(const Options& opts) {
   if (opts.trace.size() > 4 &&
-      opts.trace.rfind(".swf") == opts.trace.size() - 4)
-    return load_swf_file(opts.trace);
+      opts.trace.rfind(".swf") == opts.trace.size() - 4) {
+    SwfOptions swf_options;
+    if (opts.swf_lenient) {
+      swf_options.mode = SwfMode::kLenient;
+      SwfIngestReport report;
+      Trace trace = load_swf_file(opts.trace, swf_options, &report);
+      std::printf("%s\n", report.summary().c_str());
+      for (const std::string& err : report.errors)
+        std::printf("  %s\n", err.c_str());
+      return trace;
+    }
+    return load_swf_file(opts.trace, swf_options);
+  }
   return make_trace(opts.trace, kDefaultTraceJobs, opts.seed);
 }
 
 PolicyPtr load_policy(const Options& opts, const Trace& trace) {
   if (opts.policy == "Slurm") return make_slurm_policy(trace);
   return make_policy(opts.policy);
+}
+
+// The --faults profile: node drains every ~4 hours taking 5% of the machine
+// for an hour, a 2% per-attempt job failure rate with two requeues, and
+// Slurm-style kills at the requested time.
+FaultConfig fault_profile(const Options& opts) {
+  FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = opts.seed ^ 0xfa173eedULL;
+  faults.drain_interval = 4.0 * 3600.0;
+  faults.drain_fraction = 0.05;
+  faults.drain_duration = 3600.0;
+  faults.job_failure_prob = 0.02;
+  faults.max_requeues = 2;
+  faults.estimate_wall = true;
+  return faults;
 }
 
 TrainerConfig trainer_config(const Options& opts) {
@@ -106,7 +162,12 @@ TrainerConfig trainer_config(const Options& opts) {
   config.trajectories_per_epoch = opts.trajectories;
   config.sequence_length = opts.sequence_length;
   config.sim.backfill = opts.backfill;
+  if (opts.faults) config.sim.faults = fault_profile(opts);
   config.seed = opts.seed;
+  if (!opts.resume.empty()) {
+    config.checkpoint_path = opts.resume;
+    config.resume_from = opts.resume;
+  }
   return config;
 }
 
@@ -120,6 +181,12 @@ int cmd_train(const Options& opts) {
               trace.name().c_str(), trace.size(), trace.cluster_procs(),
               policy->name().c_str(), opts.metric.c_str());
   const TrainResult result = trainer.train(agent);
+  if (result.resumed_epochs > 0)
+    std::printf("resumed from %s: skipped %d already-trained epochs\n",
+                opts.resume.c_str(), result.resumed_epochs);
+  if (result.skipped_updates > 0)
+    std::printf("skipped %d diverged PPO updates (rolled back)\n",
+                result.skipped_updates);
   for (std::size_t i = 0; i < result.curve.size();
        i += std::max<std::size_t>(result.curve.size() / 10, 1)) {
     const EpochStats& e = result.curve[i];
@@ -152,6 +219,7 @@ int cmd_eval(const Options& opts) {
   config.sequence_length = std::min<int>(256, static_cast<int>(
                                                   test_split.size()));
   config.sim.backfill = opts.backfill;
+  if (opts.faults) config.sim.faults = fault_profile(opts);
   config.seed = opts.seed;
   const EvalResult eval =
       evaluate(test_split, *policy, agent, features, config);
@@ -166,6 +234,21 @@ int cmd_eval(const Options& opts) {
               insp, eval.mean_inspected_utilization() * 100.0);
   std::printf("  improvement %.2f%%\n",
               base > 0.0 ? (base - insp) / base * 100.0 : 0.0);
+  if (opts.faults) {
+    std::size_t requeues = 0;
+    std::size_t kills = 0;
+    std::size_t wall_kills = 0;
+    double lost = 0.0;
+    for (const EvalPair& p : eval.pairs) {
+      requeues += p.inspected.requeues;
+      kills += p.inspected.kills;
+      wall_kills += p.inspected.wall_kills;
+      lost += p.inspected.lost_node_seconds;
+    }
+    std::printf("  faults: %zu requeues, %zu kills, %zu wall kills, "
+                "%.0f lost node-seconds\n",
+                requeues, kills, wall_kills, lost);
+  }
   return 0;
 }
 
@@ -185,6 +268,7 @@ int cmd_analyze(const Options& opts) {
   inspector.set_recorder(&recorder);
   SimConfig sim_config;
   sim_config.backfill = opts.backfill;
+  if (opts.faults) sim_config.faults = fault_profile(opts);
   Simulator sim(trace.cluster_procs(), sim_config);
   std::vector<Job> jobs = trace.jobs();
   sim.run(jobs, *policy, &inspector);

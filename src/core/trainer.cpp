@@ -2,12 +2,44 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <filesystem>
 #include <thread>
 
 #include "common/check.hpp"
+#include "rl/model_io.hpp"
 #include "sim/simulator.hpp"
 
 namespace si {
+
+namespace {
+
+bool all_finite(std::span<const double> values) {
+  for (const double v : values)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+bool agent_finite(const ActorCritic& ac) {
+  return all_finite(ac.policy_net().params()) &&
+         all_finite(ac.value_net().params());
+}
+
+// A rollout is usable for PPO only if its reward and every recorded step are
+// finite; a diverged policy can poison log-probs without crashing the sim.
+bool rollout_valid(const TrainingRollout& rollout, Metric metric) {
+  if (!std::isfinite(rollout.trajectory.reward)) return false;
+  if (!std::isfinite(rollout.base.value(metric)) ||
+      !std::isfinite(rollout.inspected.value(metric)))
+    return false;
+  for (const Step& step : rollout.trajectory.steps) {
+    if (!std::isfinite(step.log_prob)) return false;
+    if (!all_finite(step.obs)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Trainer::Trainer(const Trace& trace, SchedulingPolicy& policy,
                  TrainerConfig config)
@@ -35,6 +67,46 @@ TrainResult Trainer::train(ActorCritic& ac) {
   Rng rng(config_.seed);
   PpoUpdater updater(ac, config_.ppo);
 
+  TrainResult result;
+
+  // Crash-safe resume: pick up the parameters and epoch of an existing
+  // checkpoint. A missing file means a fresh run (first launch).
+  int start_epoch = 0;
+  if (!config_.resume_from.empty() &&
+      std::filesystem::exists(config_.resume_from)) {
+    const ModelCheckpoint checkpoint =
+        load_checkpoint_file(config_.resume_from);
+    SI_REQUIRE(checkpoint.model.obs_size() == ac.obs_size());
+    SI_REQUIRE(checkpoint.model.param_count() == ac.param_count());
+    std::copy(checkpoint.model.policy_net().params().begin(),
+              checkpoint.model.policy_net().params().end(),
+              ac.policy_net().params().begin());
+    std::copy(checkpoint.model.value_net().params().begin(),
+              checkpoint.model.value_net().params().end(),
+              ac.value_net().params().begin());
+    start_epoch = std::min(checkpoint.epoch + 1, config_.epochs);
+    result.resumed_epochs = start_epoch;
+  }
+
+  // Last-good parameter snapshot for NaN rollback.
+  std::vector<double> good_policy(ac.policy_net().params().begin(),
+                                  ac.policy_net().params().end());
+  std::vector<double> good_value(ac.value_net().params().begin(),
+                                 ac.value_net().params().end());
+  const auto save_snapshot = [&] {
+    good_policy.assign(ac.policy_net().params().begin(),
+                       ac.policy_net().params().end());
+    good_value.assign(ac.value_net().params().begin(),
+                      ac.value_net().params().end());
+  };
+  const auto restore_snapshot = [&] {
+    std::copy(good_policy.begin(), good_policy.end(),
+              ac.policy_net().params().begin());
+    std::copy(good_value.begin(), good_value.end(),
+              ac.value_net().params().begin());
+    updater.reset();
+  };
+
   // Rollout workers: each owns a private simulator and policy clone so
   // stateful policies (Slurm fair-share) never race. Trajectories are
   // seeded and stored by index, so results are identical for any worker
@@ -43,7 +115,6 @@ TrainResult Trainer::train(ActorCritic& ac) {
   const std::size_t workers = std::min<std::size_t>(
       {hw, 8, static_cast<std::size_t>(config_.trajectories_per_epoch)});
 
-  TrainResult result;
   result.curve.reserve(static_cast<std::size_t>(config_.epochs));
 
   const auto traj_count =
@@ -60,11 +131,14 @@ TrainResult Trainer::train(ActorCritic& ac) {
     std::size_t rejections = 0;
 
     // Deterministic per-trajectory inputs drawn from the master stream.
+    // Drawn even for resumed epochs so the remaining epochs consume the
+    // same stream positions an uninterrupted run would have.
     for (std::size_t t = 0; t < traj_count; ++t) {
       windows[t] = trace_.sample_window(
           rng, static_cast<std::size_t>(config_.sequence_length));
       seeds[t] = rng.next_u64();
     }
+    if (epoch < start_epoch) continue;
 
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
@@ -88,7 +162,13 @@ TrainResult Trainer::train(ActorCritic& ac) {
       for (std::thread& t : pool) t.join();
     }
 
+    std::size_t valid = 0;
     for (TrainingRollout& rollout : rollouts) {
+      if (!rollout_valid(rollout, config_.metric)) {
+        ++stats.invalid_trajectories;
+        continue;
+      }
+      ++valid;
       const double orig = rollout.base.value(config_.metric);
       const double inspected = rollout.inspected.value(config_.metric);
       stats.mean_reward += rollout.trajectory.reward;
@@ -99,7 +179,9 @@ TrainResult Trainer::train(ActorCritic& ac) {
       batch.add(std::move(rollout.trajectory));
     }
 
-    const auto n = static_cast<double>(config_.trajectories_per_epoch);
+    // Guard the divisors: an epoch can lose every trajectory to non-finite
+    // values, and means over zero samples must not turn into NaN.
+    const double n = valid > 0 ? static_cast<double>(valid) : 1.0;
     stats.mean_reward /= n;
     stats.mean_improvement /= n;
     stats.mean_pct_improvement /= n;
@@ -110,23 +192,40 @@ TrainResult Trainer::train(ActorCritic& ac) {
 
     if (!batch.empty()) {
       const PpoStats ppo = updater.update(batch);
-      stats.approx_kl = ppo.approx_kl;
-      stats.entropy = ppo.entropy;
-      stats.policy_loss = ppo.policy_loss;
-      stats.value_loss = ppo.value_loss;
+      if (ppo.non_finite || !agent_finite(ac)) {
+        // The update diverged: discard it and continue from the last-good
+        // parameters instead of corrupting the policy.
+        restore_snapshot();
+        stats.skipped_updates = 1;
+      } else {
+        stats.approx_kl = ppo.approx_kl;
+        stats.entropy = ppo.entropy;
+        stats.policy_loss = ppo.policy_loss;
+        stats.value_loss = ppo.value_loss;
+        save_snapshot();
+      }
+    } else {
+      stats.skipped_updates = 1;
     }
+    result.skipped_updates += stats.skipped_updates;
     result.curve.push_back(stats);
+
+    if (!config_.checkpoint_path.empty())
+      save_checkpoint_file(config_.checkpoint_path, ac, epoch);
   }
 
-  // "Converged" value: mean over the final quarter of the curve.
-  const std::size_t tail = std::max<std::size_t>(result.curve.size() / 4, 1);
-  for (std::size_t i = result.curve.size() - tail; i < result.curve.size();
-       ++i) {
-    result.converged_improvement += result.curve[i].mean_improvement;
-    result.converged_rejection_ratio += result.curve[i].rejection_ratio;
+  // "Converged" value: mean over the final quarter of the curve (empty when
+  // a resumed run had nothing left to train).
+  if (!result.curve.empty()) {
+    const std::size_t tail = std::max<std::size_t>(result.curve.size() / 4, 1);
+    for (std::size_t i = result.curve.size() - tail; i < result.curve.size();
+         ++i) {
+      result.converged_improvement += result.curve[i].mean_improvement;
+      result.converged_rejection_ratio += result.curve[i].rejection_ratio;
+    }
+    result.converged_improvement /= static_cast<double>(tail);
+    result.converged_rejection_ratio /= static_cast<double>(tail);
   }
-  result.converged_improvement /= static_cast<double>(tail);
-  result.converged_rejection_ratio /= static_cast<double>(tail);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/features.hpp"
@@ -29,6 +30,14 @@ struct TrainerConfig {
   int trajectories_per_epoch = 100;   ///< paper: batch size 100
   int sequence_length = 128;          ///< paper: 128 sequential jobs
   std::uint64_t seed = 42;
+  /// When non-empty, an atomic checkpoint (model + epoch) is written here
+  /// after every completed epoch.
+  std::string checkpoint_path;
+  /// When non-empty and the file exists, training resumes from the stored
+  /// checkpoint: its parameters are loaded and the already-completed epochs
+  /// are skipped (their RNG draws are replayed so the remaining epochs see
+  /// the same sequence windows an uninterrupted run would have seen).
+  std::string resume_from;
   /// Initial output bias of the policy head. A fresh agent starts biased
   /// toward *accepting* (sigmoid(-2) ~ 12% rejection) instead of the
   /// destructive 50% a zero-bias net would produce — rejections are the
@@ -52,14 +61,23 @@ struct EpochStats {
   double entropy = 0.0;
   double policy_loss = 0.0;
   double value_loss = 0.0;
+  /// PPO updates skipped this epoch (0 or 1): the update produced NaN/Inf
+  /// and was rolled back, or the epoch had no valid trajectories.
+  int skipped_updates = 0;
+  /// Trajectories dropped for non-finite rewards/observations this epoch.
+  int invalid_trajectories = 0;
 };
 
 struct TrainResult {
-  std::vector<EpochStats> curve;
+  std::vector<EpochStats> curve;  ///< one entry per *executed* epoch
   /// Mean improvement over the final quarter of epochs — the "converged"
   /// value quoted in the paper's text.
   double converged_improvement = 0.0;
   double converged_rejection_ratio = 0.0;
+  /// Total PPO updates skipped (NaN rollback or empty epochs).
+  int skipped_updates = 0;
+  /// Epochs restored from `resume_from` instead of being trained.
+  int resumed_epochs = 0;
 };
 
 /// Trains SchedInspector for one (trace, policy, metric) combination.

@@ -1,5 +1,7 @@
 #include "rl/model_io.hpp"
 
+#include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -10,6 +12,15 @@ namespace si {
 namespace {
 constexpr const char* kMagic = "schedinspector-model";
 constexpr const char* kVersion = "v1";
+constexpr const char* kCheckpointMagic = "schedinspector-checkpoint";
+
+void require_finite(const ActorCritic& ac, const char* verb) {
+  for (const auto params : {ac.policy_net().params(), ac.value_net().params()})
+    for (const double p : params)
+      if (!std::isfinite(p))
+        throw std::runtime_error(std::string("model_io: refusing to ") + verb +
+                                 " a model with non-finite parameters");
+}
 
 void write_params(std::ostream& out, std::span<const double> params) {
   out << params.size() << '\n';
@@ -27,9 +38,36 @@ void read_params(std::istream& in, std::span<double> params) {
   for (double& p : params)
     if (!(in >> p)) throw std::runtime_error("model_io: truncated parameters");
 }
+
+// Writes via `emit`, first to `path + ".tmp"`, then renames into place, so
+// an interrupted write never destroys an existing file at `path`.
+template <typename Emit>
+void atomic_write_file(const std::string& path, Emit&& emit) {
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("model_io: cannot open " + tmp);
+    emit(out);
+    out.flush();
+    if (!out) throw std::runtime_error("model_io: write failure on " + tmp);
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw std::runtime_error("model_io: cannot rename " + tmp + " to " + path +
+                             ": " + ec.message());
+  }
+}
 }  // namespace
 
 void save_model(std::ostream& out, const ActorCritic& ac) {
+  require_finite(ac, "save");
   out << kMagic << ' ' << kVersion << '\n';
   const auto& layers = ac.policy_net().layer_sizes();
   out << layers.size() << '\n';
@@ -41,9 +79,7 @@ void save_model(std::ostream& out, const ActorCritic& ac) {
 }
 
 void save_model_file(const std::string& path, const ActorCritic& ac) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("model_io: cannot open " + path);
-  save_model(out, ac);
+  atomic_write_file(path, [&](std::ostream& out) { save_model(out, ac); });
 }
 
 ActorCritic load_model(std::istream& in) {
@@ -64,6 +100,7 @@ ActorCritic load_model(std::istream& in) {
   ActorCritic ac(layers.front(), hidden, /*seed=*/0);
   read_params(in, ac.policy_net().params());
   read_params(in, ac.value_net().params());
+  require_finite(ac, "load");
   return ac;
 }
 
@@ -71,6 +108,38 @@ ActorCritic load_model_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("model_io: cannot open " + path);
   return load_model(in);
+}
+
+void save_checkpoint(std::ostream& out, const ActorCritic& ac, int epoch) {
+  if (epoch < 0) throw std::runtime_error("model_io: negative epoch");
+  out << kCheckpointMagic << ' ' << kVersion << '\n';
+  out << "epoch " << epoch << '\n';
+  save_model(out, ac);
+}
+
+void save_checkpoint_file(const std::string& path, const ActorCritic& ac,
+                          int epoch) {
+  atomic_write_file(
+      path, [&](std::ostream& out) { save_checkpoint(out, ac, epoch); });
+}
+
+ModelCheckpoint load_checkpoint(std::istream& in) {
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != kCheckpointMagic ||
+      version != kVersion)
+    throw std::runtime_error("model_io: bad checkpoint header");
+  std::string key;
+  int epoch = 0;
+  if (!(in >> key >> epoch) || key != "epoch" || epoch < 0)
+    throw std::runtime_error("model_io: bad checkpoint epoch");
+  return ModelCheckpoint{load_model(in), epoch};
+}
+
+ModelCheckpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("model_io: cannot open " + path);
+  return load_checkpoint(in);
 }
 
 }  // namespace si

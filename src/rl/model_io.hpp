@@ -4,6 +4,12 @@
 //
 // Format: a header line "schedinspector-model v1", the layer sizes, then the
 // policy and value parameter arrays in full hex-precision decimal.
+// Checkpoints wrap the same payload in a "schedinspector-checkpoint v1"
+// header carrying the last completed training epoch.
+//
+// Crash safety: file writes go to `path + ".tmp"` and are renamed into
+// place, so a crash mid-write never corrupts an existing model; non-finite
+// parameters are rejected on both save and load.
 #pragma once
 
 #include <iosfwd>
@@ -13,17 +19,37 @@
 
 namespace si {
 
-/// Writes `ac` to the stream. Throws std::runtime_error on stream failure.
+/// Writes `ac` to the stream. Throws std::runtime_error on stream failure or
+/// non-finite parameters.
 void save_model(std::ostream& out, const ActorCritic& ac);
 
-/// Saves to a file path.
+/// Saves to a file path atomically (write temp, flush, rename).
 void save_model_file(const std::string& path, const ActorCritic& ac);
 
 /// Reads a model; the architecture is restored from the file. Throws
-/// std::runtime_error on malformed input.
+/// std::runtime_error on malformed input or non-finite parameters.
 ActorCritic load_model(std::istream& in);
 
 /// Loads from a file path.
 ActorCritic load_model_file(const std::string& path);
+
+/// A training checkpoint: the model plus the last completed epoch.
+struct ModelCheckpoint {
+  ActorCritic model;
+  int epoch = 0;
+};
+
+/// Writes a checkpoint (header + epoch + embedded model).
+void save_checkpoint(std::ostream& out, const ActorCritic& ac, int epoch);
+
+/// Saves a checkpoint to a file path atomically.
+void save_checkpoint_file(const std::string& path, const ActorCritic& ac,
+                          int epoch);
+
+/// Reads a checkpoint. Throws std::runtime_error on malformed input.
+ModelCheckpoint load_checkpoint(std::istream& in);
+
+/// Loads a checkpoint from a file path.
+ModelCheckpoint load_checkpoint_file(const std::string& path);
 
 }  // namespace si

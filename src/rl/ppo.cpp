@@ -24,6 +24,24 @@ struct ChunkAccumulator {
   double entropy = 0.0;
 };
 
+// True when every gradient entry is finite.
+bool grads_finite(std::span<const double> grads) {
+  for (const double g : grads)
+    if (!std::isfinite(g)) return false;
+  return true;
+}
+
+// Scales `grads` down to the configured L2 norm; no-op when disabled (0).
+void clip_grad_norm(std::span<double> grads, double max_norm) {
+  if (max_norm <= 0.0) return;
+  double sq = 0.0;
+  for (const double g : grads) sq += g * g;
+  const double norm = std::sqrt(sq);
+  if (norm <= max_norm) return;
+  const double scale = max_norm / norm;
+  for (double& g : grads) g *= scale;
+}
+
 // Runs `work(chunk_index, begin, end)` over the kChunks fixed ranges,
 // in parallel when the batch is big enough to amortize thread startup.
 template <typename Work>
@@ -60,6 +78,7 @@ PpoUpdater::PpoUpdater(ActorCritic& ac, PpoConfig config)
                  AdamConfig{.learning_rate = config.value_lr}) {
   SI_REQUIRE(config_.clip_ratio > 0.0);
   SI_REQUIRE(config_.policy_iters > 0 && config_.value_iters > 0);
+  SI_REQUIRE(config_.max_grad_norm >= 0.0);
 }
 
 std::vector<double> PpoUpdater::compute_advantages(
@@ -152,7 +171,13 @@ PpoStats PpoUpdater::update(const RolloutBatch& batch) {
     stats.approx_kl = kl;
     stats.entropy = entropy;
     stats.policy_iters_run = iter + 1;
+    if (!std::isfinite(loss) || !std::isfinite(kl) ||
+        !grads_finite(policy.grads())) {
+      stats.non_finite = true;
+      break;
+    }
     if (kl > 1.5 * config_.target_kl) break;
+    clip_grad_norm(policy.grads(), config_.max_grad_norm);
     policy_opt_.step(policy.params(), policy.grads());
   }
 
@@ -182,10 +207,20 @@ PpoStats PpoUpdater::update(const RolloutBatch& batch) {
       loss += a.loss;
     }
     stats.value_loss = loss * inv_n;
+    if (!std::isfinite(stats.value_loss) || !grads_finite(value.grads())) {
+      stats.non_finite = true;
+      break;
+    }
+    clip_grad_norm(value.grads(), config_.max_grad_norm);
     value_opt_.step(value.params(), value.grads());
   }
 
   return stats;
+}
+
+void PpoUpdater::reset() {
+  policy_opt_.reset();
+  value_opt_.reset();
 }
 
 }  // namespace si

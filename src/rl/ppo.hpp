@@ -20,6 +20,9 @@ struct PpoConfig {
   double target_kl = 0.015;      ///< early-stop threshold (x1.5 rule)
   double entropy_coef = 0.01;    ///< exploration bonus
   bool normalize_advantage = true;
+  /// L2 gradient-norm clip applied before every optimizer step; 0 disables
+  /// (the default, matching the paper's unclipped updates).
+  double max_grad_norm = 0.0;
 };
 
 /// Diagnostics of one PPO update.
@@ -29,6 +32,10 @@ struct PpoStats {
   double approx_kl = 0.0;        ///< mean(logp_old - logp_new) at stop
   double entropy = 0.0;          ///< mean Bernoulli entropy at stop
   int policy_iters_run = 0;      ///< may stop early on KL
+  /// A loss or gradient went NaN/Inf; the offending optimizer step was not
+  /// taken and the update stopped early. Callers should treat the network
+  /// parameters as suspect and roll back to a known-good snapshot.
+  bool non_finite = false;
 };
 
 /// PPO updater bound to one ActorCritic. Owns the Adam state for both nets.
@@ -39,6 +46,11 @@ class PpoUpdater {
   /// Runs one PPO update over the batch. Requires a non-empty batch whose
   /// observation width matches the networks.
   PpoStats update(const RolloutBatch& batch);
+
+  /// Drops the Adam moment estimates of both nets. Call after rolling the
+  /// network back to a snapshot: stale moments from a diverged update would
+  /// otherwise poison the next step.
+  void reset();
 
   const PpoConfig& config() const { return config_; }
 

@@ -14,6 +14,15 @@ const std::vector<std::string>& heuristic_policy_names() {
   return names;
 }
 
+const std::vector<std::string>& known_policies() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all = heuristic_policy_names();
+    all.push_back("Slurm");
+    return all;
+  }();
+  return names;
+}
+
 PolicyPtr make_policy(const std::string& name) {
   if (name == "FCFS") return std::make_unique<FcfsPolicy>();
   if (name == "LCFS") return std::make_unique<LcfsPolicy>();
@@ -22,7 +31,13 @@ PolicyPtr make_policy(const std::string& name) {
   if (name == "SAF") return std::make_unique<SafPolicy>();
   if (name == "SRF") return std::make_unique<SrfPolicy>();
   if (name == "F1") return std::make_unique<F1Policy>();
-  throw std::out_of_range("unknown scheduling policy: " + name);
+  std::string known;
+  for (const std::string& n : known_policies()) {
+    if (!known.empty()) known += ' ';
+    known += n;
+  }
+  throw std::out_of_range("unknown scheduling policy: " + name +
+                          " (known: " + known + ")");
 }
 
 PolicyPtr make_slurm_policy(const Trace& trace) {

@@ -14,8 +14,13 @@ namespace si {
 /// FCFS, LCFS, SJF, SQF, SAF, SRF, F1.
 const std::vector<std::string>& heuristic_policy_names();
 
+/// Every policy name the CLI accepts: the heuristics plus "Slurm". Useful
+/// for help text and error messages.
+const std::vector<std::string>& known_policies();
+
 /// Builds a stateless policy by name. Throws std::out_of_range for unknown
-/// names ("Slurm" requires a trace — use make_slurm_policy).
+/// names, listing the known ones ("Slurm" requires a trace — use
+/// make_slurm_policy).
 PolicyPtr make_policy(const std::string& name);
 
 /// Builds the Slurm multifactor policy calibrated on `trace` (§4.5).

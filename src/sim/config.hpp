@@ -1,5 +1,8 @@
-// Simulator knobs, matching §3.2 / §4.1 of the paper.
+// Simulator knobs, matching §3.2 / §4.1 of the paper, plus the
+// fault-injection extension (see sim/fault_model.hpp).
 #pragma once
+
+#include "sim/fault_model.hpp"
 
 namespace si {
 
@@ -16,6 +19,11 @@ struct SimConfig {
   /// MAX_REJECTION_TIMES: once a job has been rejected this many times the
   /// inspector is bypassed for it (paper: 72, i.e. at most ~12 h of delay).
   int max_rejection_times = 72;
+
+  /// Fault injection (node drains, job failures, estimate-wall kills).
+  /// Inert unless faults.enabled is set: the disabled simulator is
+  /// bit-identical to the fault-free implementation.
+  FaultConfig faults;
 };
 
 }  // namespace si

@@ -1,0 +1,67 @@
+#include "sim/fault_model.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace si {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+
+// Maps a 64-bit draw to [0, 1) with 53 bits of precision.
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const FaultConfig& config, int total_procs)
+    : config_(config), total_procs_(total_procs), next_drain_(kInf) {
+  if (!config_.enabled) return;
+  SI_REQUIRE(total_procs_ > 0);
+  SI_REQUIRE(config_.drain_interval >= 0.0);
+  SI_REQUIRE(config_.drain_fraction >= 0.0 && config_.drain_fraction <= 1.0);
+  SI_REQUIRE(config_.drain_duration > 0.0);
+  // prob == 1.0 is allowed: every attempt fails and jobs terminate through
+  // the requeue-then-kill path (useful for stress tests).
+  SI_REQUIRE(config_.job_failure_prob >= 0.0 &&
+             config_.job_failure_prob <= 1.0);
+  SI_REQUIRE(config_.max_requeues >= 0);
+}
+
+void FaultModel::reset(Time start) {
+  next_drain_ = kInf;
+  if (!config_.enabled || config_.drain_interval <= 0.0) return;
+  drain_rng_ = Rng(config_.seed);
+  next_drain_ = start + drain_rng_.exponential(1.0 / config_.drain_interval);
+}
+
+int FaultModel::fire_drain() {
+  SI_REQUIRE(next_drain_ < kInf);
+  const double procs =
+      config_.drain_fraction * static_cast<double>(total_procs_);
+  const int requested = procs > 1.0 ? static_cast<int>(procs) : 1;
+  next_drain_ += drain_rng_.exponential(1.0 / config_.drain_interval);
+  return requested;
+}
+
+FaultModel::FailureDraw FaultModel::failure(std::int64_t job_id,
+                                            int attempt) const {
+  FailureDraw draw;
+  if (!config_.enabled || config_.job_failure_prob <= 0.0) return draw;
+  // One SplitMix64 stream per (job, attempt): failure decisions do not
+  // depend on the order the scheduler starts jobs in.
+  SplitMix64 mix(config_.seed ^
+                 (static_cast<std::uint64_t>(job_id) * 0x9e3779b97f4a7c15ULL) ^
+                 (static_cast<std::uint64_t>(attempt + 1) << 32));
+  if (to_unit(mix.next()) >= config_.job_failure_prob) return draw;
+  draw.fails = true;
+  // Die somewhere in the middle of the run, never exactly at the start or
+  // the natural completion.
+  draw.fraction = 0.05 + 0.9 * to_unit(mix.next());
+  return draw;
+}
+
+}  // namespace si

@@ -1,0 +1,114 @@
+// Deterministic, seeded fault injection for the cluster simulator — the
+// failure modes a production HPC deployment sees that the paper's idealized
+// SchedGym does not model:
+//
+//   * Node drains: a seeded Poisson process takes a slice of the processor
+//     pool out of service (free processors are collected immediately; busy
+//     ones are collected as their jobs finish, like a graceful `scontrol
+//     drain`), and returns it after a fixed repair time.
+//   * Job failures: each execution attempt of a job may die partway through
+//     its runtime; a failed job re-enters the waiting queue with a bounded
+//     requeue budget, after which it is recorded as killed.
+//   * Estimate-wall kills: a job whose actual runtime exceeds its user
+//     estimate is terminated at the estimate, Slurm-style.
+//
+// All draws are deterministic: drain timing flows from one seeded stream and
+// per-attempt failure decisions are pure hashes of (seed, job id, attempt),
+// so an identical (sequence, policy, fault seed) run is bit-reproducible no
+// matter what the scheduler decides. With `enabled == false` the simulator
+// takes none of the fault code paths and behaves bit-identically to the
+// fault-free implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "workload/job.hpp"
+
+namespace si {
+
+/// Fault-injection knobs, carried inside SimConfig. Everything is inert
+/// unless `enabled` is set.
+struct FaultConfig {
+  bool enabled = false;
+
+  /// Seed of the drain-event stream and the per-job failure hashes.
+  std::uint64_t seed = 0xfa173eedULL;
+
+  /// Mean seconds between node-drain events (exponential gaps); 0 disables
+  /// drains while keeping the other fault kinds active.
+  double drain_interval = 0.0;
+
+  /// Fraction of the cluster drained per event (at least one processor).
+  double drain_fraction = 0.05;
+
+  /// Seconds a drained slice stays out of service before recovering.
+  double drain_duration = 3600.0;
+
+  /// Probability that one execution attempt of a job fails partway through.
+  double job_failure_prob = 0.0;
+
+  /// How many times a failed job re-enters the queue before it is recorded
+  /// as killed (mirrors Slurm's bounded requeue).
+  int max_requeues = 2;
+
+  /// Kill jobs at their user estimate when the actual runtime exceeds it.
+  bool estimate_wall = false;
+};
+
+/// One capacity change applied during a simulated sequence, logged so tests
+/// and analyses can reconstruct the exact capacity timeline:
+/// capacity(t) = total_procs - sum(drain procs <= t) + sum(recover procs <= t).
+struct FaultEvent {
+  enum class Kind {
+    kDrain,    ///< procs collected out of service (at drain time or as
+               ///< busy processors are released by finishing jobs)
+    kRecover,  ///< procs returned to service
+  };
+  Kind kind = Kind::kDrain;
+  Time time = 0.0;
+  int procs = 0;
+};
+
+/// The seeded fault source consulted by Simulator::run. Owns the drain-event
+/// stream; the drained/pending bookkeeping lives in the simulator.
+class FaultModel {
+ public:
+  /// Disabled model: every query reports "no fault".
+  FaultModel() = default;
+
+  /// Validates `config` (only when enabled) against the cluster size.
+  FaultModel(const FaultConfig& config, int total_procs);
+
+  bool enabled() const { return config_.enabled; }
+  const FaultConfig& config() const { return config_; }
+
+  /// Re-seeds the drain stream and schedules the first drain after `start`.
+  /// Must be called at the beginning of every simulated sequence.
+  void reset(Time start);
+
+  /// Time of the next drain event; +infinity when drains are disabled.
+  Time next_drain() const { return next_drain_; }
+
+  /// Fires the pending drain event: returns the requested drain size in
+  /// processors and schedules the following drain. The caller may collect
+  /// fewer processors (capacity floor); the stream advances identically
+  /// either way.
+  int fire_drain();
+
+  /// Per-attempt failure decision for one execution of a job. Pure function
+  /// of (seed, job id, attempt): independent of scheduling order.
+  struct FailureDraw {
+    bool fails = false;
+    double fraction = 0.0;  ///< fraction of the runtime executed before dying
+  };
+  FailureDraw failure(std::int64_t job_id, int attempt) const;
+
+ private:
+  FaultConfig config_;
+  int total_procs_ = 0;
+  Rng drain_rng_{0};
+  Time next_drain_ = 0.0;
+};
+
+}  // namespace si

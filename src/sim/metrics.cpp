@@ -7,11 +7,18 @@
 
 namespace si {
 
+const std::vector<std::string>& known_metric_names() {
+  static const std::vector<std::string> names = {"bsld", "wait", "mbsld"};
+  return names;
+}
+
 Metric metric_from_name(const std::string& name) {
   if (name == "bsld") return Metric::kBsld;
   if (name == "wait") return Metric::kWait;
   if (name == "mbsld") return Metric::kMaxBsld;
-  throw std::out_of_range("unknown metric: " + name);
+  std::string message = "unknown metric: " + name + " (known:";
+  for (const std::string& known : known_metric_names()) message += " " + known;
+  throw std::out_of_range(message + ")");
 }
 
 std::string metric_name(Metric metric) {
@@ -58,6 +65,9 @@ SequenceMetrics compute_metrics(const std::vector<JobRecord>& records,
     m.max_bsld = std::max(m.max_bsld, bsld);
     m.makespan = std::max(m.makespan, r.finish);
     busy_node_seconds += r.run * static_cast<double>(r.procs);
+    m.requeues += static_cast<std::size_t>(r.requeues);
+    if (r.killed) ++m.kills;
+    if (r.wall_killed) ++m.wall_kills;
   }
   const auto n = static_cast<double>(records.size());
   m.avg_wait /= n;

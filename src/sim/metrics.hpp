@@ -17,9 +17,13 @@ namespace si {
 /// all three job-execution metrics.
 enum class Metric { kBsld, kWait, kMaxBsld };
 
-/// Parses "bsld" / "wait" / "mbsld"; throws std::out_of_range otherwise.
+/// Parses "bsld" / "wait" / "mbsld"; throws std::out_of_range (listing the
+/// known names) otherwise.
 Metric metric_from_name(const std::string& name);
 std::string metric_name(Metric metric);
+
+/// All parseable metric names, in declaration order.
+const std::vector<std::string>& known_metric_names();
 
 struct SequenceMetrics {
   std::size_t jobs = 0;
@@ -30,6 +34,15 @@ struct SequenceMetrics {
   double makespan = 0.0;
   std::size_t inspections = 0;  ///< times the inspector was consulted
   std::size_t rejections = 0;   ///< times it rejected
+
+  // --- fault-model counters (all zero when fault injection is off) ---
+  std::size_t requeues = 0;     ///< failed attempts that re-entered the queue
+  std::size_t kills = 0;        ///< jobs terminated past the requeue budget
+  std::size_t wall_kills = 0;   ///< jobs killed at their estimate wall
+  std::size_t drain_events = 0; ///< node-drain events fired
+  /// Node-seconds unavailable while drained plus node-seconds burned by
+  /// failed execution attempts.
+  double lost_node_seconds = 0.0;
 
   /// The value of the chosen metric (avg_wait / avg_bsld / max_bsld).
   double value(Metric metric) const;

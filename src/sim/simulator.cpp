@@ -20,7 +20,9 @@ struct RunningLater {
 }  // namespace
 
 Simulator::Simulator(int total_procs, SimConfig config)
-    : total_procs_(total_procs), config_(config) {
+    : total_procs_(total_procs),
+      config_(config),
+      faults_(config.faults, total_procs) {
   SI_REQUIRE(total_procs_ > 0);
   SI_REQUIRE(config_.max_interval > 0.0);
   SI_REQUIRE(config_.max_rejection_times >= 0);
@@ -46,14 +48,111 @@ void Simulator::admit_arrivals() {
   }
 }
 
+void Simulator::apply_drain_delta(int delta) {
+  if (delta == 0) return;
+  lost_node_seconds_ +=
+      static_cast<double>(drained_) * (now_ - last_drain_change_);
+  last_drain_change_ = now_;
+  drained_ += delta;
+  SI_ENSURE(drained_ >= 0);
+  FaultEvent event;
+  event.kind = delta > 0 ? FaultEvent::Kind::kDrain : FaultEvent::Kind::kRecover;
+  event.time = now_;
+  event.procs = delta > 0 ? delta : -delta;
+  fault_events_.push_back(event);
+}
+
+Time Simulator::next_fault_event() const {
+  Time next = faults_.next_drain();
+  if (!recoveries_.empty()) next = std::min(next, recoveries_.front().time);
+  return next;
+}
+
+void Simulator::process_fault_events() {
+  // Recoveries first: a recovery cancels any still-pending portion of its
+  // drain, then returns the collected processors to service.
+  while (!recoveries_.empty() && recoveries_.front().time <= now_) {
+    const int procs = recoveries_.front().procs;
+    recoveries_.erase(recoveries_.begin());
+    const int cancelled = std::min(drain_pending_, procs);
+    drain_pending_ -= cancelled;
+    const int restored = procs - cancelled;
+    if (restored > 0) {
+      apply_drain_delta(-restored);
+      free_procs_ += restored;
+    }
+  }
+  // Drain events: collect from the free pool immediately; the remainder is
+  // collected as running jobs release their processors (graceful drain).
+  while (faults_.next_drain() <= now_) {
+    const int requested = faults_.fire_drain();
+    // Never drain the cluster below the largest job of the sequence, so
+    // every job stays eventually runnable.
+    const int headroom =
+        total_procs_ - max_job_procs_ - (drained_ + drain_pending_);
+    const int procs = std::min(requested, headroom);
+    if (procs <= 0) continue;
+    ++drain_fires_;
+    const int collected = std::min(procs, free_procs_);
+    if (collected > 0) {
+      free_procs_ -= collected;
+      apply_drain_delta(collected);
+    }
+    drain_pending_ += procs - collected;
+    PendingRecovery recovery;
+    recovery.time = now_ + faults_.config().drain_duration;
+    recovery.procs = procs;
+    const auto pos = std::upper_bound(
+        recoveries_.begin(), recoveries_.end(), recovery,
+        [](const PendingRecovery& a, const PendingRecovery& b) {
+          return a.time < b.time;
+        });
+    recoveries_.insert(pos, recovery);
+  }
+}
+
 void Simulator::process_completions() {
   while (!running_.empty() && running_.front().finish <= now_) {
     std::pop_heap(running_.begin(), running_.end(), RunningLater{});
     const Running done = running_.back();
     running_.pop_back();
-    free_procs_ += done.procs;
-    ++completed_;
-    SI_ENSURE(free_procs_ <= total_procs_);
+    int released = done.procs;
+    if (drain_pending_ > 0) {
+      // Graceful drain: released processors feed the outstanding drain
+      // before returning to the free pool.
+      const int collected = std::min(released, drain_pending_);
+      drain_pending_ -= collected;
+      released -= collected;
+      apply_drain_delta(collected);
+    }
+    free_procs_ += released;
+    JobRecord& rec = records_[done.index];
+    switch (done.outcome) {
+      case Outcome::kComplete:
+        ++completed_;
+        break;
+      case Outcome::kWallKilled:
+        rec.wall_killed = true;
+        rec.run = (*jobs_)[done.index].estimate;
+        ++completed_;
+        break;
+      case Outcome::kFailed: {
+        const double elapsed = done.finish - rec.start;
+        lost_node_seconds_ += elapsed * static_cast<double>(done.procs);
+        if (rec.requeues < faults_.config().max_requeues) {
+          ++rec.requeues;
+          rec.start = -1.0;
+          rec.finish = -1.0;
+          waiting_.push_back(done.index);
+        } else {
+          rec.killed = true;
+          rec.run = elapsed;
+          ++completed_;
+        }
+        break;
+      }
+    }
+    SI_ENSURE(free_procs_ + drained_ <= total_procs_);
   }
 }
 
@@ -63,12 +162,26 @@ void Simulator::start_job(std::size_t index) {
   free_procs_ -= job.procs;
   JobRecord& rec = records_[index];
   rec.start = now_;
-  rec.finish = now_ + job.run;
   Running r;
-  r.finish = rec.finish;
   r.estimated_finish = now_ + job.estimate;
   r.procs = job.procs;
   r.index = index;
+  Time termination = now_ + job.run;
+  if (faults_.enabled()) {
+    if (faults_.config().estimate_wall && job.run > job.estimate) {
+      termination = now_ + job.estimate;
+      r.outcome = Outcome::kWallKilled;
+    } else if (job.run > 0.0) {
+      const FaultModel::FailureDraw draw =
+          faults_.failure(job.id, rec.requeues);
+      if (draw.fails) {
+        termination = now_ + draw.fraction * job.run;
+        r.outcome = Outcome::kFailed;
+      }
+    }
+  }
+  r.finish = termination;
+  rec.finish = termination;
   running_.push_back(r);
   std::push_heap(running_.begin(), running_.end(), RunningLater{});
   policy_->on_job_start(job, now_);
@@ -102,9 +215,15 @@ Simulator::Shadow Simulator::compute_shadow(int procs_needed) const {
   // processors. Estimates may already be exceeded (the job ran longer than
   // the user requested); the scheduler then treats its release as imminent.
   std::vector<std::pair<Time, int>> releases;
-  releases.reserve(running_.size());
+  releases.reserve(running_.size() + recoveries_.size());
   for (const Running& r : running_)
     releases.emplace_back(std::max(r.estimated_finish, now_), r.procs);
+  // Under fault injection, scheduled drain recoveries also release capacity.
+  // (Their pending portion double-counts processors a running job will give
+  // back to the drain — an estimate-side approximation only, like the
+  // estimated finishes themselves.)
+  for (const PendingRecovery& r : recoveries_)
+    releases.emplace_back(std::max(r.time, now_), r.procs);
   std::sort(releases.begin(), releases.end());
   int free = free_procs_;
   for (const auto& [time, procs] : releases) {
@@ -115,8 +234,8 @@ Simulator::Shadow Simulator::compute_shadow(int procs_needed) const {
       return shadow;
     }
   }
-  // Unreachable: procs_needed <= total_procs, so draining every running job
-  // always suffices.
+  // Unreachable: procs_needed <= total_procs and every drained processor has
+  // a scheduled recovery, so draining all running jobs always suffices.
   SI_ENSURE(false);
   return shadow;
 }
@@ -184,6 +303,7 @@ void Simulator::advance_time(Time extra_bound) {
   if (next_arrival_ < jobs_->size())
     next = std::min(next, (*jobs_)[next_arrival_].submit);
   if (!running_.empty()) next = std::min(next, running_.front().finish);
+  if (faults_.enabled()) next = std::min(next, next_fault_event());
   if (extra_bound >= 0.0) next = std::min(next, extra_bound);
   SI_ENSURE(next < kInf);
   SI_ENSURE(next > now_);
@@ -218,9 +338,21 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
   has_blocked_ = false;
   inspections_ = 0;
   rejections_ = 0;
+  fault_events_.clear();
+  recoveries_.clear();
+  drained_ = 0;
+  drain_pending_ = 0;
+  max_job_procs_ = 0;
+  drain_fires_ = 0;
+  lost_node_seconds_ = 0.0;
+  last_drain_change_ = now_;
+  if (faults_.enabled())
+    for (const Job& j : jobs) max_job_procs_ = std::max(max_job_procs_, j.procs);
+  faults_.reset(now_);
   policy.reset();
 
   while (completed_ < jobs.size()) {
+    if (faults_.enabled()) process_fault_events();
     admit_arrivals();
     process_completions();
 
@@ -286,6 +418,14 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
   result.metrics = compute_metrics(result.records, total_procs_);
   result.metrics.inspections = inspections_;
   result.metrics.rejections = rejections_;
+  if (faults_.enabled()) {
+    // Close the lost-capacity integral at the end of the sequence.
+    lost_node_seconds_ +=
+        static_cast<double>(drained_) * (now_ - last_drain_change_);
+    result.metrics.drain_events = drain_fires_;
+    result.metrics.lost_node_seconds = lost_node_seconds_;
+    result.fault_events = std::move(fault_events_);
+  }
   return result;
 }
 

@@ -13,12 +13,21 @@
 //     free up, and — when backfilling is enabled — other waiting jobs may
 //     EASY-backfill around it if they cannot delay its reserved start
 //     (computed from *estimated* runtimes; completions use actual runtimes).
+//
+// With fault injection enabled (SimConfig::faults) three further scheduling
+// point kinds exist: node-drain events (capacity shrinks; free processors
+// are collected immediately, busy ones as their jobs release them), drain
+// recoveries (capacity returns), and early job terminations (mid-run
+// failures that requeue the job with a bounded budget, and Slurm-style
+// estimate-wall kills). When faults are disabled none of these paths are
+// taken and the simulator is bit-identical to the fault-free implementation.
 #pragma once
 
 #include <vector>
 
 #include "sched/policy.hpp"
 #include "sim/config.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/inspector.hpp"
 #include "sim/metrics.hpp"
 #include "workload/job.hpp"
@@ -29,6 +38,9 @@ namespace si {
 struct SequenceResult {
   std::vector<JobRecord> records;  ///< per-job outcomes, indexed like input
   SequenceMetrics metrics;
+  /// Capacity timeline under fault injection (empty when faults are off):
+  /// every drain collection and recovery, in chronological order.
+  std::vector<FaultEvent> fault_events;
 };
 
 class Simulator {
@@ -46,11 +58,20 @@ class Simulator {
                      Inspector* inspector = nullptr);
 
  private:
+  /// How one execution attempt ends (always kComplete without faults).
+  enum class Outcome { kComplete, kFailed, kWallKilled };
+
   struct Running {
-    Time finish = 0.0;           ///< actual completion time
+    Time finish = 0.0;           ///< actual termination time (any outcome)
     Time estimated_finish = 0.0; ///< start + estimate (backfill reservation)
     int procs = 0;
     std::size_t index = 0;
+    Outcome outcome = Outcome::kComplete;
+  };
+
+  struct PendingRecovery {
+    Time time = 0.0;
+    int procs = 0;  ///< the drain event's full size (collected + pending)
   };
 
   // --- per-run state (valid inside run()) ---
@@ -69,13 +90,32 @@ class Simulator {
   std::size_t inspections_ = 0;
   std::size_t rejections_ = 0;
 
+  // --- fault-injection state (untouched while faults are disabled) ---
+  std::vector<FaultEvent> fault_events_;
+  std::vector<PendingRecovery> recoveries_;  // sorted by time ascending
+  int drained_ = 0;        ///< procs currently collected out of service
+  int drain_pending_ = 0;  ///< drain procs still held by running jobs
+  int max_job_procs_ = 0;  ///< capacity floor so every job stays runnable
+  std::size_t drain_fires_ = 0;
+  double lost_node_seconds_ = 0.0;
+  Time last_drain_change_ = 0.0;  ///< integration point for drained seconds
+
   int total_procs_;
   SimConfig config_;
+  FaultModel faults_;
 
   void admit_arrivals();
   void process_completions();
   void start_job(std::size_t index);
   bool fits(std::size_t index) const;
+
+  /// Applies every due drain / recovery event (faults enabled only).
+  void process_fault_events();
+  /// Moves `procs` processors into (delta > 0) or out of (delta < 0) the
+  /// out-of-service pool, logging the event and integrating lost capacity.
+  void apply_drain_delta(int delta);
+  /// Earliest pending fault event, +infinity when none.
+  Time next_fault_event() const;
 
   /// Earliest time (by estimated finishes) when `procs_needed` processors
   /// will be free, plus how many *extra* processors remain free then. Used

@@ -41,6 +41,9 @@ struct JobRecord {
   Time run = 0.0;           ///< actual execution time used
   int procs = 0;
   int rejections = 0;       ///< times SchedInspector rejected this job
+  int requeues = 0;         ///< failed attempts that re-entered the queue
+  bool killed = false;      ///< failed past the requeue budget (fault model)
+  bool wall_killed = false; ///< terminated at its estimate wall (fault model)
 
   bool started() const { return start >= 0.0; }
 

@@ -55,10 +55,31 @@ bool parse_fields(std::string_view line, std::array<double, 18>& fields,
   return count > 0;
 }
 
+// How many per-line error messages a report retains; beyond this only the
+// counters grow (archive logs can have thousands of bad lines).
+constexpr std::size_t kMaxReportedErrors = 20;
+
+void note_error(SwfIngestReport* report, std::size_t line_no,
+                const std::string& what) {
+  if (report == nullptr) return;
+  if (report->errors.size() < kMaxReportedErrors)
+    report->errors.push_back("line " + std::to_string(line_no) + ": " + what);
+}
+
 }  // namespace
 
+std::string SwfIngestReport::summary() const {
+  std::ostringstream out;
+  out << "swf ingest: " << jobs << " jobs from " << record_lines << " records";
+  if (skipped > 0) out << ", " << skipped << " skipped";
+  if (repaired > 0) out << ", " << repaired << " repaired";
+  if (dropped_invalid > 0) out << ", " << dropped_invalid << " dropped invalid";
+  return out.str();
+}
+
 Trace read_swf(std::istream& in, const std::string& name,
-               const SwfOptions& options) {
+               const SwfOptions& options, SwfIngestReport* report) {
+  const bool lenient = options.mode == SwfMode::kLenient;
   int cluster_procs = options.default_cluster_procs;
   std::vector<Job> jobs;
   std::string line;
@@ -73,12 +94,18 @@ Trace read_swf(std::istream& in, const std::string& name,
       if (const int p = parse_header_procs(sv); p > 0) cluster_procs = p;
       continue;
     }
+    if (report != nullptr) ++report->record_lines;
     std::array<double, 18> f{};
     f.fill(-1.0);
     std::size_t n = 0;
     if (!parse_fields(sv, f, n) || n < 5) {
-      throw std::runtime_error("swf: malformed record at line " +
-                               std::to_string(line_no));
+      if (!lenient) {
+        throw std::runtime_error("swf: malformed record at line " +
+                                 std::to_string(line_no));
+      }
+      if (report != nullptr) ++report->skipped;
+      note_error(report, line_no, "unparsable record");
+      continue;
     }
     Job j;
     j.id = static_cast<std::int64_t>(f[0]);
@@ -91,7 +118,33 @@ Trace read_swf(std::istream& in, const std::string& name,
     j.estimate = req_time > 0 ? req_time : j.run;
     j.user = n > 11 && f[11] >= 0 ? static_cast<int>(f[11]) : 0;
     j.queue = n > 14 && f[14] >= 0 ? static_cast<int>(f[14]) : 0;
-    if (options.drop_invalid && (j.run <= 0.0 || j.procs <= 0)) continue;
+    if (lenient) {
+      bool touched = false;
+      if (j.submit < 0.0) {
+        // Clock skew / missing value: pin to the epoch start.
+        j.submit = 0.0;
+        touched = true;
+        note_error(report, line_no, "negative submit time clamped to 0");
+      }
+      if (j.run < 0.0 && req_time > 0.0) {
+        // Failed/cancelled records sometimes carry -1 runtime but a real
+        // request; the estimate is the best stand-in.
+        j.run = req_time;
+        j.estimate = req_time;
+        touched = true;
+        note_error(report, line_no, "negative run time repaired from request");
+      }
+      if (j.procs <= 0) {
+        if (report != nullptr) ++report->skipped;
+        note_error(report, line_no, "no usable processor count");
+        continue;
+      }
+      if (touched && report != nullptr) ++report->repaired;
+    }
+    if (options.drop_invalid && (j.run <= 0.0 || j.procs <= 0)) {
+      if (report != nullptr) ++report->dropped_invalid;
+      continue;
+    }
     jobs.push_back(j);
   }
   if (cluster_procs <= 0) {
@@ -99,16 +152,18 @@ Trace read_swf(std::istream& in, const std::string& name,
         "swf: no MaxProcs header and no default_cluster_procs given");
   }
   for (Job& j : jobs) j.procs = std::min(j.procs, cluster_procs);
+  if (report != nullptr) report->jobs = jobs.size();
   return Trace(name, cluster_procs, std::move(jobs));
 }
 
 Trace read_swf_text(const std::string& text, const std::string& name,
-                    const SwfOptions& options) {
+                    const SwfOptions& options, SwfIngestReport* report) {
   std::istringstream in(text);
-  return read_swf(in, name, options);
+  return read_swf(in, name, options, report);
 }
 
-Trace load_swf_file(const std::string& path, const SwfOptions& options) {
+Trace load_swf_file(const std::string& path, const SwfOptions& options,
+                    SwfIngestReport* report) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("swf: cannot open " + path);
   // Use the file stem as the trace name.
@@ -116,7 +171,7 @@ Trace load_swf_file(const std::string& path, const SwfOptions& options) {
   std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
   if (auto dot = stem.find_last_of('.'); dot != std::string::npos)
     stem = stem.substr(0, dot);
-  return read_swf(in, stem, options);
+  return read_swf(in, stem, options, report);
 }
 
 void write_swf(std::ostream& out, const Trace& trace) {

@@ -10,12 +10,24 @@
 // 16 partition, 17 preceding job, 18 think time. Missing values are -1.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "workload/trace.hpp"
 
 namespace si {
+
+/// How to treat malformed records. Real archive logs (and real production
+/// accounting feeds) contain unparsable lines and negative fields; lenient
+/// ingestion degrades gracefully instead of dying on line one.
+enum class SwfMode {
+  kStrict,   ///< throw std::runtime_error (with a line number) on the first
+             ///< malformed record
+  kLenient,  ///< skip unusable records, repair repairable fields, and tally
+             ///< everything in an SwfIngestReport
+};
 
 /// Options controlling how SWF records map onto our Job model.
 struct SwfOptions {
@@ -24,22 +36,43 @@ struct SwfOptions {
   /// Drop jobs with non-positive runtime or processor count (cancelled /
   /// malformed records). The archive recommends this filtering.
   bool drop_invalid = true;
+  /// Malformed-record handling (strict by default, as before).
+  SwfMode mode = SwfMode::kStrict;
+};
+
+/// Per-file summary of what ingestion did — populated when a report pointer
+/// is passed to the readers (most useful in lenient mode).
+struct SwfIngestReport {
+  std::size_t record_lines = 0;     ///< non-comment, non-blank lines seen
+  std::size_t jobs = 0;             ///< records that became trace jobs
+  std::size_t skipped = 0;          ///< unusable records dropped (lenient)
+  std::size_t repaired = 0;         ///< records with fields fixed up (lenient)
+  std::size_t dropped_invalid = 0;  ///< records filtered by drop_invalid
+  /// First few per-line error messages ("line 17: unparsable record").
+  std::vector<std::string> errors;
+
+  /// One-line human-readable summary of the counters.
+  std::string summary() const;
 };
 
 /// Parses SWF text into a Trace. Honors `; MaxProcs:` / `; MaxNodes:`
 /// header comments for the cluster size; otherwise requires
 /// options.default_cluster_procs > 0. Jobs whose requested processor count
 /// exceeds the cluster size are clamped to it (a few archive logs contain
-/// such records). Throws std::runtime_error on malformed input.
+/// such records). Strict mode throws std::runtime_error on malformed input;
+/// lenient mode recovers and tallies into `report` (may be null).
 Trace read_swf(std::istream& in, const std::string& name,
-               const SwfOptions& options = {});
+               const SwfOptions& options = {},
+               SwfIngestReport* report = nullptr);
 
 /// Convenience: parse from a string.
 Trace read_swf_text(const std::string& text, const std::string& name,
-                    const SwfOptions& options = {});
+                    const SwfOptions& options = {},
+                    SwfIngestReport* report = nullptr);
 
 /// Loads an SWF file from disk. Throws std::runtime_error when unreadable.
-Trace load_swf_file(const std::string& path, const SwfOptions& options = {});
+Trace load_swf_file(const std::string& path, const SwfOptions& options = {},
+                    SwfIngestReport* report = nullptr);
 
 /// Serializes a trace to SWF, emitting a MaxProcs header comment. Fields we
 /// do not model are written as -1.

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 
 #include "common/check.hpp"
+#include "rl/model_io.hpp"
 #include "sched/factory.hpp"
 #include "workload/registry.hpp"
 
@@ -127,6 +129,102 @@ TEST(Trainer, WorksWithSlurmPolicy) {
   EXPECT_EQ(trained.result.curve.size(), 3u);
   for (const EpochStats& e : trained.result.curve)
     EXPECT_TRUE(std::isfinite(e.mean_improvement));
+}
+
+TEST(Trainer, WritesCheckpointEveryEpoch) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  TrainerConfig config = tiny_config();
+  config.checkpoint_path = ::testing::TempDir() + "/si_ckpt_every.txt";
+  std::filesystem::remove(config.checkpoint_path);
+  Trainer trainer(trace, *policy, config);
+  ActorCritic ac = trainer.make_agent();
+  trainer.train(ac);
+  const ModelCheckpoint ckpt = load_checkpoint_file(config.checkpoint_path);
+  EXPECT_EQ(ckpt.epoch, config.epochs - 1);
+  EXPECT_FALSE(std::filesystem::exists(config.checkpoint_path + ".tmp"));
+}
+
+TEST(Trainer, ResumeContinuesFromCheckpointEpoch) {
+  // Simulate a crash after 3 of 6 epochs: train 3, then restart with the
+  // same seed resuming from the checkpoint. The resumed run must execute
+  // exactly the remaining epochs and end with a loadable model.
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  const std::string path = ::testing::TempDir() + "/si_ckpt_resume.txt";
+  std::filesystem::remove(path);
+
+  TrainerConfig first = tiny_config();
+  first.epochs = 3;
+  first.checkpoint_path = path;
+  {
+    PolicyPtr policy = make_policy("SJF");
+    Trainer trainer(trace, *policy, first);
+    ActorCritic ac = trainer.make_agent();
+    trainer.train(ac);
+  }
+
+  TrainerConfig second = tiny_config();
+  second.epochs = 6;
+  second.checkpoint_path = path;
+  second.resume_from = path;
+  PolicyPtr policy = make_policy("SJF");
+  Trainer trainer(trace, *policy, second);
+  ActorCritic ac = trainer.make_agent();
+  const TrainResult result = trainer.train(ac);
+
+  EXPECT_EQ(result.resumed_epochs, 3);
+  ASSERT_EQ(result.curve.size(), 3u);  // epochs 3, 4, 5 actually executed
+  EXPECT_EQ(result.curve.front().epoch, 3);
+  EXPECT_EQ(result.curve.back().epoch, 5);
+  const ModelCheckpoint final_ckpt = load_checkpoint_file(path);
+  EXPECT_EQ(final_ckpt.epoch, 5);
+}
+
+TEST(Trainer, MissingResumeFileStartsFresh) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  TrainerConfig config = tiny_config();
+  config.resume_from = ::testing::TempDir() + "/si_ckpt_missing.txt";
+  std::filesystem::remove(config.resume_from);
+  Trainer trainer(trace, *policy, config);
+  ActorCritic ac = trainer.make_agent();
+  const TrainResult result = trainer.train(ac);
+  EXPECT_EQ(result.resumed_epochs, 0);
+  EXPECT_EQ(result.curve.size(), 3u);
+}
+
+TEST(Trainer, ResumeRejectsMismatchedArchitecture) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  const std::string path = ::testing::TempDir() + "/si_ckpt_mismatch.txt";
+  ActorCritic wrong(3, {4}, 1);
+  save_checkpoint_file(path, wrong, 0);
+  PolicyPtr policy = make_policy("SJF");
+  TrainerConfig config = tiny_config();
+  config.resume_from = path;
+  Trainer trainer(trace, *policy, config);
+  ActorCritic ac = trainer.make_agent();
+  EXPECT_THROW(trainer.train(ac), ContractViolation);
+}
+
+TEST(Trainer, NanPoisonedAgentSkipsEveryUpdate) {
+  // A NaN parameter makes every rollout produce non-finite log-probs, so
+  // each epoch loses all trajectories and must skip its PPO update instead
+  // of dividing by zero or training on garbage.
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  Trainer trainer(trace, *policy, tiny_config());
+  ActorCritic ac = trainer.make_agent();
+  ac.policy_net().params()[0] = std::nan("");
+  const TrainResult result = trainer.train(ac);
+  EXPECT_EQ(result.skipped_updates, 3);
+  ASSERT_EQ(result.curve.size(), 3u);
+  for (const EpochStats& e : result.curve) {
+    EXPECT_EQ(e.skipped_updates, 1);
+    EXPECT_EQ(e.invalid_trajectories, 4);  // every trajectory dropped
+    EXPECT_TRUE(std::isfinite(e.mean_reward));
+    EXPECT_TRUE(std::isfinite(e.mean_improvement));
+  }
+  EXPECT_TRUE(std::isfinite(result.converged_improvement));
 }
 
 TEST(Trainer, WorksOnEveryMetric) {

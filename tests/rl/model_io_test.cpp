@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <filesystem>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -71,6 +74,97 @@ TEST(ModelIo, FileRoundTrip) {
   const ActorCritic restored = load_model_file(path);
   const std::vector<double> obs = {0.9, 0.1, 0.5, 0.5};
   EXPECT_DOUBLE_EQ(restored.reject_prob(obs), original.reject_prob(obs));
+}
+
+TEST(ModelIo, AtomicSaveLeavesNoTmpFile) {
+  ActorCritic model(4, {8}, 33);
+  const std::string path = ::testing::TempDir() + "/si_atomic_model.txt";
+  save_model_file(path, model);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(ModelIo, SaveRejectsNonFiniteParameters) {
+  ActorCritic model(3, {4}, 5);
+  model.policy_net().params()[0] = std::nan("");
+  std::stringstream buffer;
+  try {
+    save_model(buffer, model);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("model_io:"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+}
+
+TEST(ModelIo, FailedSavePreservesExistingFileAndLeavesNoTmp) {
+  const std::string path = ::testing::TempDir() + "/si_preserved_model.txt";
+  ActorCritic good(3, {4}, 5);
+  save_model_file(path, good);
+
+  ActorCritic bad(3, {4}, 6);
+  bad.value_net().params()[0] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(save_model_file(path, bad), std::runtime_error);
+
+  // The rejected write must not have clobbered the good file or left a
+  // stray temp file behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const ActorCritic restored = load_model_file(path);
+  const auto po = good.policy_net().params();
+  const auto pr = restored.policy_net().params();
+  for (std::size_t i = 0; i < po.size(); ++i) EXPECT_DOUBLE_EQ(po[i], pr[i]);
+}
+
+TEST(ModelIo, LoadRejectsNonFiniteParameters) {
+  // Build a syntactically valid payload that smuggles in an inf parameter;
+  // the loader must reject it before handing the model to callers.
+  ActorCritic model(2, {3}, 7);
+  std::stringstream buffer;
+  save_model(buffer, model);
+  std::string text = buffer.str();
+  // Skip header, layer count, layer sizes, and the parameter count: the
+  // fifth line starts with the first policy parameter.
+  std::size_t pos = 0;
+  for (int newline = 0; newline < 4; ++newline)
+    pos = text.find('\n', pos) + 1;
+  const std::size_t end = text.find(' ', pos);
+  text.replace(pos, end - pos, "inf");
+  std::stringstream poisoned(text);
+  EXPECT_THROW(load_model(poisoned), std::runtime_error);
+}
+
+TEST(ModelIo, CheckpointRoundTripPreservesEpochAndParams) {
+  ActorCritic model(4, {6}, 21);
+  std::stringstream buffer;
+  save_checkpoint(buffer, model, 17);
+  const ModelCheckpoint restored = load_checkpoint(buffer);
+  EXPECT_EQ(restored.epoch, 17);
+  const auto po = model.policy_net().params();
+  const auto pr = restored.model.policy_net().params();
+  ASSERT_EQ(po.size(), pr.size());
+  for (std::size_t i = 0; i < po.size(); ++i) EXPECT_DOUBLE_EQ(po[i], pr[i]);
+}
+
+TEST(ModelIo, CheckpointFileOverwriteKeepsLatestEpoch) {
+  const std::string path = ::testing::TempDir() + "/si_checkpoint.txt";
+  ActorCritic model(4, {6}, 21);
+  save_checkpoint_file(path, model, 0);
+  save_checkpoint_file(path, model, 5);
+  EXPECT_EQ(load_checkpoint_file(path).epoch, 5);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(ModelIo, CheckpointRejectsModelHeader) {
+  ActorCritic model(3, {4}, 5);
+  std::stringstream buffer;
+  save_model(buffer, model);
+  EXPECT_THROW(load_checkpoint(buffer), std::runtime_error);
+}
+
+TEST(ModelIo, CheckpointRejectsNegativeEpoch) {
+  ActorCritic model(3, {4}, 5);
+  std::stringstream buffer;
+  EXPECT_THROW(save_checkpoint(buffer, model, -1), std::runtime_error);
 }
 
 }  // namespace

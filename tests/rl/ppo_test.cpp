@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -204,6 +205,82 @@ TEST(Ppo, LargeBatchParallelPathIsDeterministic) {
     return ac.reject_prob(obs);
   };
   EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Ppo, NonFiniteBatchFlagsAndPreservesParams) {
+  ActorCritic ac(2, {8}, 41);
+  PpoUpdater updater(ac);
+  const std::vector<double> before(ac.policy_net().params().begin(),
+                                   ac.policy_net().params().end());
+
+  // A NaN stored log-prob sends ratio = exp(logp - NaN) = NaN through the
+  // surrogate; the updater must flag it and take no optimizer step.
+  RolloutBatch batch;
+  Trajectory t;
+  Step s;
+  s.obs = {0.5, 0.5};
+  s.action = 1;
+  s.log_prob = std::nan("");
+  t.steps.push_back(std::move(s));
+  t.reward = 1.0;
+  batch.add(std::move(t));
+
+  const PpoStats stats = updater.update(batch);
+  EXPECT_TRUE(stats.non_finite);
+  const auto after = ac.policy_net().params();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+}
+
+TEST(Ppo, GradClipKeepsTrainingFiniteAndLearning) {
+  ActorCritic ac(2, {8, 8}, 42);
+  PpoConfig config;
+  config.policy_iters = 20;
+  config.value_iters = 20;
+  config.max_grad_norm = 0.5;
+  PpoUpdater updater(ac, config);
+  Rng rng(7);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    RolloutBatch batch = make_bandit_batch(ac, rng, 24, 8);
+    const PpoStats stats = updater.update(batch);
+    EXPECT_FALSE(stats.non_finite);
+  }
+  for (const double p : ac.policy_net().params())
+    EXPECT_TRUE(std::isfinite(p));
+  const std::vector<double> ctx_a = {1.0, 0.5};
+  const std::vector<double> ctx_b = {0.0, 0.5};
+  EXPECT_GT(ac.reject_prob(ctx_a), ac.reject_prob(ctx_b));
+}
+
+TEST(Ppo, RejectsNegativeGradClip) {
+  ActorCritic ac(2, {4}, 1);
+  PpoConfig bad;
+  bad.max_grad_norm = -1.0;
+  EXPECT_THROW(PpoUpdater(ac, bad), ContractViolation);
+}
+
+TEST(Ppo, ResetDropsOptimizerState) {
+  // After reset(), an identical update from identical parameters must give
+  // identical results — the Adam moments really were cleared.
+  ActorCritic ac(2, {8}, 43);
+  const std::vector<double> p0(ac.policy_net().params().begin(),
+                               ac.policy_net().params().end());
+  const std::vector<double> v0(ac.value_net().params().begin(),
+                               ac.value_net().params().end());
+  PpoUpdater updater(ac);
+  Rng rng(45);
+  RolloutBatch batch = make_bandit_batch(ac, rng, 8, 4);
+  updater.update(batch);
+  const std::vector<double> after_first(ac.policy_net().params().begin(),
+                                        ac.policy_net().params().end());
+
+  std::copy(p0.begin(), p0.end(), ac.policy_net().params().begin());
+  std::copy(v0.begin(), v0.end(), ac.value_net().params().begin());
+  updater.reset();
+  updater.update(batch);
+  const auto after_second = ac.policy_net().params();
+  for (std::size_t i = 0; i < after_first.size(); ++i)
+    EXPECT_DOUBLE_EQ(after_first[i], after_second[i]);
 }
 
 TEST(Ppo, LargeBatchStillLearns) {

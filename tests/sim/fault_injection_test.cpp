@@ -1,0 +1,236 @@
+// Fault-injection tests: deterministic seeded golden cases for node drains,
+// job failures with bounded requeue, and estimate-wall kills — plus the
+// guarantee that a disabled FaultModel leaves the simulator bit-identical to
+// the fault-free implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+std::vector<Job> sample_jobs(std::size_t count = 160) {
+  const Trace trace = make_trace("SDSC-SP2", 600, 17);
+  Rng rng(23);
+  return trace.sample_window(rng, count);
+}
+
+SequenceResult run_with(const FaultConfig& faults, int procs = 128,
+                        std::vector<Job> jobs = sample_jobs()) {
+  SimConfig config;
+  config.faults = faults;
+  Simulator sim(procs, config);
+  PolicyPtr policy = make_policy("SJF");
+  return sim.run(jobs, *policy);
+}
+
+FaultConfig stress_profile() {
+  FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 99;
+  faults.drain_interval = 2000.0;
+  faults.drain_fraction = 0.10;
+  faults.drain_duration = 5000.0;
+  faults.job_failure_prob = 0.10;
+  faults.max_requeues = 2;
+  faults.estimate_wall = true;
+  return faults;
+}
+
+TEST(FaultInjection, DisabledModelIsBitIdenticalToDefaultConfig) {
+  const SequenceResult base = run_with(FaultConfig{});
+  // A config with every knob set but enabled == false must change nothing.
+  FaultConfig off = stress_profile();
+  off.enabled = false;
+  const SequenceResult with_off = run_with(off);
+
+  ASSERT_EQ(base.records.size(), with_off.records.size());
+  for (std::size_t i = 0; i < base.records.size(); ++i) {
+    EXPECT_EQ(base.records[i].start, with_off.records[i].start);
+    EXPECT_EQ(base.records[i].finish, with_off.records[i].finish);
+    EXPECT_EQ(base.records[i].requeues, 0);
+    EXPECT_FALSE(base.records[i].killed);
+    EXPECT_FALSE(base.records[i].wall_killed);
+  }
+  EXPECT_TRUE(base.fault_events.empty());
+  EXPECT_TRUE(with_off.fault_events.empty());
+  EXPECT_EQ(with_off.metrics.drain_events, 0u);
+  EXPECT_EQ(with_off.metrics.requeues, 0u);
+  EXPECT_DOUBLE_EQ(with_off.metrics.lost_node_seconds, 0.0);
+}
+
+TEST(FaultInjection, DeterministicAcrossRuns) {
+  const SequenceResult a = run_with(stress_profile());
+  const SequenceResult b = run_with(stress_profile());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].start, b.records[i].start);
+    EXPECT_EQ(a.records[i].finish, b.records[i].finish);
+    EXPECT_EQ(a.records[i].requeues, b.records[i].requeues);
+    EXPECT_EQ(a.records[i].killed, b.records[i].killed);
+    EXPECT_EQ(a.records[i].wall_killed, b.records[i].wall_killed);
+  }
+  ASSERT_EQ(a.fault_events.size(), b.fault_events.size());
+  for (std::size_t i = 0; i < a.fault_events.size(); ++i) {
+    EXPECT_EQ(a.fault_events[i].kind, b.fault_events[i].kind);
+    EXPECT_EQ(a.fault_events[i].time, b.fault_events[i].time);
+    EXPECT_EQ(a.fault_events[i].procs, b.fault_events[i].procs);
+  }
+  EXPECT_EQ(a.metrics.kills, b.metrics.kills);
+  EXPECT_EQ(a.metrics.lost_node_seconds, b.metrics.lost_node_seconds);
+}
+
+TEST(FaultInjection, CertainFailureExhaustsRequeueBudgetThenKills) {
+  FaultConfig faults;
+  faults.enabled = true;
+  faults.job_failure_prob = 1.0;
+  faults.max_requeues = 2;
+  const SequenceResult result = run_with(faults);
+
+  for (const JobRecord& r : result.records) {
+    EXPECT_TRUE(r.started());
+    EXPECT_EQ(r.requeues, 2);
+    EXPECT_TRUE(r.killed);
+    EXPECT_FALSE(r.wall_killed);
+  }
+  EXPECT_EQ(result.metrics.kills, result.records.size());
+  EXPECT_EQ(result.metrics.requeues, result.records.size() * 2);
+  EXPECT_GT(result.metrics.lost_node_seconds, 0.0);
+}
+
+TEST(FaultInjection, RequeuesNeverExceedBudget) {
+  const SequenceResult result = run_with(stress_profile());
+  std::size_t requeues = 0;
+  std::size_t kills = 0;
+  for (const JobRecord& r : result.records) {
+    EXPECT_LE(r.requeues, 2);
+    // Only a job whose final attempt failed past the budget is killed.
+    if (r.killed) {
+      EXPECT_EQ(r.requeues, 2);
+    }
+    requeues += static_cast<std::size_t>(r.requeues);
+    kills += r.killed ? 1u : 0u;
+  }
+  EXPECT_EQ(result.metrics.requeues, requeues);
+  EXPECT_EQ(result.metrics.kills, kills);
+}
+
+TEST(FaultInjection, EstimateWallKillsAtTheEstimate) {
+  // Jobs that overrun their estimate must be cut off exactly at it.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) {
+    Job j;
+    j.id = i;
+    j.submit = 10.0 * i;
+    j.run = 500.0;
+    j.estimate = i % 2 == 0 ? 200.0 : 800.0;  // evens overrun, odds fit
+    j.procs = 4;
+    jobs.push_back(j);
+  }
+  FaultConfig faults;
+  faults.enabled = true;
+  faults.estimate_wall = true;
+  const SequenceResult result = run_with(faults, 32, jobs);
+
+  ASSERT_EQ(result.records.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const JobRecord& r = result.records[i];
+    if (i % 2 == 0) {
+      EXPECT_TRUE(r.wall_killed);
+      EXPECT_DOUBLE_EQ(r.finish - r.start, 200.0);
+    } else {
+      EXPECT_FALSE(r.wall_killed);
+      EXPECT_DOUBLE_EQ(r.finish - r.start, 500.0);
+    }
+    EXPECT_FALSE(r.killed);
+  }
+  EXPECT_EQ(result.metrics.wall_kills, 2u);
+}
+
+TEST(FaultInjection, DrainsFireAndLoseCapacity) {
+  FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 7;
+  faults.drain_interval = 1500.0;
+  faults.drain_fraction = 0.10;
+  faults.drain_duration = 4000.0;
+  const SequenceResult result = run_with(faults);
+
+  EXPECT_GT(result.metrics.drain_events, 0u);
+  EXPECT_GT(result.metrics.lost_node_seconds, 0.0);
+  EXPECT_FALSE(result.fault_events.empty());
+  // Chronological log; recoveries never outnumber collected processors.
+  int drained = 0;
+  Time last = 0.0;
+  for (const FaultEvent& e : result.fault_events) {
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    EXPECT_GT(e.procs, 0);
+    drained += e.kind == FaultEvent::Kind::kDrain ? e.procs : -e.procs;
+    EXPECT_GE(drained, 0);
+  }
+}
+
+TEST(FaultInjection, UsageNeverExceedsCapacityTimeline) {
+  const int total = 128;
+  const SequenceResult result = run_with(stress_profile(), total);
+
+  // Merge job usage and capacity changes into one sweep. At equal times the
+  // simulator releases finished jobs, applies recoveries, collects drains,
+  // and only then starts jobs — encode that order.
+  struct Event {
+    Time time;
+    int order;  // 0 finish, 1 recover, 2 drain, 3 start
+    int usage_delta;
+    int capacity_delta;
+  };
+  std::vector<Event> events;
+  for (const JobRecord& r : result.records) {
+    events.push_back({r.start, 3, r.procs, 0});
+    events.push_back({r.finish, 0, -r.procs, 0});
+  }
+  for (const FaultEvent& e : result.fault_events) {
+    if (e.kind == FaultEvent::Kind::kDrain)
+      events.push_back({e.time, 2, 0, -e.procs});
+    else
+      events.push_back({e.time, 1, 0, e.procs});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  });
+  int usage = 0;
+  int capacity = total;
+  for (const Event& e : events) {
+    usage += e.usage_delta;
+    capacity += e.capacity_delta;
+    EXPECT_GE(usage, 0);
+    EXPECT_LE(capacity, total);
+    EXPECT_LE(usage, capacity) << "at t=" << e.time;
+  }
+  EXPECT_EQ(usage, 0);
+}
+
+TEST(FaultInjection, MetricCountersMatchRecords) {
+  const SequenceResult result = run_with(stress_profile());
+  std::size_t requeues = 0;
+  std::size_t kills = 0;
+  std::size_t wall_kills = 0;
+  for (const JobRecord& r : result.records) {
+    requeues += static_cast<std::size_t>(r.requeues);
+    if (r.killed) ++kills;
+    if (r.wall_killed) ++wall_kills;
+  }
+  EXPECT_EQ(result.metrics.requeues, requeues);
+  EXPECT_EQ(result.metrics.kills, kills);
+  EXPECT_EQ(result.metrics.wall_kills, wall_kills);
+}
+
+}  // namespace
+}  // namespace si

@@ -141,5 +141,126 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// The same invariants must survive fault injection: with drains shrinking
+// capacity, jobs failing mid-run, and estimate walls, the schedule stays
+// feasible against the *instantaneous* capacity, every job still terminates
+// (normally or killed), and the run stays deterministic.
+using FaultParam = std::tuple<const char* /*policy*/, bool /*backfill*/,
+                              int /*inspector*/>;
+
+class SimulatorFaultProperties : public ::testing::TestWithParam<FaultParam> {
+ protected:
+  SequenceResult run_case() {
+    const auto [policy_name, backfill, inspector_kind] = GetParam();
+    trace_ = make_trace("SDSC-SP2", 600, 17);
+    policy_ = make_policy(policy_name);
+    SimConfig config;
+    config.backfill = backfill;
+    config.max_rejection_times = 6;
+    config.faults.enabled = true;
+    config.faults.seed = 41;
+    config.faults.drain_interval = 1800.0;
+    config.faults.drain_fraction = 0.10;
+    config.faults.drain_duration = 3600.0;
+    config.faults.job_failure_prob = 0.05;
+    config.faults.max_requeues = 2;
+    config.faults.estimate_wall = true;
+    Simulator sim(trace_.cluster_procs(), config);
+    Rng rng(23);
+    jobs_ = trace_.sample_window(rng, 192);
+
+    Rng inspector_rng(29);
+    RandomInspector random_inspector(0.4, inspector_rng);
+    AlwaysRejectInspector always_inspector;
+    Inspector* inspector = nullptr;
+    if (inspector_kind == 1) inspector = &random_inspector;
+    if (inspector_kind == 2) inspector = &always_inspector;
+    return sim.run(jobs_, *policy_, inspector);
+  }
+
+  Trace trace_;
+  PolicyPtr policy_;
+  std::vector<Job> jobs_;
+};
+
+TEST_P(SimulatorFaultProperties, EveryJobTerminates) {
+  const SequenceResult result = run_case();
+  ASSERT_EQ(result.records.size(), jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const JobRecord& r = result.records[i];
+    EXPECT_TRUE(r.started());
+    EXPECT_GE(r.start, jobs_[i].submit);
+    EXPECT_GE(r.finish, r.start);
+    EXPECT_LE(r.requeues, 2);  // the profile's max_requeues
+    if (!r.killed && !r.wall_killed) {
+      EXPECT_DOUBLE_EQ(r.finish, r.start + jobs_[i].run);
+    }
+  }
+}
+
+TEST_P(SimulatorFaultProperties, NoOversubscriptionAgainstDrainedCapacity) {
+  const SequenceResult result = run_case();
+  // Capacity timeline reconstructed from the fault-event log; at equal
+  // timestamps the simulator releases jobs, recovers, drains, then starts.
+  struct Event {
+    Time time;
+    int order;
+    int usage;
+    int capacity;
+  };
+  std::vector<Event> events;
+  for (const JobRecord& r : result.records) {
+    events.push_back({r.start, 3, r.procs, 0});
+    events.push_back({r.finish, 0, -r.procs, 0});
+  }
+  for (const FaultEvent& e : result.fault_events) {
+    if (e.kind == FaultEvent::Kind::kDrain)
+      events.push_back({e.time, 2, 0, -e.procs});
+    else
+      events.push_back({e.time, 1, 0, e.procs});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  });
+  int usage = 0;
+  int capacity = trace_.cluster_procs();
+  for (const Event& e : events) {
+    usage += e.usage;
+    capacity += e.capacity;
+    EXPECT_LE(usage, capacity) << "at t=" << e.time;
+    EXPECT_GE(usage, 0);
+    EXPECT_LE(capacity, trace_.cluster_procs());
+  }
+  EXPECT_EQ(usage, 0);
+}
+
+TEST_P(SimulatorFaultProperties, DeterministicAcrossRuns) {
+  const SequenceResult a = run_case();
+  const SequenceResult b = run_case();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].start, b.records[i].start);
+    EXPECT_DOUBLE_EQ(a.records[i].finish, b.records[i].finish);
+    EXPECT_EQ(a.records[i].requeues, b.records[i].requeues);
+    EXPECT_EQ(a.records[i].killed, b.records[i].killed);
+  }
+  EXPECT_EQ(a.fault_events.size(), b.fault_events.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultSweep, SimulatorFaultProperties,
+    ::testing::Combine(::testing::Values("FCFS", "SJF", "SAF", "F1"),
+                       ::testing::Bool(), ::testing::Values(0, 1, 2)),
+    [](const ::testing::TestParamInfo<FaultParam>& info) {
+      const int inspector = std::get<2>(info.param);
+      std::string name = std::string(std::get<0>(info.param)) +
+                         (std::get<1>(info.param) ? "_easy" : "_plain");
+      name += inspector == 0 ? "_noinsp"
+                             : (inspector == 1 ? "_random" : "_always");
+      return name;
+    });
+
 }  // namespace
 }  // namespace si
+

@@ -119,5 +119,97 @@ TEST(Swf, BlankLinesAndWhitespaceSkipped) {
   EXPECT_EQ(read_swf_text(text, "x").size(), 1u);
 }
 
+// A deliberately messy corpus: one good record, one unparsable line, one
+// with too few fields, one negative submit, one negative runtime with a
+// usable request, and one with no processor count at all.
+constexpr const char* kMessy =
+    "; MaxProcs: 64\n"
+    "1 0 -1 100 4 -1 -1 4 200 -1 1\n"
+    "garbage line here\n"
+    "2 10 3\n"
+    "3 -50 -1 100 4 -1 -1 4 200 -1 1\n"
+    "4 20 -1 -1 4 -1 -1 4 300 -1 0\n"
+    "5 30 -1 100 -1 -1 -1 -1 -1 -1 1\n";
+
+TEST(Swf, LenientSkipsAndRepairsMalformedRecords) {
+  SwfOptions opts;
+  opts.mode = SwfMode::kLenient;
+  SwfIngestReport report;
+  const Trace t = read_swf_text(kMessy, "messy", opts, &report);
+
+  // Jobs 1, 3 (submit clamped), and 4 (run repaired) survive.
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(report.record_lines, 6u);
+  EXPECT_EQ(report.jobs, 3u);
+  EXPECT_EQ(report.skipped, 3u);    // garbage, too-few-fields, no procs
+  EXPECT_EQ(report.repaired, 2u);   // negative submit, negative runtime
+  EXPECT_EQ(report.errors.size(), 5u);
+
+  EXPECT_DOUBLE_EQ(t.jobs()[1].submit, 0.0);      // clamped from -50
+  EXPECT_DOUBLE_EQ(t.jobs()[2].run, 300.0);       // repaired from request
+  EXPECT_DOUBLE_EQ(t.jobs()[2].estimate, 300.0);
+}
+
+TEST(Swf, LenientErrorsCarryLineNumbers) {
+  SwfOptions opts;
+  opts.mode = SwfMode::kLenient;
+  SwfIngestReport report;
+  read_swf_text(kMessy, "messy", opts, &report);
+  ASSERT_FALSE(report.errors.empty());
+  EXPECT_NE(report.errors[0].find("line 3"), std::string::npos);
+  EXPECT_NE(report.errors[0].find("unparsable"), std::string::npos);
+}
+
+TEST(Swf, LenientSummaryMentionsCounts) {
+  SwfOptions opts;
+  opts.mode = SwfMode::kLenient;
+  SwfIngestReport report;
+  read_swf_text(kMessy, "messy", opts, &report);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("3 jobs"), std::string::npos);
+  EXPECT_NE(summary.find("6 records"), std::string::npos);
+  EXPECT_NE(summary.find("3 skipped"), std::string::npos);
+  EXPECT_NE(summary.find("2 repaired"), std::string::npos);
+}
+
+TEST(Swf, StrictStillThrowsOnMessyCorpusWithLineNumber) {
+  try {
+    read_swf_text(kMessy, "messy");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Swf, LenientMatchesStrictOnCleanInput) {
+  SwfOptions lenient;
+  lenient.mode = SwfMode::kLenient;
+  SwfIngestReport report;
+  const Trace a = read_swf_text(kSample, "sample");
+  const Trace b = read_swf_text(kSample, "sample", lenient, &report);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].submit, b.jobs()[i].submit);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].run, b.jobs()[i].run);
+    EXPECT_EQ(a.jobs()[i].procs, b.jobs()[i].procs);
+  }
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(report.repaired, 0u);
+  EXPECT_TRUE(report.errors.empty());
+}
+
+TEST(Swf, ReportCountsDroppedInvalidRecords) {
+  SwfOptions opts;
+  opts.mode = SwfMode::kLenient;
+  SwfIngestReport report;
+  const std::string text =
+      "; MaxProcs: 64\n"
+      "1 0 -1 -1 4 -1 -1 4 -1 -1 0\n"  // negative run, no request: invalid
+      "2 10 -1 50 2 -1 -1 2 100 -1 1\n";
+  const Trace t = read_swf_text(text, "x", opts, &report);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(report.dropped_invalid, 1u);
+}
+
 }  // namespace
 }  // namespace si

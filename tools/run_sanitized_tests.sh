@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the test suite with AddressSanitizer + UBSan and runs it.
+# Usage: tools/run_sanitized_tests.sh [build-dir] [-- extra ctest args]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-sanitize}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSI_SANITIZE=address,undefined
+cmake --build "$build_dir" -j "$(nproc)"
+
+cd "$build_dir"
+ctest -L sanitize --output-on-failure -j "$(nproc)"
