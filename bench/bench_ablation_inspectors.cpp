@@ -13,9 +13,10 @@
 #include "core/rule_inspector.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Ablation (extension)",
       "Inspector ablation on [SJF, bsld, SDSC-SP2]: base vs. random vs. "
       "distilled rules vs. RL");

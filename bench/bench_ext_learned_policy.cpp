@@ -9,9 +9,10 @@
 #include "common.hpp"
 #include "core/learned.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Extension: learned base policy",
       "SchedInspector on top of an ES-trained neural priority policy "
       "(SDSC-SP2, bsld)");

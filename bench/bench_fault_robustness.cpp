@@ -9,9 +9,10 @@
 #include "common.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Ext: faults", "Base policies under node drains and job failures");
 
   const bench::SplitTrace trace = bench::load_split_trace("SDSC-SP2", ctx);

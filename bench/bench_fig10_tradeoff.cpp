@@ -6,9 +6,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 10",
       "Metric trade-offs: trained on bsld, evaluated on bsld / mbsld / util");
 

@@ -6,9 +6,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 11",
       "Training with backfilling enabled: bsld and wait on SDSC-SP2, SJF & "
       "F1");

@@ -8,9 +8,10 @@
 #include "common.hpp"
 #include "sched/slurm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 12",
       "Slurm multifactor + backfilling on SDSC-SP2, trained toward bsld");
 

@@ -7,9 +7,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 13",
       "Feature CDFs of rejected vs. total inspection samples ([SJF, bsld, "
       "SDSC-SP2])");

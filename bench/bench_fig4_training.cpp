@@ -6,9 +6,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 4",
       "Training curves: SJF and F1 on CTC-SP2 / SDSC-SP2 / HPC2N / Lublin "
       "(bsld)");

@@ -6,9 +6,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 5",
       "Feature-building ablation on [SJF, bsld, SDSC-SP2]: manual vs. "
       "compacted vs. native");

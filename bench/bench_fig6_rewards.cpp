@@ -7,9 +7,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 6",
       "Reward-function ablation on [SJF, bsld, SDSC-SP2]: native vs. "
       "win/loss vs. percentage");

@@ -8,9 +8,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 7",
       "Training with FCFS / LCFS / SRF / SAF base policies on SDSC-SP2 "
       "(bsld) + rejection ratios");

@@ -17,9 +17,10 @@ void print_box(const char* side, const si::BoxSummary& box) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 8",
       "Test performance (bsld) of base vs. inspected scheduling, SJF & F1 "
       "x 4 traces");

@@ -6,9 +6,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Figure 9",
       "Training toward wait and mbsld on SDSC-SP2 with SJF and F1");
 

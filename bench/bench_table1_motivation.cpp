@@ -71,9 +71,9 @@ void print_schedule(const char* label, const SequenceResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
-  bench::init("Table 1 / Figure 1",
+  bench::init(argc, argv, "Table 1 / Figure 1",
               "Motivating example: SJF on a 5-node cluster, with/without "
               "inspection");
 

@@ -6,10 +6,11 @@
 #include "common.hpp"
 #include "sched/slurm.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx =
-      bench::init("Table 3", "Base scheduling policies and their priorities");
+      bench::init(argc, argv, "Table 3",
+                  "Base scheduling policies and their priorities");
 
   // Probe set with distinct attribute orderings.
   auto probe = [](std::int64_t id, double submit, double est, int procs) {

@@ -7,9 +7,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Table 4",
       "Cross-trace stability: Base->Y vs. 'SDSC-SP2'->Y vs. Y->Y (SJF, "
       "bsld)");

@@ -6,9 +6,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace si;
   const bench::Context ctx = bench::init(
+      argc, argv,
       "Table 5",
       "System utilization BASE vs. INSP, SJF & F1 x 4 traces, backfill "
       "off/on");

@@ -1,8 +1,80 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/sink.hpp"
+#include "obs/json.hpp"
 
 namespace si::bench {
+
+namespace {
+
+// State behind --json: the experiment id from init() plus every recorded
+// (metric, value, config) triple, flushed as one JSON array at exit so
+// benches keep their existing early-return paths.
+struct JsonResults {
+  std::string path;
+  std::string experiment;
+  std::vector<std::string> records;  ///< pre-rendered JSON objects
+};
+
+JsonResults& json_results() {
+  static JsonResults state;
+  return state;
+}
+
+void write_json_results() {
+  JsonResults& state = json_results();
+  try {
+    FileSink out(state.path);
+    out.write("[\n");
+    for (std::size_t i = 0; i < state.records.size(); ++i) {
+      out.write("  ");
+      out.write(state.records[i]);
+      out.write(i + 1 < state.records.size() ? ",\n" : "\n");
+    }
+    out.write("]\n");
+    out.flush();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench: cannot write %s: %s\n", state.path.c_str(),
+                 e.what());
+  }
+}
+
+}  // namespace
+
+Context init(int argc, char** argv, const std::string& experiment,
+             const std::string& description) {
+  JsonResults& state = json_results();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) state.path = argv[i + 1];
+  }
+  if (state.path.empty()) {
+    if (const char* env = std::getenv("SCHEDINSPECTOR_BENCH_JSON");
+        env != nullptr && env[0] != '\0')
+      state.path = env;
+  }
+  if (!state.path.empty()) {
+    state.experiment = experiment;
+    std::atexit(write_json_results);
+  }
+  return init(experiment, description);
+}
+
+void record_result(const std::string& metric, double value,
+                   const std::string& config) {
+  JsonResults& state = json_results();
+  if (state.path.empty()) return;
+  JsonObject record;
+  record.field("name", state.experiment);
+  record.field("metric", metric);
+  record.field("value", value);
+  record.field("config", config);
+  state.records.push_back(record.str());
+}
 
 Context init(const std::string& experiment, const std::string& description) {
   Context ctx;
@@ -76,6 +148,9 @@ std::string render_curve(const std::string& label, const TrainResult& result) {
          format_double(result.converged_improvement, 3) +
          ", rejection ratio: " +
          format_double(result.converged_rejection_ratio, 3) + "\n";
+  record_result("converged_improvement", result.converged_improvement, label);
+  record_result("converged_rejection_ratio", result.converged_rejection_ratio,
+                label);
   return out;
 }
 
@@ -105,6 +180,9 @@ void add_comparison_row(TextTable& table, const std::string& label,
       .cell(base, decimals)
       .cell(inspected, decimals)
       .cell(format_percent(delta));
+  record_result("base", base, label);
+  record_result("inspected", inspected, label);
+  record_result("improvement", delta, label);
 }
 
 }  // namespace si::bench

@@ -26,6 +26,21 @@ struct Context {
 /// context.
 Context init(const std::string& experiment, const std::string& description);
 
+/// Like init(), but additionally parses bench command-line flags:
+///   --json <path>   write every recorded result as a JSON array to <path>
+///                   at exit (schema: name, metric, value, config).
+/// The SCHEDINSPECTOR_BENCH_JSON environment variable is the flagless
+/// fallback, so wrappers can collect results without editing invocations.
+Context init(int argc, char** argv, const std::string& experiment,
+             const std::string& description);
+
+/// Appends one result record to the --json output (no-op when JSON output
+/// is not enabled). `metric` names the measured quantity ("base",
+/// "converged_improvement", ...); `config` identifies the experimental arm
+/// (trace, policy, ablation label, ...).
+void record_result(const std::string& metric, double value,
+                   const std::string& config);
+
 /// A trace with its 20%/80% train/test split (§4.4).
 struct SplitTrace {
   Trace full;

@@ -14,11 +14,17 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "common/sink.hpp"
 #include "core/analysis.hpp"
 #include "core/evaluator.hpp"
 #include "core/trainer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "rl/model_io.hpp"
 #include "sched/factory.hpp"
 #include "sim/metrics.hpp"
@@ -44,6 +50,14 @@ struct Options {
   bool faults = false;
   bool swf_lenient = false;
   std::uint64_t seed = 42;
+
+  // --- observability (see DESIGN.md §5) ---
+  std::string trace_out;      ///< JSONL simulator event trace
+  std::string metrics_out;    ///< metrics registry JSON dump
+  std::string telemetry_out;  ///< per-epoch training telemetry JSONL
+  std::string log_level = "warn";
+  bool quiet = false;
+  bool profile = false;
 };
 
 std::string join_names(const std::vector<std::string>& names) {
@@ -71,8 +85,17 @@ int usage() {
                "  --resume <path>           checkpoint file; resumes training\n"
                "                            from it when it already exists\n"
                "  --swf-lenient             repair/skip malformed SWF records\n"
-               "  --seed <n>\n",
-               policies.c_str(), metrics.c_str());
+               "  --seed <n>\n"
+               "  --trace-out <file.jsonl>  write one JSONL record per\n"
+               "                            simulator event\n"
+               "  --metrics-out <file.json> dump the metrics registry as JSON\n"
+               "  --telemetry-out <file.jsonl>  per-epoch training telemetry\n"
+               "  --log-level <%s>\n"
+               "  --quiet                   suppress the training progress line\n"
+               "  --profile                 print a wall-time profile tree to\n"
+               "                            stderr at exit\n",
+               policies.c_str(), metrics.c_str(),
+               join_names(known_log_levels()).c_str());
   return 2;
 }
 
@@ -96,6 +119,14 @@ bool parse(int argc, char** argv, Options& opts) {
       opts.swf_lenient = true;
       continue;
     }
+    if (arg == "--quiet") {
+      opts.quiet = true;
+      continue;
+    }
+    if (arg == "--profile") {
+      opts.profile = true;
+      continue;
+    }
     const char* value = next();
     if (value == nullptr) return false;
     if (arg == "--trace") opts.trace = value;
@@ -109,6 +140,10 @@ bool parse(int argc, char** argv, Options& opts) {
     else if (arg == "--sequences") opts.sequences = std::atoi(value);
     else if (arg == "--seed")
       opts.seed = static_cast<std::uint64_t>(std::atoll(value));
+    else if (arg == "--trace-out") opts.trace_out = value;
+    else if (arg == "--metrics-out") opts.metrics_out = value;
+    else if (arg == "--telemetry-out") opts.telemetry_out = value;
+    else if (arg == "--log-level") opts.log_level = value;
     else
       return false;
   }
@@ -155,6 +190,37 @@ FaultConfig fault_profile(const Options& opts) {
   return faults;
 }
 
+// Owns the sinks behind --trace-out / --metrics-out for one command's
+// lifetime. Flushed/exported explicitly via finish() so errors surface
+// before exit instead of being swallowed in a destructor.
+struct Observability {
+  std::unique_ptr<FileSink> trace_sink;
+  std::unique_ptr<JsonlTracer> tracer;
+  std::unique_ptr<MetricsRegistry> metrics;
+
+  explicit Observability(const Options& opts) {
+    if (!opts.trace_out.empty()) {
+      trace_sink = std::make_unique<FileSink>(opts.trace_out);
+      tracer = std::make_unique<JsonlTracer>(*trace_sink);
+    }
+    if (!opts.metrics_out.empty()) metrics = std::make_unique<MetricsRegistry>();
+  }
+
+  void apply(SimConfig& sim) const {
+    sim.tracer = tracer.get();
+    sim.metrics = metrics.get();
+  }
+
+  void finish(const Options& opts) {
+    if (trace_sink) trace_sink->flush();
+    if (metrics) {
+      FileSink out(opts.metrics_out);
+      metrics->write_json(out);
+      out.flush();
+    }
+  }
+};
+
 TrainerConfig trainer_config(const Options& opts) {
   TrainerConfig config;
   config.metric = metric_from_name(opts.metric);
@@ -175,7 +241,13 @@ int cmd_train(const Options& opts) {
   const Trace trace = load_trace(opts);
   auto [train_split, test_split] = trace.split(0.2);
   PolicyPtr policy = load_policy(opts, trace);
-  Trainer trainer(train_split, *policy, trainer_config(opts));
+  Observability obs(opts);
+  TrainerConfig config = trainer_config(opts);
+  config.telemetry_path = opts.telemetry_out;
+  config.progress = !opts.quiet;
+  config.tracer = obs.tracer.get();
+  config.metrics = obs.metrics.get();
+  Trainer trainer(train_split, *policy, config);
   ActorCritic agent = trainer.make_agent();
   std::printf("training on %s (%zu jobs, %d procs), policy %s, metric %s\n",
               trace.name().c_str(), trace.size(), trace.cluster_procs(),
@@ -198,6 +270,7 @@ int cmd_train(const Options& opts) {
               result.converged_rejection_ratio);
   save_model_file(opts.model_path, agent);
   std::printf("model written to %s\n", opts.model_path.c_str());
+  obs.finish(opts);
   return 0;
 }
 
@@ -221,6 +294,8 @@ int cmd_eval(const Options& opts) {
   config.sim.backfill = opts.backfill;
   if (opts.faults) config.sim.faults = fault_profile(opts);
   config.seed = opts.seed;
+  Observability obs(opts);
+  obs.apply(config.sim);
   const EvalResult eval =
       evaluate(test_split, *policy, agent, features, config);
   const double base = eval.mean_base(metric);
@@ -249,6 +324,7 @@ int cmd_eval(const Options& opts) {
                 "%.0f lost node-seconds\n",
                 requeues, kills, wall_kills, lost);
   }
+  obs.finish(opts);
   return 0;
 }
 
@@ -269,6 +345,8 @@ int cmd_analyze(const Options& opts) {
   SimConfig sim_config;
   sim_config.backfill = opts.backfill;
   if (opts.faults) sim_config.faults = fault_profile(opts);
+  Observability obs(opts);
+  obs.apply(sim_config);
   Simulator sim(trace.cluster_procs(), sim_config);
   std::vector<Job> jobs = trace.jobs();
   sim.run(jobs, *policy, &inspector);
@@ -276,6 +354,7 @@ int cmd_analyze(const Options& opts) {
               recorder.total_samples(), recorder.rejected_samples(),
               recorder.rejection_ratio() * 100.0);
   std::printf("%s", recorder.render(10).c_str());
+  obs.finish(opts);
   return 0;
 }
 
@@ -285,6 +364,12 @@ int main(int argc, char** argv) {
   Options opts;
   if (!parse(argc, argv, opts)) return usage();
   try {
+    si::global_logger().set_level(si::log_level_from_name(opts.log_level));
+    si::global_logger().add_stderr_sink();
+    if (opts.profile) {
+      si::Profiler::set_enabled(true);
+      si::Profiler::instance().report_at_exit();
+    }
     if (opts.command == "train") return cmd_train(opts);
     if (opts.command == "eval") return cmd_eval(opts);
     return cmd_analyze(opts);

@@ -94,4 +94,10 @@ std::string render_cdf_table(const std::string& label,
   return out;
 }
 
+void write_cdf_table(Sink& sink, const std::string& label,
+                     const EmpiricalCdf& rejected, const EmpiricalCdf& total,
+                     std::size_t points) {
+  sink.write(render_cdf_table(label, rejected, total, points));
+}
+
 }  // namespace si

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/sink.hpp"
+
 namespace si {
 
 /// An empirical CDF over a fixed sample. The sample is sorted at
@@ -46,5 +48,11 @@ double ks_distance(const EmpiricalCdf& a, const EmpiricalCdf& b);
 std::string render_cdf_table(const std::string& label,
                              const EmpiricalCdf& rejected,
                              const EmpiricalCdf& total, std::size_t points);
+
+/// render_cdf_table written through a sink, so figure output can be
+/// redirected to files or silenced in tests.
+void write_cdf_table(Sink& sink, const std::string& label,
+                     const EmpiricalCdf& rejected, const EmpiricalCdf& total,
+                     std::size_t points);
 
 }  // namespace si

@@ -1,0 +1,49 @@
+#include "common/sink.hpp"
+
+#include <stdexcept>
+
+namespace si {
+
+namespace {
+
+class StreamSink final : public Sink {
+ public:
+  explicit StreamSink(std::FILE* stream) : stream_(stream) {}
+  void write(std::string_view text) override {
+    if (!text.empty()) std::fwrite(text.data(), 1, text.size(), stream_);
+  }
+  void flush() override { std::fflush(stream_); }
+
+ private:
+  std::FILE* stream_;
+};
+
+}  // namespace
+
+Sink& stdout_sink() {
+  static StreamSink sink(stdout);
+  return sink;
+}
+
+Sink& stderr_sink() {
+  static StreamSink sink(stderr);
+  return sink;
+}
+
+FileSink::FileSink(const std::string& path, bool append)
+    : path_(path), file_(std::fopen(path.c_str(), append ? "ab" : "wb")) {
+  if (file_ == nullptr)
+    throw std::runtime_error("cannot open sink file: " + path);
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::write(std::string_view text) {
+  if (!text.empty()) std::fwrite(text.data(), 1, text.size(), file_);
+}
+
+void FileSink::flush() { std::fflush(file_); }
+
+}  // namespace si

@@ -1,0 +1,61 @@
+// Byte-stream output sinks. Everything in the repo that produces textual
+// output — tables, CDF charts, the structured logger, JSONL trace/telemetry
+// writers, metrics exports — writes through this abstraction so output can be
+// sent to stdout/stderr, a file, or an in-memory string (tests), or silenced
+// entirely, without the producer knowing the destination.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace si {
+
+/// Minimal append-only byte sink.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(std::string_view text) = 0;
+  virtual void flush() {}
+};
+
+/// Process-wide stdout / stderr sinks (unsynchronized fwrite wrappers).
+Sink& stdout_sink();
+Sink& stderr_sink();
+
+/// Sink writing to a file opened at construction; throws std::runtime_error
+/// when the file cannot be opened. Flushes and closes on destruction.
+class FileSink final : public Sink {
+ public:
+  explicit FileSink(const std::string& path, bool append = false);
+  ~FileSink() override;
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write(std::string_view text) override;
+  void flush() override;
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Sink accumulating into a string; used by tests and render helpers.
+class StringSink final : public Sink {
+ public:
+  void write(std::string_view text) override { buffer_.append(text); }
+  const std::string& str() const { return buffer_; }
+  void clear() { buffer_.clear(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Discards everything (silenced output).
+class NullSink final : public Sink {
+ public:
+  void write(std::string_view) override {}
+};
+
+}  // namespace si

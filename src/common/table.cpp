@@ -85,6 +85,10 @@ std::string TextTable::render_csv() const {
   return out;
 }
 
+void TextTable::write(Sink& sink) const { sink.write(render()); }
+
+void TextTable::write_csv(Sink& sink) const { sink.write(render_csv()); }
+
 std::string format_double(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, value);

@@ -1,10 +1,14 @@
 // Aligned plain-text table rendering. Every bench binary prints its
 // paper-table/figure reproduction through this so the output stays uniform
-// and greppable; a CSV escape hatch supports downstream plotting.
+// and greppable; a CSV escape hatch supports downstream plotting. Output
+// goes through the Sink abstraction (common/sink.hpp) so it can be
+// redirected to files or captured/silenced in tests.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "common/sink.hpp"
 
 namespace si {
 
@@ -32,6 +36,11 @@ class TextTable {
 
   /// Renders as CSV (comma-separated, quotes around cells containing commas).
   std::string render_csv() const;
+
+  /// Writes render() / render_csv() through a sink (stdout_sink(), a
+  /// FileSink, a test StringSink, ...).
+  void write(Sink& sink) const;
+  void write_csv(Sink& sink) const;
 
   std::size_t row_count() const { return rows_.size(); }
 

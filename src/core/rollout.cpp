@@ -1,5 +1,7 @@
 #include "core/rollout.hpp"
 
+#include "obs/profile.hpp"
+
 namespace si {
 
 TrainingRollout rollout_training(Simulator& sim, const std::vector<Job>& jobs,
@@ -8,6 +10,7 @@ TrainingRollout rollout_training(Simulator& sim, const std::vector<Job>& jobs,
                                  const FeatureBuilder& features,
                                  Metric metric, RewardKind reward_kind,
                                  Rng& rng) {
+  SI_PROFILE_SCOPE("rollout/training");
   TrainingRollout out;
   out.base = sim.run(jobs, policy).metrics;
 
@@ -25,6 +28,7 @@ EvalPair rollout_eval(Simulator& sim, const std::vector<Job>& jobs,
                       SchedulingPolicy& policy, const ActorCritic& ac,
                       const FeatureBuilder& features,
                       DecisionRecorder* recorder) {
+  SI_PROFILE_SCOPE("rollout/eval");
   EvalPair out;
   out.base = sim.run(jobs, policy).metrics;
 

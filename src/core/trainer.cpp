@@ -2,11 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/sink.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "rl/model_io.hpp"
 #include "sim/simulator.hpp"
 
@@ -27,6 +36,12 @@ bool agent_finite(const ActorCritic& ac) {
 
 // A rollout is usable for PPO only if its reward and every recorded step are
 // finite; a diverged policy can poison log-probs without crashing the sim.
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 bool rollout_valid(const TrainingRollout& rollout, Metric metric) {
   if (!std::isfinite(rollout.trajectory.reward)) return false;
   if (!std::isfinite(rollout.base.value(metric)) ||
@@ -123,6 +138,20 @@ TrainResult Trainer::train(ActorCritic& ac) {
   std::vector<std::vector<Job>> windows(traj_count);
   std::vector<std::uint64_t> seeds(traj_count);
 
+  // --- observability plumbing (all inert unless configured) ---
+  std::unique_ptr<FileSink> telemetry;
+  if (!config_.telemetry_path.empty())
+    telemetry = std::make_unique<FileSink>(config_.telemetry_path);
+  // Worker simulators must not share the caller's tracer/metrics pointers:
+  // they run concurrently. Tracing instead buffers per trajectory below.
+  SimConfig worker_sim = config_.sim;
+  worker_sim.tracer = nullptr;
+  worker_sim.metrics = nullptr;
+  std::vector<BufferTracer> trajectory_traces(
+      config_.tracer != nullptr ? traj_count : 0);
+  const auto train_start = std::chrono::steady_clock::now();
+  int executed_epochs = 0;
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     RolloutBatch batch;
     EpochStats stats;
@@ -140,26 +169,49 @@ TrainResult Trainer::train(ActorCritic& ac) {
     }
     if (epoch < start_epoch) continue;
 
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      Simulator sim(trace_.cluster_procs(), config_.sim);
-      const PolicyPtr policy = policy_.clone();
-      for (;;) {
-        const std::size_t t = next.fetch_add(1);
-        if (t >= traj_count) break;
-        Rng traj_rng(seeds[t]);
-        rollouts[t] =
-            rollout_training(sim, windows[t], *policy, ac, features_,
-                             config_.metric, config_.reward, traj_rng);
+    const auto rollout_start = std::chrono::steady_clock::now();
+    {
+      SI_PROFILE_SCOPE("trainer/rollouts");
+      std::atomic<std::size_t> next{0};
+      auto worker = [&] {
+        Simulator sim(trace_.cluster_procs(), worker_sim);
+        const PolicyPtr policy = policy_.clone();
+        for (;;) {
+          const std::size_t t = next.fetch_add(1);
+          if (t >= traj_count) break;
+          if (config_.tracer != nullptr) {
+            trajectory_traces[t].clear();
+            sim.set_tracer(&trajectory_traces[t]);
+          }
+          Rng traj_rng(seeds[t]);
+          rollouts[t] =
+              rollout_training(sim, windows[t], *policy, ac, features_,
+                               config_.metric, config_.reward, traj_rng);
+        }
+      };
+      if (workers <= 1) {
+        worker();
+      } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+        for (std::thread& t : pool) t.join();
       }
-    };
-    if (workers <= 1) {
-      worker();
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-      for (std::thread& t : pool) t.join();
+    }
+    stats.rollout_seconds = seconds_since(rollout_start);
+
+    // Drain the buffered per-trajectory traces in trajectory order: the
+    // emitted stream is byte-identical for any worker count.
+    if (config_.tracer != nullptr) {
+      for (std::size_t t = 0; t < traj_count; ++t) {
+        TraceEvent marker;
+        marker.kind = TraceEvent::Kind::kTrajectory;
+        marker.time = windows[t].front().submit;
+        marker.epoch = epoch;
+        marker.traj = static_cast<int>(t);
+        config_.tracer->on_event(marker);
+        trajectory_traces[t].drain_to(*config_.tracer);
+      }
     }
 
     std::size_t valid = 0;
@@ -190,13 +242,19 @@ TrainResult Trainer::train(ActorCritic& ac) {
             ? static_cast<double>(rejections) / static_cast<double>(inspections)
             : 0.0;
 
+    const auto update_start = std::chrono::steady_clock::now();
     if (!batch.empty()) {
+      SI_PROFILE_SCOPE("trainer/update");
       const PpoStats ppo = updater.update(batch);
       if (ppo.non_finite || !agent_finite(ac)) {
         // The update diverged: discard it and continue from the last-good
         // parameters instead of corrupting the policy.
         restore_snapshot();
         stats.skipped_updates = 1;
+        SI_LOG_WARN("trainer",
+                    "epoch " + std::to_string(epoch) +
+                        ": PPO update produced non-finite values; rolled "
+                        "back to last good parameters");
       } else {
         stats.approx_kl = ppo.approx_kl;
         stats.entropy = ppo.entropy;
@@ -206,12 +264,62 @@ TrainResult Trainer::train(ActorCritic& ac) {
       }
     } else {
       stats.skipped_updates = 1;
+      SI_LOG_WARN("trainer", "epoch " + std::to_string(epoch) +
+                                 ": no valid trajectories; update skipped");
     }
+    stats.update_seconds = seconds_since(update_start);
     result.skipped_updates += stats.skipped_updates;
     result.curve.push_back(stats);
+    ++executed_epochs;
 
-    if (!config_.checkpoint_path.empty())
+    if (!config_.checkpoint_path.empty()) {
+      SI_PROFILE_SCOPE("trainer/checkpoint");
       save_checkpoint_file(config_.checkpoint_path, ac, epoch);
+    }
+
+    const double elapsed = seconds_since(train_start);
+    if (telemetry != nullptr) {
+      JsonObject record;
+      record.field("epoch", stats.epoch)
+          .field("epochs", config_.epochs)
+          .field("mean_reward", stats.mean_reward)
+          .field("mean_improvement", stats.mean_improvement)
+          .field("mean_pct_improvement", stats.mean_pct_improvement)
+          .field("rejection_ratio", stats.rejection_ratio)
+          .field("approx_kl", stats.approx_kl)
+          .field("entropy", stats.entropy)
+          .field("policy_loss", stats.policy_loss)
+          .field("value_loss", stats.value_loss)
+          .field("skipped_updates", stats.skipped_updates)
+          .field("invalid_trajectories", stats.invalid_trajectories)
+          .field("rollout_seconds", stats.rollout_seconds)
+          .field("update_seconds", stats.update_seconds)
+          .field("elapsed_seconds", elapsed);
+      telemetry->write(record.str() + "\n");
+      telemetry->flush();
+    }
+    if (config_.progress) {
+      const int remaining = config_.epochs - (epoch + 1);
+      const double eta =
+          executed_epochs > 0
+              ? elapsed / static_cast<double>(executed_epochs) *
+                    static_cast<double>(remaining)
+              : 0.0;
+      std::fprintf(stderr,
+                   "[train] epoch %d/%d  reward %.4f  reject %.3f  "
+                   "elapsed %.1fs  eta %.1fs\n",
+                   epoch + 1, config_.epochs, stats.mean_reward,
+                   stats.rejection_ratio, elapsed, eta);
+    }
+    if (config_.metrics != nullptr) {
+      MetricsRegistry& m = *config_.metrics;
+      m.counter("train.epochs").inc();
+      m.counter("train.trajectories").inc(valid);
+      m.counter("train.invalid_trajectories").inc(
+          static_cast<std::uint64_t>(stats.invalid_trajectories));
+      m.counter("train.skipped_updates").inc(
+          static_cast<std::uint64_t>(stats.skipped_updates));
+    }
   }
 
   // "Converged" value: mean over the final quarter of the curve (empty when
@@ -225,6 +333,12 @@ TrainResult Trainer::train(ActorCritic& ac) {
     }
     result.converged_improvement /= static_cast<double>(tail);
     result.converged_rejection_ratio /= static_cast<double>(tail);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge("train.converged_improvement")
+        .set(result.converged_improvement);
+    config_.metrics->gauge("train.converged_rejection_ratio")
+        .set(result.converged_rejection_ratio);
   }
   return result;
 }

@@ -43,6 +43,26 @@ struct TrainerConfig {
   /// destructive 50% a zero-bias net would produce — rejections are the
   /// exception, not the rule, and exploration still samples plenty of them.
   double initial_reject_logit = -2.0;
+
+  // --- observability (all inert by default; see DESIGN.md §5) ---
+  /// When non-empty, one JSONL telemetry record per executed epoch (reward,
+  /// losses, KL, rejection rate, skipped updates, per-phase wall time) is
+  /// written here, flushed per line so crashes keep the prefix.
+  std::string telemetry_path;
+  /// Prints a per-epoch progress line (epoch i/N, mean reward, elapsed,
+  /// ETA) to stderr so long runs are not silent. Off by default; the CLI
+  /// enables it unless --quiet.
+  bool progress = false;
+  /// When set, every rollout's simulator events are traced through this
+  /// sink (non-owning). Rollouts run on worker threads, so each trajectory
+  /// is buffered and drained in trajectory order: the emitted stream is
+  /// deterministic and byte-identical for any worker count. Each
+  /// trajectory is delimited by a {"ev":"trajectory",...} marker. Null
+  /// (default) leaves training bit-identical to the untraced build.
+  SimTracer* tracer = nullptr;
+  /// When set, training bumps the train.* counters/gauges documented in
+  /// DESIGN.md §5 (accessed only from the training thread).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-epoch training diagnostics.
@@ -66,6 +86,10 @@ struct EpochStats {
   int skipped_updates = 0;
   /// Trajectories dropped for non-finite rewards/observations this epoch.
   int invalid_trajectories = 0;
+  /// Wall time of the epoch's two phases (telemetry only — simulated
+  /// results never depend on these).
+  double rollout_seconds = 0.0;
+  double update_seconds = 0.0;
 };
 
 struct TrainResult {

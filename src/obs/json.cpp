@@ -1,0 +1,230 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace si {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void JsonObject::begin_field(std::string_view key) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += '"';
+  out_ += json_escape(key);
+  out_ += "\":";
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::string_view value) {
+  begin_field(key);
+  out_ += '"';
+  out_ += json_escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, double value) {
+  begin_field(key);
+  out_ += json_number(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::int64_t value) {
+  begin_field(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::uint64_t value) {
+  begin_field(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, bool value) {
+  begin_field(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::raw(std::string_view key, std::string_view json) {
+  begin_field(key);
+  out_ += json;
+  return *this;
+}
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_space() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+  bool consume(char ch) {
+    if (done() || text[pos] != ch) return false;
+    ++pos;
+    return true;
+  }
+};
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool parse_string(Cursor& c, std::string& out, std::string* error) {
+  if (!c.consume('"')) return fail(error, "expected '\"'");
+  out.clear();
+  while (!c.done()) {
+    const char ch = c.text[c.pos++];
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.done()) break;
+      const char esc = c.text[c.pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (c.pos + 4 > c.text.size())
+            return fail(error, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = c.text[c.pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail(error, "bad \\u escape");
+          }
+          // Flat records only ever escape control characters; anything in
+          // the BMP below 0x80 maps straight to one byte.
+          out += static_cast<char>(code < 0x80 ? code : '?');
+          break;
+        }
+        default:
+          return fail(error, "unknown escape");
+      }
+    } else {
+      out += ch;
+    }
+  }
+  return fail(error, "unterminated string");
+}
+
+bool parse_value(Cursor& c, JsonValue& out, std::string* error) {
+  c.skip_space();
+  if (c.done()) return fail(error, "missing value");
+  const char ch = c.peek();
+  if (ch == '"') {
+    out.kind = JsonValue::Kind::kString;
+    return parse_string(c, out.string, error);
+  }
+  if (ch == 't' || ch == 'f') {
+    const std::string_view word = ch == 't' ? "true" : "false";
+    if (c.text.substr(c.pos, word.size()) != word)
+      return fail(error, "bad literal");
+    c.pos += word.size();
+    out.kind = JsonValue::Kind::kBool;
+    out.boolean = ch == 't';
+    return true;
+  }
+  if (ch == 'n') {
+    if (c.text.substr(c.pos, 4) != "null") return fail(error, "bad literal");
+    c.pos += 4;
+    out.kind = JsonValue::Kind::kNull;
+    return true;
+  }
+  // Number token.
+  const std::size_t start = c.pos;
+  while (!c.done()) {
+    const char d = c.peek();
+    if ((d >= '0' && d <= '9') || d == '-' || d == '+' || d == '.' ||
+        d == 'e' || d == 'E')
+      ++c.pos;
+    else
+      break;
+  }
+  if (c.pos == start) return fail(error, "unexpected character");
+  const std::string token(c.text.substr(start, c.pos - start));
+  char* end = nullptr;
+  out.kind = JsonValue::Kind::kNumber;
+  out.number = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0') return fail(error, "bad number");
+  return true;
+}
+
+}  // namespace
+
+bool parse_flat_json(std::string_view line, JsonFlatObject& out,
+                     std::string* error) {
+  out.clear();
+  Cursor c{line};
+  c.skip_space();
+  if (!c.consume('{')) return fail(error, "expected '{'");
+  c.skip_space();
+  if (c.consume('}')) {
+    c.skip_space();
+    return c.done() || fail(error, "trailing characters");
+  }
+  for (;;) {
+    c.skip_space();
+    std::string key;
+    if (!parse_string(c, key, error)) return false;
+    c.skip_space();
+    if (!c.consume(':')) return fail(error, "expected ':'");
+    JsonValue value;
+    if (!parse_value(c, value, error)) return false;
+    out[key] = std::move(value);
+    c.skip_space();
+    if (c.consume(',')) continue;
+    if (c.consume('}')) break;
+    return fail(error, "expected ',' or '}'");
+  }
+  c.skip_space();
+  return c.done() || fail(error, "trailing characters");
+}
+
+}  // namespace si

@@ -1,0 +1,72 @@
+// Tiny JSON emission (and flat-object parsing) helpers for the
+// observability layer. Every JSONL record the repo writes — trace events,
+// trainer telemetry, log records, metrics/bench exports — is built through
+// JsonObject so escaping and number formatting stay uniform and
+// deterministic (doubles use "%.17g": round-trippable and identical across
+// runs on the same platform).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace si {
+
+/// Escapes `text` for inclusion inside a JSON string literal (no quotes
+/// added): backslash, quote, and control characters.
+std::string json_escape(std::string_view text);
+
+/// Formats a double as a JSON number token; non-finite values (which JSON
+/// cannot represent) become "null".
+std::string json_number(double value);
+
+/// Incremental builder for one flat JSON object. Keys are emitted in call
+/// order; str() closes the object.
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonObject& field(std::string_view key, bool value);
+  /// Emits `json` verbatim as the value (caller guarantees validity); used
+  /// to nest arrays/objects built elsewhere.
+  JsonObject& raw(std::string_view key, std::string_view json);
+
+  /// The finished object, e.g. {"a":1,"b":"x"}.
+  std::string str() const { return out_ + "}"; }
+
+ private:
+  void begin_field(std::string_view key);
+
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+/// One parsed scalar value of a flat JSON object.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+};
+
+using JsonFlatObject = std::map<std::string, JsonValue>;
+
+/// Parses one *flat* JSON object (string/number/bool/null values only — no
+/// nesting), as emitted for JSONL trace / telemetry / log records. Returns
+/// false and fills `error` (when given) on malformed input. Deliberately
+/// minimal: a schema-checking aid for tests and tools, not a general JSON
+/// parser (tools/check_trace_schema.py does full validation).
+bool parse_flat_json(std::string_view line, JsonFlatObject& out,
+                     std::string* error = nullptr);
+
+}  // namespace si

@@ -1,0 +1,92 @@
+#include "obs/log.hpp"
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace si {
+
+const std::vector<std::string>& known_log_levels() {
+  static const std::vector<std::string> names = {"trace", "debug", "info",
+                                                 "warn",  "error", "off"};
+  return names;
+}
+
+LogLevel log_level_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < known_log_levels().size(); ++i)
+    if (known_log_levels()[i] == name) return static_cast<LogLevel>(i);
+  std::string message = "unknown log level: " + name + " (known:";
+  for (const std::string& known : known_log_levels()) message += " " + known;
+  throw std::out_of_range(message + ")");
+}
+
+std::string log_level_name(LogLevel level) {
+  const auto index = static_cast<std::size_t>(level);
+  return index < known_log_levels().size() ? known_log_levels()[index] : "?";
+}
+
+void Logger::add_entry(std::unique_ptr<Sink> owned, Sink* out, bool jsonl) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.owned = std::move(owned);
+  entry.out = entry.owned != nullptr ? entry.owned.get() : out;
+  entry.jsonl = jsonl;
+  entries_.push_back(std::move(entry));
+  has_sinks_.store(true, std::memory_order_relaxed);
+}
+
+void Logger::add_file_sink(const std::string& path) {
+  add_entry(std::make_unique<FileSink>(path), nullptr, false);
+}
+
+void Logger::add_jsonl_file_sink(const std::string& path) {
+  add_entry(std::make_unique<FileSink>(path), nullptr, true);
+}
+
+void Logger::clear_sinks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  has_sinks_.store(false, std::memory_order_relaxed);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string text;
+  std::string jsonl;
+  for (const Entry& entry : entries_) {
+    if (entry.jsonl) {
+      if (jsonl.empty()) {
+        jsonl = JsonObject()
+                    .field("level", log_level_name(level))
+                    .field("component", component)
+                    .field("msg", message)
+                    .str();
+        jsonl += '\n';
+      }
+      entry.out->write(jsonl);
+    } else {
+      if (text.empty()) {
+        text = "[" + log_level_name(level) + "] ";
+        text += component;
+        text += ": ";
+        text += message;
+        text += '\n';
+      }
+      entry.out->write(text);
+    }
+  }
+}
+
+void Logger::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) entry.out->flush();
+}
+
+Logger& global_logger() {
+  static Logger logger;
+  return logger;
+}
+
+}  // namespace si

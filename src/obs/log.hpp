@@ -1,0 +1,98 @@
+// Leveled, sink-based structured logger. Log records flow to any number of
+// sinks (stderr text, plain-text file, JSONL file — all built on
+// common/sink.hpp) and are dropped with a single level comparison when no
+// sink is attached or the level is filtered, so instrumented library code
+// costs nothing in the default (unconfigured) state: the SI_LOG_* macros do
+// not even evaluate the message expression then.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sink.hpp"
+
+namespace si {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off"; throws
+/// std::out_of_range (listing the known names) otherwise.
+LogLevel log_level_from_name(const std::string& name);
+std::string log_level_name(LogLevel level);
+
+/// All parseable level names, in severity order.
+const std::vector<std::string>& known_log_levels();
+
+/// Thread-safe leveled logger fanning records out to its sinks. Formatting
+/// per sink: text sinks get "[level] component: message\n", JSONL sinks get
+/// {"level":...,"component":...,"msg":...}.
+class Logger {
+ public:
+  Logger() = default;
+
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+
+  /// True when a record at `level` would reach at least one sink. The
+  /// SI_LOG_* macros guard on this so disabled logging skips message
+  /// construction entirely.
+  bool enabled(LogLevel level) const {
+    return level >= this->level() && has_sinks_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches a non-owning text/JSONL sink; `out` must outlive the logger.
+  void add_text_sink(Sink& out) { add_entry(nullptr, &out, false); }
+  void add_jsonl_sink(Sink& out) { add_entry(nullptr, &out, true); }
+  /// Convenience owned sinks.
+  void add_stderr_sink() { add_text_sink(stderr_sink()); }
+  void add_file_sink(const std::string& path);
+  void add_jsonl_file_sink(const std::string& path);
+  void clear_sinks();
+
+  void log(LogLevel level, std::string_view component,
+           std::string_view message);
+  void flush();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Sink> owned;  ///< set when the logger owns the sink
+    Sink* out = nullptr;
+    bool jsonl = false;
+  };
+
+  void add_entry(std::unique_ptr<Sink> owned, Sink* out, bool jsonl);
+
+  std::atomic<LogLevel> level_{LogLevel::kInfo};
+  std::atomic<bool> has_sinks_{false};
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+/// The process-wide logger used by SI_LOG_*. Starts with no sinks (fully
+/// disabled); front-ends attach sinks and set the level (--log-level).
+Logger& global_logger();
+
+}  // namespace si
+
+/// Logs through an explicit logger; `message` is only evaluated when the
+/// record would actually be written.
+#define SI_LOG(logger, lvl, component, message)                         \
+  do {                                                                  \
+    ::si::Logger& si_log_ref = (logger);                                \
+    if (si_log_ref.enabled(lvl)) si_log_ref.log(lvl, component, message); \
+  } while (0)
+
+#define SI_LOG_DEBUG(component, message) \
+  SI_LOG(::si::global_logger(), ::si::LogLevel::kDebug, component, message)
+#define SI_LOG_INFO(component, message) \
+  SI_LOG(::si::global_logger(), ::si::LogLevel::kInfo, component, message)
+#define SI_LOG_WARN(component, message) \
+  SI_LOG(::si::global_logger(), ::si::LogLevel::kWarn, component, message)
+#define SI_LOG_ERROR(component, message) \
+  SI_LOG(::si::global_logger(), ::si::LogLevel::kError, component, message)

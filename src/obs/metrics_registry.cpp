@@ -1,0 +1,97 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace si {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  SI_REQUIRE(!bounds_.empty());
+  SI_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    SI_REQUIRE(bounds_[i - 1] < bounds_[i]);
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  auto number_array = [](const auto& values, auto&& format) {
+    std::string out = "[";
+    bool first = true;
+    for (const auto& v : values) {
+      if (!first) out += ',';
+      first = false;
+      out += format(v);
+    }
+    return out + "]";
+  };
+
+  JsonObject counters;
+  for (const auto& [name, counter] : counters_)
+    counters.field(name, counter.value());
+  JsonObject gauges;
+  for (const auto& [name, gauge] : gauges_) gauges.field(name, gauge.value());
+  JsonObject histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    JsonObject h;
+    h.raw("bounds", number_array(histogram.bounds(),
+                                 [](double b) { return json_number(b); }));
+    h.raw("counts", number_array(histogram.counts(), [](std::uint64_t c) {
+            return std::to_string(c);
+          }));
+    h.field("sum", histogram.sum());
+    h.field("count", histogram.count());
+    histograms.raw(name, h.str());
+  }
+  JsonObject root;
+  root.raw("counters", counters.str());
+  root.raw("gauges", gauges.str());
+  root.raw("histograms", histograms.str());
+  return root.str() + "\n";
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::string out = "kind,name,key,value\n";
+  for (const auto& [name, counter] : counters_)
+    out += "counter," + name + ",value," + std::to_string(counter.value()) +
+           "\n";
+  for (const auto& [name, gauge] : gauges_)
+    out += "gauge," + name + ",value," + json_number(gauge.value()) + "\n";
+  for (const auto& [name, histogram] : histograms_) {
+    const auto& bounds = histogram.bounds();
+    const auto& counts = histogram.counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::string key =
+          i < bounds.size() ? "le_" + json_number(bounds[i]) : "le_inf";
+      out += "histogram," + name + "," + key + "," +
+             std::to_string(counts[i]) + "\n";
+    }
+    out += "histogram," + name + ",sum," + json_number(histogram.sum()) + "\n";
+    out += "histogram," + name + ",count," + std::to_string(histogram.count()) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace si

@@ -1,0 +1,95 @@
+// A registry of named counters, gauges, and fixed-bucket histograms with
+// JSON and CSV export. Producers (simulator, trainer, CLI) look instruments
+// up by name once and bump them through the returned handle; handles stay
+// valid for the registry's lifetime (std::map nodes are stable). The
+// registry is intentionally single-writer: the simulator and trainer only
+// record into a registry from the thread that owns the run (worker-thread
+// simulators get a null registry), keeping the hot-path increments free of
+// synchronization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sink.hpp"
+
+namespace si {
+
+/// Monotonically increasing integer instrument.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value instrument.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are the strictly increasing inclusive
+/// upper bucket edges; one overflow bucket catches everything beyond the
+/// last bound. Tracks sum and count alongside the bucket tallies.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Named instrument registry. Instruments are created on first lookup;
+/// exports list them in name order so output is deterministic.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` are used only when the histogram does not exist yet; later
+  /// lookups ignore them (the first caller fixes the buckets).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+  /// "counts":[...],"sum":...,"count":...}}}
+  std::string to_json() const;
+  /// Rows of `kind,name,key,value` — counters/gauges use key "value";
+  /// histograms emit one `le_<bound>` row per bucket plus sum and count.
+  std::string to_csv() const;
+
+  void write_json(Sink& sink) const { sink.write(to_json()); }
+  void write_csv(Sink& sink) const { sink.write(to_csv()); }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace si

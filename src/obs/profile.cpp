@@ -1,0 +1,108 @@
+#include "obs/profile.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.hpp"
+
+namespace si {
+
+namespace {
+
+// The per-thread stack of open scope labels; ProfileScope pushes/pops.
+thread_local std::vector<const char*> t_scope_stack;
+
+}  // namespace
+
+std::atomic<bool>& Profiler::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+Profiler& Profiler::instance() {
+  static Profiler* profiler = [] {
+    auto* p = new Profiler();  // leaked: must outlive atexit handlers
+    if (env_int("SCHEDINSPECTOR_PROFILE", 0) != 0) {
+      set_enabled(true);
+      p->report_at_exit();
+    }
+    return p;
+  }();
+  return *profiler;
+}
+
+void Profiler::record(const std::vector<const char*>& path, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node* node = &root_;
+  for (const char* label : path) node = &node->children[label];
+  ++node->count;
+  node->seconds += seconds;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  root_ = Node{};
+}
+
+namespace {
+
+void render_node(const std::string& label, const Profiler::Node& node,
+                 double parent_seconds, int depth, std::string& out) {
+  char buf[160];
+  const double share =
+      parent_seconds > 0.0 ? node.seconds / parent_seconds * 100.0 : 100.0;
+  std::snprintf(buf, sizeof buf, "%*s%-*s %10llu calls %12.6f s %6.1f%%\n",
+                depth * 2, "", 32 - depth * 2, label.c_str(),
+                static_cast<unsigned long long>(node.count), node.seconds,
+                share);
+  out += buf;
+  for (const auto& [child_label, child] : node.children)
+    render_node(child_label, child, node.seconds, depth + 1, out);
+}
+
+}  // namespace
+
+std::string Profiler::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "--- profile (wall time per scope) ---\n";
+  if (root_.children.empty()) {
+    out += "(no scopes recorded)\n";
+    return out;
+  }
+  double total = 0.0;
+  for (const auto& [label, node] : root_.children) total += node.seconds;
+  for (const auto& [label, node] : root_.children)
+    render_node(label, node, total, 0, out);
+  return out;
+}
+
+void Profiler::report_at_exit() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (exit_hook_registered_) return;
+    exit_hook_registered_ = true;
+  }
+  std::atexit([] {
+    const std::string report = Profiler::instance().report();
+    std::fputs(report.c_str(), stderr);
+  });
+}
+
+ProfileScope::ProfileScope(const char* label) {
+  if (!Profiler::enabled()) return;
+  active_ = true;
+  t_scope_stack.push_back(label);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ProfileScope::~ProfileScope() {
+  if (!active_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  Profiler::instance().record(t_scope_stack, seconds);
+  t_scope_stack.pop_back();
+}
+
+}  // namespace si

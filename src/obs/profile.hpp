@@ -1,0 +1,83 @@
+// RAII scoped-timer profiler. SI_PROFILE_SCOPE("label") opens a wall-time
+// scope; nested scopes on the same thread build a hierarchical label path
+// and the process-wide Profiler aggregates {call count, total seconds} per
+// path, reporting an indented profile tree. Disabled (the default) a scope
+// costs one relaxed atomic load — safe to leave in hot paths. Enable via
+// Profiler::set_enabled(true), the CLI's --profile flag, or the
+// SCHEDINSPECTOR_PROFILE=1 environment variable (which also registers an
+// atexit report to stderr). Scopes opened on worker threads aggregate into
+// the same tree, rooted at that thread's outermost scope.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sink.hpp"
+
+namespace si {
+
+class Profiler {
+ public:
+  /// One aggregated tree node (label path component).
+  struct Node {
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+    std::map<std::string, Node> children;
+  };
+
+  static Profiler& instance();
+
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_flag().store(on, std::memory_order_relaxed);
+  }
+
+  /// Records one finished scope. `path` is the thread's label stack at scope
+  /// exit, outermost first (including the scope's own label last).
+  void record(const std::vector<const char*>& path, double seconds);
+
+  /// Indented tree: label, call count, total seconds, share of parent.
+  std::string report() const;
+  void write_report(Sink& sink) const { sink.write(report()); }
+  void reset();
+
+  /// Registers (once) an atexit hook printing the report to stderr.
+  void report_at_exit();
+
+ private:
+  Profiler() = default;
+  static std::atomic<bool>& enabled_flag();
+
+  mutable std::mutex mutex_;
+  Node root_;
+  bool exit_hook_registered_ = false;
+};
+
+/// RAII scope; prefer the SI_PROFILE_SCOPE macro. `label` must be a string
+/// literal (stored by pointer while the scope is open).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* label);
+  ~ProfileScope();
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace si
+
+#define SI_PROFILE_CONCAT2(a, b) a##b
+#define SI_PROFILE_CONCAT(a, b) SI_PROFILE_CONCAT2(a, b)
+/// Opens a profiling scope covering the rest of the enclosing block.
+#define SI_PROFILE_SCOPE(label) \
+  ::si::ProfileScope SI_PROFILE_CONCAT(si_profile_scope_, __LINE__)(label)

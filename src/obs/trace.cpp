@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace si {
+
+const char* trace_event_kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kRunBegin: return "run_begin";
+    case TraceEvent::Kind::kSubmit: return "submit";
+    case TraceEvent::Kind::kSchedPoint: return "sched_point";
+    case TraceEvent::Kind::kInspect: return "inspect";
+    case TraceEvent::Kind::kReject: return "reject";
+    case TraceEvent::Kind::kStart: return "start";
+    case TraceEvent::Kind::kFinish: return "finish";
+    case TraceEvent::Kind::kRequeue: return "requeue";
+    case TraceEvent::Kind::kKill: return "kill";
+    case TraceEvent::Kind::kDrain: return "drain";
+    case TraceEvent::Kind::kRestore: return "restore";
+    case TraceEvent::Kind::kTrajectory: return "trajectory";
+    case TraceEvent::Kind::kRunEnd: return "run_end";
+  }
+  return "?";
+}
+
+std::string trace_event_jsonl(const TraceEvent& event) {
+  JsonObject out;
+  out.field("ev", trace_event_kind_name(event.kind));
+  out.field("t", event.time);
+  switch (event.kind) {
+    case TraceEvent::Kind::kRunBegin:
+      out.field("jobs", event.jobs)
+          .field("procs", event.procs)
+          .field("backfill", event.backfill);
+      break;
+    case TraceEvent::Kind::kSubmit:
+      out.field("job", event.job)
+          .field("procs", event.procs)
+          .field("submit", event.submit);
+      break;
+    case TraceEvent::Kind::kSchedPoint:
+      out.field("job", event.job)
+          .field("free", event.free_procs)
+          .field("waiting", event.waiting);
+      break;
+    case TraceEvent::Kind::kInspect:
+      out.field("job", event.job)
+          .field("reject", event.reject)
+          .field("rejections", event.rejections)
+          .field("free", event.free_procs);
+      break;
+    case TraceEvent::Kind::kReject:
+      out.field("job", event.job).field("rejections", event.rejections);
+      break;
+    case TraceEvent::Kind::kStart:
+      out.field("job", event.job)
+          .field("procs", event.procs)
+          .field("wait", event.wait);
+      break;
+    case TraceEvent::Kind::kFinish:
+      out.field("job", event.job).field("procs", event.procs);
+      break;
+    case TraceEvent::Kind::kRequeue:
+      out.field("job", event.job).field("attempt", event.attempt);
+      break;
+    case TraceEvent::Kind::kKill:
+      out.field("job", event.job)
+          .field("procs", event.procs)
+          .field("reason", event.reason != nullptr ? event.reason : "?");
+      break;
+    case TraceEvent::Kind::kDrain:
+    case TraceEvent::Kind::kRestore:
+      out.field("procs", event.procs);
+      break;
+    case TraceEvent::Kind::kTrajectory:
+      out.field("epoch", event.epoch).field("traj", event.traj);
+      break;
+    case TraceEvent::Kind::kRunEnd:
+      out.field("jobs", event.jobs)
+          .field("inspections", event.inspections)
+          .field("rejections", event.total_rejections);
+      break;
+  }
+  return out.str() + "\n";
+}
+
+}  // namespace si

@@ -1,0 +1,103 @@
+// Simulator event tracing: one structured record per discrete simulator
+// event, serialized as JSONL. The Simulator emits events only when a tracer
+// is installed via SimConfig::tracer, so untraced runs execute the exact
+// seed code path (bit-identical results). Records carry *simulated* time
+// only — never wall-clock — so same-seed runs produce byte-identical trace
+// files (tests/obs/trace_test.cpp proves it; tools/check_trace_schema.py
+// validates the schema, documented in DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sink.hpp"
+
+namespace si {
+
+/// One simulator event. Only the fields meaningful for `kind` are
+/// serialized (see trace_event_jsonl); the rest keep their sentinel values.
+struct TraceEvent {
+  enum class Kind {
+    kRunBegin,    ///< sim.run() entered: jobs, procs, backfill
+    kSubmit,      ///< job admitted to the waiting queue: job, procs, submit
+    kSchedPoint,  ///< base policy picked a candidate: job, free, waiting
+    kInspect,     ///< inspector consulted: job, reject, rejections, free
+    kReject,      ///< candidate rejected: job, rejections (updated count)
+    kStart,       ///< job started: job, procs, wait
+    kFinish,      ///< job completed normally: job, procs
+    kRequeue,     ///< failed attempt re-entered the queue: job, attempt
+    kKill,        ///< job terminated for good: job, procs, reason
+    kDrain,       ///< processors collected out of service: procs
+    kRestore,     ///< drained processors returned to service: procs
+    kTrajectory,  ///< trainer marker delimiting rollouts: epoch, traj
+    kRunEnd,      ///< sim.run() finished: jobs, inspections, rejections
+  };
+
+  Kind kind = Kind::kRunBegin;
+  double time = 0.0;              ///< simulated seconds (field "t")
+  std::int64_t job = -1;          ///< job id
+  std::int64_t jobs = -1;         ///< sequence length (run begin/end)
+  int procs = -1;
+  int free_procs = -1;
+  int waiting = -1;               ///< waiting-queue length
+  int rejections = -1;            ///< per-job rejection count
+  int attempt = -1;               ///< requeue attempt number
+  double wait = -1.0;             ///< seconds waited before start
+  double submit = -1.0;           ///< original submission time
+  bool reject = false;            ///< inspect decision
+  bool backfill = false;          ///< run begin: EASY backfilling on
+  const char* reason = nullptr;   ///< kill reason: "wall" | "budget"
+  std::int64_t inspections = -1;  ///< run end totals
+  std::int64_t total_rejections = -1;
+  int epoch = -1;                 ///< trajectory marker
+  int traj = -1;
+};
+
+/// The "ev" field value for a kind, e.g. "sched_point".
+const char* trace_event_kind_name(TraceEvent::Kind kind);
+
+/// Serializes one event as a single JSON line (trailing newline included).
+std::string trace_event_jsonl(const TraceEvent& event);
+
+/// Receiver of simulator events; installed via SimConfig::tracer. The
+/// simulator calls on_event synchronously from its own thread.
+class SimTracer {
+ public:
+  virtual ~SimTracer() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Writes each event as one JSONL record to a sink.
+class JsonlTracer final : public SimTracer {
+ public:
+  explicit JsonlTracer(Sink& out) : out_(out) {}
+  void on_event(const TraceEvent& event) override {
+    out_.write(trace_event_jsonl(event));
+  }
+  void flush() { out_.flush(); }
+
+ private:
+  Sink& out_;
+};
+
+/// Buffers events in memory; the trainer gives each rollout worker its own
+/// buffer and drains them in trajectory order so multi-threaded training
+/// still produces a deterministic, byte-identical trace.
+class BufferTracer final : public SimTracer {
+ public:
+  void on_event(const TraceEvent& event) override {
+    events_.push_back(event);
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void drain_to(SimTracer& out) {
+    for (const TraceEvent& event : events_) out.on_event(event);
+    events_.clear();
+  }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace si

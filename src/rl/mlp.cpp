@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/profile.hpp"
 
 namespace si {
 
@@ -41,6 +42,8 @@ void Mlp::set_output_bias(double value) {
 }
 
 std::vector<double> Mlp::forward(std::span<const double> input) const {
+  // Hot path: one relaxed atomic load when profiling is disabled.
+  SI_PROFILE_SCOPE("mlp/forward");
   Workspace ws;
   return forward(input, ws);
 }

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/profile.hpp"
 
 namespace si {
 
@@ -83,6 +84,7 @@ PpoUpdater::PpoUpdater(ActorCritic& ac, PpoConfig config)
 
 std::vector<double> PpoUpdater::compute_advantages(
     const RolloutBatch& batch) const {
+  SI_PROFILE_SCOPE("ppo/advantages");
   std::vector<double> adv(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i)
     adv[i] = batch.returns[i] - ac_.value(batch.steps[i].obs);
@@ -100,6 +102,7 @@ std::vector<double> PpoUpdater::compute_advantages(
 }
 
 PpoStats PpoUpdater::update(const RolloutBatch& batch) {
+  SI_PROFILE_SCOPE("ppo/update");
   SI_REQUIRE(!batch.empty());
   SI_REQUIRE(batch.steps.size() == batch.returns.size());
   for (const Step& s : batch.steps)
@@ -114,6 +117,7 @@ PpoStats PpoUpdater::update(const RolloutBatch& batch) {
   // --- policy: clipped surrogate with entropy bonus; early stop on KL ---
   std::array<ChunkAccumulator, kChunks> acc;
   for (int iter = 0; iter < config_.policy_iters; ++iter) {
+    SI_PROFILE_SCOPE("ppo/policy_iter");
     for_each_chunk(batch.size(), [&](std::size_t c, std::size_t begin,
                                      std::size_t end) {
       ChunkAccumulator& a = acc[c];
@@ -184,6 +188,7 @@ PpoStats PpoUpdater::update(const RolloutBatch& batch) {
   // --- value: mean squared error against the returns ---
   Mlp& value = ac_.value_net();
   for (int iter = 0; iter < config_.value_iters; ++iter) {
+    SI_PROFILE_SCOPE("ppo/value_iter");
     for_each_chunk(batch.size(), [&](std::size_t c, std::size_t begin,
                                      std::size_t end) {
       ChunkAccumulator& a = acc[c];

@@ -6,6 +6,9 @@
 
 namespace si {
 
+class SimTracer;        // obs/trace.hpp
+class MetricsRegistry;  // obs/metrics_registry.hpp
+
 struct SimConfig {
   /// EASY backfilling on/off (§4.4.5). Off by default, as in the paper's
   /// main experiments.
@@ -24,6 +27,18 @@ struct SimConfig {
   /// Inert unless faults.enabled is set: the disabled simulator is
   /// bit-identical to the fault-free implementation.
   FaultConfig faults;
+
+  /// Event tracer (non-owning; must outlive every run). When null — the
+  /// default — no event is constructed and the simulator is bit-identical
+  /// to the untraced implementation. Tracing writes simulated time only,
+  /// so same-seed runs emit byte-identical traces.
+  SimTracer* tracer = nullptr;
+
+  /// Metrics registry (non-owning). When set, each run() increments the
+  /// sim.* counters/histograms documented in DESIGN.md §5. Null — the
+  /// default — records nothing. Not thread-safe: give concurrent
+  /// simulators (e.g. trainer rollout workers) a null registry.
+  MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace si

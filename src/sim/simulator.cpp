@@ -4,6 +4,9 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 namespace si {
 
@@ -44,6 +47,15 @@ void Simulator::admit_arrivals() {
   const auto& jobs = *jobs_;
   while (next_arrival_ < jobs.size() && jobs[next_arrival_].submit <= now_) {
     waiting_.push_back(next_arrival_);
+    if (config_.tracer != nullptr) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::kSubmit;
+      event.time = now_;
+      event.job = jobs[next_arrival_].id;
+      event.procs = jobs[next_arrival_].procs;
+      event.submit = jobs[next_arrival_].submit;
+      config_.tracer->on_event(event);
+    }
     ++next_arrival_;
   }
 }
@@ -60,6 +72,14 @@ void Simulator::apply_drain_delta(int delta) {
   event.time = now_;
   event.procs = delta > 0 ? delta : -delta;
   fault_events_.push_back(event);
+  if (config_.tracer != nullptr) {
+    TraceEvent trace;
+    trace.kind = delta > 0 ? TraceEvent::Kind::kDrain
+                           : TraceEvent::Kind::kRestore;
+    trace.time = now_;
+    trace.procs = event.procs;
+    config_.tracer->on_event(trace);
+  }
 }
 
 Time Simulator::next_fault_event() const {
@@ -127,14 +147,21 @@ void Simulator::process_completions() {
     }
     free_procs_ += released;
     JobRecord& rec = records_[done.index];
+    TraceEvent trace;
+    trace.time = now_;
+    trace.job = rec.id;
+    trace.procs = done.procs;
     switch (done.outcome) {
       case Outcome::kComplete:
         ++completed_;
+        trace.kind = TraceEvent::Kind::kFinish;
         break;
       case Outcome::kWallKilled:
         rec.wall_killed = true;
         rec.run = (*jobs_)[done.index].estimate;
         ++completed_;
+        trace.kind = TraceEvent::Kind::kKill;
+        trace.reason = "wall";
         break;
       case Outcome::kFailed: {
         const double elapsed = done.finish - rec.start;
@@ -144,14 +171,19 @@ void Simulator::process_completions() {
           rec.start = -1.0;
           rec.finish = -1.0;
           waiting_.push_back(done.index);
+          trace.kind = TraceEvent::Kind::kRequeue;
+          trace.attempt = rec.requeues;
         } else {
           rec.killed = true;
           rec.run = elapsed;
           ++completed_;
+          trace.kind = TraceEvent::Kind::kKill;
+          trace.reason = "budget";
         }
         break;
       }
     }
+    if (config_.tracer != nullptr) config_.tracer->on_event(trace);
     SI_ENSURE(free_procs_ + drained_ <= total_procs_);
   }
 }
@@ -184,6 +216,15 @@ void Simulator::start_job(std::size_t index) {
   rec.finish = termination;
   running_.push_back(r);
   std::push_heap(running_.begin(), running_.end(), RunningLater{});
+  if (config_.tracer != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kStart;
+    event.time = now_;
+    event.job = job.id;
+    event.procs = job.procs;
+    event.wait = now_ - job.submit;
+    config_.tracer->on_event(event);
+  }
   policy_->on_job_start(job, now_);
 }
 
@@ -312,6 +353,7 @@ void Simulator::advance_time(Time extra_bound) {
 
 SequenceResult Simulator::run(const std::vector<Job>& jobs,
                               SchedulingPolicy& policy, Inspector* inspector) {
+  SI_PROFILE_SCOPE("sim/run");
   SI_REQUIRE(!jobs.empty());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     SI_REQUIRE(jobs[i].procs > 0 && jobs[i].procs <= total_procs_);
@@ -351,6 +393,16 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
   faults_.reset(now_);
   policy.reset();
 
+  if (config_.tracer != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kRunBegin;
+    event.time = now_;
+    event.jobs = static_cast<std::int64_t>(jobs.size());
+    event.procs = total_procs_;
+    event.backfill = config_.backfill;
+    config_.tracer->on_event(event);
+  }
+
   while (completed_ < jobs.size()) {
     if (faults_.enabled()) process_fault_events();
     admit_arrivals();
@@ -375,6 +427,15 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
     }
 
     const std::size_t top = pick_top_priority();
+    if (config_.tracer != nullptr) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::kSchedPoint;
+      event.time = now_;
+      event.job = jobs[top].id;
+      event.free_procs = free_procs_;
+      event.waiting = static_cast<int>(waiting_.size());
+      config_.tracer->on_event(event);
+    }
     bool rejected = false;
     if (inspector_ != nullptr &&
         records_[top].rejections < config_.max_rejection_times) {
@@ -395,11 +456,29 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
       view.waiting = &others;
       ++inspections_;
       rejected = inspector_->reject(view);
+      if (config_.tracer != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::kInspect;
+        event.time = now_;
+        event.job = jobs[top].id;
+        event.reject = rejected;
+        event.rejections = records_[top].rejections;
+        event.free_procs = free_procs_;
+        config_.tracer->on_event(event);
+      }
     }
 
     if (rejected) {
       ++records_[top].rejections;
       ++rejections_;
+      if (config_.tracer != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::kReject;
+        event.time = now_;
+        event.job = jobs[top].id;
+        event.rejections = records_[top].rejections;
+        config_.tracer->on_event(event);
+      }
       advance_time(now_ + config_.max_interval);
       continue;
     }
@@ -426,7 +505,40 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
     result.metrics.lost_node_seconds = lost_node_seconds_;
     result.fault_events = std::move(fault_events_);
   }
+  if (config_.tracer != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kRunEnd;
+    event.time = now_;
+    event.jobs = static_cast<std::int64_t>(jobs.size());
+    event.inspections = static_cast<std::int64_t>(inspections_);
+    event.total_rejections = static_cast<std::int64_t>(rejections_);
+    config_.tracer->on_event(event);
+  }
+  if (config_.metrics != nullptr) record_metrics(result);
   return result;
+}
+
+void Simulator::record_metrics(const SequenceResult& result) const {
+  MetricsRegistry& m = *config_.metrics;
+  m.counter("sim.runs").inc();
+  m.counter("sim.jobs").inc(result.records.size());
+  m.counter("sim.inspections").inc(inspections_);
+  m.counter("sim.rejections").inc(rejections_);
+  m.counter("sim.requeues").inc(result.metrics.requeues);
+  m.counter("sim.kills").inc(result.metrics.kills);
+  m.counter("sim.wall_kills").inc(result.metrics.wall_kills);
+  m.counter("sim.drain_events").inc(result.metrics.drain_events);
+  m.gauge("sim.last_utilization").set(result.metrics.utilization);
+  m.gauge("sim.last_makespan_seconds").set(result.metrics.makespan);
+  Histogram& wait = m.histogram(
+      "sim.job_wait_seconds",
+      {0.0, 60.0, 600.0, 3600.0, 4.0 * 3600.0, 12.0 * 3600.0, 24.0 * 3600.0});
+  Histogram& bsld = m.histogram("sim.job_bsld",
+                                {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
+  for (const JobRecord& record : result.records) {
+    wait.observe(record.wait());
+    bsld.observe(record.bounded_slowdown());
+  }
 }
 
 }  // namespace si

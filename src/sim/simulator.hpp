@@ -50,6 +50,11 @@ class Simulator {
   int total_procs() const { return total_procs_; }
   const SimConfig& config() const { return config_; }
 
+  /// Replaces the event tracer for subsequent runs (null disables). Lets
+  /// one simulator serve several traced sequences (e.g. the trainer's
+  /// per-trajectory buffers) without reconstruction.
+  void set_tracer(SimTracer* tracer) { config_.tracer = tracer; }
+
   /// Schedules `jobs` to completion under `policy`. `inspector` may be null
   /// (base behaviour: every decision accepted). The policy is reset() before
   /// the run. Jobs must satisfy 0 < procs <= total_procs and run >= 0, and
@@ -138,6 +143,9 @@ class Simulator {
   /// Advances simulated time to the next arrival/completion; `extra_bound`
   /// (if >= 0) additionally caps the jump (rejection retry interval).
   void advance_time(Time extra_bound);
+
+  /// Bumps the sim.* instruments in config_.metrics after a finished run.
+  void record_metrics(const SequenceResult& result) const;
 
   SchedContext context() const;
 };

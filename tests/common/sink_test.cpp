@@ -1,0 +1,70 @@
+#include "common/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace si {
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(StringSink, AccumulatesAndClears) {
+  StringSink sink;
+  sink.write("hello ");
+  sink.write("world");
+  EXPECT_EQ(sink.str(), "hello world");
+  sink.clear();
+  EXPECT_EQ(sink.str(), "");
+}
+
+TEST(NullSink, DiscardsEverything) {
+  NullSink sink;
+  sink.write("dropped");
+  sink.flush();
+}
+
+TEST(FileSink, WritesToFile) {
+  const auto path = std::filesystem::temp_directory_path() / "si_sink_test.txt";
+  {
+    FileSink sink(path.string());
+    EXPECT_EQ(sink.path(), path.string());
+    sink.write("line one\n");
+    sink.write("line two\n");
+    sink.flush();
+  }
+  EXPECT_EQ(read_file(path), "line one\nline two\n");
+  std::filesystem::remove(path);
+}
+
+TEST(FileSink, TruncatesByDefaultAppendsOnRequest) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "si_sink_append_test.txt";
+  { FileSink(path.string()).write("first"); }
+  { FileSink(path.string()).write("second"); }
+  EXPECT_EQ(read_file(path), "second");
+  { FileSink(path.string(), /*append=*/true).write("+more"); }
+  EXPECT_EQ(read_file(path), "second+more");
+  std::filesystem::remove(path);
+}
+
+TEST(FileSink, ThrowsWhenUnopenable) {
+  EXPECT_THROW(FileSink("/nonexistent-dir-si-test/out.txt"),
+               std::runtime_error);
+}
+
+TEST(StandardSinks, AreStableSingletons) {
+  EXPECT_EQ(&stdout_sink(), &stdout_sink());
+  EXPECT_EQ(&stderr_sink(), &stderr_sink());
+  EXPECT_NE(&stdout_sink(), &stderr_sink());
+}
+
+}  // namespace
+}  // namespace si

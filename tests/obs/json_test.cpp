@@ -1,0 +1,78 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace si {
+namespace {
+
+TEST(JsonEscape, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, RoundTripsAndHandlesNonFinite) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  // %.17g is round-trippable: parsing the text recovers the exact double.
+  const double value = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(value)), value);
+}
+
+TEST(JsonObject, EmitsFieldsInCallOrder) {
+  JsonObject obj;
+  obj.field("s", "x\"y").field("i", 42).field("d", 1.5).field("b", true);
+  obj.raw("a", "[1,2]");
+  EXPECT_EQ(obj.str(), "{\"s\":\"x\\\"y\",\"i\":42,\"d\":1.5,\"b\":true,"
+                       "\"a\":[1,2]}");
+}
+
+TEST(JsonObject, EmptyObject) { EXPECT_EQ(JsonObject().str(), "{}"); }
+
+TEST(ParseFlatJson, ParsesAllScalarKinds) {
+  JsonFlatObject out;
+  ASSERT_TRUE(parse_flat_json(
+      "{\"s\":\"a\\nb\",\"n\":-2.5,\"t\":true,\"f\":false,\"z\":null}", out));
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out["s"].kind, JsonValue::Kind::kString);
+  EXPECT_EQ(out["s"].string, "a\nb");
+  EXPECT_EQ(out["n"].kind, JsonValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(out["n"].number, -2.5);
+  EXPECT_EQ(out["t"].kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(out["t"].boolean);
+  EXPECT_FALSE(out["f"].boolean);
+  EXPECT_EQ(out["z"].kind, JsonValue::Kind::kNull);
+}
+
+TEST(ParseFlatJson, RejectsMalformedInput) {
+  JsonFlatObject out;
+  std::string error;
+  EXPECT_FALSE(parse_flat_json("", out, &error));
+  EXPECT_FALSE(parse_flat_json("{\"a\":1", out, &error));
+  EXPECT_FALSE(parse_flat_json("{\"a\":1} trailing", out, &error));
+  EXPECT_FALSE(parse_flat_json("{\"a\":{\"nested\":1}}", out, &error));
+  EXPECT_FALSE(parse_flat_json("{\"a\":tru}", out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ParseFlatJson, RoundTripsJsonObjectOutput) {
+  JsonObject obj;
+  obj.field("ev", "start").field("t", 12.5).field("job", 7).field("ok", true);
+  JsonFlatObject out;
+  std::string error;
+  ASSERT_TRUE(parse_flat_json(obj.str(), out, &error)) << error;
+  EXPECT_EQ(out["ev"].string, "start");
+  EXPECT_DOUBLE_EQ(out["t"].number, 12.5);
+  EXPECT_DOUBLE_EQ(out["job"].number, 7.0);
+  EXPECT_TRUE(out["ok"].boolean);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,99 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace si {
+namespace {
+
+TEST(LogLevel, NamesRoundTrip) {
+  for (const std::string& name : known_log_levels())
+    EXPECT_EQ(log_level_name(log_level_from_name(name)), name);
+  EXPECT_THROW(log_level_from_name("verbose"), std::out_of_range);
+}
+
+TEST(Logger, TextSinkFormat) {
+  Logger logger;
+  StringSink sink;
+  logger.add_text_sink(sink);
+  logger.log(LogLevel::kWarn, "trainer", "rolled back");
+  EXPECT_EQ(sink.str(), "[warn] trainer: rolled back\n");
+}
+
+TEST(Logger, JsonlSinkFormat) {
+  Logger logger;
+  StringSink sink;
+  logger.add_jsonl_sink(sink);
+  logger.log(LogLevel::kError, "sim", "bad \"thing\"");
+  JsonFlatObject record;
+  std::string line = sink.str();
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // trailing newline
+  ASSERT_TRUE(parse_flat_json(line, record));
+  EXPECT_EQ(record["level"].string, "error");
+  EXPECT_EQ(record["component"].string, "sim");
+  EXPECT_EQ(record["msg"].string, "bad \"thing\"");
+}
+
+TEST(Logger, LevelFiltersRecords) {
+  Logger logger;
+  StringSink sink;
+  logger.add_text_sink(sink);
+  logger.set_level(LogLevel::kWarn);
+  logger.log(LogLevel::kInfo, "c", "dropped");
+  logger.log(LogLevel::kWarn, "c", "kept");
+  EXPECT_EQ(sink.str(), "[warn] c: kept\n");
+  logger.set_level(LogLevel::kOff);
+  logger.log(LogLevel::kError, "c", "also dropped");
+  EXPECT_EQ(sink.str(), "[warn] c: kept\n");
+}
+
+TEST(Logger, DisabledWithoutSinks) {
+  Logger logger;
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  logger.log(LogLevel::kError, "c", "nowhere");  // must not crash
+  StringSink sink;
+  logger.add_text_sink(sink);
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.clear_sinks();
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+}
+
+TEST(Logger, MacroSkipsMessageConstructionWhenDisabled) {
+  Logger logger;  // no sinks: disabled
+  int evaluations = 0;
+  auto message = [&]() {
+    ++evaluations;
+    return std::string("expensive");
+  };
+  SI_LOG(logger, LogLevel::kError, "c", message());
+  EXPECT_EQ(evaluations, 0);
+  StringSink sink;
+  logger.add_text_sink(sink);
+  SI_LOG(logger, LogLevel::kError, "c", message());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(sink.str(), "[error] c: expensive\n");
+}
+
+TEST(Logger, FanOutToMultipleSinks) {
+  Logger logger;
+  StringSink text;
+  StringSink jsonl;
+  logger.add_text_sink(text);
+  logger.add_jsonl_sink(jsonl);
+  logger.log(LogLevel::kInfo, "c", "m");
+  EXPECT_EQ(text.str(), "[info] c: m\n");
+  EXPECT_EQ(jsonl.str(),
+            "{\"level\":\"info\",\"component\":\"c\",\"msg\":\"m\"}\n");
+}
+
+TEST(GlobalLogger, ExistsAndStartsSinkless) {
+  // The global logger is shared test-wide, so only probe identity.
+  EXPECT_EQ(&global_logger(), &global_logger());
+}
+
+}  // namespace
+}  // namespace si

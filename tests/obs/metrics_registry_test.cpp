@@ -1,0 +1,103 @@
+#include "obs/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sink.hpp"
+
+namespace si {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);  // <= 1  -> bucket 0
+  h.observe(1.0);  // == 1  -> bucket 0 (inclusive)
+  h.observe(1.5);  // <= 2  -> bucket 1
+  h.observe(5.0);  // == 5  -> bucket 2
+  h.observe(9.0);  // > 5   -> overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 17.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.4);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  Counter& a = registry.counter("a");
+  a.inc();
+  registry.counter("zz");  // later insertion must not invalidate `a`
+  EXPECT_EQ(&registry.counter("a"), &a);
+  EXPECT_EQ(registry.counter("a").value(), 1u);
+  EXPECT_FALSE(registry.empty());
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedByFirstLookup) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {1.0, 2.0});
+  Histogram& again = registry.histogram("h", {99.0});
+  EXPECT_EQ(&h, &again);
+  ASSERT_EQ(again.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(again.bounds()[1], 2.0);
+}
+
+TEST(MetricsRegistry, JsonExportIsDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("b").inc(2);
+  registry.counter("a").inc();
+  registry.gauge("g").set(1.5);
+  registry.histogram("h", {1.0, 2.0}).observe(1.5);
+  EXPECT_EQ(registry.to_json(),
+            "{\"counters\":{\"a\":1,\"b\":2},"
+            "\"gauges\":{\"g\":1.5},"
+            "\"histograms\":{\"h\":{\"bounds\":[1,2],\"counts\":[0,1,0],"
+            "\"sum\":1.5,\"count\":1}}}\n");
+}
+
+TEST(MetricsRegistry, CsvExportListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(3);
+  registry.gauge("g").set(0.25);
+  registry.histogram("h", {10.0}).observe(99.0);
+  EXPECT_EQ(registry.to_csv(),
+            "kind,name,key,value\n"
+            "counter,c,value,3\n"
+            "gauge,g,value,0.25\n"
+            "histogram,h,le_10,0\n"
+            "histogram,h,le_inf,1\n"
+            "histogram,h,sum,99\n"
+            "histogram,h,count,1\n");
+}
+
+TEST(MetricsRegistry, WritesThroughSinks) {
+  MetricsRegistry registry;
+  registry.counter("c").inc();
+  StringSink json;
+  StringSink csv;
+  registry.write_json(json);
+  registry.write_csv(csv);
+  EXPECT_EQ(json.str(), registry.to_json());
+  EXPECT_EQ(csv.str(), registry.to_csv());
+}
+
+}  // namespace
+}  // namespace si

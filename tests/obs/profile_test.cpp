@@ -1,0 +1,76 @@
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace si {
+namespace {
+
+// The profiler is process-wide; every test starts from a clean, disabled
+// state and leaves it that way.
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::set_enabled(false);
+    Profiler::instance().reset();
+  }
+  void TearDown() override {
+    Profiler::set_enabled(false);
+    Profiler::instance().reset();
+  }
+};
+
+TEST_F(ProfileTest, DisabledScopesRecordNothing) {
+  {
+    SI_PROFILE_SCOPE("quiet");
+  }
+  EXPECT_EQ(Profiler::instance().report().find("quiet"), std::string::npos);
+}
+
+TEST_F(ProfileTest, EnabledScopesBuildHierarchicalTree) {
+  Profiler::set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    SI_PROFILE_SCOPE("outer");
+    SI_PROFILE_SCOPE("inner");
+  }
+  const std::string report = Profiler::instance().report();
+  EXPECT_NE(report.find("outer"), std::string::npos);
+  EXPECT_NE(report.find("inner"), std::string::npos);
+  EXPECT_NE(report.find("3 calls"), std::string::npos);
+  // "inner" nests under "outer": it appears after and indented.
+  EXPECT_LT(report.find("outer"), report.find("inner"));
+  EXPECT_NE(report.find("  inner"), std::string::npos);
+}
+
+TEST_F(ProfileTest, ScopesStartedWhileEnabledRecordOnExit) {
+  Profiler::set_enabled(true);
+  {
+    SI_PROFILE_SCOPE("timed");
+  }
+  // Disabling afterwards keeps the already-recorded data.
+  Profiler::set_enabled(false);
+  EXPECT_NE(Profiler::instance().report().find("timed"), std::string::npos);
+}
+
+TEST_F(ProfileTest, ResetClearsTheTree) {
+  Profiler::set_enabled(true);
+  {
+    SI_PROFILE_SCOPE("gone");
+  }
+  Profiler::instance().reset();
+  EXPECT_EQ(Profiler::instance().report().find("gone"), std::string::npos);
+}
+
+TEST_F(ProfileTest, WriteReportGoesThroughSink) {
+  Profiler::set_enabled(true);
+  {
+    SI_PROFILE_SCOPE("sinked");
+  }
+  StringSink sink;
+  Profiler::instance().write_report(sink);
+  EXPECT_EQ(sink.str(), Profiler::instance().report());
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,168 @@
+// Trainer-side observability: per-epoch telemetry JSONL, byte-identical
+// multi-threaded rollout traces, train.* metrics, and the guarantee that
+// enabling all of it leaves the training results bit-identical.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "sched/factory.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+TrainerConfig tiny_config() {
+  TrainerConfig config;
+  config.epochs = 3;
+  config.trajectories_per_epoch = 4;
+  config.sequence_length = 32;
+  config.seed = 11;
+  return config;
+}
+
+TrainResult train_with(const TrainerConfig& config) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  Trainer trainer(trace, *policy, config);
+  ActorCritic ac = trainer.make_agent();
+  return trainer.train(ac);
+}
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Telemetry, WritesOneJsonlRecordPerEpoch) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "si_telemetry_test.jsonl";
+  TrainerConfig config = tiny_config();
+  config.telemetry_path = path.string();
+  const TrainResult result = train_with(config);
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), result.curve.size());
+  const std::vector<std::string> required = {
+      "epoch",          "epochs",         "mean_reward",
+      "rejection_ratio", "approx_kl",     "entropy",
+      "policy_loss",    "value_loss",     "skipped_updates",
+      "rollout_seconds", "update_seconds", "elapsed_seconds"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    JsonFlatObject record;
+    std::string error;
+    ASSERT_TRUE(parse_flat_json(lines[i], record, &error)) << error;
+    for (const std::string& key : required)
+      EXPECT_TRUE(record.count(key)) << "epoch record missing " << key;
+    EXPECT_EQ(record["epoch"].number, static_cast<double>(i));
+    EXPECT_EQ(record["mean_reward"].number, result.curve[i].mean_reward);
+    EXPECT_GE(record["rollout_seconds"].number, 0.0);
+    EXPECT_GE(record["update_seconds"].number, 0.0);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Telemetry, EpochStatsCarryPhaseWallTimes) {
+  const TrainResult result = train_with(tiny_config());
+  for (const EpochStats& e : result.curve) {
+    EXPECT_GE(e.rollout_seconds, 0.0);
+    EXPECT_GE(e.update_seconds, 0.0);
+    EXPECT_GT(e.rollout_seconds + e.update_seconds, 0.0);
+  }
+}
+
+// Rollouts run on worker threads; the per-trajectory buffering must still
+// produce a byte-identical stream for the same seed.
+TEST(Telemetry, TrainerTracesAreByteIdenticalAcrossRuns) {
+  std::string traces[2];
+  for (std::string& out : traces) {
+    StringSink sink;
+    JsonlTracer tracer(sink);
+    TrainerConfig config = tiny_config();
+    config.tracer = &tracer;
+    train_with(config);
+    out = sink.str();
+  }
+  EXPECT_FALSE(traces[0].empty());
+  EXPECT_EQ(traces[0], traces[1]);
+}
+
+TEST(Telemetry, TraceContainsOrderedTrajectoryMarkers) {
+  StringSink sink;
+  JsonlTracer tracer(sink);
+  TrainerConfig config = tiny_config();
+  config.tracer = &tracer;
+  train_with(config);
+
+  std::ifstream in;  // parse from the captured string instead
+  std::vector<std::pair<int, int>> markers;
+  std::istringstream stream(sink.str());
+  std::string line;
+  while (std::getline(stream, line)) {
+    JsonFlatObject record;
+    ASSERT_TRUE(parse_flat_json(line, record)) << line;
+    if (record["ev"].string != "trajectory") continue;
+    markers.emplace_back(static_cast<int>(record["epoch"].number),
+                         static_cast<int>(record["traj"].number));
+  }
+  ASSERT_EQ(markers.size(), 3u * 4u);  // epochs x trajectories
+  for (std::size_t i = 0; i < markers.size(); ++i) {
+    EXPECT_EQ(markers[i].first, static_cast<int>(i / 4));
+    EXPECT_EQ(markers[i].second, static_cast<int>(i % 4));
+  }
+}
+
+TEST(Telemetry, TrainerRecordsIntoMetricsRegistry) {
+  MetricsRegistry registry;
+  TrainerConfig config = tiny_config();
+  config.metrics = &registry;
+  const TrainResult result = train_with(config);
+  EXPECT_EQ(registry.counter("train.epochs").value(), 3u);
+  EXPECT_EQ(registry.counter("train.trajectories").value() +
+                registry.counter("train.invalid_trajectories").value(),
+            12u);
+  EXPECT_EQ(registry.gauge("train.converged_improvement").value(),
+            result.converged_improvement);
+}
+
+TEST(Telemetry, FullObservabilityLeavesTrainingBitIdentical) {
+  const TrainResult bare = train_with(tiny_config());
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "si_telemetry_bitident.jsonl";
+  StringSink sink;
+  JsonlTracer tracer(sink);
+  MetricsRegistry registry;
+  TrainerConfig config = tiny_config();
+  config.telemetry_path = path.string();
+  config.tracer = &tracer;
+  config.metrics = &registry;
+  const TrainResult instrumented = train_with(config);
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(instrumented.curve.size(), bare.curve.size());
+  for (std::size_t i = 0; i < bare.curve.size(); ++i) {
+    EXPECT_EQ(instrumented.curve[i].mean_reward, bare.curve[i].mean_reward);
+    EXPECT_EQ(instrumented.curve[i].mean_improvement,
+              bare.curve[i].mean_improvement);
+    EXPECT_EQ(instrumented.curve[i].rejection_ratio,
+              bare.curve[i].rejection_ratio);
+    EXPECT_EQ(instrumented.curve[i].policy_loss, bare.curve[i].policy_loss);
+    EXPECT_EQ(instrumented.curve[i].value_loss, bare.curve[i].value_loss);
+  }
+  EXPECT_EQ(instrumented.converged_improvement, bare.converged_improvement);
+  EXPECT_EQ(instrumented.converged_rejection_ratio,
+            bare.converged_rejection_ratio);
+}
+
+}  // namespace
+}  // namespace si

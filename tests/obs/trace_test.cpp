@@ -1,0 +1,212 @@
+// Simulator event-trace tests: JSONL schema round-trip through
+// parse_flat_json, byte-identical same-seed traces, and the guarantee that
+// a null tracer/metrics pointer leaves SequenceMetrics bit-identical.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rule_inspector.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+std::vector<Job> sample_jobs(std::size_t count = 160) {
+  const Trace trace = make_trace("SDSC-SP2", 600, 17);
+  Rng rng(23);
+  return trace.sample_window(rng, count);
+}
+
+FaultConfig stress_profile() {
+  FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 99;
+  faults.drain_interval = 2000.0;
+  faults.drain_fraction = 0.10;
+  faults.drain_duration = 5000.0;
+  faults.job_failure_prob = 0.10;
+  faults.max_requeues = 2;
+  faults.estimate_wall = true;
+  return faults;
+}
+
+// Runs one traced, fault-injected, inspected sequence and returns the
+// emitted JSONL plus the sequence metrics.
+struct TracedRun {
+  std::string jsonl;
+  SequenceMetrics metrics;
+};
+
+TracedRun run_traced(bool with_tracer, MetricsRegistry* registry = nullptr) {
+  const Trace trace = make_trace("SDSC-SP2", 600, 17);
+  StringSink sink;
+  JsonlTracer tracer(sink);
+  SimConfig config;
+  config.faults = stress_profile();
+  if (with_tracer) config.tracer = &tracer;
+  config.metrics = registry;
+  Simulator sim(128, config);
+  PolicyPtr policy = make_policy("SJF");
+  FeatureBuilder features(FeatureMode::kManual, Metric::kBsld,
+                          FeatureScales::from_trace(trace), 600.0);
+  RuleInspector inspector(features);
+  const SequenceResult result = sim.run(sample_jobs(), *policy, &inspector);
+  return TracedRun{sink.str(), result.metrics};
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Trace, EveryRecordMatchesTheEventSchema) {
+  // kind -> required non-"ev"/"t" fields (DESIGN.md §5; kept in sync with
+  // tools/check_trace_schema.py).
+  const std::map<std::string, std::set<std::string>> schema = {
+      {"run_begin", {"jobs", "procs", "backfill"}},
+      {"submit", {"job", "procs", "submit"}},
+      {"sched_point", {"job", "free", "waiting"}},
+      {"inspect", {"job", "reject", "rejections", "free"}},
+      {"reject", {"job", "rejections"}},
+      {"start", {"job", "procs", "wait"}},
+      {"finish", {"job", "procs"}},
+      {"requeue", {"job", "attempt"}},
+      {"kill", {"job", "procs", "reason"}},
+      {"drain", {"procs"}},
+      {"restore", {"procs"}},
+      {"trajectory", {"epoch", "traj"}},
+      {"run_end", {"jobs", "inspections", "rejections"}},
+  };
+
+  const TracedRun run = run_traced(true);
+  const std::vector<std::string> lines = split_lines(run.jsonl);
+  ASSERT_FALSE(lines.empty());
+
+  std::map<std::string, int> seen;
+  for (const std::string& line : lines) {
+    JsonFlatObject record;
+    std::string error;
+    ASSERT_TRUE(parse_flat_json(line, record, &error))
+        << error << " in: " << line;
+    ASSERT_EQ(record["ev"].kind, JsonValue::Kind::kString) << line;
+    const std::string& kind = record["ev"].string;
+    const auto it = schema.find(kind);
+    ASSERT_NE(it, schema.end()) << "unknown event kind: " << kind;
+    EXPECT_EQ(record["t"].kind, JsonValue::Kind::kNumber) << line;
+    for (const std::string& field : it->second)
+      EXPECT_TRUE(record.count(field))
+          << kind << " missing " << field << " in: " << line;
+    // Strict in the other direction too: no undocumented fields.
+    for (const auto& [key, value] : record)
+      EXPECT_TRUE(key == "ev" || key == "t" || it->second.count(key))
+          << kind << " has undocumented field " << key;
+    ++seen[kind];
+  }
+
+  EXPECT_EQ(seen["run_begin"], 1);
+  EXPECT_EQ(seen["run_end"], 1);
+  EXPECT_EQ(seen["submit"], 160);
+  // The stress fault profile makes every fault-path event kind appear.
+  EXPECT_GT(seen["start"], 0);
+  EXPECT_GT(seen["finish"], 0);
+  EXPECT_GT(seen["inspect"], 0);
+  EXPECT_GT(seen["requeue"], 0);
+  EXPECT_GT(seen["drain"], 0);
+  EXPECT_GT(seen["restore"], 0);
+  EXPECT_GT(seen["sched_point"], 0);
+}
+
+TEST(Trace, RunEndTotalsMatchSequenceMetrics) {
+  const TracedRun run = run_traced(true);
+  const std::vector<std::string> lines = split_lines(run.jsonl);
+  JsonFlatObject record;
+  ASSERT_TRUE(parse_flat_json(lines.back(), record));
+  ASSERT_EQ(record["ev"].string, "run_end");
+  EXPECT_EQ(record["jobs"].number, static_cast<double>(run.metrics.jobs));
+  EXPECT_EQ(record["inspections"].number,
+            static_cast<double>(run.metrics.inspections));
+  EXPECT_EQ(record["rejections"].number,
+            static_cast<double>(run.metrics.rejections));
+}
+
+TEST(Trace, SameSeedTracesAreByteIdentical) {
+  const TracedRun a = run_traced(true);
+  const TracedRun b = run_traced(true);
+  EXPECT_EQ(a.jsonl, b.jsonl);
+}
+
+TEST(Trace, DisabledTracingLeavesMetricsBitIdentical) {
+  MetricsRegistry registry;
+  const TracedRun traced = run_traced(true, &registry);
+  const TracedRun bare = run_traced(false);
+  EXPECT_TRUE(bare.jsonl.empty());
+  // Exact (bit-level) equality: tracing must not perturb the simulation.
+  EXPECT_EQ(traced.metrics.jobs, bare.metrics.jobs);
+  EXPECT_EQ(traced.metrics.avg_wait, bare.metrics.avg_wait);
+  EXPECT_EQ(traced.metrics.avg_bsld, bare.metrics.avg_bsld);
+  EXPECT_EQ(traced.metrics.max_bsld, bare.metrics.max_bsld);
+  EXPECT_EQ(traced.metrics.utilization, bare.metrics.utilization);
+  EXPECT_EQ(traced.metrics.makespan, bare.metrics.makespan);
+  EXPECT_EQ(traced.metrics.inspections, bare.metrics.inspections);
+  EXPECT_EQ(traced.metrics.rejections, bare.metrics.rejections);
+  EXPECT_EQ(traced.metrics.requeues, bare.metrics.requeues);
+  EXPECT_EQ(traced.metrics.kills, bare.metrics.kills);
+  EXPECT_EQ(traced.metrics.wall_kills, bare.metrics.wall_kills);
+  EXPECT_EQ(traced.metrics.drain_events, bare.metrics.drain_events);
+  EXPECT_EQ(traced.metrics.lost_node_seconds, bare.metrics.lost_node_seconds);
+}
+
+TEST(Trace, SimulatorRecordsIntoMetricsRegistry) {
+  MetricsRegistry registry;
+  const TracedRun run = run_traced(true, &registry);
+  EXPECT_EQ(registry.counter("sim.runs").value(), 1u);
+  EXPECT_EQ(registry.counter("sim.jobs").value(), run.metrics.jobs);
+  EXPECT_EQ(registry.counter("sim.inspections").value(),
+            run.metrics.inspections);
+  EXPECT_EQ(registry.counter("sim.requeues").value(), run.metrics.requeues);
+  EXPECT_EQ(registry.histogram("sim.job_wait_seconds", {}).count(),
+            run.metrics.jobs);
+  EXPECT_EQ(registry.histogram("sim.job_bsld", {}).count(), run.metrics.jobs);
+}
+
+TEST(BufferTracer, DrainsEventsInOrder) {
+  BufferTracer buffer;
+  TraceEvent submit;
+  submit.kind = TraceEvent::Kind::kSubmit;
+  submit.time = 1.0;
+  submit.job = 7;
+  submit.procs = 2;
+  submit.submit = 1.0;
+  TraceEvent finish;
+  finish.kind = TraceEvent::Kind::kFinish;
+  finish.time = 5.0;
+  finish.job = 7;
+  finish.procs = 2;
+  buffer.on_event(submit);
+  buffer.on_event(finish);
+  ASSERT_EQ(buffer.events().size(), 2u);
+
+  StringSink sink;
+  JsonlTracer jsonl(sink);
+  buffer.drain_to(jsonl);
+  EXPECT_EQ(sink.str(),
+            trace_event_jsonl(submit) + trace_event_jsonl(finish));
+  buffer.clear();
+  EXPECT_TRUE(buffer.events().empty());
+}
+
+}  // namespace
+}  // namespace si

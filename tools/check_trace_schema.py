@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validates a SchedInspector JSONL event trace against the event schema.
+
+The schema is documented in DESIGN.md §5 and emitted by src/obs/trace.cpp:
+every line is one flat JSON object with an "ev" kind, a simulated
+timestamp "t", and a fixed per-kind field set. The checker is strict in
+both directions — missing AND unexpected keys fail — so the Python table
+below and the C++ emitter cannot drift apart silently.
+
+Usage:
+    check_trace_schema.py trace.jsonl [more.jsonl ...]
+    check_trace_schema.py --generate <schedinspector_cli> --workdir <dir>
+
+--generate runs small `train` and `eval` commands with --trace-out under
+<dir>, then validates the produced traces; this is how the `obs` ctest
+exercises the full pipeline. Standard library only.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+NUMBER = (int, float)
+INT = int
+BOOL = bool
+STR = str
+
+# kind -> {field: required type(s)}; "ev" and "t" are checked on every
+# record. Bools are excluded from NUMBER checks explicitly (Python bools
+# are ints).
+SCHEMA = {
+    "run_begin": {"jobs": INT, "procs": INT, "backfill": BOOL},
+    "submit": {"job": INT, "procs": INT, "submit": NUMBER},
+    "sched_point": {"job": INT, "free": INT, "waiting": INT},
+    "inspect": {"job": INT, "reject": BOOL, "rejections": INT, "free": INT},
+    "reject": {"job": INT, "rejections": INT},
+    "start": {"job": INT, "procs": INT, "wait": NUMBER},
+    "finish": {"job": INT, "procs": INT},
+    "requeue": {"job": INT, "attempt": INT},
+    "kill": {"job": INT, "procs": INT, "reason": STR},
+    "drain": {"procs": INT},
+    "restore": {"procs": INT},
+    "trajectory": {"epoch": INT, "traj": INT},
+    "run_end": {"jobs": INT, "inspections": INT, "rejections": INT},
+}
+
+KILL_REASONS = {"wall", "budget"}
+
+
+def type_ok(value, expected):
+    if expected is BOOL:
+        return isinstance(value, bool)
+    if isinstance(value, bool):
+        return False  # a bool is never a valid int/number/str field
+    return isinstance(value, expected)
+
+
+def check_record(record, lineno, errors):
+    def err(message):
+        errors.append("line %d: %s" % (lineno, message))
+
+    if not isinstance(record, dict):
+        err("not a JSON object")
+        return
+    kind = record.get("ev")
+    if kind not in SCHEMA:
+        err("unknown event kind %r" % (kind,))
+        return
+    if not type_ok(record.get("t"), NUMBER):
+        err("%s: field 't' missing or not a number" % kind)
+    fields = SCHEMA[kind]
+    for name, expected in fields.items():
+        if name not in record:
+            err("%s: missing field %r" % (kind, name))
+        elif not type_ok(record[name], expected):
+            err("%s: field %r has wrong type %s"
+                % (kind, name, type(record[name]).__name__))
+    for name in record:
+        if name not in fields and name not in ("ev", "t"):
+            err("%s: unexpected field %r" % (kind, name))
+    if kind == "kill" and record.get("reason") not in KILL_REASONS:
+        err("kill: unknown reason %r" % (record.get("reason"),))
+
+
+def check_file(path):
+    """Returns (records, errors) for one JSONL trace file."""
+    errors = []
+    records = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                errors.append("line %d: empty line" % lineno)
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                errors.append("line %d: invalid JSON: %s" % (lineno, exc))
+                continue
+            records += 1
+            check_record(record, lineno, errors)
+    if records == 0:
+        errors.append("no records")
+    return records, errors
+
+
+def generate_traces(cli, workdir):
+    """Runs the CLI's train and eval with tracing on; returns trace paths."""
+    os.makedirs(workdir, exist_ok=True)
+    model = os.path.join(workdir, "model.txt")
+    train_trace = os.path.join(workdir, "train_trace.jsonl")
+    eval_trace = os.path.join(workdir, "eval_trace.jsonl")
+    common = ["--trace", "SDSC-SP2", "--policy", "SJF", "--seed", "11"]
+    commands = [
+        [cli, "train", *common, "--epochs", "2", "--trajectories", "4",
+         "--seq-len", "32", "--model", model, "--quiet",
+         "--trace-out", train_trace],
+        [cli, "eval", *common, "--sequences", "2", "--model", model,
+         "--trace-out", eval_trace, "--faults"],
+    ]
+    for command in commands:
+        result = subprocess.run(command, stdout=subprocess.DEVNULL,
+                                stderr=subprocess.PIPE)
+        if result.returncode != 0:
+            sys.stderr.write(result.stderr.decode("utf-8", "replace"))
+            raise SystemExit("command failed: %s" % " ".join(command))
+    return [train_trace, eval_trace]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="*", help="JSONL trace files")
+    parser.add_argument("--generate", metavar="CLI",
+                        help="schedinspector_cli binary; generates traces "
+                             "to validate")
+    parser.add_argument("--workdir", default="trace_schema_check",
+                        help="scratch directory for --generate")
+    args = parser.parse_args()
+
+    traces = list(args.traces)
+    if args.generate:
+        traces += generate_traces(args.generate, args.workdir)
+    if not traces:
+        parser.error("no trace files given (pass paths or --generate)")
+
+    failed = False
+    for path in traces:
+        records, errors = check_file(path)
+        for error in errors[:20]:
+            print("%s: %s" % (path, error))
+        if len(errors) > 20:
+            print("%s: ... %d more errors" % (path, len(errors) - 20))
+        if errors:
+            failed = True
+        else:
+            print("%s: OK (%d records)" % (path, records))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
