@@ -1,0 +1,306 @@
+// Perf-regression microbenchmarks for the performance architecture (see
+// DESIGN.md): batched MLP kernels vs. the per-sample scalar path, one full
+// PPO update through both paths, the simulator scheduling hot path, and
+// parallel evaluation scaling. Emits the standard --json bench records so
+// tools/run_bench_suite.sh can snapshot a BENCH_kernels.json baseline and
+// later runs can be diffed against it.
+//
+// Flags: --json <path> (bench record output), --smoke (tiny sizes/reps so
+// the ctest `perf` label stays fast; numbers are not comparable to a full
+// run).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "rl/ppo.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace si;
+
+double seconds_of(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Best-of-`reps` wall time of `fn` — the least-disturbed run, the usual
+/// microbenchmark estimator.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_of(start));
+  }
+  return best;
+}
+
+// Observable accumulator: summing results into it (and printing it once at
+// the end) keeps the optimizer from discarding the benchmarked work.
+double g_sink = 0.0;
+
+struct Sizes {
+  int reps = 20;
+  int batch = 512;        ///< MLP kernel batch (rows)
+  int kernel_iters = 50;  ///< forward/backward sweeps per timed rep
+  int ppo_steps = 2048;   ///< steps per PPO update
+  int ppo_reps = 5;
+  int sim_jobs = 256;
+  int sim_reps = 10;
+  int eval_sequences = 16;
+  int eval_length = 128;
+};
+
+std::vector<double> random_obs(int batch, int width, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> obs(static_cast<std::size_t>(batch) *
+                          static_cast<std::size_t>(width));
+  for (double& v : obs) v = rng.uniform(-1.0, 1.0);
+  return obs;
+}
+
+void bench_mlp_kernels(const Sizes& sz) {
+  const std::vector<int> layers = {8, 32, 16, 8, 1};
+  Mlp net(layers);
+  Rng rng(21);
+  net.init_xavier(rng);
+
+  const int width = net.input_size();
+  const std::vector<double> obs = random_obs(sz.batch, width, 33);
+  const auto samples = static_cast<double>(sz.batch) *
+                       static_cast<double>(sz.kernel_iters);
+
+  // -- forward: scalar loop vs one batched call --
+  Mlp::Workspace ws;
+  const double fwd_scalar = best_seconds(sz.reps, [&] {
+    for (int it = 0; it < sz.kernel_iters; ++it)
+      for (int s = 0; s < sz.batch; ++s) {
+        const std::span<const double> row(
+            obs.data() + static_cast<std::size_t>(s) * width,
+            static_cast<std::size_t>(width));
+        g_sink += net.forward(row, ws)[0];
+      }
+  });
+  Mlp::BatchWorkspace bws;
+  net.refresh_transpose();
+  const double fwd_batch = best_seconds(sz.reps, [&] {
+    for (int it = 0; it < sz.kernel_iters; ++it) {
+      net.forward_batch(obs, sz.batch, bws);
+      g_sink += bws.activations.back()[0];
+    }
+  });
+
+  // -- train step (forward + backward, gradient accumulation) --
+  std::vector<double> grads(net.param_count(), 0.0);
+  const double bwd_scalar = best_seconds(sz.reps, [&] {
+    for (int it = 0; it < sz.kernel_iters; ++it) {
+      std::fill(grads.begin(), grads.end(), 0.0);
+      for (int s = 0; s < sz.batch; ++s) {
+        const std::span<const double> row(
+            obs.data() + static_cast<std::size_t>(s) * width,
+            static_cast<std::size_t>(width));
+        const std::vector<double> out = net.forward(row, ws);
+        const double grad_out = out[0] - 1.0;
+        net.backward_into(ws, std::span<const double>(&grad_out, 1), grads);
+      }
+      g_sink += grads[0];
+    }
+  });
+  std::vector<double> grad_out_batch(static_cast<std::size_t>(sz.batch));
+  const double bwd_batch = best_seconds(sz.reps, [&] {
+    for (int it = 0; it < sz.kernel_iters; ++it) {
+      std::fill(grads.begin(), grads.end(), 0.0);
+      net.forward_batch(obs, sz.batch, bws);
+      for (int s = 0; s < sz.batch; ++s)
+        grad_out_batch[static_cast<std::size_t>(s)] =
+            bws.activations.back()[static_cast<std::size_t>(s)] - 1.0;
+      net.backward_batch(bws, grad_out_batch, grads);
+      g_sink += grads[0];
+    }
+  });
+
+  const std::string config = "net=8-32-16-8-1 batch=" + std::to_string(sz.batch);
+  TextTable table({"kernel", "scalar ns/sample", "batched ns/sample", "speedup"});
+  table.row()
+      .cell("forward")
+      .cell(fwd_scalar / samples * 1e9, 1)
+      .cell(fwd_batch / samples * 1e9, 1)
+      .cell(fwd_scalar / fwd_batch, 2);
+  table.row()
+      .cell("forward+backward")
+      .cell(bwd_scalar / samples * 1e9, 1)
+      .cell(bwd_batch / samples * 1e9, 1)
+      .cell(bwd_scalar / bwd_batch, 2);
+  std::printf("%s\n", table.render().c_str());
+  bench::record_result("forward_scalar_ns_per_sample",
+                       fwd_scalar / samples * 1e9, config);
+  bench::record_result("forward_batch_ns_per_sample",
+                       fwd_batch / samples * 1e9, config);
+  bench::record_result("forward_speedup", fwd_scalar / fwd_batch, config);
+  bench::record_result("train_step_scalar_ns_per_sample",
+                       bwd_scalar / samples * 1e9, config);
+  bench::record_result("train_step_batch_ns_per_sample",
+                       bwd_batch / samples * 1e9, config);
+  bench::record_result("train_step_speedup", bwd_scalar / bwd_batch, config);
+}
+
+RolloutBatch make_ppo_batch(const ActorCritic& agent, int steps,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  RolloutBatch batch;
+  const int traj_len = 32;
+  for (int t = 0; t < steps / traj_len; ++t) {
+    Trajectory traj;
+    for (int s = 0; s < traj_len; ++s) {
+      Step step;
+      step.obs.resize(static_cast<std::size_t>(agent.obs_size()));
+      for (double& v : step.obs) v = rng.uniform();
+      const SampledAction a = agent.sample(step.obs, rng);
+      step.action = a.action;
+      step.log_prob = a.log_prob;
+      traj.steps.push_back(std::move(step));
+    }
+    traj.reward = rng.uniform(-1.0, 1.0);
+    batch.add(std::move(traj));
+  }
+  return batch;
+}
+
+/// One PPO update, full 40+40 iterations (target_kl disabled so both arms
+/// always do identical work), through the scalar-serial reference path and
+/// the batched multi-threaded path. The ~2x-or-better ratio here is the
+/// perf-regression gate for the batched kernels.
+void bench_ppo_update(const Sizes& sz) {
+  PpoConfig scalar_cfg;
+  scalar_cfg.target_kl = 1e9;  // never early-stop: fixed work per update
+  scalar_cfg.use_batched_kernels = false;
+  scalar_cfg.update_threads = 1;
+  PpoConfig batched_cfg = scalar_cfg;
+  batched_cfg.use_batched_kernels = true;
+  batched_cfg.update_threads = 0;  // one per hardware thread
+
+  ActorCritic scalar_agent(8, {32, 16, 8}, 3);
+  ActorCritic batched_agent(8, {32, 16, 8}, 3);
+  const RolloutBatch batch = make_ppo_batch(scalar_agent, sz.ppo_steps, 5);
+
+  PpoUpdater scalar_updater(scalar_agent, scalar_cfg);
+  PpoUpdater batched_updater(batched_agent, batched_cfg);
+  // Warm up both arms once (first-touch allocation of the scratch buffers).
+  g_sink += scalar_updater.update(batch).policy_loss;
+  g_sink += batched_updater.update(batch).policy_loss;
+
+  const double scalar_s = best_seconds(sz.ppo_reps, [&] {
+    g_sink += scalar_updater.update(batch).policy_loss;
+  });
+  const double batched_s = best_seconds(sz.ppo_reps, [&] {
+    g_sink += batched_updater.update(batch).policy_loss;
+  });
+
+  const std::string config = "steps=" + std::to_string(sz.ppo_steps) +
+                             " iters=40+40 chunks=" +
+                             std::to_string(kPpoLogicalChunks);
+  TextTable table({"update", "scalar ms", "batched ms", "speedup"});
+  table.row()
+      .cell("ppo_update")
+      .cell(scalar_s * 1e3, 2)
+      .cell(batched_s * 1e3, 2)
+      .cell(scalar_s / batched_s, 2);
+  std::printf("%s\n", table.render().c_str());
+  bench::record_result("ppo_update_scalar_ms", scalar_s * 1e3, config);
+  bench::record_result("ppo_update_batched_ms", batched_s * 1e3, config);
+  bench::record_result("ppo_update_speedup", scalar_s / batched_s, config);
+}
+
+void bench_simulator(const Sizes& sz) {
+  const Trace trace = make_trace("SDSC-SP2", 2000, 42);
+  PolicyPtr policy = make_policy("SJF");
+  SimConfig sim_config;
+  sim_config.backfill = true;  // exercises the shadow/backfill hot path
+  Simulator sim(trace.cluster_procs(), sim_config);
+  Rng rng(9);
+  const std::vector<Job> jobs =
+      trace.sample_window(rng, static_cast<std::size_t>(sz.sim_jobs));
+  const double seq_s = best_seconds(sz.sim_reps, [&] {
+    g_sink += sim.run(jobs, *policy).metrics.makespan;
+  });
+  const std::string config =
+      "jobs=" + std::to_string(sz.sim_jobs) + " backfill=on";
+  std::printf("simulated sequence (%s): %.3f ms\n\n", config.c_str(),
+              seq_s * 1e3);
+  bench::record_result("sim_sequence_ms", seq_s * 1e3, config);
+}
+
+void bench_evaluator(const Sizes& sz) {
+  const Trace trace = make_trace("SDSC-SP2", 2000, 42);
+  PolicyPtr policy = make_policy("SJF");
+  EvalConfig config;
+  config.sequences = sz.eval_sequences;
+  config.sequence_length = sz.eval_length;
+  config.sim.backfill = true;
+
+  config.max_workers = 1;
+  const double serial_s = best_seconds(3, [&] {
+    const std::vector<double> v =
+        evaluate_base(trace, *policy, Metric::kBsld, config);
+    g_sink += v.front();
+  });
+  config.max_workers = 0;  // one per hardware thread
+  const double parallel_s = best_seconds(3, [&] {
+    const std::vector<double> v =
+        evaluate_base(trace, *policy, Metric::kBsld, config);
+    g_sink += v.front();
+  });
+
+  const std::string label = "sequences=" + std::to_string(sz.eval_sequences) +
+                            " len=" + std::to_string(sz.eval_length);
+  TextTable table({"evaluation", "serial ms", "parallel ms", "speedup"});
+  table.row()
+      .cell("evaluate_base")
+      .cell(serial_s * 1e3, 2)
+      .cell(parallel_s * 1e3, 2)
+      .cell(serial_s / parallel_s, 2);
+  std::printf("%s\n", table.render().c_str());
+  bench::record_result("eval_serial_ms", serial_s * 1e3, label);
+  bench::record_result("eval_parallel_ms", parallel_s * 1e3, label);
+  bench::record_result("eval_speedup", serial_s / parallel_s, label);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "kernels",
+              "Perf-regression microbenchmarks: batched RL kernels, PPO "
+              "update, simulator hot path, parallel evaluation");
+  Sizes sz;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      // Sanity-sized: exercises every benchmarked path in a few seconds so
+      // the ctest `perf` label can gate on "still runs", not on timings.
+      sz.reps = 2;
+      sz.batch = 64;
+      sz.kernel_iters = 4;
+      sz.ppo_steps = 512;
+      sz.ppo_reps = 1;
+      sz.sim_jobs = 64;
+      sz.sim_reps = 2;
+      sz.eval_sequences = 4;
+      sz.eval_length = 64;
+    }
+  }
+
+  bench_mlp_kernels(sz);
+  bench_ppo_update(sz);
+  bench_simulator(sz);
+  bench_evaluator(sz);
+
+  std::printf("checksum: %g\n", g_sink);
+  return 0;
+}

@@ -21,6 +21,17 @@ void DecisionRecorder::record(const std::vector<double>& features,
   if (rejected) ++rejected_;
 }
 
+void DecisionRecorder::merge_from(const DecisionRecorder& other) {
+  SI_REQUIRE(other.names_.size() == names_.size());
+  for (std::size_t f = 0; f < values_.size(); ++f)
+    values_[f].insert(values_[f].end(), other.values_[f].begin(),
+                      other.values_[f].end());
+  rejected_flags_.insert(rejected_flags_.end(), other.rejected_flags_.begin(),
+                         other.rejected_flags_.end());
+  total_ += other.total_;
+  rejected_ += other.rejected_;
+}
+
 double DecisionRecorder::rejection_ratio() const {
   if (total_ == 0) return 0.0;
   return static_cast<double>(rejected_) / static_cast<double>(total_);

@@ -18,6 +18,11 @@ class DecisionRecorder {
   /// Records one inspection: its features and whether it was rejected.
   void record(const std::vector<double>& features, bool rejected);
 
+  /// Appends every sample of `other` in its record order. Lets parallel
+  /// evaluation record into per-sequence recorders and merge them back in
+  /// sequence order, reproducing the serial record stream exactly.
+  void merge_from(const DecisionRecorder& other);
+
   std::size_t total_samples() const { return total_; }
   std::size_t rejected_samples() const { return rejected_; }
   double rejection_ratio() const;

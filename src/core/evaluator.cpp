@@ -1,9 +1,55 @@
 #include "core/evaluator.hpp"
 
+#include <atomic>
+#include <thread>
+
 #include "common/check.hpp"
 #include "sim/simulator.hpp"
 
 namespace si {
+
+namespace {
+
+/// Resolves the worker count for `n` independent sequences. A tracer or
+/// metrics registry in the SimConfig forces serial execution: those sinks
+/// observe events in emission order and are not thread-safe.
+std::size_t eval_workers(const EvalConfig& config, std::size_t n) {
+  if (config.sim.tracer != nullptr || config.sim.metrics != nullptr) return 1;
+  std::size_t workers =
+      config.max_workers > 0
+          ? static_cast<std::size_t>(config.max_workers)
+          : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  return std::min(workers, n);
+}
+
+/// Runs `work(index)` over [0, n) across `workers` threads, pulling indices
+/// from a shared counter. Each worker gets its own simulator and policy
+/// clone; results are stored by index, so the outcome is identical for any
+/// worker count.
+template <typename MakeWorkerState, typename Work>
+void parallel_sequences(std::size_t n, std::size_t workers,
+                        MakeWorkerState&& make_state, Work&& work) {
+  if (workers <= 1) {
+    auto state = make_state();
+    for (std::size_t t = 0; t < n; ++t) work(state, t);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto body = [&] {
+    auto state = make_state();
+    for (;;) {
+      const std::size_t t = next.fetch_add(1);
+      if (t >= n) break;
+      work(state, t);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(body);
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace
 
 std::vector<double> EvalResult::base_values(Metric metric) const {
   std::vector<double> out;
@@ -57,16 +103,40 @@ EvalResult evaluate(const Trace& test_trace, SchedulingPolicy& policy,
   SI_REQUIRE(static_cast<std::size_t>(config.sequence_length) <=
              test_trace.size());
 
+  // Windows are drawn serially from the master stream; the rollouts are
+  // embarrassingly parallel and collected by index.
+  const auto n = static_cast<std::size_t>(config.sequences);
   Rng rng(config.seed);
-  Simulator sim(test_trace.cluster_procs(), config.sim);
-  EvalResult result;
-  result.pairs.reserve(static_cast<std::size_t>(config.sequences));
-  for (int s = 0; s < config.sequences; ++s) {
-    const std::vector<Job> jobs = test_trace.sample_window(
+  std::vector<std::vector<Job>> windows(n);
+  for (std::size_t s = 0; s < n; ++s)
+    windows[s] = test_trace.sample_window(
         rng, static_cast<std::size_t>(config.sequence_length));
-    result.pairs.push_back(
-        rollout_eval(sim, jobs, policy, ac, features, recorder));
-  }
+
+  // Each sequence records into its own recorder; merging in sequence order
+  // afterwards reproduces the serial record stream exactly.
+  std::vector<DecisionRecorder> recorders;
+  if (recorder != nullptr)
+    recorders.assign(n, DecisionRecorder(recorder->feature_names()));
+
+  EvalResult result;
+  result.pairs.resize(n);
+  struct WorkerState {
+    Simulator sim;
+    PolicyPtr policy;
+  };
+  parallel_sequences(
+      n, eval_workers(config, n),
+      [&] {
+        return WorkerState{Simulator(test_trace.cluster_procs(), config.sim),
+                           policy.clone()};
+      },
+      [&](WorkerState& state, std::size_t t) {
+        result.pairs[t] =
+            rollout_eval(state.sim, windows[t], *state.policy, ac, features,
+                         recorder != nullptr ? &recorders[t] : nullptr);
+      });
+  if (recorder != nullptr)
+    for (const DecisionRecorder& r : recorders) recorder->merge_from(r);
   return result;
 }
 
@@ -74,15 +144,27 @@ std::vector<double> evaluate_base(const Trace& test_trace,
                                   SchedulingPolicy& policy, Metric metric,
                                   const EvalConfig& config) {
   SI_REQUIRE(config.sequences > 0);
+  const auto n = static_cast<std::size_t>(config.sequences);
   Rng rng(config.seed);
-  Simulator sim(test_trace.cluster_procs(), config.sim);
-  std::vector<double> out;
-  out.reserve(static_cast<std::size_t>(config.sequences));
-  for (int s = 0; s < config.sequences; ++s) {
-    const std::vector<Job> jobs = test_trace.sample_window(
+  std::vector<std::vector<Job>> windows(n);
+  for (std::size_t s = 0; s < n; ++s)
+    windows[s] = test_trace.sample_window(
         rng, static_cast<std::size_t>(config.sequence_length));
-    out.push_back(sim.run(jobs, policy).metrics.value(metric));
-  }
+
+  std::vector<double> out(n);
+  struct WorkerState {
+    Simulator sim;
+    PolicyPtr policy;
+  };
+  parallel_sequences(
+      n, eval_workers(config, n),
+      [&] {
+        return WorkerState{Simulator(test_trace.cluster_procs(), config.sim),
+                           policy.clone()};
+      },
+      [&](WorkerState& state, std::size_t t) {
+        out[t] = state.sim.run(windows[t], *state.policy).metrics.value(metric);
+      });
   return out;
 }
 

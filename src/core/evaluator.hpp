@@ -23,6 +23,12 @@ struct EvalConfig {
   int sequence_length = 256; ///< paper: 256 continuous jobs each
   SimConfig sim;
   std::uint64_t seed = 7;
+  /// Worker threads for the per-sequence rollouts: 0 = one per hardware
+  /// thread (capped at the sequence count), 1 = serial, N = exactly N.
+  /// Results are collected by sequence index and are bit-identical for any
+  /// setting. Evaluation falls back to serial when the SimConfig carries a
+  /// tracer or metrics registry (those sinks are not thread-safe).
+  int max_workers = 0;
 };
 
 /// All per-sequence pairs plus aggregate helpers.

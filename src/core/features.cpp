@@ -161,11 +161,18 @@ void FeatureBuilder::append_native(const InspectionView& view,
 }
 
 std::vector<double> FeatureBuilder::build(const InspectionView& view) const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(feature_count()));
+  build_into(view, out);
+  return out;
+}
+
+void FeatureBuilder::build_into(const InspectionView& view,
+                                std::vector<double>& out) const {
   SI_REQUIRE(view.job != nullptr);
   SI_REQUIRE(view.waiting != nullptr);
   SI_REQUIRE(view.total_procs > 0);
-  std::vector<double> out;
-  out.reserve(static_cast<std::size_t>(feature_count()));
+  out.clear();
   switch (mode_) {
     case FeatureMode::kManual:
       append_manual(view, out);
@@ -178,7 +185,6 @@ std::vector<double> FeatureBuilder::build(const InspectionView& view) const {
       break;
   }
   SI_ENSURE(static_cast<int>(out.size()) == feature_count());
-  return out;
 }
 
 }  // namespace si

@@ -62,6 +62,10 @@ class FeatureBuilder {
   /// Builds the feature vector for one inspection opportunity.
   std::vector<double> build(const InspectionView& view) const;
 
+  /// Allocation-free variant: clears and refills `out` in place so a hot
+  /// caller can reuse one buffer across decisions.
+  void build_into(const InspectionView& view, std::vector<double>& out) const;
+
   /// The metric-aware queue-delay sum *before* soft normalization (exposed
   /// for tests and for the Figure 13 analysis): for bsld-like metrics,
   /// sum over waiting jobs of max_interval / max(est_j, 10); for wait, the

@@ -64,7 +64,7 @@ double NeuralPriorityPolicy::score(const Job& job,
       std::clamp(static_cast<double>(job.procs) /
                      static_cast<double>(cluster_procs_),
                  0.0, 1.0)};
-  return net_.forward(features)[0];
+  return net_.forward(features, ws_)[0];
 }
 
 EsResult train_neural_priority(NeuralPriorityPolicy& policy,

@@ -52,6 +52,10 @@ class NeuralPriorityPolicy final : public SchedulingPolicy {
   double max_estimate_;
   int cluster_procs_;
   double wait_scale_;
+  /// score() is on the simulator's per-scheduling-point hot path; the
+  /// workspace keeps it allocation-free. Policies are cloned per worker
+  /// thread, so the mutable cache is never shared across threads.
+  mutable Mlp::Workspace ws_;
 };
 
 /// (mu, lambda) evolution strategy configuration.

@@ -12,23 +12,24 @@ RlInspector::RlInspector(const ActorCritic& ac, const FeatureBuilder& features,
 }
 
 bool RlInspector::reject(const InspectionView& view) {
-  std::vector<double> obs = features_.build(view);
+  features_.build_into(view, obs_scratch_);
   int action = 0;
   double log_prob = 0.0;
   if (mode_ == InspectorMode::kSample) {
-    const SampledAction sampled = ac_.sample(obs, *rng_);
+    const SampledAction sampled = ac_.sample(obs_scratch_, *rng_, ws_);
     action = sampled.action;
     log_prob = sampled.log_prob;
   } else {
-    action = ac_.act_greedy(obs);
+    action = ac_.act_greedy(obs_scratch_, ws_);
   }
 
-  if (recorder_ != nullptr) recorder_->record(obs, action == 1);
+  if (recorder_ != nullptr) recorder_->record(obs_scratch_, action == 1);
   if (trajectory_ != nullptr) {
+    // Recorded steps own their observation vector; only this path copies.
     Step step;
     step.action = action;
     step.log_prob = log_prob;
-    step.obs = std::move(obs);
+    step.obs = obs_scratch_;
     trajectory_->steps.push_back(std::move(step));
   }
   return action == 1;

@@ -41,6 +41,10 @@ class RlInspector final : public Inspector {
   Rng* rng_;
   Trajectory* trajectory_ = nullptr;
   DecisionRecorder* recorder_ = nullptr;
+  /// Reused across decisions so steady-state inference (greedy mode with no
+  /// trajectory recording) performs zero heap allocation per decision.
+  Mlp::Workspace ws_;
+  std::vector<double> obs_scratch_;
 };
 
 /// An inspector that rejects with fixed probability — the naive random

@@ -66,6 +66,7 @@ Trainer::Trainer(const Trace& trace, SchedulingPolicy& policy,
   SI_REQUIRE(config_.epochs > 0);
   SI_REQUIRE(config_.trajectories_per_epoch > 0);
   SI_REQUIRE(config_.sequence_length > 0);
+  SI_REQUIRE(config_.max_workers >= 0);
   SI_REQUIRE(static_cast<std::size_t>(config_.sequence_length) <=
              trace_.size());
 }
@@ -127,8 +128,13 @@ TrainResult Trainer::train(ActorCritic& ac) {
   // seeded and stored by index, so results are identical for any worker
   // count.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t workers = std::min<std::size_t>(
-      {hw, 8, static_cast<std::size_t>(config_.trajectories_per_epoch)});
+  const std::size_t workers =
+      config_.max_workers > 0
+          ? std::min<std::size_t>(
+                static_cast<std::size_t>(config_.max_workers),
+                static_cast<std::size_t>(config_.trajectories_per_epoch))
+          : std::min<std::size_t>(
+                {hw, 8, static_cast<std::size_t>(config_.trajectories_per_epoch)});
 
   result.curve.reserve(static_cast<std::size_t>(config_.epochs));
 

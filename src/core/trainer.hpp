@@ -63,6 +63,11 @@ struct TrainerConfig {
   /// When set, training bumps the train.* counters/gauges documented in
   /// DESIGN.md §5 (accessed only from the training thread).
   MetricsRegistry* metrics = nullptr;
+  /// Rollout worker threads: 0 = auto (hardware threads, capped at 8 and at
+  /// the trajectory count), 1 = serial, N = exactly N (still capped at the
+  /// trajectory count). Rollouts are seeded and stored by trajectory index,
+  /// so results are bit-identical for any setting.
+  int max_workers = 0;
 };
 
 /// Per-epoch training diagnostics.

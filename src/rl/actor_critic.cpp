@@ -54,7 +54,13 @@ ActorCritic::ActorCritic(int obs_size, std::vector<int> hidden,
 
 SampledAction ActorCritic::sample(std::span<const double> obs,
                                   Rng& rng) const {
-  const double logit = policy_.forward(obs)[0];
+  Mlp::Workspace ws;
+  return sample(obs, rng, ws);
+}
+
+SampledAction ActorCritic::sample(std::span<const double> obs, Rng& rng,
+                                  Mlp::Workspace& ws) const {
+  const double logit = policy_.forward(obs, ws)[0];
   SampledAction out;
   out.prob = sigmoid(logit);
   out.action = rng.bernoulli(out.prob) ? 1 : 0;
@@ -66,12 +72,22 @@ int ActorCritic::act_greedy(std::span<const double> obs) const {
   return policy_.forward(obs)[0] > 0.0 ? 1 : 0;
 }
 
+int ActorCritic::act_greedy(std::span<const double> obs,
+                            Mlp::Workspace& ws) const {
+  return policy_.forward(obs, ws)[0] > 0.0 ? 1 : 0;
+}
+
 double ActorCritic::reject_prob(std::span<const double> obs) const {
   return sigmoid(policy_.forward(obs)[0]);
 }
 
 double ActorCritic::value(std::span<const double> obs) const {
   return value_.forward(obs)[0];
+}
+
+double ActorCritic::value(std::span<const double> obs,
+                          Mlp::Workspace& ws) const {
+  return value_.forward(obs, ws)[0];
 }
 
 }  // namespace si

@@ -36,15 +36,21 @@ class ActorCritic {
 
   /// Samples reject/accept from the current policy.
   SampledAction sample(std::span<const double> obs, Rng& rng) const;
+  /// Allocation-free variant: `ws` is reused across calls (hot rollout
+  /// path — steady-state inference performs zero heap allocation).
+  SampledAction sample(std::span<const double> obs, Rng& rng,
+                       Mlp::Workspace& ws) const;
 
   /// Deterministic greedy action (used at inference/evaluation time).
   int act_greedy(std::span<const double> obs) const;
+  int act_greedy(std::span<const double> obs, Mlp::Workspace& ws) const;
 
   /// P(reject | obs).
   double reject_prob(std::span<const double> obs) const;
 
   /// Value estimate of the state.
   double value(std::span<const double> obs) const;
+  double value(std::span<const double> obs, Mlp::Workspace& ws) const;
 
   Mlp& policy_net() { return policy_; }
   const Mlp& policy_net() const { return policy_; }

@@ -1,8 +1,10 @@
 #include "rl/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/fast_math.hpp"
 #include "obs/profile.hpp"
 
 namespace si {
@@ -26,6 +28,7 @@ Mlp::Mlp(std::vector<int> layer_sizes) : layers_(std::move(layer_sizes)) {
 }
 
 void Mlp::init_xavier(Rng& rng) {
+  ++params_version_;
   for (const LayerView& v : views_) {
     const double bound = std::sqrt(6.0 / static_cast<double>(v.in + v.out));
     double* w = params_.data() + v.weight_offset;
@@ -36,6 +39,7 @@ void Mlp::init_xavier(Rng& rng) {
 }
 
 void Mlp::set_output_bias(double value) {
+  ++params_version_;
   const LayerView& last = views_.back();
   for (int o = 0; o < last.out; ++o)
     params_[last.bias_offset + static_cast<std::size_t>(o)] = value;
@@ -66,7 +70,7 @@ std::vector<double> Mlp::forward(std::span<const double> input,
       double acc = b[o];
       const double* row = w + static_cast<std::size_t>(o) * v.in;
       for (int i = 0; i < v.in; ++i) acc += row[i] * x[static_cast<std::size_t>(i)];
-      y[static_cast<std::size_t>(o)] = is_output ? acc : std::tanh(acc);
+      y[static_cast<std::size_t>(o)] = is_output ? acc : fast_tanh(acc);
     }
   }
   return ws.activations.back();
@@ -119,5 +123,263 @@ void Mlp::backward_into(const Workspace& ws,
 }
 
 void Mlp::zero_grad() { grads_.assign(grads_.size(), 0.0); }
+
+void Mlp::refresh_transpose() const {
+  if (wt_version_ == params_version_ && wt_.size() == params_.size()) return;
+  wt_.resize(params_.size());
+  for (const LayerView& v : views_) {
+    const double* w = params_.data() + v.weight_offset;
+    double* wt = wt_.data() + v.weight_offset;
+    for (int o = 0; o < v.out; ++o)
+      for (int i = 0; i < v.in; ++i)
+        wt[static_cast<std::size_t>(i) * v.out + o] =
+            w[static_cast<std::size_t>(o) * v.in + i];
+  }
+  wt_version_ = params_version_;
+}
+
+void Mlp::forward_batch(std::span<const double> inputs, int batch,
+                        BatchWorkspace& ws) const {
+  SI_REQUIRE(batch > 0);
+  SI_REQUIRE(inputs.size() == static_cast<std::size_t>(batch) *
+                                  static_cast<std::size_t>(layers_.front()));
+  // The transpose cache must be fresh; rebuilding it here would race when
+  // several threads run forward_batch concurrently.
+  SI_REQUIRE(wt_version_ == params_version_ && wt_.size() == params_.size());
+  ws.batch = batch;
+  ws.activations.resize(views_.size() + 1);
+  ws.activations[0].assign(inputs.begin(), inputs.end());
+
+  // Saxpy form over the cached transpose: every output accumulator y[o]
+  // starts at its bias and receives w[o][i] * x[i] in ascending input
+  // order — the exact partial-sum sequence of the scalar forward(). The
+  // innermost loop runs over independent accumulators with unit stride, so
+  // it vectorizes; the scalar path's per-output dot product is one serial
+  // dependency chain and cannot. Samples are blocked four at a time so each
+  // weight row is loaded once per block instead of once per sample; the
+  // per-accumulator update statements keep the exact shape of the unblocked
+  // loop, so rounding (including any fma contraction choice) is unchanged.
+  for (std::size_t l = 0; l < views_.size(); ++l) {
+    const LayerView& v = views_[l];
+    const std::vector<double>& x = ws.activations[l];
+    std::vector<double>& y = ws.activations[l + 1];
+    y.resize(static_cast<std::size_t>(batch) * v.out);
+    // Distinct buffers (weights, inputs, outputs) — the restrict qualifiers
+    // let the accumulators live in registers across the saxpy sweep.
+    const double* __restrict wt = wt_.data() + v.weight_offset;
+    const double* __restrict b = params_.data() + v.bias_offset;
+    const bool is_output = (l + 1 == views_.size());
+    int s = 0;
+    for (; s + 4 <= batch; s += 4) {
+      const double* __restrict xs0 =
+          x.data() + static_cast<std::size_t>(s) * v.in;
+      const double* __restrict xs1 = xs0 + v.in;
+      const double* __restrict xs2 = xs1 + v.in;
+      const double* __restrict xs3 = xs2 + v.in;
+      double* __restrict ys0 = y.data() + static_cast<std::size_t>(s) * v.out;
+      double* __restrict ys1 = ys0 + v.out;
+      double* __restrict ys2 = ys1 + v.out;
+      double* __restrict ys3 = ys2 + v.out;
+      for (int o = 0; o < v.out; ++o) {
+        const double bo = b[o];
+        ys0[o] = bo;
+        ys1[o] = bo;
+        ys2[o] = bo;
+        ys3[o] = bo;
+      }
+      for (int i = 0; i < v.in; ++i) {
+        const double x0 = xs0[i];
+        const double x1 = xs1[i];
+        const double x2 = xs2[i];
+        const double x3 = xs3[i];
+        const double* __restrict wrow =
+            wt + static_cast<std::size_t>(i) * v.out;
+        for (int o = 0; o < v.out; ++o) {
+          const double wv = wrow[o];
+          ys0[o] += wv * x0;
+          ys1[o] += wv * x1;
+          ys2[o] += wv * x2;
+          ys3[o] += wv * x3;
+        }
+      }
+      if (!is_output) {
+        for (int o = 0; o < v.out; ++o) ys0[o] = fast_tanh(ys0[o]);
+        for (int o = 0; o < v.out; ++o) ys1[o] = fast_tanh(ys1[o]);
+        for (int o = 0; o < v.out; ++o) ys2[o] = fast_tanh(ys2[o]);
+        for (int o = 0; o < v.out; ++o) ys3[o] = fast_tanh(ys3[o]);
+      }
+    }
+    for (; s < batch; ++s) {
+      const double* __restrict xs =
+          x.data() + static_cast<std::size_t>(s) * v.in;
+      double* __restrict ys = y.data() + static_cast<std::size_t>(s) * v.out;
+      for (int o = 0; o < v.out; ++o) ys[o] = b[o];
+      for (int i = 0; i < v.in; ++i) {
+        const double xv = xs[i];
+        const double* __restrict wrow =
+            wt + static_cast<std::size_t>(i) * v.out;
+        for (int o = 0; o < v.out; ++o) ys[o] += wrow[o] * xv;
+      }
+      if (!is_output)
+        for (int o = 0; o < v.out; ++o) ys[o] = fast_tanh(ys[o]);
+    }
+  }
+}
+
+void Mlp::backward_batch(BatchWorkspace& ws,
+                         std::span<const double> grad_outputs,
+                         std::span<double> grads) const {
+  const int batch = ws.batch;
+  SI_REQUIRE(batch > 0);
+  SI_REQUIRE(ws.activations.size() == views_.size() + 1);
+  SI_REQUIRE(grad_outputs.size() == static_cast<std::size_t>(batch) *
+                                        static_cast<std::size_t>(layers_.back()));
+  SI_REQUIRE(grads.size() == params_.size());
+
+  // delta holds dL/d(pre-activation) of the current layer for every sample
+  // (row-major batch x width); the output layer is linear so it starts as
+  // grad_outputs directly.
+  ws.delta.assign(grad_outputs.begin(), grad_outputs.end());
+
+  for (std::size_t li = views_.size(); li-- > 0;) {
+    const LayerView& v = views_[li];
+    const std::vector<double>& x = ws.activations[li];
+    const double* w = params_.data() + v.weight_offset;
+    double* gw = grads.data() + v.weight_offset;
+    double* gb = grads.data() + v.bias_offset;
+
+    // Accumulate weight/bias gradients sample-major: every gradient entry
+    // receives its per-sample contributions in ascending sample order, the
+    // same sequence of additions a per-sample backward loop performs. Each
+    // inner loop writes independent contiguous accumulators (vectorizes).
+    // Samples are blocked four at a time so each gradient row is loaded and
+    // stored once per block; the per-accumulator statements stay in
+    // ascending sample order, so rounding is unchanged.
+    int s = 0;
+    for (; s + 4 <= batch; s += 4) {
+      const double* __restrict d0 =
+          ws.delta.data() + static_cast<std::size_t>(s) * v.out;
+      const double* __restrict d1 = d0 + v.out;
+      const double* __restrict d2 = d1 + v.out;
+      const double* __restrict d3 = d2 + v.out;
+      const double* __restrict xs0 =
+          x.data() + static_cast<std::size_t>(s) * v.in;
+      const double* __restrict xs1 = xs0 + v.in;
+      const double* __restrict xs2 = xs1 + v.in;
+      const double* __restrict xs3 = xs2 + v.in;
+      for (int o = 0; o < v.out; ++o) {
+        double g = gb[o];
+        g += d0[o];
+        g += d1[o];
+        g += d2[o];
+        g += d3[o];
+        gb[o] = g;
+      }
+      for (int o = 0; o < v.out; ++o) {
+        const double e0 = d0[o];
+        const double e1 = d1[o];
+        const double e2 = d2[o];
+        const double e3 = d3[o];
+        double* __restrict grow = gw + static_cast<std::size_t>(o) * v.in;
+        for (int i = 0; i < v.in; ++i) {
+          double g = grow[i];
+          g += e0 * xs0[i];
+          g += e1 * xs1[i];
+          g += e2 * xs2[i];
+          g += e3 * xs3[i];
+          grow[i] = g;
+        }
+      }
+    }
+    for (; s < batch; ++s) {
+      const double* __restrict d =
+          ws.delta.data() + static_cast<std::size_t>(s) * v.out;
+      const double* __restrict xs =
+          x.data() + static_cast<std::size_t>(s) * v.in;
+      for (int o = 0; o < v.out; ++o) gb[o] += d[o];
+      for (int o = 0; o < v.out; ++o) {
+        const double dv = d[o];
+        double* __restrict grow = gw + static_cast<std::size_t>(o) * v.in;
+        for (int i = 0; i < v.in; ++i) grow[i] += dv * xs[i];
+      }
+    }
+
+    if (li == 0) break;
+    // Propagate to the previous layer in saxpy form: prev[i] starts at zero
+    // and receives w[o][i] * d[o] in ascending o order — the scalar path's
+    // exact column-walk accumulation sequence, but the innermost loop runs
+    // over independent unit-stride accumulators instead of one serial
+    // reduction chain. Then through tanh: activations[li] stores tanh(pre),
+    // so dtanh = 1 - a^2. Same four-sample blocking as above: each weight
+    // row is loaded once per block, per-accumulator rounding unchanged.
+    ws.delta_prev.assign(static_cast<std::size_t>(batch) * v.in, 0.0);
+    int t = 0;
+    for (; t + 4 <= batch; t += 4) {
+      const double* __restrict d0 =
+          ws.delta.data() + static_cast<std::size_t>(t) * v.out;
+      const double* __restrict d1 = d0 + v.out;
+      const double* __restrict d2 = d1 + v.out;
+      const double* __restrict d3 = d2 + v.out;
+      const double* __restrict xs0 =
+          x.data() + static_cast<std::size_t>(t) * v.in;
+      const double* __restrict xs1 = xs0 + v.in;
+      const double* __restrict xs2 = xs1 + v.in;
+      const double* __restrict xs3 = xs2 + v.in;
+      double* __restrict prev0 =
+          ws.delta_prev.data() + static_cast<std::size_t>(t) * v.in;
+      double* __restrict prev1 = prev0 + v.in;
+      double* __restrict prev2 = prev1 + v.in;
+      double* __restrict prev3 = prev2 + v.in;
+      for (int o = 0; o < v.out; ++o) {
+        const double e0 = d0[o];
+        const double e1 = d1[o];
+        const double e2 = d2[o];
+        const double e3 = d3[o];
+        const double* __restrict wrow = w + static_cast<std::size_t>(o) * v.in;
+        for (int i = 0; i < v.in; ++i) {
+          const double wv = wrow[i];
+          prev0[i] += wv * e0;
+          prev1[i] += wv * e1;
+          prev2[i] += wv * e2;
+          prev3[i] += wv * e3;
+        }
+      }
+      for (int i = 0; i < v.in; ++i) {
+        const double a = xs0[i];
+        prev0[i] = prev0[i] * (1.0 - a * a);
+      }
+      for (int i = 0; i < v.in; ++i) {
+        const double a = xs1[i];
+        prev1[i] = prev1[i] * (1.0 - a * a);
+      }
+      for (int i = 0; i < v.in; ++i) {
+        const double a = xs2[i];
+        prev2[i] = prev2[i] * (1.0 - a * a);
+      }
+      for (int i = 0; i < v.in; ++i) {
+        const double a = xs3[i];
+        prev3[i] = prev3[i] * (1.0 - a * a);
+      }
+    }
+    for (; t < batch; ++t) {
+      const double* __restrict d =
+          ws.delta.data() + static_cast<std::size_t>(t) * v.out;
+      const double* __restrict xs =
+          x.data() + static_cast<std::size_t>(t) * v.in;
+      double* __restrict prev =
+          ws.delta_prev.data() + static_cast<std::size_t>(t) * v.in;
+      for (int o = 0; o < v.out; ++o) {
+        const double dv = d[o];
+        const double* __restrict wrow = w + static_cast<std::size_t>(o) * v.in;
+        for (int i = 0; i < v.in; ++i) prev[i] += wrow[i] * dv;
+      }
+      for (int i = 0; i < v.in; ++i) {
+        const double a = xs[i];
+        prev[i] = prev[i] * (1.0 - a * a);
+      }
+    }
+    std::swap(ws.delta, ws.delta_prev);
+  }
+}
 
 }  // namespace si

@@ -2,9 +2,17 @@
 // output layer — the paper's 3-hidden-layer (32/16/8) perceptron (§3.1).
 // Parameters and gradients live in flat arrays so the Adam optimizer and
 // model serialization stay trivial; backprop is hand-rolled.
+//
+// Two execution paths exist: a per-sample scalar path (forward/backward)
+// and a batched path (forward_batch/backward_batch) over row-major sample
+// blocks. The batched path keeps each sample's accumulation order identical
+// to the scalar path, so the two are bit-identical — it is purely a
+// throughput optimization (no per-call allocation, cache-blocked loops, a
+// cached weight transpose for the input-gradient pass).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -45,6 +53,46 @@ class Mlp {
   std::vector<double> forward(std::span<const double> input,
                               Workspace& ws) const;
 
+  /// Activation cache for the batched kernels. One BatchWorkspace may be
+  /// reused across calls of any batch size; buffers grow as needed and are
+  /// never shrunk, so steady-state use performs zero heap allocation.
+  struct BatchWorkspace {
+    /// activations[0] is the input block; activations[L] the linear output
+    /// block. Each is row-major `batch x layer_width`.
+    std::vector<std::vector<double>> activations;
+    std::vector<double> delta;       ///< scratch: batch x current width
+    std::vector<double> delta_prev;  ///< scratch: batch x previous width
+    int batch = 0;
+  };
+
+  /// Batched forward over `batch` row-major samples (`inputs` has
+  /// batch * input_size() entries). Outputs land in ws.activations.back()
+  /// (batch x output_size()). Per sample this is bit-identical to the
+  /// scalar forward(): each output accumulates the same partial-sum
+  /// sequence, restructured into vectorizable saxpy loops over the cached
+  /// weight transpose. Requires refresh_transpose() after the last
+  /// parameter change (enforced).
+  void forward_batch(std::span<const double> inputs, int batch,
+                     BatchWorkspace& ws) const;
+
+  /// Batched backward: accumulates parameter gradients for all samples of
+  /// the workspace, in sample order, into `grads` (sized param_count()).
+  /// `grad_outputs` is row-major batch x output_size(). Bit-identical to
+  /// calling backward_into() once per sample in index order.
+  void backward_batch(BatchWorkspace& ws, std::span<const double> grad_outputs,
+                      std::span<double> grads) const;
+
+  /// Rebuilds the cached weight transpose used by forward_batch's saxpy
+  /// inner loops if parameters changed since the last refresh. Not
+  /// thread-safe: call serially (e.g. once per optimizer iteration) before
+  /// fanning forward_batch out across threads.
+  void refresh_transpose() const;
+
+  /// Monotonic counter bumped whenever parameters may have changed (any
+  /// non-const params() access, init, bias overwrite). The transpose cache
+  /// is keyed on it.
+  std::uint64_t params_version() const { return params_version_; }
+
   /// Accumulates parameter gradients for dL/d(output) = `grad_output`,
   /// given the activations recorded by the forward pass. Returns nothing;
   /// call grads() to read and zero_grad() to reset.
@@ -59,7 +107,12 @@ class Mlp {
 
   void zero_grad();
 
-  std::span<double> params() { return params_; }
+  /// Mutable access conservatively invalidates the cached transpose: any
+  /// caller holding the span may write through it.
+  std::span<double> params() {
+    ++params_version_;
+    return params_;
+  }
   std::span<const double> params() const { return params_; }
   std::span<double> grads() { return grads_; }
   std::span<const double> grads() const { return grads_; }
@@ -77,6 +130,13 @@ class Mlp {
   std::vector<LayerView> views_;
   std::vector<double> params_;
   std::vector<double> grads_;
+
+  std::uint64_t params_version_ = 1;
+  /// Cached W^T per layer (weight regions only, same offsets as params_;
+  /// layer l entry (i, o) lives at weight_offset + i * out + o). Rebuilt by
+  /// refresh_transpose() when stale; read concurrently by forward_batch.
+  mutable std::vector<double> wt_;
+  mutable std::uint64_t wt_version_ = 0;
 };
 
 }  // namespace si

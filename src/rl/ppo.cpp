@@ -12,60 +12,70 @@ namespace si {
 
 namespace {
 
-// The batch is always split into this many fixed chunks; each chunk
-// accumulates gradients into its own buffer and the buffers are reduced in
-// chunk order. Results are therefore bit-identical no matter how many
-// hardware threads actually run the chunks.
-constexpr std::size_t kChunks = 4;
-
-struct ChunkAccumulator {
-  std::vector<double> grads;
-  double loss = 0.0;
-  double kl = 0.0;
-  double entropy = 0.0;
+/// One pass over the gradient buffer: finiteness and squared L2 norm
+/// together (previously two separate sweeps). Stops at the first
+/// non-finite entry.
+struct GradSweep {
+  double sq_norm = 0.0;
+  bool finite = true;
 };
 
-// True when every gradient entry is finite.
-bool grads_finite(std::span<const double> grads) {
-  for (const double g : grads)
-    if (!std::isfinite(g)) return false;
-  return true;
+GradSweep sweep_grads(std::span<const double> grads) {
+  GradSweep s;
+  for (const double g : grads) {
+    if (!std::isfinite(g)) {
+      s.finite = false;
+      return s;
+    }
+    s.sq_norm += g * g;
+  }
+  return s;
 }
 
-// Scales `grads` down to the configured L2 norm; no-op when disabled (0).
-void clip_grad_norm(std::span<double> grads, double max_norm) {
+// Scales `grads` down to the configured L2 norm using the already-computed
+// squared norm; no-op when disabled (0) or within bounds.
+void apply_grad_clip(std::span<double> grads, double sq_norm,
+                     double max_norm) {
   if (max_norm <= 0.0) return;
-  double sq = 0.0;
-  for (const double g : grads) sq += g * g;
-  const double norm = std::sqrt(sq);
+  const double norm = std::sqrt(sq_norm);
   if (norm <= max_norm) return;
   const double scale = max_norm / norm;
   for (double& g : grads) g *= scale;
 }
 
-// Runs `work(chunk_index, begin, end)` over the kChunks fixed ranges,
-// in parallel when the batch is big enough to amortize thread startup.
+// Runs `work(chunk_index, begin, end)` over the kPpoLogicalChunks fixed
+// ranges. The chunk ranges never depend on the thread count; thread t
+// executes chunks t, t+T, t+2T, ... and the caller reduces the chunk
+// buffers in index order, so results are bit-identical for any `threads`.
 template <typename Work>
-void for_each_chunk(std::size_t batch_size, Work&& work) {
-  std::array<std::pair<std::size_t, std::size_t>, kChunks> ranges;
-  const std::size_t per = (batch_size + kChunks - 1) / kChunks;
-  for (std::size_t c = 0; c < kChunks; ++c) {
+void for_each_chunk(std::size_t batch_size, int threads_config, Work&& work) {
+  std::array<std::pair<std::size_t, std::size_t>, kPpoLogicalChunks> ranges;
+  const std::size_t per =
+      (batch_size + kPpoLogicalChunks - 1) / kPpoLogicalChunks;
+  for (std::size_t c = 0; c < kPpoLogicalChunks; ++c) {
     const std::size_t begin = std::min(c * per, batch_size);
     const std::size_t end = std::min(begin + per, batch_size);
     ranges[c] = {begin, end};
   }
-  const bool parallel =
-      batch_size >= 512 && std::thread::hardware_concurrency() > 1;
+  std::size_t threads =
+      threads_config > 0
+          ? static_cast<std::size_t>(threads_config)
+          : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  threads = std::min(threads, kPpoLogicalChunks);
+  const bool parallel = threads > 1 && batch_size >= 512;
   if (!parallel) {
-    for (std::size_t c = 0; c < kChunks; ++c)
+    for (std::size_t c = 0; c < kPpoLogicalChunks; ++c)
       work(c, ranges[c].first, ranges[c].second);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(kChunks);
-  for (std::size_t c = 0; c < kChunks; ++c)
-    threads.emplace_back([&, c] { work(c, ranges[c].first, ranges[c].second); });
-  for (std::thread& t : threads) t.join();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t)
+    pool.emplace_back([&, t] {
+      for (std::size_t c = t; c < kPpoLogicalChunks; c += threads)
+        work(c, ranges[c].first, ranges[c].second);
+    });
+  for (std::thread& th : pool) th.join();
 }
 
 }  // namespace
@@ -80,14 +90,25 @@ PpoUpdater::PpoUpdater(ActorCritic& ac, PpoConfig config)
   SI_REQUIRE(config_.clip_ratio > 0.0);
   SI_REQUIRE(config_.policy_iters > 0 && config_.value_iters > 0);
   SI_REQUIRE(config_.max_grad_norm >= 0.0);
+  SI_REQUIRE(config_.update_threads >= 0);
 }
 
-std::vector<double> PpoUpdater::compute_advantages(
-    const RolloutBatch& batch) const {
+std::vector<double> PpoUpdater::compute_advantages(const RolloutBatch& batch) {
   SI_PROFILE_SCOPE("ppo/advantages");
   std::vector<double> adv(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    adv[i] = batch.returns[i] - ac_.value(batch.steps[i].obs);
+  if (config_.use_batched_kernels) {
+    // One batched value forward over the whole obs matrix instead of a
+    // heap-allocating per-sample call; per sample bit-identical.
+    const Mlp& value = ac_.value_net();
+    value.refresh_transpose();
+    value.forward_batch(obs_matrix_, static_cast<int>(batch.size()), adv_ws_);
+    const std::vector<double>& v = adv_ws_.activations.back();
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      adv[i] = batch.returns[i] - v[i];
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      adv[i] = batch.returns[i] - ac_.value(batch.steps[i].obs);
+  }
   if (config_.normalize_advantage && batch.size() >= 2) {
     double mean = 0.0;
     for (double a : adv) mean += a;
@@ -108,61 +129,90 @@ PpoStats PpoUpdater::update(const RolloutBatch& batch) {
   for (const Step& s : batch.steps)
     SI_REQUIRE(static_cast<int>(s.obs.size()) == ac_.obs_size());
 
+  const std::size_t obs_size = static_cast<std::size_t>(ac_.obs_size());
+  if (config_.use_batched_kernels) {
+    // Flatten the batch once; every subsequent pass (advantages, policy
+    // iterations, value iterations) reads the same row-major matrix.
+    obs_matrix_.resize(batch.size() * obs_size);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      std::copy(batch.steps[i].obs.begin(), batch.steps[i].obs.end(),
+                obs_matrix_.begin() + i * obs_size);
+  }
+
   const std::vector<double> advantages = compute_advantages(batch);
   const double inv_n = 1.0 / static_cast<double>(batch.size());
   PpoStats stats;
 
   Mlp& policy = ac_.policy_net();
 
+  // Shared per-sample surrogate math: consumes one logit, produces the
+  // loss/KL/entropy contributions and dL/dlogit.
+  const auto policy_sample = [&](std::size_t i, double logit,
+                                 ChunkScratch& a) {
+    const Step& step = batch.steps[i];
+    const double logp = bernoulli_log_prob(logit, step.action);
+    const double ratio = std::exp(logp - step.log_prob);
+    const double adv = advantages[i];
+    a.kl += step.log_prob - logp;
+    a.entropy += bernoulli_entropy(logit);
+
+    const double clipped = std::clamp(ratio, 1.0 - config_.clip_ratio,
+                                      1.0 + config_.clip_ratio);
+    a.loss += -std::min(ratio * adv, clipped * adv);
+
+    // d(surrogate)/d(logp): ratio * adv unless the clip is active on the
+    // pessimistic side, in which case the gradient vanishes.
+    const bool clip_active =
+        (adv >= 0.0 && ratio > 1.0 + config_.clip_ratio) ||
+        (adv < 0.0 && ratio < 1.0 - config_.clip_ratio);
+    const double dsurr_dlogp = clip_active ? 0.0 : ratio * adv;
+    const double p = sigmoid(logit);
+    // d(logp)/d(logit) for a Bernoulli head = action - p.
+    const double dlogp_dlogit = static_cast<double>(step.action) - p;
+    // d(entropy)/d(logit) = -logit * p * (1 - p).
+    const double dent_dlogit = -logit * p * (1.0 - p);
+    return (-dsurr_dlogp * dlogp_dlogit - config_.entropy_coef * dent_dlogit) *
+           inv_n;
+  };
+
   // --- policy: clipped surrogate with entropy bonus; early stop on KL ---
-  std::array<ChunkAccumulator, kChunks> acc;
   for (int iter = 0; iter < config_.policy_iters; ++iter) {
     SI_PROFILE_SCOPE("ppo/policy_iter");
-    for_each_chunk(batch.size(), [&](std::size_t c, std::size_t begin,
-                                     std::size_t end) {
-      ChunkAccumulator& a = acc[c];
-      a.grads.assign(policy.param_count(), 0.0);
-      a.loss = a.kl = a.entropy = 0.0;
-      Mlp::Workspace ws;
-      for (std::size_t i = begin; i < end; ++i) {
-        const Step& step = batch.steps[i];
-        const double logit = policy.forward(step.obs, ws)[0];
-        const double logp = bernoulli_log_prob(logit, step.action);
-        const double ratio = std::exp(logp - step.log_prob);
-        const double adv = advantages[i];
-        a.kl += step.log_prob - logp;
-        a.entropy += bernoulli_entropy(logit);
-
-        const double clipped = std::clamp(ratio, 1.0 - config_.clip_ratio,
-                                          1.0 + config_.clip_ratio);
-        a.loss += -std::min(ratio * adv, clipped * adv);
-
-        // d(surrogate)/d(logp): ratio * adv unless the clip is active on
-        // the pessimistic side, in which case the gradient vanishes.
-        const bool clip_active =
-            (adv >= 0.0 && ratio > 1.0 + config_.clip_ratio) ||
-            (adv < 0.0 && ratio < 1.0 - config_.clip_ratio);
-        const double dsurr_dlogp = clip_active ? 0.0 : ratio * adv;
-        const double p = sigmoid(logit);
-        // d(logp)/d(logit) for a Bernoulli head = action - p.
-        const double dlogp_dlogit = static_cast<double>(step.action) - p;
-        // d(entropy)/d(logit) = -logit * p * (1 - p).
-        const double dent_dlogit = -logit * p * (1.0 - p);
-        const double dloss_dlogit =
-            (-dsurr_dlogp * dlogp_dlogit -
-             config_.entropy_coef * dent_dlogit) *
-            inv_n;
-        const double grad_out[1] = {dloss_dlogit};
-        policy.backward_into(ws, grad_out, a.grads);
-      }
-    });
+    if (config_.use_batched_kernels) policy.refresh_transpose();
+    for_each_chunk(
+        batch.size(), config_.update_threads,
+        [&](std::size_t c, std::size_t begin, std::size_t end) {
+          ChunkScratch& a = chunks_[c];
+          a.grads.assign(policy.param_count(), 0.0);
+          a.loss = a.kl = a.entropy = 0.0;
+          if (begin == end) return;
+          if (config_.use_batched_kernels) {
+            const int n = static_cast<int>(end - begin);
+            policy.forward_batch(
+                std::span<const double>(obs_matrix_.data() + begin * obs_size,
+                                        (end - begin) * obs_size),
+                n, a.bws);
+            const std::vector<double>& logits = a.bws.activations.back();
+            a.grad_out.resize(end - begin);
+            for (std::size_t i = begin; i < end; ++i)
+              a.grad_out[i - begin] = policy_sample(i, logits[i - begin], a);
+            policy.backward_batch(a.bws, a.grad_out, a.grads);
+          } else {
+            for (std::size_t i = begin; i < end; ++i) {
+              const double logit =
+                  policy.forward(batch.steps[i].obs, a.ws)[0];
+              const double grad_out[1] = {policy_sample(i, logit, a)};
+              policy.backward_into(a.ws, grad_out, a.grads);
+            }
+          }
+        });
 
     policy.zero_grad();
     double loss = 0.0;
     double kl = 0.0;
     double entropy = 0.0;
     auto grads = policy.grads();
-    for (const ChunkAccumulator& a : acc) {
+    for (const ChunkScratch& a : chunks_) {
       for (std::size_t g = 0; g < grads.size(); ++g) grads[g] += a.grads[g];
       loss += a.loss;
       kl += a.kl;
@@ -175,13 +225,13 @@ PpoStats PpoUpdater::update(const RolloutBatch& batch) {
     stats.approx_kl = kl;
     stats.entropy = entropy;
     stats.policy_iters_run = iter + 1;
-    if (!std::isfinite(loss) || !std::isfinite(kl) ||
-        !grads_finite(policy.grads())) {
+    const GradSweep sweep = sweep_grads(policy.grads());
+    if (!std::isfinite(loss) || !std::isfinite(kl) || !sweep.finite) {
       stats.non_finite = true;
       break;
     }
     if (kl > 1.5 * config_.target_kl) break;
-    clip_grad_norm(policy.grads(), config_.max_grad_norm);
+    apply_grad_clip(policy.grads(), sweep.sq_norm, config_.max_grad_norm);
     policy_opt_.step(policy.params(), policy.grads());
   }
 
@@ -189,34 +239,52 @@ PpoStats PpoUpdater::update(const RolloutBatch& batch) {
   Mlp& value = ac_.value_net();
   for (int iter = 0; iter < config_.value_iters; ++iter) {
     SI_PROFILE_SCOPE("ppo/value_iter");
-    for_each_chunk(batch.size(), [&](std::size_t c, std::size_t begin,
-                                     std::size_t end) {
-      ChunkAccumulator& a = acc[c];
-      a.grads.assign(value.param_count(), 0.0);
-      a.loss = 0.0;
-      Mlp::Workspace ws;
-      for (std::size_t i = begin; i < end; ++i) {
-        const Step& step = batch.steps[i];
-        const double v = value.forward(step.obs, ws)[0];
-        const double err = v - batch.returns[i];
-        a.loss += err * err;
-        const double grad_out[1] = {2.0 * err * inv_n};
-        value.backward_into(ws, grad_out, a.grads);
-      }
-    });
+    if (config_.use_batched_kernels) value.refresh_transpose();
+    for_each_chunk(
+        batch.size(), config_.update_threads,
+        [&](std::size_t c, std::size_t begin, std::size_t end) {
+          ChunkScratch& a = chunks_[c];
+          a.grads.assign(value.param_count(), 0.0);
+          a.loss = 0.0;
+          if (begin == end) return;
+          if (config_.use_batched_kernels) {
+            const int n = static_cast<int>(end - begin);
+            value.forward_batch(
+                std::span<const double>(obs_matrix_.data() + begin * obs_size,
+                                        (end - begin) * obs_size),
+                n, a.bws);
+            const std::vector<double>& out = a.bws.activations.back();
+            a.grad_out.resize(end - begin);
+            for (std::size_t i = begin; i < end; ++i) {
+              const double err = out[i - begin] - batch.returns[i];
+              a.loss += err * err;
+              a.grad_out[i - begin] = 2.0 * err * inv_n;
+            }
+            value.backward_batch(a.bws, a.grad_out, a.grads);
+          } else {
+            for (std::size_t i = begin; i < end; ++i) {
+              const double v = value.forward(batch.steps[i].obs, a.ws)[0];
+              const double err = v - batch.returns[i];
+              a.loss += err * err;
+              const double grad_out[1] = {2.0 * err * inv_n};
+              value.backward_into(a.ws, grad_out, a.grads);
+            }
+          }
+        });
     value.zero_grad();
     double loss = 0.0;
     auto grads = value.grads();
-    for (const ChunkAccumulator& a : acc) {
+    for (const ChunkScratch& a : chunks_) {
       for (std::size_t g = 0; g < grads.size(); ++g) grads[g] += a.grads[g];
       loss += a.loss;
     }
     stats.value_loss = loss * inv_n;
-    if (!std::isfinite(stats.value_loss) || !grads_finite(value.grads())) {
+    const GradSweep sweep = sweep_grads(value.grads());
+    if (!std::isfinite(stats.value_loss) || !sweep.finite) {
       stats.non_finite = true;
       break;
     }
-    clip_grad_norm(value.grads(), config_.max_grad_norm);
+    apply_grad_clip(value.grads(), sweep.sq_norm, config_.max_grad_norm);
     value_opt_.step(value.params(), value.grads());
   }
 

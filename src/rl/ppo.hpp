@@ -5,11 +5,20 @@
 // baseline, normalized per batch.
 #pragma once
 
+#include <array>
+#include <vector>
+
 #include "rl/actor_critic.hpp"
 #include "rl/adam.hpp"
 #include "rl/buffer.hpp"
 
 namespace si {
+
+/// The batch is always split into this many fixed logical chunks; each
+/// chunk accumulates gradients into its own buffer and the buffers are
+/// reduced in chunk-index order. Results are therefore bit-identical no
+/// matter how many hardware threads actually execute the chunks.
+inline constexpr std::size_t kPpoLogicalChunks = 16;
 
 struct PpoConfig {
   double clip_ratio = 0.2;
@@ -23,6 +32,14 @@ struct PpoConfig {
   /// L2 gradient-norm clip applied before every optimizer step; 0 disables
   /// (the default, matching the paper's unclipped updates).
   double max_grad_norm = 0.0;
+  /// Worker threads driving the logical chunks: 0 = one per hardware
+  /// thread, 1 = serial, N = exactly N. Capped at kPpoLogicalChunks.
+  /// Results are bit-identical for every setting.
+  int update_threads = 0;
+  /// Drive iterations through the batched MLP kernels (the default). The
+  /// per-sample reference path is kept for the equivalence tests and the
+  /// bench_kernels baseline; both produce bit-identical results.
+  bool use_batched_kernels = true;
 };
 
 /// Diagnostics of one PPO update.
@@ -60,8 +77,26 @@ class PpoUpdater {
   Adam policy_opt_;
   Adam value_opt_;
 
+  /// Per-chunk gradient accumulator and batched-kernel scratch, persistent
+  /// across iterations and updates so the steady state allocates nothing.
+  struct ChunkScratch {
+    std::vector<double> grads;
+    double loss = 0.0;
+    double kl = 0.0;
+    double entropy = 0.0;
+    Mlp::BatchWorkspace bws;        ///< batched path
+    std::vector<double> grad_out;   ///< batched path: per-sample dL/dlogit
+    Mlp::Workspace ws;              ///< per-sample reference path
+  };
+  std::array<ChunkScratch, kPpoLogicalChunks> chunks_;
+
+  /// Row-major obs matrix of the current batch (filled once per update(),
+  /// shared by the advantage, policy, and value passes).
+  std::vector<double> obs_matrix_;
+  Mlp::BatchWorkspace adv_ws_;  ///< value-forward workspace for advantages
+
   /// Advantage of each step (return - V(obs)), optionally normalized.
-  std::vector<double> compute_advantages(const RolloutBatch& batch) const;
+  std::vector<double> compute_advantages(const RolloutBatch& batch);
 };
 
 }  // namespace si

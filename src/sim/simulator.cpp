@@ -1,7 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
+#include <numeric>
+#include <utility>
 
 #include "common/check.hpp"
 #include "obs/metrics_registry.hpp"
@@ -136,6 +139,13 @@ void Simulator::process_completions() {
     std::pop_heap(running_.begin(), running_.end(), RunningLater{});
     const Running done = running_.back();
     running_.pop_back();
+    const auto release_it = std::lower_bound(
+        est_releases_.begin(), est_releases_.end(),
+        std::make_pair(done.estimated_finish, done.procs));
+    SI_ENSURE(release_it != est_releases_.end() &&
+              release_it->first == done.estimated_finish &&
+              release_it->second == done.procs);
+    est_releases_.erase(release_it);
     int released = done.procs;
     if (drain_pending_ > 0) {
       // Graceful drain: released processors feed the outstanding drain
@@ -216,6 +226,10 @@ void Simulator::start_job(std::size_t index) {
   rec.finish = termination;
   running_.push_back(r);
   std::push_heap(running_.begin(), running_.end(), RunningLater{});
+  const std::pair<Time, int> release{r.estimated_finish, r.procs};
+  est_releases_.insert(std::upper_bound(est_releases_.begin(),
+                                        est_releases_.end(), release),
+                       release);
   if (config_.tracer != nullptr) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kStart;
@@ -231,18 +245,18 @@ void Simulator::start_job(std::size_t index) {
 std::size_t Simulator::pick_top_priority() const {
   SI_REQUIRE(!waiting_.empty());
   const SchedContext ctx = context();
-  std::size_t best = waiting_.front();
-  double best_score = policy_->score((*jobs_)[best], ctx);
+  std::size_t best_pos = 0;
+  double best_score = policy_->score((*jobs_)[waiting_[0]], ctx);
   for (std::size_t i = 1; i < waiting_.size(); ++i) {
     const std::size_t idx = waiting_[i];
     const double s = policy_->score((*jobs_)[idx], ctx);
     if (s < best_score ||
-        (s == best_score && (*jobs_)[idx].id < (*jobs_)[best].id)) {
-      best = idx;
+        (s == best_score && (*jobs_)[idx].id < (*jobs_)[waiting_[best_pos]].id)) {
+      best_pos = i;
       best_score = s;
     }
   }
-  return best;
+  return best_pos;
 }
 
 Simulator::Shadow Simulator::compute_shadow(int procs_needed) const {
@@ -252,25 +266,58 @@ Simulator::Shadow Simulator::compute_shadow(int procs_needed) const {
     shadow.extra = free_procs_ - procs_needed;
     return shadow;
   }
-  // Walk running jobs in estimated-finish order, accumulating freed
+  // Walk estimated releases in (time, procs) order, accumulating freed
   // processors. Estimates may already be exceeded (the job ran longer than
-  // the user requested); the scheduler then treats its release as imminent.
-  std::vector<std::pair<Time, int>> releases;
-  releases.reserve(running_.size() + recoveries_.size());
-  for (const Running& r : running_)
-    releases.emplace_back(std::max(r.estimated_finish, now_), r.procs);
-  // Under fault injection, scheduled drain recoveries also release capacity.
-  // (Their pending portion double-counts processors a running job will give
-  // back to the drain — an estimate-side approximation only, like the
-  // estimated finishes themselves.)
-  for (const PendingRecovery& r : recoveries_)
-    releases.emplace_back(std::max(r.time, now_), r.procs);
-  std::sort(releases.begin(), releases.end());
+  // the user requested); the scheduler then treats its release as imminent,
+  // i.e. the walk order is sorted on (max(estimate, now), procs).
+  if (!recoveries_.empty()) {
+    // Under fault injection, scheduled drain recoveries also release
+    // capacity, so the two sorted streams must be merged. (Their pending
+    // portion double-counts processors a running job will give back to the
+    // drain — an estimate-side approximation only, like the estimated
+    // finishes themselves.) This path re-sorts into a reused scratch buffer.
+    shadow_scratch_.clear();
+    for (const auto& [est, procs] : est_releases_)
+      shadow_scratch_.emplace_back(std::max(est, now_), procs);
+    for (const PendingRecovery& r : recoveries_)
+      shadow_scratch_.emplace_back(std::max(r.time, now_), r.procs);
+    std::sort(shadow_scratch_.begin(), shadow_scratch_.end());
+    int free = free_procs_;
+    for (const auto& [time, procs] : shadow_scratch_) {
+      free += procs;
+      if (free >= procs_needed) {
+        shadow.time = time;
+        shadow.extra = free - procs_needed;
+        return shadow;
+      }
+    }
+    SI_ENSURE(false);
+    return shadow;
+  }
+  // Fault-free fast path: est_releases_ is already sorted by
+  // (estimate, procs). Entries whose estimate has passed clamp to `now`,
+  // which collapses their sort key to (now, procs) — replay that ordering
+  // by sorting just the (usually tiny) overdue prefix by procs.
+  const auto split = std::upper_bound(
+      est_releases_.begin(), est_releases_.end(),
+      std::make_pair(now_, std::numeric_limits<int>::max()));
+  shadow_prefix_.clear();
+  for (auto it = est_releases_.begin(); it != split; ++it)
+    shadow_prefix_.push_back(it->second);
+  std::sort(shadow_prefix_.begin(), shadow_prefix_.end());
   int free = free_procs_;
-  for (const auto& [time, procs] : releases) {
+  for (const int procs : shadow_prefix_) {
     free += procs;
     if (free >= procs_needed) {
-      shadow.time = time;
+      shadow.time = now_;
+      shadow.extra = free - procs_needed;
+      return shadow;
+    }
+  }
+  for (auto it = split; it != est_releases_.end(); ++it) {
+    free += it->second;
+    if (free >= procs_needed) {
+      shadow.time = it->first;
       shadow.extra = free - procs_needed;
       return shadow;
     }
@@ -287,35 +334,44 @@ void Simulator::backfill_around_blocked() {
   const Shadow shadow = compute_shadow((*jobs_)[blocked_].procs);
   int extra = shadow.extra;
 
-  // Consider candidates in base-policy priority order.
-  std::vector<std::size_t> order = waiting_;
+  // Consider candidates in base-policy priority order. Scores are computed
+  // once per candidate (the scoring context is fixed for this scheduling
+  // point) instead of on every comparison, and all bookkeeping runs on
+  // reused position-indexed scratch buffers.
   const SchedContext ctx = context();
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const double sa = policy_->score((*jobs_)[a], ctx);
-    const double sb = policy_->score((*jobs_)[b], ctx);
-    if (sa != sb) return sa < sb;
-    return (*jobs_)[a].id < (*jobs_)[b].id;
-  });
+  const std::size_t n = waiting_.size();
+  bf_scores_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    bf_scores_[i] = policy_->score((*jobs_)[waiting_[i]], ctx);
+  bf_order_.resize(n);
+  std::iota(bf_order_.begin(), bf_order_.end(), std::size_t{0});
+  std::sort(bf_order_.begin(), bf_order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (bf_scores_[a] != bf_scores_[b])
+                return bf_scores_[a] < bf_scores_[b];
+              return (*jobs_)[waiting_[a]].id < (*jobs_)[waiting_[b]].id;
+            });
 
-  std::vector<std::size_t> started;
-  for (std::size_t idx : order) {
+  bf_started_.assign(n, 0);
+  bool any_started = false;
+  for (std::size_t pos : bf_order_) {
+    const std::size_t idx = waiting_[pos];
     const Job& job = (*jobs_)[idx];
     if (job.procs > free_procs_) continue;
     const bool ends_before_shadow = now_ + job.estimate <= shadow.time;
     if (!ends_before_shadow && job.procs > extra) continue;
     if (!ends_before_shadow) extra -= job.procs;
     start_job(idx);
-    started.push_back(idx);
+    bf_started_[pos] = 1;
+    any_started = true;
     if (free_procs_ == 0) break;
   }
-  if (!started.empty()) {
-    waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
-                                  [&](std::size_t idx) {
-                                    return std::find(started.begin(),
-                                                     started.end(),
-                                                     idx) != started.end();
-                                  }),
-                   waiting_.end());
+  if (any_started) {
+    // Compact in place, preserving relative order of the survivors.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (bf_started_[i] == 0) waiting_[w++] = waiting_[i];
+    waiting_.resize(w);
   }
 }
 
@@ -373,6 +429,7 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
   }
   waiting_.clear();
   running_.clear();
+  est_releases_.clear();
   next_arrival_ = 0;
   completed_ = 0;
   free_procs_ = total_procs_;
@@ -426,7 +483,8 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
       continue;
     }
 
-    const std::size_t top = pick_top_priority();
+    const std::size_t top_pos = pick_top_priority();
+    const std::size_t top = waiting_[top_pos];
     if (config_.tracer != nullptr) {
       TraceEvent event;
       event.kind = TraceEvent::Kind::kSchedPoint;
@@ -439,10 +497,9 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
     bool rejected = false;
     if (inspector_ != nullptr &&
         records_[top].rejections < config_.max_rejection_times) {
-      std::vector<const Job*> others;
-      others.reserve(waiting_.size());
+      others_scratch_.clear();
       for (std::size_t idx : waiting_)
-        if (idx != top) others.push_back(&jobs[idx]);
+        if (idx != top) others_scratch_.push_back(&jobs[idx]);
       InspectionView view;
       view.now = now_;
       view.job = &jobs[top];
@@ -453,7 +510,7 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
       view.total_procs = total_procs_;
       view.backfill_enabled = config_.backfill;
       view.backfillable_jobs = count_backfillable(top);
-      view.waiting = &others;
+      view.waiting = &others_scratch_;
       ++inspections_;
       rejected = inspector_->reject(view);
       if (config_.tracer != nullptr) {
@@ -483,7 +540,8 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
       continue;
     }
 
-    waiting_.erase(std::find(waiting_.begin(), waiting_.end(), top));
+    waiting_.erase(waiting_.begin() +
+                   static_cast<std::ptrdiff_t>(top_pos));
     if (fits(top)) {
       start_job(top);
     } else {

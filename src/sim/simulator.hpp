@@ -23,6 +23,7 @@
 // taken and the simulator is bit-identical to the fault-free implementation.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "sched/policy.hpp"
@@ -105,6 +106,20 @@ class Simulator {
   double lost_node_seconds_ = 0.0;
   Time last_drain_change_ = 0.0;  ///< integration point for drained seconds
 
+  // --- hot-path scratch (reused across scheduling points; no steady-state
+  // allocation once the buffers reach their high-water marks) ---
+  /// Estimated releases (estimated_finish, procs) of every running job,
+  /// kept sorted by that pair. Maintained incrementally by start_job() /
+  /// process_completions() so the EASY shadow walk needs no per-call sort
+  /// on the fault-free path.
+  std::vector<std::pair<Time, int>> est_releases_;
+  mutable std::vector<std::pair<Time, int>> shadow_scratch_;
+  mutable std::vector<int> shadow_prefix_;
+  std::vector<double> bf_scores_;       // per waiting_ position
+  std::vector<std::size_t> bf_order_;   // waiting_ positions, priority order
+  std::vector<char> bf_started_;        // per waiting_ position
+  std::vector<const Job*> others_scratch_;
+
   int total_procs_;
   SimConfig config_;
   FaultModel faults_;
@@ -137,7 +152,9 @@ class Simulator {
   /// Counts backfillable jobs without starting them (inspector feature).
   int count_backfillable(std::size_t candidate) const;
 
-  /// The waiting job with the smallest policy score (ties by id).
+  /// Position in waiting_ of the job with the smallest policy score (ties
+  /// by id). Returning the position lets the caller erase without a second
+  /// linear search.
   std::size_t pick_top_priority() const;
 
   /// Advances simulated time to the next arrival/completion; `extra_bound`

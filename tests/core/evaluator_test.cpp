@@ -106,6 +106,54 @@ TEST(Evaluator, RecorderCollectsAcrossSequences) {
   EXPECT_EQ(recorder.total_samples(), inspections);
 }
 
+TEST(Evaluator, ParallelBitIdenticalToSerial) {
+  // Sequences are sampled serially up front and results collected by
+  // index, so any worker count must reproduce the serial run exactly —
+  // including the decision recorder's merged sample stream.
+  Harness h;
+  EvalConfig serial_cfg = h.config();
+  serial_cfg.max_workers = 1;
+  EvalConfig parallel_cfg = h.config();
+  parallel_cfg.max_workers = 3;
+
+  DecisionRecorder serial_rec(h.features.feature_names());
+  DecisionRecorder parallel_rec(h.features.feature_names());
+  const EvalResult serial =
+      evaluate(h.trace, *h.policy, h.ac, h.features, serial_cfg, &serial_rec);
+  const EvalResult parallel = evaluate(h.trace, *h.policy, h.ac, h.features,
+                                       parallel_cfg, &parallel_rec);
+
+  ASSERT_EQ(serial.pairs.size(), parallel.pairs.size());
+  for (std::size_t i = 0; i < serial.pairs.size(); ++i) {
+    for (const Metric m : {Metric::kBsld, Metric::kWait, Metric::kMaxBsld}) {
+      EXPECT_EQ(serial.pairs[i].base.value(m), parallel.pairs[i].base.value(m));
+      EXPECT_EQ(serial.pairs[i].inspected.value(m),
+                parallel.pairs[i].inspected.value(m));
+    }
+    EXPECT_EQ(serial.pairs[i].inspected.inspections,
+              parallel.pairs[i].inspected.inspections);
+    EXPECT_EQ(serial.pairs[i].inspected.rejections,
+              parallel.pairs[i].inspected.rejections);
+  }
+  EXPECT_EQ(serial_rec.total_samples(), parallel_rec.total_samples());
+  EXPECT_EQ(serial_rec.rejected_samples(), parallel_rec.rejected_samples());
+}
+
+TEST(Evaluator, EvaluateBaseParallelMatchesSerial) {
+  Harness h;
+  EvalConfig serial_cfg = h.config();
+  serial_cfg.max_workers = 1;
+  EvalConfig parallel_cfg = h.config();
+  parallel_cfg.max_workers = 0;  // auto
+  const std::vector<double> serial =
+      evaluate_base(h.trace, *h.policy, Metric::kBsld, serial_cfg);
+  const std::vector<double> parallel =
+      evaluate_base(h.trace, *h.policy, Metric::kBsld, parallel_cfg);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]);
+}
+
 TEST(Evaluator, RejectsBadConfig) {
   Harness h;
   EvalConfig bad = h.config();

@@ -1,0 +1,124 @@
+// Worker-count determinism for the full training loop: with a fixed seed,
+// one rollout worker and many must produce byte-identical simulator traces,
+// identical telemetry (modulo wall-clock fields), and bit-identical model
+// parameters. This is the end-to-end version of the kernel-parity tests —
+// if any stage of rollout collection, chunked PPO reduction, or trace
+// draining reordered floating-point work, it would show up here.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/sink.hpp"
+#include "core/trainer.hpp"
+#include "obs/trace.hpp"
+#include "sched/factory.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+TrainerConfig tiny_config(int max_workers) {
+  TrainerConfig config;
+  config.epochs = 3;
+  config.trajectories_per_epoch = 6;
+  config.sequence_length = 32;
+  config.seed = 19;
+  config.max_workers = max_workers;
+  return config;
+}
+
+struct TrainRun {
+  std::string trace_bytes;
+  std::string telemetry;
+  std::vector<double> params;
+  std::vector<EpochStats> curve;
+};
+
+TrainRun run_training(int max_workers, const std::string& tag) {
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  PolicyPtr policy = make_policy("SJF");
+  TrainerConfig config = tiny_config(max_workers);
+
+  StringSink trace_sink;
+  JsonlTracer tracer(trace_sink);
+  config.tracer = &tracer;
+  const std::string telemetry_path =
+      ::testing::TempDir() + "/si_telemetry_" + tag + ".jsonl";
+  config.telemetry_path = telemetry_path;
+
+  Trainer trainer(trace, *policy, config);
+  ActorCritic ac = trainer.make_agent();
+  TrainRun run;
+  run.curve = trainer.train(ac).curve;
+  run.trace_bytes = trace_sink.str();
+  run.params.assign(ac.policy_net().params().begin(),
+                    ac.policy_net().params().end());
+  run.params.insert(run.params.end(), ac.value_net().params().begin(),
+                    ac.value_net().params().end());
+
+  std::ifstream in(telemetry_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  run.telemetry = buffer.str();
+  std::filesystem::remove(telemetry_path);
+  return run;
+}
+
+// Telemetry records carry wall-clock phase timings that legitimately vary
+// between runs; every other byte must match. Blank the timing values only.
+std::string strip_wall_clock(const std::string& telemetry) {
+  static const std::regex timing(
+      R"(("(?:rollout|update|elapsed)_seconds":)[^,}]*)");
+  return std::regex_replace(telemetry, timing, "$1X");
+}
+
+TEST(TrainDeterminism, WorkerCountInvariant) {
+  const TrainRun serial = run_training(1, "w1");
+  const TrainRun threaded = run_training(3, "w3");
+
+  // Simulator traces carry simulated time only: byte-identical.
+  EXPECT_FALSE(serial.trace_bytes.empty());
+  EXPECT_EQ(serial.trace_bytes, threaded.trace_bytes);
+
+  // Telemetry identical once wall-clock fields are blanked.
+  EXPECT_FALSE(serial.telemetry.empty());
+  EXPECT_NE(serial.telemetry, strip_wall_clock(serial.telemetry))
+      << "telemetry should contain wall-clock fields for the strip to erase";
+  EXPECT_EQ(strip_wall_clock(serial.telemetry),
+            strip_wall_clock(threaded.telemetry));
+
+  // Trained parameters bit-identical.
+  ASSERT_EQ(serial.params.size(), threaded.params.size());
+  for (std::size_t i = 0; i < serial.params.size(); ++i)
+    EXPECT_EQ(serial.params[i], threaded.params[i]) << "param " << i;
+
+  // And the reported curves agree exactly on every simulated quantity.
+  ASSERT_EQ(serial.curve.size(), threaded.curve.size());
+  for (std::size_t i = 0; i < serial.curve.size(); ++i) {
+    EXPECT_EQ(serial.curve[i].mean_reward, threaded.curve[i].mean_reward);
+    EXPECT_EQ(serial.curve[i].mean_improvement,
+              threaded.curve[i].mean_improvement);
+    EXPECT_EQ(serial.curve[i].rejection_ratio,
+              threaded.curve[i].rejection_ratio);
+    EXPECT_EQ(serial.curve[i].approx_kl, threaded.curve[i].approx_kl);
+  }
+}
+
+TEST(TrainDeterminism, ExplicitWorkerCapMatchesAuto) {
+  // max_workers = 0 (auto) must land on the same results as any explicit
+  // count — the auto heuristic only picks a thread count.
+  const TrainRun autod = run_training(0, "auto");
+  const TrainRun fixed = run_training(2, "w2");
+  EXPECT_EQ(autod.trace_bytes, fixed.trace_bytes);
+  ASSERT_EQ(autod.params.size(), fixed.params.size());
+  for (std::size_t i = 0; i < autod.params.size(); ++i)
+    EXPECT_EQ(autod.params[i], fixed.params[i]) << "param " << i;
+}
+
+}  // namespace
+}  // namespace si

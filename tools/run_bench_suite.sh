@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release (optionally tuned for this machine) and
+# captures the perf baseline: bench_kernels --json plus the google-benchmark
+# inference-cost numbers. Writes BENCH_kernels.json at the repo root — the
+# artifact later runs diff against to catch performance regressions.
+# Usage: tools/run_bench_suite.sh [build-dir] [--portable]
+#   --portable  skip -march=native (comparable across machines, slower)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build-bench"
+native=ON
+for arg in "$@"; do
+  case "$arg" in
+    --portable) native=OFF ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSI_NATIVE_ARCH="$native"
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target bench_kernels bench_cost_inference
+
+echo "== bench_kernels (perf-regression records -> BENCH_kernels.json) =="
+"$build_dir/bench/bench_kernels" --json "$repo_root/BENCH_kernels.json"
+
+echo "== bench_cost_inference (google-benchmark, informational) =="
+"$build_dir/bench/bench_cost_inference" --benchmark_min_time=0.2 || true
+
+echo "wrote $repo_root/BENCH_kernels.json"
