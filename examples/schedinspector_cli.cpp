@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "check/invariant_oracle.hpp"
 #include "common/sink.hpp"
 #include "core/analysis.hpp"
 #include "core/evaluator.hpp"
@@ -58,6 +59,7 @@ struct Options {
   std::string log_level = "warn";
   bool quiet = false;
   bool profile = false;
+  bool check = false;  ///< run under the invariant oracle (DESIGN.md §7)
 };
 
 std::string join_names(const std::vector<std::string>& names) {
@@ -93,7 +95,10 @@ int usage() {
                "  --log-level <%s>\n"
                "  --quiet                   suppress the training progress line\n"
                "  --profile                 print a wall-time profile tree to\n"
-               "                            stderr at exit\n",
+               "                            stderr at exit\n"
+               "  --check                   validate every simulated sequence\n"
+               "                            with the runtime invariant oracle;\n"
+               "                            violations fail the command\n",
                policies.c_str(), metrics.c_str(),
                join_names(known_log_levels()).c_str());
   return 2;
@@ -125,6 +130,10 @@ bool parse(int argc, char** argv, Options& opts) {
     }
     if (arg == "--profile") {
       opts.profile = true;
+      continue;
+    }
+    if (arg == "--check") {
+      opts.check = true;
       continue;
     }
     const char* value = next();
@@ -197,27 +206,40 @@ struct Observability {
   std::unique_ptr<FileSink> trace_sink;
   std::unique_ptr<JsonlTracer> tracer;
   std::unique_ptr<MetricsRegistry> metrics;
+  std::unique_ptr<InvariantOracle> oracle;
 
-  explicit Observability(const Options& opts) {
+  /// `enable_check` is false for train: rollout workers run concurrently,
+  /// so the trainer nulls any oracle anyway.
+  explicit Observability(const Options& opts, bool enable_check = true) {
     if (!opts.trace_out.empty()) {
       trace_sink = std::make_unique<FileSink>(opts.trace_out);
       tracer = std::make_unique<JsonlTracer>(*trace_sink);
     }
     if (!opts.metrics_out.empty()) metrics = std::make_unique<MetricsRegistry>();
+    if (opts.check && enable_check)
+      oracle = std::make_unique<InvariantOracle>();
   }
 
   void apply(SimConfig& sim) const {
     sim.tracer = tracer.get();
     sim.metrics = metrics.get();
+    sim.oracle = oracle.get();
   }
 
-  void finish(const Options& opts) {
+  /// Flushes sinks; returns non-zero when the oracle saw a violation.
+  int finish(const Options& opts) {
     if (trace_sink) trace_sink->flush();
     if (metrics) {
       FileSink out(opts.metrics_out);
       metrics->write_json(out);
       out.flush();
     }
+    if (oracle) {
+      std::fprintf(oracle->ok() ? stdout : stderr, "%s\n",
+                   oracle->report().c_str());
+      if (!oracle->ok()) return 1;
+    }
+    return 0;
   }
 };
 
@@ -238,10 +260,14 @@ TrainerConfig trainer_config(const Options& opts) {
 }
 
 int cmd_train(const Options& opts) {
+  if (opts.check)
+    std::fprintf(stderr,
+                 "note: --check applies to eval/analyze only (training "
+                 "rollout workers run concurrently)\n");
   const Trace trace = load_trace(opts);
   auto [train_split, test_split] = trace.split(0.2);
   PolicyPtr policy = load_policy(opts, trace);
-  Observability obs(opts);
+  Observability obs(opts, /*enable_check=*/false);
   TrainerConfig config = trainer_config(opts);
   config.telemetry_path = opts.telemetry_out;
   config.progress = !opts.quiet;
@@ -270,8 +296,7 @@ int cmd_train(const Options& opts) {
               result.converged_rejection_ratio);
   save_model_file(opts.model_path, agent);
   std::printf("model written to %s\n", opts.model_path.c_str());
-  obs.finish(opts);
-  return 0;
+  return obs.finish(opts);
 }
 
 int cmd_eval(const Options& opts) {
@@ -324,8 +349,7 @@ int cmd_eval(const Options& opts) {
                 "%.0f lost node-seconds\n",
                 requeues, kills, wall_kills, lost);
   }
-  obs.finish(opts);
-  return 0;
+  return obs.finish(opts);
 }
 
 int cmd_analyze(const Options& opts) {
@@ -354,8 +378,7 @@ int cmd_analyze(const Options& opts) {
               recorder.total_samples(), recorder.rejected_samples(),
               recorder.rejection_ratio() * 100.0);
   std::printf("%s", recorder.render(10).c_str());
-  obs.finish(opts);
-  return 0;
+  return obs.finish(opts);
 }
 
 }  // namespace

@@ -1,0 +1,189 @@
+#include "check/generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/features.hpp"
+#include "core/rl_inspector.hpp"
+#include "core/rule_inspector.hpp"
+#include "sched/factory.hpp"
+#include "workload/trace.hpp"
+
+namespace si {
+
+namespace {
+
+/// Runtime mixture: mostly "ordinary" batch jobs, with deliberate mass on
+/// the corners the metrics care about — sub-threshold (< 10 s) runs,
+/// zero-second runs, and multi-hour tails.
+double draw_runtime(Rng& rng) {
+  const double p = rng.uniform();
+  if (p < 0.10) return static_cast<double>(rng.uniform_int(0, 9));
+  if (p < 0.75) return rng.uniform(10.0, 1800.0);
+  return rng.uniform(1800.0, 4.0 * 3600.0);
+}
+
+/// Width mixture: mostly narrow, some half-cluster, occasionally the full
+/// machine (exercises blocking and the EASY reservation).
+int draw_procs(Rng& rng, int total_procs) {
+  const double p = rng.uniform();
+  if (p < 0.70)
+    return static_cast<int>(
+        rng.uniform_int(1, std::max(1, total_procs / 8)));
+  if (p < 0.95)
+    return static_cast<int>(
+        rng.uniform_int(1, std::max(1, total_procs / 2)));
+  return static_cast<int>(rng.uniform_int(1, total_procs));
+}
+
+}  // namespace
+
+const char* inspector_kind_name(SimCase::InspectorKind kind) {
+  switch (kind) {
+    case SimCase::InspectorKind::kNone: return "none";
+    case SimCase::InspectorKind::kNever: return "never";
+    case SimCase::InspectorKind::kRandom: return "random";
+    case SimCase::InspectorKind::kRule: return "rule";
+    case SimCase::InspectorKind::kAlwaysReject: return "always";
+  }
+  return "?";
+}
+
+std::string SimCase::str() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " procs=" << total_procs
+      << " jobs=" << jobs.size() << " policy=" << policy
+      << " inspector=" << inspector_kind_name(inspector);
+  if (inspector == InspectorKind::kRandom) out << "(p=" << reject_prob << ")";
+  out << " metric=" << metric_name(metric)
+      << " backfill=" << (config.backfill ? 1 : 0)
+      << " max_interval=" << config.max_interval
+      << " max_rejections=" << config.max_rejection_times;
+  if (config.faults.enabled)
+    out << " faults(drain_interval=" << config.faults.drain_interval
+        << ",failure_prob=" << config.faults.job_failure_prob
+        << ",max_requeues=" << config.faults.max_requeues
+        << ",estimate_wall=" << (config.faults.estimate_wall ? 1 : 0) << ")";
+  else
+    out << " faults=off";
+  return out.str();
+}
+
+std::vector<Job> generate_workload(Rng& rng, int total_procs, int count) {
+  SI_REQUIRE(total_procs > 0 && count > 0);
+  // Mean inter-arrival spanning "saturated" to "mostly idle" regimes.
+  const double mean_gap = rng.uniform(5.0, 600.0);
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(count));
+  double submit = 0.0;
+  for (int i = 0; i < count; ++i) {
+    Job job;
+    job.id = i;
+    job.submit = submit;
+    job.run = draw_runtime(rng);
+    // Estimates: exact ~25% of the time, otherwise off by up to 3x in
+    // either direction (underestimates feed the estimate-wall kill path,
+    // overestimates stress the EASY shadow).
+    if (rng.uniform() < 0.25)
+      job.estimate = job.run;
+    else
+      job.estimate = std::max(1.0, job.run * rng.uniform(0.3, 3.0));
+    job.procs = draw_procs(rng, total_procs);
+    job.user = static_cast<int>(rng.uniform_int(0, 7));
+    job.queue = static_cast<int>(rng.uniform_int(0, 2));
+    jobs.push_back(job);
+    submit += rng.exponential(1.0 / mean_gap);
+  }
+  rebase_sequence(jobs);
+  return jobs;
+}
+
+SimCase generate_case(std::uint64_t seed, const CaseOptions& options) {
+  Rng rng(seed);
+  SimCase sim_case;
+  sim_case.seed = seed;
+  sim_case.total_procs = static_cast<int>(rng.uniform_int(
+      options.min_cluster_procs, options.max_cluster_procs));
+  const int count = static_cast<int>(
+      rng.uniform_int(options.min_jobs, options.max_jobs));
+  sim_case.jobs = generate_workload(rng, sim_case.total_procs, count);
+
+  sim_case.config.backfill = rng.bernoulli(0.5);
+  const double intervals[] = {30.0, 120.0, 600.0};
+  sim_case.config.max_interval = intervals[rng.uniform_index(3)];
+  const int budgets[] = {1, 4, 72};
+  sim_case.config.max_rejection_times =
+      budgets[rng.uniform_index(3)];
+
+  if (rng.bernoulli(options.fault_prob)) {
+    FaultConfig& faults = sim_case.config.faults;
+    faults.enabled = true;
+    faults.seed = rng.next_u64();
+    faults.drain_interval = rng.bernoulli(0.6) ? rng.uniform(600.0, 7200.0)
+                                               : 0.0;
+    faults.drain_fraction = rng.uniform(0.02, 0.2);
+    faults.drain_duration = rng.uniform(600.0, 7200.0);
+    faults.job_failure_prob = rng.bernoulli(0.6) ? rng.uniform(0.0, 0.3) : 0.0;
+    faults.max_requeues = static_cast<int>(rng.uniform_int(0, 3));
+    faults.estimate_wall = rng.bernoulli(0.5);
+  }
+
+  const std::vector<std::string>& policies = known_policies();
+  sim_case.policy = policies[rng.uniform_index(policies.size())];
+  const Metric metrics[] = {Metric::kBsld, Metric::kWait, Metric::kMaxBsld};
+  sim_case.metric = metrics[rng.uniform_index(3)];
+
+  const double pick = rng.uniform();
+  if (pick < 0.30) {
+    sim_case.inspector = SimCase::InspectorKind::kNone;
+  } else if (pick < 0.45) {
+    sim_case.inspector = SimCase::InspectorKind::kNever;
+  } else if (pick < 0.75) {
+    sim_case.inspector = SimCase::InspectorKind::kRandom;
+    sim_case.reject_prob = rng.uniform(0.1, 0.9);
+  } else if (pick < 0.92) {
+    sim_case.inspector = SimCase::InspectorKind::kRule;
+  } else {
+    sim_case.inspector = SimCase::InspectorKind::kAlwaysReject;
+  }
+  return sim_case;
+}
+
+SequenceResult run_case(const SimCase& sim_case, SimOracle* oracle,
+                        SimTracer* tracer) {
+  SI_REQUIRE(!sim_case.jobs.empty());
+  SimConfig config = sim_case.config;
+  config.oracle = oracle;
+  config.tracer = tracer;
+
+  // Slurm calibrates on the trace; every other policy is stateless.
+  Trace trace("generated", sim_case.total_procs, sim_case.jobs);
+  PolicyPtr policy = sim_case.policy == "Slurm"
+                         ? make_slurm_policy(trace)
+                         : make_policy(sim_case.policy);
+
+  FeatureScales scales = FeatureScales::from_trace(trace);
+  FeatureBuilder features(FeatureMode::kManual, sim_case.metric, scales,
+                          config.max_interval);
+  Rng inspector_rng(sim_case.seed ^ 0x1235c70cba5e11feULL);
+
+  NeverRejectInspector never;
+  RandomInspector random(sim_case.reject_prob, inspector_rng);
+  RuleInspector rule(features);
+  AlwaysRejectInspector always;
+  Inspector* inspector = nullptr;
+  switch (sim_case.inspector) {
+    case SimCase::InspectorKind::kNone: inspector = nullptr; break;
+    case SimCase::InspectorKind::kNever: inspector = &never; break;
+    case SimCase::InspectorKind::kRandom: inspector = &random; break;
+    case SimCase::InspectorKind::kRule: inspector = &rule; break;
+    case SimCase::InspectorKind::kAlwaysReject: inspector = &always; break;
+  }
+
+  Simulator sim(sim_case.total_procs, config);
+  return sim.run(sim_case.jobs, *policy, inspector);
+}
+
+}  // namespace si

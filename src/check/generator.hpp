@@ -1,0 +1,88 @@
+// Seeded random simulation-case generation for the property/differential
+// harness (DESIGN.md §7). One 64-bit seed deterministically expands into a
+// complete simulation case: a synthetic workload (arrival process, runtime
+// and width mixture deliberately covering the awkward corners — sub-10 s
+// runs for the bsld threshold, under- and over-estimates, full-width jobs),
+// a SimConfig (backfill on/off, rejection budgets, fault injection), a base
+// policy drawn from every name the CLI accepts (the seven Table 3
+// heuristics plus Slurm), and an inspector (none / never-reject / random /
+// distilled-rule / always-reject).
+//
+// run_case() executes a case end to end, owning the policy, feature
+// builder, inspector, and RNG it needs, with optional oracle/tracer
+// installed — the single entry point the harness, tools, and tests share so
+// every consumer exercises the identical construction path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/inspector.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/job.hpp"
+
+namespace si {
+
+class Rng;
+class SimOracle;
+class SimTracer;
+
+/// Bounds for generate_case's draws. Defaults keep single cases to a few
+/// dozen jobs so a harness can afford thousands of them.
+struct CaseOptions {
+  int min_jobs = 8;
+  int max_jobs = 48;
+  int min_cluster_procs = 16;
+  int max_cluster_procs = 128;
+  /// Probability that fault injection is enabled for a case.
+  double fault_prob = 0.4;
+};
+
+/// One fully-specified simulation: workload + configuration + policy +
+/// inspector. Everything derives from `seed`; re-generating with the same
+/// seed and options yields an identical case.
+struct SimCase {
+  enum class InspectorKind { kNone, kNever, kRandom, kRule, kAlwaysReject };
+
+  std::uint64_t seed = 0;
+  int total_procs = 0;
+  std::vector<Job> jobs;
+  SimConfig config;  ///< tracer/metrics/oracle left null; run_case installs
+  std::string policy;  ///< a known_policies() name (heuristics + Slurm)
+  Metric metric = Metric::kBsld;  ///< feature metric for the rule inspector
+  InspectorKind inspector = InspectorKind::kNone;
+  double reject_prob = 0.0;  ///< kRandom only
+
+  /// One-line description ("seed=7 procs=64 jobs=23 policy=SJF ..."), the
+  /// failure-message anchor that makes any harness failure reproducible.
+  std::string str() const;
+};
+
+const char* inspector_kind_name(SimCase::InspectorKind kind);
+
+/// Expands `seed` into a complete case. Deterministic and platform-stable
+/// (all draws flow through si::Rng).
+SimCase generate_case(std::uint64_t seed, const CaseOptions& options = {});
+
+/// Generates just a workload: `count` jobs on a `total_procs` cluster,
+/// submit-sorted, re-based to t = 0, ids 0..count-1.
+std::vector<Job> generate_workload(Rng& rng, int total_procs, int count);
+
+/// An inspector that never rejects — metamorphically equivalent to running
+/// without an inspector (identical records; only the inspections counter
+/// differs).
+class NeverRejectInspector final : public Inspector {
+ public:
+  bool reject(const InspectionView&) override { return false; }
+};
+
+/// Runs `sim_case` to completion, constructing the policy, feature builder,
+/// inspector, and inspector RNG the case calls for. `oracle` / `tracer`
+/// (either may be null) are installed for the run.
+SequenceResult run_case(const SimCase& sim_case, SimOracle* oracle = nullptr,
+                        SimTracer* tracer = nullptr);
+
+}  // namespace si

@@ -1,0 +1,517 @@
+#include "check/invariant_oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+
+namespace si {
+
+namespace {
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
+
+std::string format_time(Time t) {
+  std::ostringstream out;
+  out.precision(17);
+  out << t;
+  return out.str();
+}
+}  // namespace
+
+std::string InvariantViolation::str() const {
+  std::string out = "t=" + format_time(time);
+  if (job >= 0) out += " job=" + std::to_string(job);
+  return out + ": " + what;
+}
+
+InvariantOracle::InvariantOracle(InvariantOracleOptions options)
+    : options_(options) {}
+
+void InvariantOracle::fail(Time time, std::int64_t job, std::string what) {
+  InvariantViolation violation;
+  violation.time = time;
+  violation.job = job;
+  violation.what = std::move(what);
+  ++violation_count_;
+  if (violations_.size() < options_.max_recorded)
+    violations_.push_back(violation);
+  if (options_.halt_on_violation)
+    throw ContractViolation("simulator invariant violated: " +
+                            violation.str());
+}
+
+void InvariantOracle::touch(Time now) {
+  if (now < last_time_)
+    fail(now, -1,
+         "time moved backwards (last seen " + format_time(last_time_) + ")");
+  last_time_ = std::max(last_time_, now);
+}
+
+void InvariantOracle::check_settled(Time now) {
+  if (free_ < 0)
+    fail(now, -1, "free pool negative: " + std::to_string(free_));
+  if (drained_ < 0)
+    fail(now, -1, "drained pool negative: " + std::to_string(drained_));
+  if (running_procs_ + free_ + drained_ != total_procs_)
+    fail(now, -1,
+         "capacity not conserved: running " + std::to_string(running_procs_) +
+             " + free " + std::to_string(free_) + " + drained " +
+             std::to_string(drained_) +
+             " != " + std::to_string(total_procs_));
+}
+
+void InvariantOracle::on_run_begin(const std::vector<Job>& jobs,
+                                   int total_procs, const SimConfig& config) {
+  jobs_ = &jobs;
+  total_procs_ = total_procs;
+  max_rejection_times_ = config.max_rejection_times;
+  faults_enabled_ = config.faults.enabled;
+  backfill_enabled_ = config.backfill;
+  last_time_ = jobs.empty() ? 0.0 : jobs.front().submit;
+  free_ = total_procs;
+  drained_ = 0;
+  running_procs_ = 0;
+  running_.clear();
+  states_.assign(jobs.size(), JobState::kPending);
+  rejections_.assign(jobs.size(), 0);
+  requeues_.assign(jobs.size(), 0);
+  ever_started_.assign(jobs.size(), 0);
+  has_blocked_ = false;
+  blocked_ = 0;
+  window_active_ = false;
+  inspections_seen_ = 0;
+  rejections_seen_ = 0;
+}
+
+void InvariantOracle::on_time_advance(Time from, Time to) {
+  window_active_ = false;
+  touch(from);
+  if (to <= from)
+    fail(to, -1,
+         "non-monotonic time advance from " + format_time(from) + " to " +
+             format_time(to));
+  last_time_ = std::max(last_time_, to);
+}
+
+void InvariantOracle::on_sched_point(Time now, std::size_t index,
+                                     int free_procs,
+                                     std::size_t waiting_jobs) {
+  window_active_ = false;
+  touch(now);
+  check_settled(now);
+  if (jobs_ == nullptr || index >= jobs_->size()) {
+    fail(now, -1, "sched point for out-of-range job index");
+    return;
+  }
+  const Job& job = (*jobs_)[index];
+  if (waiting_jobs == 0)
+    fail(now, job.id, "sched point with an empty waiting queue");
+  if (states_[index] != JobState::kPending)
+    fail(now, job.id, "sched point picked a running/terminated job");
+  if (job.submit > now)
+    fail(now, job.id, "sched point before the job's submit time");
+  if (free_procs != free_)
+    fail(now, job.id,
+         "free-processor mismatch: simulator reports " +
+             std::to_string(free_procs) + ", mirror holds " +
+             std::to_string(free_));
+}
+
+void InvariantOracle::on_inspect(Time now, std::size_t index,
+                                 int prior_rejections, bool rejected) {
+  window_active_ = false;
+  touch(now);
+  if (jobs_ == nullptr || index >= jobs_->size()) {
+    fail(now, -1, "inspection of out-of-range job index");
+    return;
+  }
+  const Job& job = (*jobs_)[index];
+  ++inspections_seen_;
+  if (prior_rejections >= max_rejection_times_)
+    fail(now, job.id,
+         "inspected past MAX_REJECTION_TIMES (" +
+             std::to_string(prior_rejections) + " >= " +
+             std::to_string(max_rejection_times_) + ")");
+  if (prior_rejections != rejections_[index])
+    fail(now, job.id,
+         "rejection count drifted: simulator says " +
+             std::to_string(prior_rejections) + ", mirror counted " +
+             std::to_string(rejections_[index]));
+  if (rejected) {
+    ++rejections_[index];
+    ++rejections_seen_;
+    if (rejections_[index] > max_rejection_times_)
+      fail(now, job.id, "rejection budget exceeded");
+  }
+}
+
+void InvariantOracle::on_block(Time now, std::size_t index) {
+  window_active_ = false;
+  touch(now);
+  if (jobs_ == nullptr || index >= jobs_->size()) {
+    fail(now, -1, "blocked reservation for out-of-range job index");
+    return;
+  }
+  const Job& job = (*jobs_)[index];
+  if (has_blocked_)
+    fail(now, job.id, "second blocked reservation while one is held");
+  if (job.procs <= free_)
+    fail(now, job.id, "job blocked although it fits the free pool");
+  has_blocked_ = true;
+  blocked_ = index;
+}
+
+void InvariantOracle::recompute_shadow(int procs_needed, Time now, Time* time,
+                                       int* extra) const {
+  if (procs_needed <= free_) {
+    *time = now;
+    *extra = free_ - procs_needed;
+    return;
+  }
+  // Same semantics as Simulator::compute_shadow on the fault-free path, but
+  // implemented independently over the oracle's own running-set mirror:
+  // releases happen at max(estimated finish, now), walked in (time, procs)
+  // order.
+  std::vector<std::pair<Time, int>> releases;
+  releases.reserve(running_.size());
+  for (const RunningMirror& r : running_)
+    releases.emplace_back(std::max(r.estimated_finish, now), r.procs);
+  std::sort(releases.begin(), releases.end());
+  int free = free_;
+  for (const auto& [release_time, procs] : releases) {
+    free += procs;
+    if (free >= procs_needed) {
+      *time = release_time;
+      *extra = free - procs_needed;
+      return;
+    }
+  }
+  *time = kInf;
+  *extra = 0;
+}
+
+void InvariantOracle::on_backfill_window(Time now, std::size_t blocked_index,
+                                         Time shadow_time, int shadow_extra) {
+  touch(now);
+  if (jobs_ == nullptr || blocked_index >= jobs_->size()) {
+    fail(now, -1, "backfill window for out-of-range job index");
+    return;
+  }
+  const Job& blocked_job = (*jobs_)[blocked_index];
+  if (!has_blocked_ || blocked_ != blocked_index)
+    fail(now, blocked_job.id,
+         "backfill window opened without a matching blocked reservation");
+  if (shadow_time < now)
+    fail(now, blocked_job.id, "shadow start lies in the past");
+  if (!faults_enabled_) {
+    // Differential check: the oracle's own shadow must match the
+    // simulator's exactly (drain recoveries make the estimate streams
+    // diverge by design, so the cross-check is fault-free only).
+    Time expect_time = 0.0;
+    int expect_extra = 0;
+    recompute_shadow(blocked_job.procs, now, &expect_time, &expect_extra);
+    if (expect_time != shadow_time || expect_extra != shadow_extra)
+      fail(now, blocked_job.id,
+           "shadow mismatch: simulator (" + format_time(shadow_time) + ", " +
+               std::to_string(shadow_extra) + "), oracle (" +
+               format_time(expect_time) + ", " +
+               std::to_string(expect_extra) + ")");
+  }
+  window_active_ = true;
+  window_time_ = now;
+  window_shadow_ = shadow_time;
+  window_extra_ = shadow_extra;
+}
+
+void InvariantOracle::on_job_start(Time now, std::size_t index, const Job& job,
+                                   int free_procs_after, bool backfilled) {
+  touch(now);
+  if (jobs_ == nullptr || index >= jobs_->size()) {
+    fail(now, -1, "start of out-of-range job index");
+    return;
+  }
+  if (states_[index] == JobState::kRunning)
+    fail(now, job.id, "job started twice without an intermediate release");
+  if (states_[index] == JobState::kDone)
+    fail(now, job.id, "terminated job restarted");
+  if (now < job.submit)
+    fail(now, job.id,
+         "job started before its submit time " + format_time(job.submit));
+  if (rejections_[index] > max_rejection_times_)
+    fail(now, job.id, "job started beyond its rejection budget");
+  if (job.procs > free_)
+    fail(now, job.id,
+         "start oversubscribes the free pool (" + std::to_string(job.procs) +
+             " > " + std::to_string(free_) + ")");
+
+  if (backfilled) {
+    if (!window_active_ || window_time_ != now) {
+      fail(now, job.id, "backfilled start outside a backfill window");
+    } else {
+      // The EASY contract: never delay the reserved head job. Either the
+      // backfilled job is estimated to finish before the shadow start, or
+      // it fits into the processors left spare at the shadow.
+      const bool ends_before_shadow = now + job.estimate <= window_shadow_;
+      if (!ends_before_shadow) {
+        if (job.procs > window_extra_)
+          fail(now, job.id,
+               "backfill delays the reserved job: runs past the shadow (" +
+                   format_time(window_shadow_) + ") and needs " +
+                   std::to_string(job.procs) + " > spare " +
+                   std::to_string(window_extra_));
+        else
+          window_extra_ -= job.procs;
+      }
+    }
+    if (!has_blocked_)
+      fail(now, job.id, "backfilled start without a blocked reservation");
+  } else {
+    window_active_ = false;
+    if (has_blocked_) {
+      if (index == blocked_) {
+        has_blocked_ = false;  // the reservation is being satisfied
+      } else {
+        fail(now, job.id,
+             "job started ahead of the blocked reservation without backfill");
+      }
+    }
+  }
+
+  free_ -= job.procs;
+  running_procs_ += job.procs;
+  RunningMirror mirror;
+  mirror.index = index;
+  mirror.estimated_finish = now + job.estimate;
+  mirror.procs = job.procs;
+  running_.push_back(mirror);
+  states_[index] = JobState::kRunning;
+  ever_started_[index] = 1;
+  if (free_procs_after != free_)
+    fail(now, job.id,
+         "free-processor mismatch after start: simulator reports " +
+             std::to_string(free_procs_after) + ", mirror holds " +
+             std::to_string(free_));
+  check_settled(now);
+}
+
+void InvariantOracle::on_job_release(Time now, std::size_t index,
+                                     const JobRecord& record, int procs,
+                                     int free_procs_after, bool requeued) {
+  window_active_ = false;
+  touch(now);
+  if (jobs_ == nullptr || index >= jobs_->size()) {
+    fail(now, -1, "release of out-of-range job index");
+    return;
+  }
+  const Job& job = (*jobs_)[index];
+  if (record.id != job.id)
+    fail(now, job.id, "record/job id mismatch at release");
+  if (states_[index] != JobState::kRunning)
+    fail(now, job.id, "release of a job that is not running");
+  auto it = std::find_if(
+      running_.begin(), running_.end(),
+      [index](const RunningMirror& r) { return r.index == index; });
+  if (it == running_.end()) {
+    fail(now, job.id, "release of a job absent from the running mirror");
+  } else {
+    if (it->procs != procs)
+      fail(now, job.id,
+           "release processor count drifted: " + std::to_string(procs) +
+               " vs allocated " + std::to_string(it->procs));
+    running_.erase(it);
+  }
+  free_ += procs;
+  running_procs_ -= procs;
+  if (requeued) {
+    states_[index] = JobState::kPending;
+    ++requeues_[index];
+    if (record.requeues != requeues_[index])
+      fail(now, job.id,
+           "requeue count drifted: record says " +
+               std::to_string(record.requeues) + ", mirror counted " +
+               std::to_string(requeues_[index]));
+    if (record.started())
+      fail(now, job.id, "requeued job still carries a start time");
+  } else {
+    states_[index] = JobState::kDone;
+    if (record.finish != now)
+      fail(now, job.id, "release time differs from the recorded finish");
+  }
+  if (free_procs_after != free_)
+    fail(now, job.id,
+         "free-processor mismatch after release: simulator reports " +
+             std::to_string(free_procs_after) + ", mirror holds " +
+             std::to_string(free_));
+  check_settled(now);
+}
+
+void InvariantOracle::on_capacity_change(Time now, int delta,
+                                         int drained_total, int free_procs) {
+  // Deliberately no free-pool check here: during a graceful drain the
+  // collected processors come out of the *releasing job*, and the paired
+  // on_job_release that settles the pools follows within the same instant.
+  (void)free_procs;
+  window_active_ = false;
+  touch(now);
+  if (delta == 0) fail(now, -1, "zero-delta capacity change");
+  drained_ += delta;
+  free_ -= delta;
+  if (drained_ != drained_total)
+    fail(now, -1,
+         "drained-pool mismatch: simulator reports " +
+             std::to_string(drained_total) + ", mirror holds " +
+             std::to_string(drained_));
+  if (drained_ < 0)
+    fail(now, -1, "drained pool negative after capacity change");
+  if (drained_ > total_procs_)
+    fail(now, -1, "drained pool exceeds the cluster size");
+}
+
+void InvariantOracle::on_run_end(const std::vector<JobRecord>& records,
+                                 const SequenceMetrics& metrics) {
+  window_active_ = false;
+  const Time now = last_time_;
+  if (jobs_ == nullptr) {
+    fail(now, -1, "run end without a run begin");
+    return;
+  }
+  const std::vector<Job>& jobs = *jobs_;
+  if (records.size() != jobs.size())
+    fail(now, -1, "record count differs from the job count");
+  if (!running_.empty())
+    fail(now, -1,
+         std::to_string(running_.size()) + " jobs still running at run end");
+  if (has_blocked_)
+    fail(now, -1, "blocked reservation still held at run end");
+
+  // Independent recomputation of the sequence metrics, accumulated in
+  // record order exactly as sim/metrics.cpp does so agreement is exact.
+  double wait_sum = 0.0;
+  double bsld_sum = 0.0;
+  double max_bsld = 0.0;
+  double makespan = 0.0;
+  double busy_node_seconds = 0.0;
+  std::size_t requeues = 0;
+  std::size_t kills = 0;
+  std::size_t wall_kills = 0;
+  const std::size_t n = std::min(records.size(), jobs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobRecord& r = records[i];
+    const Job& job = jobs[i];
+    if (!r.started()) {
+      fail(now, job.id, "job never started");
+      continue;
+    }
+    if (states_[i] != JobState::kDone)
+      fail(now, job.id, "recorded as finished but mirror disagrees");
+    if (r.id != job.id) fail(now, job.id, "record id drifted");
+    if (r.submit != job.submit) fail(now, job.id, "record submit drifted");
+    if (r.procs != job.procs) fail(now, job.id, "record procs drifted");
+    if (r.start < job.submit)
+      fail(now, job.id, "recorded start precedes submit");
+    if (r.finish < r.start) fail(now, job.id, "recorded finish precedes start");
+    if (r.rejections != rejections_[i])
+      fail(now, job.id,
+           "final rejection count drifted: record " +
+               std::to_string(r.rejections) + ", mirror " +
+               std::to_string(rejections_[i]));
+    if (r.rejections > max_rejection_times_)
+      fail(now, job.id, "final rejection count exceeds the budget");
+    if (r.requeues != requeues_[i])
+      fail(now, job.id, "final requeue count drifted");
+    if (r.killed && r.wall_killed)
+      fail(now, job.id, "job both budget-killed and wall-killed");
+    // Exact outcome arithmetic per termination kind.
+    if (r.wall_killed) {
+      if (r.run != job.estimate)
+        fail(now, job.id, "wall-killed run differs from the estimate");
+      if (r.finish != r.start + job.estimate)
+        fail(now, job.id, "wall-killed finish is not start + estimate");
+    } else if (r.killed) {
+      if (r.run != r.finish - r.start)
+        fail(now, job.id, "killed run differs from the executed span");
+    } else {
+      if (r.run != job.run)
+        fail(now, job.id, "completed run differs from the actual runtime");
+      if (r.finish != r.start + job.run)
+        fail(now, job.id, "wait = start - submit / finish = start + run "
+                          "violated: finish is not start + run");
+    }
+    // Per-job metric consistency: wait and the paper's bounded slowdown
+    // with the 10 s interactivity threshold.
+    const double wait = r.start - r.submit;
+    if (r.wait() != wait) fail(now, job.id, "wait() is not start - submit");
+    const double denom = r.run > 10.0 ? r.run : 10.0;
+    const double sld = (wait + r.run) / denom;
+    const double bsld = sld > 1.0 ? sld : 1.0;
+    if (r.bounded_slowdown() != bsld)
+      fail(now, job.id, "bounded slowdown deviates from the paper formula");
+    wait_sum += wait;
+    bsld_sum += bsld;
+    max_bsld = std::max(max_bsld, bsld);
+    makespan = std::max(makespan, r.finish);
+    busy_node_seconds += r.run * static_cast<double>(r.procs);
+    requeues += static_cast<std::size_t>(r.requeues);
+    if (r.killed) ++kills;
+    if (r.wall_killed) ++wall_kills;
+  }
+  const auto count = static_cast<double>(records.size());
+  const double avg_wait = count > 0.0 ? wait_sum / count : 0.0;
+  const double avg_bsld = count > 0.0 ? bsld_sum / count : 0.0;
+  const double utilization =
+      makespan > 0.0
+          ? busy_node_seconds / (static_cast<double>(total_procs_) * makespan)
+          : 0.0;
+  if (metrics.jobs != records.size())
+    fail(now, -1, "metrics job count drifted");
+  if (metrics.avg_wait != avg_wait)
+    fail(now, -1, "reported avg wait deviates from the recomputation");
+  if (metrics.avg_bsld != avg_bsld)
+    fail(now, -1, "reported avg bsld deviates from the recomputation");
+  if (metrics.max_bsld != max_bsld)
+    fail(now, -1, "reported max bsld deviates from the recomputation");
+  if (metrics.utilization != utilization)
+    fail(now, -1, "reported utilization deviates from the recomputation");
+  if (utilization > 1.0 + 1e-12)
+    fail(now, -1, "utilization exceeds 1");
+  if (metrics.makespan != makespan)
+    fail(now, -1, "reported makespan deviates from the recomputation");
+  if (metrics.inspections != inspections_seen_)
+    fail(now, -1, "reported inspections deviate from the observed count");
+  if (metrics.rejections != rejections_seen_)
+    fail(now, -1, "reported rejections deviate from the observed count");
+  if (metrics.requeues != requeues)
+    fail(now, -1, "reported requeues deviate from the records");
+  if (metrics.kills != kills)
+    fail(now, -1, "reported kills deviate from the records");
+  if (metrics.wall_kills != wall_kills)
+    fail(now, -1, "reported wall kills deviate from the records");
+  ++runs_checked_;
+  jobs_ = nullptr;
+}
+
+std::string InvariantOracle::report() const {
+  std::ostringstream out;
+  if (ok()) {
+    out << "invariant oracle: ok (" << runs_checked_ << " runs checked)";
+    return out.str();
+  }
+  out << "invariant oracle: " << violation_count_ << " violations across "
+      << runs_checked_ << " completed runs\n";
+  for (const InvariantViolation& v : violations_) out << "  " << v.str() << "\n";
+  if (violation_count_ > violations_.size())
+    out << "  ... " << (violation_count_ - violations_.size()) << " more\n";
+  return out.str();
+}
+
+void InvariantOracle::clear() {
+  violations_.clear();
+  violation_count_ = 0;
+  runs_checked_ = 0;
+}
+
+}  // namespace si

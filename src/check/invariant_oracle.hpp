@@ -1,0 +1,146 @@
+// The runtime invariant oracle — the production SimOracle (DESIGN.md §7).
+// Installed via SimConfig::oracle, it shadows every simulated sequence with
+// an independent mirror of the scheduler state and validates, at each
+// scheduling transition:
+//
+//   * node-capacity conservation — running + free + drained processors sum
+//     to the cluster size at every event, no pool ever goes negative, and
+//     the simulator's reported free count matches the mirror;
+//   * legal starts — no job starts before its submit time, after exceeding
+//     MAX_REJECTION_TIMES, twice concurrently, or ahead of the blocked
+//     reservation without being an EASY backfill;
+//   * EASY backfilling — backfilled jobs either finish (by estimate) before
+//     the reserved head job's shadow start or fit into the spare processors
+//     at the shadow time; on fault-free runs the shadow itself is
+//     recomputed independently and compared against the simulator's;
+//   * monotonic simulated time — time never moves backwards, at any hook;
+//   * per-job metric consistency — wait = start − submit, the bounded
+//     slowdown formula with the paper's 10 s threshold, exact outcome
+//     arithmetic per termination kind, and a full independent recomputation
+//     of the sequence metrics (avg/max bsld, avg wait, utilization,
+//     makespan, fault counters) that must match the reported values
+//     bit-for-bit.
+//
+// The oracle is a pure observer: it never changes simulator behaviour, and
+// a null SimConfig::oracle skips every hook (bit-identical runs). By
+// default violations are collected (capped message list, exact count) so a
+// property harness can report all of them; halt_on_violation throws
+// si::ContractViolation at the first offence instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/oracle.hpp"
+#include "workload/job.hpp"
+
+namespace si {
+
+/// One recorded invariant violation.
+struct InvariantViolation {
+  Time time = 0.0;        ///< simulated time of the offence
+  std::int64_t job = -1;  ///< offending job id, -1 when not job-specific
+  std::string what;
+
+  /// "t=<time> job=<id>: <what>" (job part omitted when -1).
+  std::string str() const;
+};
+
+struct InvariantOracleOptions {
+  /// Throw si::ContractViolation at the first violation instead of
+  /// collecting it. Off by default: harnesses want the full list.
+  bool halt_on_violation = false;
+  /// How many violation records are retained; the total count keeps
+  /// growing past the cap.
+  std::size_t max_recorded = 64;
+};
+
+class InvariantOracle final : public SimOracle {
+ public:
+  explicit InvariantOracle(InvariantOracleOptions options = {});
+
+  // --- SimOracle hooks ---
+  void on_run_begin(const std::vector<Job>& jobs, int total_procs,
+                    const SimConfig& config) override;
+  void on_time_advance(Time from, Time to) override;
+  void on_sched_point(Time now, std::size_t index, int free_procs,
+                      std::size_t waiting_jobs) override;
+  void on_inspect(Time now, std::size_t index, int prior_rejections,
+                  bool rejected) override;
+  void on_block(Time now, std::size_t index) override;
+  void on_backfill_window(Time now, std::size_t blocked_index,
+                          Time shadow_time, int shadow_extra) override;
+  void on_job_start(Time now, std::size_t index, const Job& job,
+                    int free_procs_after, bool backfilled) override;
+  void on_job_release(Time now, std::size_t index, const JobRecord& record,
+                      int procs, int free_procs_after, bool requeued) override;
+  void on_capacity_change(Time now, int delta, int drained_total,
+                          int free_procs) override;
+  void on_run_end(const std::vector<JobRecord>& records,
+                  const SequenceMetrics& metrics) override;
+
+  // --- results (cumulative across runs until clear()) ---
+  bool ok() const { return violation_count_ == 0; }
+  std::size_t violation_count() const { return violation_count_; }
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  /// How many sequences this oracle has fully validated (run_end reached).
+  std::size_t runs_checked() const { return runs_checked_; }
+  /// Multi-line human-readable report; "ok (N runs checked)" when clean.
+  std::string report() const;
+  /// Forgets accumulated violations and run counters.
+  void clear();
+
+ private:
+  enum class JobState { kPending, kRunning, kDone };
+
+  struct RunningMirror {
+    std::size_t index = 0;
+    Time estimated_finish = 0.0;
+    int procs = 0;
+  };
+
+  void fail(Time time, std::int64_t job, std::string what);
+  /// Every-hook bookkeeping: monotonic time.
+  void touch(Time now);
+  /// Conservation checks valid at settled transitions.
+  void check_settled(Time now);
+  /// Independent EASY shadow recomputation from the mirror running set.
+  void recompute_shadow(int procs_needed, Time now, Time* time,
+                        int* extra) const;
+
+  InvariantOracleOptions options_;
+  std::vector<InvariantViolation> violations_;
+  std::size_t violation_count_ = 0;
+  std::size_t runs_checked_ = 0;
+
+  // --- per-run mirror state ---
+  const std::vector<Job>* jobs_ = nullptr;
+  int total_procs_ = 0;
+  int max_rejection_times_ = 0;
+  bool faults_enabled_ = false;
+  bool backfill_enabled_ = false;
+  Time last_time_ = 0.0;
+  int free_ = 0;
+  int drained_ = 0;
+  int running_procs_ = 0;
+  std::vector<RunningMirror> running_;
+  std::vector<JobState> states_;
+  std::vector<int> rejections_;
+  std::vector<int> requeues_;
+  std::vector<char> ever_started_;
+  bool has_blocked_ = false;
+  std::size_t blocked_ = 0;
+  // EASY backfill window (valid until the next non-start hook).
+  bool window_active_ = false;
+  Time window_time_ = 0.0;     ///< simulated instant the window was opened
+  Time window_shadow_ = 0.0;   ///< reserved head job's shadow start
+  int window_extra_ = 0;       ///< spare processors left at the shadow
+  std::size_t inspections_seen_ = 0;
+  std::size_t rejections_seen_ = 0;
+};
+
+}  // namespace si

@@ -1,0 +1,522 @@
+#include "check/replay.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace si {
+
+namespace {
+
+std::string format_time(double t) {
+  std::ostringstream out;
+  out.precision(17);
+  out << t;
+  return out.str();
+}
+
+/// Replays one trace, one event at a time. Stream-level errors (events
+/// outside a run, truncation) go to `stream_errors`; everything scoped to a
+/// run goes into that run's report.
+class ReplayMachine {
+ public:
+  explicit ReplayMachine(ReplayReport& report) : report_(report) {}
+
+  void feed(const TraceEvent& event) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kRunBegin:
+        if (active_) {
+          fail("run_begin while a run is still open");
+          close_run();
+        }
+        begin_run(event);
+        return;
+      case TraceEvent::Kind::kTrajectory:
+        return;  // trainer rollout markers carry no scheduling state
+      default:
+        break;
+    }
+    if (!active_) {
+      report_.errors.push_back("event '" +
+                               std::string(trace_event_kind_name(event.kind)) +
+                               "' at t=" + format_time(event.time) +
+                               " outside any run");
+      return;
+    }
+    switch (event.kind) {
+      case TraceEvent::Kind::kSubmit: on_submit(event); break;
+      case TraceEvent::Kind::kSchedPoint: on_sched_point(event); break;
+      case TraceEvent::Kind::kInspect: on_inspect(event); break;
+      case TraceEvent::Kind::kReject: on_reject(event); break;
+      case TraceEvent::Kind::kStart: on_start(event); break;
+      case TraceEvent::Kind::kFinish: on_release(event, Release::kFinish); break;
+      case TraceEvent::Kind::kRequeue: on_release(event, Release::kRequeue); break;
+      case TraceEvent::Kind::kKill: on_release(event, Release::kKill); break;
+      case TraceEvent::Kind::kDrain: free_ -= event.procs; break;
+      case TraceEvent::Kind::kRestore: free_ += event.procs; break;
+      case TraceEvent::Kind::kRunEnd: on_run_end(event); break;
+      default: break;  // run_begin / trajectory handled above
+    }
+  }
+
+  void finish_stream() {
+    if (active_) {
+      fail("trace truncated: run without a run_end record");
+      close_run();
+    }
+  }
+
+ private:
+  enum class Release { kFinish, kRequeue, kKill };
+
+  void fail(std::string what) {
+    if (active_)
+      run_.errors.push_back(std::move(what));
+    else
+      report_.errors.push_back(std::move(what));
+  }
+
+  void begin_run(const TraceEvent& event) {
+    active_ = true;
+    run_ = ReplayRunReport{};
+    total_procs_ = event.procs;
+    declared_jobs_ =
+        event.jobs >= 0 ? static_cast<std::size_t>(event.jobs) : 0;
+    records_.clear();
+    slot_.clear();
+    running_.clear();
+    free_ = total_procs_;
+    inspections_ = 0;
+    inspect_rejects_ = 0;
+    reject_events_ = 0;
+    if (total_procs_ <= 0) fail("run_begin with a non-positive cluster size");
+  }
+
+  void close_run() {
+    run_.jobs = records_.size();
+    report_.runs.push_back(std::move(run_));
+    active_ = false;
+  }
+
+  /// The record slot for `id`, or nullptr (with an error) when unknown.
+  JobRecord* find(std::int64_t id, const char* context) {
+    auto it = slot_.find(id);
+    if (it == slot_.end()) {
+      fail(std::string(context) + " for a job never submitted: id " +
+           std::to_string(id));
+      return nullptr;
+    }
+    return &records_[it->second];
+  }
+
+  void on_submit(const TraceEvent& event) {
+    if (slot_.count(event.job) != 0) {
+      fail("job " + std::to_string(event.job) + " submitted twice");
+      return;
+    }
+    slot_.emplace(event.job, records_.size());
+    JobRecord record;
+    record.id = event.job;
+    record.submit = event.submit;
+    record.procs = event.procs;
+    records_.push_back(record);
+    if (event.time != event.submit)
+      fail("submit record for job " + std::to_string(event.job) +
+           " not emitted at its submit time");
+  }
+
+  void on_sched_point(const TraceEvent& event) {
+    JobRecord* record = find(event.job, "sched_point");
+    if (record == nullptr) return;
+    if (event.free_procs != free_)
+      fail("free-pool divergence at sched_point t=" + format_time(event.time) +
+           ": trace says " + std::to_string(event.free_procs) +
+           ", replay holds " + std::to_string(free_));
+    if (running_.count(event.job) != 0)
+      fail("sched_point picked running job " + std::to_string(event.job));
+    if (record->submit > event.time)
+      fail("sched_point for job " + std::to_string(event.job) +
+           " before its submit time");
+  }
+
+  void on_inspect(const TraceEvent& event) {
+    JobRecord* record = find(event.job, "inspect");
+    if (record == nullptr) return;
+    ++inspections_;
+    if (event.reject) ++inspect_rejects_;
+    if (event.free_procs != free_)
+      fail("free-pool divergence at inspect t=" + format_time(event.time) +
+           ": trace says " + std::to_string(event.free_procs) +
+           ", replay holds " + std::to_string(free_));
+  }
+
+  void on_reject(const TraceEvent& event) {
+    JobRecord* record = find(event.job, "reject");
+    if (record == nullptr) return;
+    ++reject_events_;
+    if (event.rejections != record->rejections + 1)
+      fail("rejection count for job " + std::to_string(event.job) +
+           " jumped from " + std::to_string(record->rejections) + " to " +
+           std::to_string(event.rejections));
+    record->rejections = event.rejections;
+  }
+
+  void on_start(const TraceEvent& event) {
+    JobRecord* record = find(event.job, "start");
+    if (record == nullptr) return;
+    if (running_.count(event.job) != 0) {
+      fail("job " + std::to_string(event.job) + " started while running");
+      return;
+    }
+    if (event.time < record->submit)
+      fail("job " + std::to_string(event.job) + " started at t=" +
+           format_time(event.time) + ", before its submit " +
+           format_time(record->submit));
+    if (event.procs != record->procs)
+      fail("job " + std::to_string(event.job) +
+           " started with a different processor count");
+    // Exact: the simulator computed the traced wait as now - submit with
+    // these very doubles, and %.17g round-trips them.
+    if (event.wait != event.time - record->submit)
+      fail("traced wait for job " + std::to_string(event.job) +
+           " is not start - submit");
+    record->start = event.time;
+    record->finish = -1.0;
+    running_.emplace(event.job, event.procs);
+    free_ -= event.procs;
+    if (free_ < 0)
+      fail("free pool negative after starting job " +
+           std::to_string(event.job));
+  }
+
+  void on_release(const TraceEvent& event, Release kind) {
+    JobRecord* record = find(event.job, "release");
+    if (record == nullptr) return;
+    auto it = running_.find(event.job);
+    if (it == running_.end()) {
+      fail("job " + std::to_string(event.job) + " released while not running");
+      return;
+    }
+    free_ += it->second;
+    running_.erase(it);
+    if (!record->started()) {
+      fail("job " + std::to_string(event.job) + " released without a start");
+      return;
+    }
+    if (event.time < record->start)
+      fail("job " + std::to_string(event.job) + " released before its start");
+    switch (kind) {
+      case Release::kFinish:
+      case Release::kKill:
+        if (event.procs != record->procs)
+          fail("job " + std::to_string(event.job) +
+               " released with a different processor count");
+        record->finish = event.time;
+        record->run = event.run;
+        if (event.run < 0.0)
+          fail("release of job " + std::to_string(event.job) +
+               " carries no executed runtime");
+        if (kind == Release::kKill) {
+          const std::string reason =
+              event.reason != nullptr ? event.reason : "";
+          if (reason == "wall")
+            record->wall_killed = true;
+          else if (reason == "budget")
+            record->killed = true;
+          else
+            fail("kill of job " + std::to_string(event.job) +
+                 " with unknown reason '" + reason + "'");
+        }
+        break;
+      case Release::kRequeue:
+        record->start = -1.0;
+        record->finish = -1.0;
+        if (event.attempt != record->requeues + 1)
+          fail("requeue attempt for job " + std::to_string(event.job) +
+               " jumped from " + std::to_string(record->requeues) + " to " +
+               std::to_string(event.attempt));
+        record->requeues = event.attempt;
+        break;
+    }
+  }
+
+  void on_run_end(const TraceEvent& event) {
+    if (!running_.empty())
+      fail(std::to_string(running_.size()) + " jobs still running at run_end");
+    if (declared_jobs_ != records_.size())
+      fail("run_begin declared " + std::to_string(declared_jobs_) +
+           " jobs but " + std::to_string(records_.size()) + " were submitted");
+    if (event.jobs >= 0 &&
+        static_cast<std::size_t>(event.jobs) != records_.size())
+      fail("run_end declares " + std::to_string(event.jobs) + " jobs but " +
+           std::to_string(records_.size()) + " were submitted");
+    bool all_finished = true;
+    for (const JobRecord& record : records_) {
+      if (record.started() && record.finish >= record.start) continue;
+      all_finished = false;
+      fail("job " + std::to_string(record.id) + " never finished");
+    }
+
+    run_.reported.jobs =
+        event.jobs >= 0 ? static_cast<std::size_t>(event.jobs) : 0;
+    run_.reported.avg_wait = event.avg_wait;
+    run_.reported.avg_bsld = event.avg_bsld;
+    run_.reported.max_bsld = event.max_bsld;
+    run_.reported.utilization = event.util;
+    run_.reported.makespan = event.makespan;
+    run_.reported.inspections =
+        event.inspections >= 0 ? static_cast<std::size_t>(event.inspections)
+                               : 0;
+    run_.reported.rejections =
+        event.total_rejections >= 0
+            ? static_cast<std::size_t>(event.total_rejections)
+            : 0;
+
+    if (all_finished && !records_.empty() && total_procs_ > 0) {
+      // Records sit in submit order == the simulator's job-index order, so
+      // this accumulates in the same sequence and agreement is bit-exact.
+      run_.replayed = compute_metrics(records_, total_procs_);
+      run_.replayed.inspections = inspections_;
+      run_.replayed.rejections = reject_events_;
+      if (inspect_rejects_ != reject_events_)
+        fail("inspect records flag " + std::to_string(inspect_rejects_) +
+             " rejections but " + std::to_string(reject_events_) +
+             " reject records exist");
+      compare("avg_wait", run_.replayed.avg_wait, run_.reported.avg_wait);
+      compare("avg_bsld", run_.replayed.avg_bsld, run_.reported.avg_bsld);
+      compare("max_bsld", run_.replayed.max_bsld, run_.reported.max_bsld);
+      compare("util", run_.replayed.utilization, run_.reported.utilization);
+      compare("makespan", run_.replayed.makespan, run_.reported.makespan);
+      if (run_.replayed.inspections != run_.reported.inspections)
+        fail("replayed " + std::to_string(run_.replayed.inspections) +
+             " inspections, run_end reports " +
+             std::to_string(run_.reported.inspections));
+      if (run_.replayed.rejections != run_.reported.rejections)
+        fail("replayed " + std::to_string(run_.replayed.rejections) +
+             " rejections, run_end reports " +
+             std::to_string(run_.reported.rejections));
+    }
+    close_run();
+  }
+
+  void compare(const char* name, double replayed, double reported) {
+    if (replayed == reported) return;
+    fail(std::string(name) + " diverges: replayed " + format_time(replayed) +
+         ", reported " + format_time(reported));
+  }
+
+  ReplayReport& report_;
+  bool active_ = false;
+  ReplayRunReport run_;
+  int total_procs_ = 0;
+  std::size_t declared_jobs_ = 0;
+  std::vector<JobRecord> records_;
+  std::unordered_map<std::int64_t, std::size_t> slot_;
+  std::unordered_map<std::int64_t, int> running_;  ///< id -> allocated procs
+  int free_ = 0;
+  std::size_t inspections_ = 0;
+  std::size_t inspect_rejects_ = 0;
+  std::size_t reject_events_ = 0;
+};
+
+bool get_number(const JsonFlatObject& obj, const char* key, double& out) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kNumber)
+    return false;
+  out = it->second.number;
+  return true;
+}
+
+bool get_int(const JsonFlatObject& obj, const char* key, std::int64_t& out) {
+  double number = 0.0;
+  if (!get_number(obj, key, number)) return false;
+  out = static_cast<std::int64_t>(number);
+  return true;
+}
+
+bool get_int(const JsonFlatObject& obj, const char* key, int& out) {
+  std::int64_t wide = 0;
+  if (!get_int(obj, key, wide)) return false;
+  out = static_cast<int>(wide);
+  return true;
+}
+
+bool get_bool(const JsonFlatObject& obj, const char* key, bool& out) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kBool)
+    return false;
+  out = it->second.boolean;
+  return true;
+}
+
+}  // namespace
+
+bool parse_trace_line(const std::string& line, TraceEvent& out,
+                      std::string* error) {
+  JsonFlatObject obj;
+  if (!parse_flat_json(line, obj, error)) return false;
+  auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  auto ev = obj.find("ev");
+  if (ev == obj.end() || ev->second.kind != JsonValue::Kind::kString)
+    return fail("missing 'ev' field");
+  const std::string& name = ev->second.string;
+  out = TraceEvent{};
+  if (!get_number(obj, "t", out.time)) return fail("missing 't' field");
+
+  // Field sets mirror trace_event_jsonl exactly; a kind with a missing
+  // field is malformed.
+  if (name == "run_begin") {
+    out.kind = TraceEvent::Kind::kRunBegin;
+    if (!get_int(obj, "jobs", out.jobs) || !get_int(obj, "procs", out.procs) ||
+        !get_bool(obj, "backfill", out.backfill))
+      return fail("malformed run_begin record");
+  } else if (name == "submit") {
+    out.kind = TraceEvent::Kind::kSubmit;
+    if (!get_int(obj, "job", out.job) || !get_int(obj, "procs", out.procs) ||
+        !get_number(obj, "submit", out.submit))
+      return fail("malformed submit record");
+  } else if (name == "sched_point") {
+    out.kind = TraceEvent::Kind::kSchedPoint;
+    if (!get_int(obj, "job", out.job) ||
+        !get_int(obj, "free", out.free_procs) ||
+        !get_int(obj, "waiting", out.waiting))
+      return fail("malformed sched_point record");
+  } else if (name == "inspect") {
+    out.kind = TraceEvent::Kind::kInspect;
+    if (!get_int(obj, "job", out.job) || !get_bool(obj, "reject", out.reject) ||
+        !get_int(obj, "rejections", out.rejections) ||
+        !get_int(obj, "free", out.free_procs))
+      return fail("malformed inspect record");
+  } else if (name == "reject") {
+    out.kind = TraceEvent::Kind::kReject;
+    if (!get_int(obj, "job", out.job) ||
+        !get_int(obj, "rejections", out.rejections))
+      return fail("malformed reject record");
+  } else if (name == "start") {
+    out.kind = TraceEvent::Kind::kStart;
+    if (!get_int(obj, "job", out.job) || !get_int(obj, "procs", out.procs) ||
+        !get_number(obj, "wait", out.wait))
+      return fail("malformed start record");
+  } else if (name == "finish") {
+    out.kind = TraceEvent::Kind::kFinish;
+    if (!get_int(obj, "job", out.job) || !get_int(obj, "procs", out.procs) ||
+        !get_number(obj, "run", out.run))
+      return fail("malformed finish record");
+  } else if (name == "requeue") {
+    out.kind = TraceEvent::Kind::kRequeue;
+    if (!get_int(obj, "job", out.job) || !get_int(obj, "attempt", out.attempt))
+      return fail("malformed requeue record");
+  } else if (name == "kill") {
+    out.kind = TraceEvent::Kind::kKill;
+    std::string reason;
+    auto it = obj.find("reason");
+    if (it != obj.end() && it->second.kind == JsonValue::Kind::kString)
+      reason = it->second.string;
+    if (!get_int(obj, "job", out.job) || !get_int(obj, "procs", out.procs) ||
+        !get_number(obj, "run", out.run) || reason.empty())
+      return fail("malformed kill record");
+    if (reason == "wall")
+      out.reason = "wall";
+    else if (reason == "budget")
+      out.reason = "budget";
+    else
+      return fail("unknown kill reason '" + reason + "'");
+  } else if (name == "drain") {
+    out.kind = TraceEvent::Kind::kDrain;
+    if (!get_int(obj, "procs", out.procs))
+      return fail("malformed drain record");
+  } else if (name == "restore") {
+    out.kind = TraceEvent::Kind::kRestore;
+    if (!get_int(obj, "procs", out.procs))
+      return fail("malformed restore record");
+  } else if (name == "trajectory") {
+    out.kind = TraceEvent::Kind::kTrajectory;
+    if (!get_int(obj, "epoch", out.epoch) || !get_int(obj, "traj", out.traj))
+      return fail("malformed trajectory record");
+  } else if (name == "run_end") {
+    out.kind = TraceEvent::Kind::kRunEnd;
+    if (!get_int(obj, "jobs", out.jobs) ||
+        !get_int(obj, "inspections", out.inspections) ||
+        !get_int(obj, "rejections", out.total_rejections) ||
+        !get_number(obj, "avg_wait", out.avg_wait) ||
+        !get_number(obj, "avg_bsld", out.avg_bsld) ||
+        !get_number(obj, "max_bsld", out.max_bsld) ||
+        !get_number(obj, "util", out.util) ||
+        !get_number(obj, "makespan", out.makespan))
+      return fail("malformed run_end record");
+  } else {
+    return fail("unknown event kind '" + name + "'");
+  }
+  return true;
+}
+
+bool ReplayReport::ok() const { return error_count() == 0; }
+
+std::size_t ReplayReport::error_count() const {
+  std::size_t count = errors.size();
+  for (const ReplayRunReport& run : runs) count += run.errors.size();
+  return count;
+}
+
+std::string ReplayReport::str() const {
+  std::ostringstream out;
+  out << "replay: " << runs.size() << " runs, " << error_count()
+      << " errors\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ReplayRunReport& run = runs[i];
+    out << "  run " << i << ": " << run.jobs << " jobs, "
+        << (run.ok() ? "ok" : std::to_string(run.errors.size()) + " errors")
+        << "\n";
+    for (const std::string& error : run.errors)
+      out << "    " << error << "\n";
+  }
+  for (const std::string& error : errors) out << "  " << error << "\n";
+  return out.str();
+}
+
+ReplayReport replay_validate_events(const std::vector<TraceEvent>& events) {
+  ReplayReport report;
+  ReplayMachine machine(report);
+  for (const TraceEvent& event : events) machine.feed(event);
+  machine.finish_stream();
+  return report;
+}
+
+ReplayReport replay_validate_stream(std::istream& in) {
+  ReplayReport report;
+  ReplayMachine machine(report);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++report.lines;
+    TraceEvent event;
+    std::string error;
+    if (!parse_trace_line(line, event, &error)) {
+      report.errors.push_back("line " + std::to_string(report.lines) + ": " +
+                              error);
+      continue;
+    }
+    machine.feed(event);
+  }
+  machine.finish_stream();
+  return report;
+}
+
+ReplayReport replay_validate_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ReplayReport report;
+    report.errors.push_back("cannot open trace file: " + path);
+    return report;
+  }
+  return replay_validate_stream(in);
+}
+
+}  // namespace si

@@ -1,0 +1,77 @@
+// Trace-replay validation (DESIGN.md §7). A PR-2 JSONL event trace is a
+// complete account of a simulated sequence: every submit, start, finish /
+// kill / requeue, rejection, and capacity change, plus the simulator's own
+// reported sequence metrics on the run_end record. The replay validator
+// re-derives the per-job records purely from those events, recomputes the
+// sequence metrics through the same sim/metrics.cpp aggregation, and
+// cross-checks:
+//
+//   * per-job story — every job is submitted exactly once, starts only
+//     after its submit, finishes/kills only while running, and its traced
+//     wait equals start − submit exactly;
+//   * free-pool consistency — replaying start/finish/kill/requeue/drain/
+//     restore deltas reproduces the free-processor count the simulator
+//     reported on every sched_point and inspect record;
+//   * counter consistency — inspect/reject records agree with each other
+//     and with the run_end totals;
+//   * metric consistency — the replayed avg wait, avg bsld, max bsld,
+//     utilization, and makespan equal the reported values *bit-for-bit*
+//     (the trace serializes doubles with %.17g, which round-trips).
+//
+// Works on a JSONL stream/file (tools/replay_validate) or directly on
+// in-memory TraceEvents from a BufferTracer (the property harness). Traces
+// holding several runs (e.g. trainer rollouts) are split on run_begin and
+// validated independently; trajectory markers are ignored.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/metrics.hpp"
+
+namespace si {
+
+/// Validation outcome for one run_begin..run_end span.
+struct ReplayRunReport {
+  std::size_t jobs = 0;
+  SequenceMetrics replayed;  ///< recomputed from the event stream
+  SequenceMetrics reported;  ///< as serialized on the run_end record
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Validation outcome for a whole trace.
+struct ReplayReport {
+  std::size_t lines = 0;  ///< JSONL lines consumed (0 for in-memory replay)
+  std::vector<ReplayRunReport> runs;
+  /// Stream-level problems: malformed lines, events outside a run, a
+  /// truncated final run.
+  std::vector<std::string> errors;
+
+  bool ok() const;
+  std::size_t error_count() const;
+  /// Human-readable summary; one line per run plus every error.
+  std::string str() const;
+};
+
+/// Replays already-decoded events (e.g. a BufferTracer's buffer).
+ReplayReport replay_validate_events(const std::vector<TraceEvent>& events);
+
+/// Replays a JSONL trace stream; blank lines are skipped.
+ReplayReport replay_validate_stream(std::istream& in);
+
+/// Opens and replays a JSONL trace file; a missing/unreadable file yields a
+/// stream-level error.
+ReplayReport replay_validate_file(const std::string& path);
+
+/// Decodes one JSONL trace line into a TraceEvent. Returns false and fills
+/// `error` on malformed input or an unknown event kind. The event's
+/// `reason` pointer refers to static storage.
+bool parse_trace_line(const std::string& line, TraceEvent& out,
+                      std::string* error);
+
+}  // namespace si

@@ -10,11 +10,14 @@ namespace si {
 
 namespace {
 
-/// Resolves the worker count for `n` independent sequences. A tracer or
-/// metrics registry in the SimConfig forces serial execution: those sinks
-/// observe events in emission order and are not thread-safe.
+/// Resolves the worker count for `n` independent sequences. A tracer,
+/// metrics registry, or correctness oracle in the SimConfig forces serial
+/// execution: those sinks observe events in emission order and are not
+/// thread-safe.
 std::size_t eval_workers(const EvalConfig& config, std::size_t n) {
-  if (config.sim.tracer != nullptr || config.sim.metrics != nullptr) return 1;
+  if (config.sim.tracer != nullptr || config.sim.metrics != nullptr ||
+      config.sim.oracle != nullptr)
+    return 1;
   std::size_t workers =
       config.max_workers > 0
           ? static_cast<std::size_t>(config.max_workers)

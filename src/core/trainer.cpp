@@ -148,11 +148,13 @@ TrainResult Trainer::train(ActorCritic& ac) {
   std::unique_ptr<FileSink> telemetry;
   if (!config_.telemetry_path.empty())
     telemetry = std::make_unique<FileSink>(config_.telemetry_path);
-  // Worker simulators must not share the caller's tracer/metrics pointers:
-  // they run concurrently. Tracing instead buffers per trajectory below.
+  // Worker simulators must not share the caller's tracer/metrics/oracle
+  // pointers: they run concurrently. Tracing instead buffers per trajectory
+  // below.
   SimConfig worker_sim = config_.sim;
   worker_sim.tracer = nullptr;
   worker_sim.metrics = nullptr;
+  worker_sim.oracle = nullptr;
   std::vector<BufferTracer> trajectory_traces(
       config_.tracer != nullptr ? traj_count : 0);
   const auto train_start = std::chrono::steady_clock::now();

@@ -58,7 +58,9 @@ std::string trace_event_jsonl(const TraceEvent& event) {
           .field("wait", event.wait);
       break;
     case TraceEvent::Kind::kFinish:
-      out.field("job", event.job).field("procs", event.procs);
+      out.field("job", event.job)
+          .field("procs", event.procs)
+          .field("run", event.run);
       break;
     case TraceEvent::Kind::kRequeue:
       out.field("job", event.job).field("attempt", event.attempt);
@@ -66,6 +68,7 @@ std::string trace_event_jsonl(const TraceEvent& event) {
     case TraceEvent::Kind::kKill:
       out.field("job", event.job)
           .field("procs", event.procs)
+          .field("run", event.run)
           .field("reason", event.reason != nullptr ? event.reason : "?");
       break;
     case TraceEvent::Kind::kDrain:
@@ -78,7 +81,12 @@ std::string trace_event_jsonl(const TraceEvent& event) {
     case TraceEvent::Kind::kRunEnd:
       out.field("jobs", event.jobs)
           .field("inspections", event.inspections)
-          .field("rejections", event.total_rejections);
+          .field("rejections", event.total_rejections)
+          .field("avg_wait", event.avg_wait)
+          .field("avg_bsld", event.avg_bsld)
+          .field("max_bsld", event.max_bsld)
+          .field("util", event.util)
+          .field("makespan", event.makespan);
       break;
   }
   return out.str() + "\n";

@@ -25,13 +25,16 @@ struct TraceEvent {
     kInspect,     ///< inspector consulted: job, reject, rejections, free
     kReject,      ///< candidate rejected: job, rejections (updated count)
     kStart,       ///< job started: job, procs, wait
-    kFinish,      ///< job completed normally: job, procs
+    kFinish,      ///< job completed normally: job, procs, run
     kRequeue,     ///< failed attempt re-entered the queue: job, attempt
-    kKill,        ///< job terminated for good: job, procs, reason
+    kKill,        ///< job terminated for good: job, procs, run, reason
     kDrain,       ///< processors collected out of service: procs
     kRestore,     ///< drained processors returned to service: procs
     kTrajectory,  ///< trainer marker delimiting rollouts: epoch, traj
-    kRunEnd,      ///< sim.run() finished: jobs, inspections, rejections
+    kRunEnd,      ///< sim.run() finished: jobs, inspections, rejections,
+                  ///< plus the reported sequence metrics (avg_wait,
+                  ///< avg_bsld, max_bsld, util, makespan) so a trace is a
+                  ///< self-contained replay-validation artifact
   };
 
   Kind kind = Kind::kRunBegin;
@@ -45,11 +48,17 @@ struct TraceEvent {
   int attempt = -1;               ///< requeue attempt number
   double wait = -1.0;             ///< seconds waited before start
   double submit = -1.0;           ///< original submission time
+  double run = -1.0;              ///< recorded execution seconds (finish/kill)
   bool reject = false;            ///< inspect decision
   bool backfill = false;          ///< run begin: EASY backfilling on
   const char* reason = nullptr;   ///< kill reason: "wall" | "budget"
   std::int64_t inspections = -1;  ///< run end totals
   std::int64_t total_rejections = -1;
+  double avg_wait = 0.0;          ///< run end: reported sequence metrics
+  double avg_bsld = 0.0;
+  double max_bsld = 0.0;
+  double util = 0.0;
+  double makespan = 0.0;
   int epoch = -1;                 ///< trajectory marker
   int traj = -1;
 };

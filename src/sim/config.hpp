@@ -8,6 +8,7 @@ namespace si {
 
 class SimTracer;        // obs/trace.hpp
 class MetricsRegistry;  // obs/metrics_registry.hpp
+class SimOracle;        // sim/oracle.hpp
 
 struct SimConfig {
   /// EASY backfilling on/off (§4.4.5). Off by default, as in the paper's
@@ -39,6 +40,13 @@ struct SimConfig {
   /// default — records nothing. Not thread-safe: give concurrent
   /// simulators (e.g. trainer rollout workers) a null registry.
   MetricsRegistry* metrics = nullptr;
+
+  /// Runtime correctness oracle (non-owning; see sim/oracle.hpp and
+  /// DESIGN.md §7). A pure observer called at every scheduling transition;
+  /// null — the default — skips every hook and leaves the simulator
+  /// bit-identical to the unchecked implementation. Not thread-safe: like
+  /// tracer/metrics, concurrent simulators must use a null oracle.
+  SimOracle* oracle = nullptr;
 };
 
 }  // namespace si

@@ -1,0 +1,101 @@
+// The correctness-oracle hook the simulator exposes (the seam the
+// src/check/ subsystem plugs into). Like SimTracer, an oracle is a pure
+// observer: the simulator calls the hooks below at every semantically
+// meaningful state transition, and never lets the oracle influence a
+// scheduling decision. With SimConfig::oracle == nullptr (the default) no
+// hook is invoked and the simulator behaves bit-identically to the
+// unchecked implementation.
+//
+// The hooks deliberately expose *redundant* state (e.g. the simulator's own
+// free-processor count and EASY shadow) so an oracle can maintain an
+// independent mirror and cross-check the two — a differential check inside
+// one process. The production implementation is si::InvariantOracle in
+// src/check/invariant_oracle.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace si {
+
+struct SimConfig;
+struct SequenceMetrics;
+
+/// Observer of one simulated sequence. All hooks default to no-ops so
+/// oracles can implement exactly the transitions they care about. Hook
+/// invocations are strictly ordered (the simulator is single-threaded
+/// within a run); `index` is the job's position in the input sequence.
+class SimOracle {
+ public:
+  virtual ~SimOracle() = default;
+
+  /// run() entered, after input validation. `jobs` outlives the run.
+  virtual void on_run_begin(const std::vector<Job>& jobs, int total_procs,
+                            const SimConfig& config) {
+    (void)jobs, (void)total_procs, (void)config;
+  }
+
+  /// Simulated time advanced from `from` to `to` (must be monotonic).
+  virtual void on_time_advance(Time from, Time to) { (void)from, (void)to; }
+
+  /// The base policy picked `index` as its top-priority candidate.
+  virtual void on_sched_point(Time now, std::size_t index, int free_procs,
+                              std::size_t waiting_jobs) {
+    (void)now, (void)index, (void)free_procs, (void)waiting_jobs;
+  }
+
+  /// The inspector was consulted about `index`; `prior_rejections` is the
+  /// job's rejection count before this consultation.
+  virtual void on_inspect(Time now, std::size_t index, int prior_rejections,
+                          bool rejected) {
+    (void)now, (void)index, (void)prior_rejections, (void)rejected;
+  }
+
+  /// An accepted-but-unrunnable candidate took the blocked reservation.
+  virtual void on_block(Time now, std::size_t index) { (void)now, (void)index; }
+
+  /// About to EASY-backfill around the blocked job: the simulator's own
+  /// shadow computation (earliest reserved start and spare processors at
+  /// that instant) for the oracle to cross-check and to judge the
+  /// subsequent backfilled starts against.
+  virtual void on_backfill_window(Time now, std::size_t blocked_index,
+                                  Time shadow_time, int shadow_extra) {
+    (void)now, (void)blocked_index, (void)shadow_time, (void)shadow_extra;
+  }
+
+  /// Job `index` started one execution attempt; `free_procs_after` is the
+  /// free-pool size after allocation, `backfilled` marks EASY starts.
+  virtual void on_job_start(Time now, std::size_t index, const Job& job,
+                            int free_procs_after, bool backfilled) {
+    (void)now, (void)index, (void)job, (void)free_procs_after, (void)backfilled;
+  }
+
+  /// Job `index` released its processors (completion, kill, or mid-run
+  /// failure). `requeued` means the attempt failed and the job re-entered
+  /// the waiting queue; `record` is its current record (final for
+  /// non-requeued releases).
+  virtual void on_job_release(Time now, std::size_t index,
+                              const JobRecord& record, int procs,
+                              int free_procs_after, bool requeued) {
+    (void)now, (void)index, (void)record, (void)procs, (void)free_procs_after,
+        (void)requeued;
+  }
+
+  /// Drained capacity changed: `delta` processors moved out of (positive) or
+  /// back into (negative) service; `drained_total` / `free_procs` are the
+  /// post-change pools.
+  virtual void on_capacity_change(Time now, int delta, int drained_total,
+                                  int free_procs) {
+    (void)now, (void)delta, (void)drained_total, (void)free_procs;
+  }
+
+  /// run() finished; `records` and `metrics` are the returned result.
+  virtual void on_run_end(const std::vector<JobRecord>& records,
+                          const SequenceMetrics& metrics) {
+    (void)records, (void)metrics;
+  }
+};
+
+}  // namespace si

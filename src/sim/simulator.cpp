@@ -10,6 +10,7 @@
 #include "obs/metrics_registry.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "sim/oracle.hpp"
 
 namespace si {
 
@@ -83,6 +84,8 @@ void Simulator::apply_drain_delta(int delta) {
     trace.procs = event.procs;
     config_.tracer->on_event(trace);
   }
+  if (config_.oracle != nullptr)
+    config_.oracle->on_capacity_change(now_, delta, drained_, free_procs_);
 }
 
 Time Simulator::next_fault_event() const {
@@ -157,6 +160,7 @@ void Simulator::process_completions() {
     }
     free_procs_ += released;
     JobRecord& rec = records_[done.index];
+    bool requeued = false;
     TraceEvent trace;
     trace.time = now_;
     trace.job = rec.id;
@@ -165,12 +169,14 @@ void Simulator::process_completions() {
       case Outcome::kComplete:
         ++completed_;
         trace.kind = TraceEvent::Kind::kFinish;
+        trace.run = rec.run;
         break;
       case Outcome::kWallKilled:
         rec.wall_killed = true;
         rec.run = (*jobs_)[done.index].estimate;
         ++completed_;
         trace.kind = TraceEvent::Kind::kKill;
+        trace.run = rec.run;
         trace.reason = "wall";
         break;
       case Outcome::kFailed: {
@@ -181,6 +187,7 @@ void Simulator::process_completions() {
           rec.start = -1.0;
           rec.finish = -1.0;
           waiting_.push_back(done.index);
+          requeued = true;
           trace.kind = TraceEvent::Kind::kRequeue;
           trace.attempt = rec.requeues;
         } else {
@@ -188,12 +195,16 @@ void Simulator::process_completions() {
           rec.run = elapsed;
           ++completed_;
           trace.kind = TraceEvent::Kind::kKill;
+          trace.run = rec.run;
           trace.reason = "budget";
         }
         break;
       }
     }
     if (config_.tracer != nullptr) config_.tracer->on_event(trace);
+    if (config_.oracle != nullptr)
+      config_.oracle->on_job_release(now_, done.index, rec, done.procs,
+                                     free_procs_, requeued);
     SI_ENSURE(free_procs_ + drained_ <= total_procs_);
   }
 }
@@ -239,6 +250,8 @@ void Simulator::start_job(std::size_t index) {
     event.wait = now_ - job.submit;
     config_.tracer->on_event(event);
   }
+  if (config_.oracle != nullptr)
+    config_.oracle->on_job_start(now_, index, job, free_procs_, in_backfill_);
   policy_->on_job_start(job, now_);
 }
 
@@ -333,6 +346,10 @@ void Simulator::backfill_around_blocked() {
   if (waiting_.empty() || free_procs_ == 0) return;
   const Shadow shadow = compute_shadow((*jobs_)[blocked_].procs);
   int extra = shadow.extra;
+  if (config_.oracle != nullptr)
+    config_.oracle->on_backfill_window(now_, blocked_, shadow.time,
+                                       shadow.extra);
+  in_backfill_ = true;
 
   // Consider candidates in base-policy priority order. Scores are computed
   // once per candidate (the scoring context is fixed for this scheduling
@@ -366,6 +383,7 @@ void Simulator::backfill_around_blocked() {
     any_started = true;
     if (free_procs_ == 0) break;
   }
+  in_backfill_ = false;
   if (any_started) {
     // Compact in place, preserving relative order of the survivors.
     std::size_t w = 0;
@@ -404,6 +422,7 @@ void Simulator::advance_time(Time extra_bound) {
   if (extra_bound >= 0.0) next = std::min(next, extra_bound);
   SI_ENSURE(next < kInf);
   SI_ENSURE(next > now_);
+  if (config_.oracle != nullptr) config_.oracle->on_time_advance(now_, next);
   now_ = next;
 }
 
@@ -447,9 +466,12 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
   last_drain_change_ = now_;
   if (faults_.enabled())
     for (const Job& j : jobs) max_job_procs_ = std::max(max_job_procs_, j.procs);
+  in_backfill_ = false;
   faults_.reset(now_);
   policy.reset();
 
+  if (config_.oracle != nullptr)
+    config_.oracle->on_run_begin(jobs, total_procs_, config_);
   if (config_.tracer != nullptr) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kRunBegin;
@@ -473,7 +495,12 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
         continue;
       }
       if (config_.backfill) backfill_around_blocked();
-      if (has_blocked_) advance_time(-1.0);
+      // A backfilled zero-runtime job completes at now_ itself; let the next
+      // iteration's process_completions() drain it instead of advancing past
+      // it (advance_time requires strictly forward motion).
+      const bool completion_due =
+          !running_.empty() && running_.front().finish <= now_;
+      if (has_blocked_ && !completion_due) advance_time(-1.0);
       continue;
     }
 
@@ -485,6 +512,8 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
 
     const std::size_t top_pos = pick_top_priority();
     const std::size_t top = waiting_[top_pos];
+    if (config_.oracle != nullptr)
+      config_.oracle->on_sched_point(now_, top, free_procs_, waiting_.size());
     if (config_.tracer != nullptr) {
       TraceEvent event;
       event.kind = TraceEvent::Kind::kSchedPoint;
@@ -513,6 +542,9 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
       view.waiting = &others_scratch_;
       ++inspections_;
       rejected = inspector_->reject(view);
+      if (config_.oracle != nullptr)
+        config_.oracle->on_inspect(now_, top, records_[top].rejections,
+                                   rejected);
       if (config_.tracer != nullptr) {
         TraceEvent event;
         event.kind = TraceEvent::Kind::kInspect;
@@ -547,6 +579,7 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
     } else {
       has_blocked_ = true;
       blocked_ = top;
+      if (config_.oracle != nullptr) config_.oracle->on_block(now_, top);
     }
   }
 
@@ -570,8 +603,15 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
     event.jobs = static_cast<std::int64_t>(jobs.size());
     event.inspections = static_cast<std::int64_t>(inspections_);
     event.total_rejections = static_cast<std::int64_t>(rejections_);
+    event.avg_wait = result.metrics.avg_wait;
+    event.avg_bsld = result.metrics.avg_bsld;
+    event.max_bsld = result.metrics.max_bsld;
+    event.util = result.metrics.utilization;
+    event.makespan = result.metrics.makespan;
     config_.tracer->on_event(event);
   }
+  if (config_.oracle != nullptr)
+    config_.oracle->on_run_end(result.records, result.metrics);
   if (config_.metrics != nullptr) record_metrics(result);
   return result;
 }

@@ -93,6 +93,7 @@ class Simulator {
   Time now_ = 0.0;
   bool has_blocked_ = false;
   std::size_t blocked_ = 0;  ///< accepted job waiting for resources
+  bool in_backfill_ = false; ///< inside backfill_around_blocked (oracle tag)
   std::size_t inspections_ = 0;
   std::size_t rejections_ = 0;
 

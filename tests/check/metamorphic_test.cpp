@@ -1,0 +1,172 @@
+// Metamorphic properties of the simulator (DESIGN.md §7): transformations
+// of a simulation whose effect on the outcome is known exactly, checked
+// over seeded random cases.
+//
+//   * A never-rejecting inspector is behaviourally identical to running
+//     without one — only the inspections counter may differ.
+//   * Scaling every time quantity (submit, run, estimate, MAX_INTERVAL) by
+//     a power of two c >= 1 leaves every scheduling decision identical
+//     (score comparisons scale exactly in IEEE arithmetic) and therefore
+//     leaves bounded slowdown and utilization bit-identical — provided all
+//     runtimes sit at or above the 10 s bsld threshold, so the bsld
+//     denominator scales with the run. Waits and makespans scale by c.
+//   * EASY backfilling is work-conserving on average: over a seeded sample
+//     of FCFS runs, mean utilization with backfill is at least the mean
+//     without. (Deliberately an aggregate claim: per-case counterexamples
+//     are real — starting a backfilled job early can reshuffle later
+//     completions into a worse packing — at roughly 1 case in 14 in this
+//     generator's distribution.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "check/generator.hpp"
+#include "check/invariant_oracle.hpp"
+#include "sim/simulator.hpp"
+
+namespace si {
+namespace {
+
+/// Strips a case down to the fault-free heuristic core used by the scaling
+/// property: no faults (fault timing does not scale), no Slurm (its decay
+/// constants are absolute), no rule inspector (its feature scales are
+/// absolute). Random/always/never inspectors consume decisions in lockstep
+/// and survive scaling.
+SimCase scaling_core(SimCase sim_case) {
+  sim_case.config.faults = FaultConfig{};
+  if (sim_case.policy == "Slurm" || sim_case.policy == "F1")
+    sim_case.policy = "SJF";
+  if (sim_case.inspector == SimCase::InspectorKind::kRule) {
+    sim_case.inspector = SimCase::InspectorKind::kRandom;
+    sim_case.reject_prob = 0.5;
+  }
+  // Lift every runtime to the 10 s bsld threshold so the bounded-slowdown
+  // denominator is the (scaled) run on both sides of the transform.
+  for (Job& job : sim_case.jobs) {
+    job.run = std::max(job.run, 10.0);
+    job.estimate = std::max(job.estimate, 10.0);
+  }
+  return sim_case;
+}
+
+SimCase scale_times(SimCase sim_case, double c) {
+  for (Job& job : sim_case.jobs) {
+    job.submit *= c;
+    job.run *= c;
+    job.estimate *= c;
+  }
+  sim_case.config.max_interval *= c;
+  return sim_case;
+}
+
+TEST(Metamorphic, NeverRejectingInspectorEqualsBasePolicy) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    SimCase sim_case = generate_case(seed);
+    sim_case.inspector = SimCase::InspectorKind::kNone;
+    const SequenceResult base = run_case(sim_case);
+    sim_case.inspector = SimCase::InspectorKind::kNever;
+    const SequenceResult inspected = run_case(sim_case);
+
+    ASSERT_EQ(base.records.size(), inspected.records.size());
+    for (std::size_t i = 0; i < base.records.size(); ++i) {
+      EXPECT_EQ(base.records[i].start, inspected.records[i].start)
+          << sim_case.str() << " job " << i;
+      EXPECT_EQ(base.records[i].finish, inspected.records[i].finish)
+          << sim_case.str() << " job " << i;
+      EXPECT_EQ(base.records[i].rejections, inspected.records[i].rejections);
+      EXPECT_EQ(base.records[i].requeues, inspected.records[i].requeues);
+    }
+    EXPECT_EQ(base.metrics.avg_wait, inspected.metrics.avg_wait);
+    EXPECT_EQ(base.metrics.avg_bsld, inspected.metrics.avg_bsld);
+    EXPECT_EQ(base.metrics.max_bsld, inspected.metrics.max_bsld);
+    EXPECT_EQ(base.metrics.utilization, inspected.metrics.utilization);
+    EXPECT_EQ(base.metrics.makespan, inspected.metrics.makespan);
+    EXPECT_EQ(base.metrics.rejections, 0u);
+    EXPECT_EQ(inspected.metrics.rejections, 0u);
+    // The only allowed difference: the never-rejecting inspector was
+    // actually consulted.
+    EXPECT_EQ(base.metrics.inspections, 0u);
+    EXPECT_GT(inspected.metrics.inspections, 0u) << sim_case.str();
+  }
+}
+
+TEST(Metamorphic, PowerOfTwoTimeScalingLeavesBsldInvariant) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const SimCase base_case = scaling_core(generate_case(seed));
+    const SequenceResult base = run_case(base_case);
+    for (const double c : {2.0, 8.0}) {
+      const SimCase scaled_case = scale_times(base_case, c);
+      const SequenceResult scaled = run_case(scaled_case);
+      ASSERT_EQ(base.records.size(), scaled.records.size());
+      // Scale-free metrics are bit-identical; time-like metrics scale
+      // exactly (power-of-two multiplication only shifts exponents).
+      EXPECT_EQ(scaled.metrics.avg_bsld, base.metrics.avg_bsld)
+          << base_case.str() << " x" << c;
+      EXPECT_EQ(scaled.metrics.max_bsld, base.metrics.max_bsld)
+          << base_case.str() << " x" << c;
+      EXPECT_EQ(scaled.metrics.utilization, base.metrics.utilization)
+          << base_case.str() << " x" << c;
+      EXPECT_EQ(scaled.metrics.avg_wait, c * base.metrics.avg_wait)
+          << base_case.str() << " x" << c;
+      EXPECT_EQ(scaled.metrics.makespan, c * base.metrics.makespan)
+          << base_case.str() << " x" << c;
+      // Decision-for-decision identical scheduling.
+      EXPECT_EQ(scaled.metrics.inspections, base.metrics.inspections);
+      EXPECT_EQ(scaled.metrics.rejections, base.metrics.rejections);
+      for (std::size_t i = 0; i < base.records.size(); ++i)
+        ASSERT_EQ(scaled.records[i].start, c * base.records[i].start)
+            << base_case.str() << " x" << c << " job " << i;
+    }
+  }
+}
+
+TEST(Metamorphic, ScalingPreservesBsldOrderingAcrossPolicies) {
+  // The weaker, cross-policy form: scaling must not change which policy
+  // wins on bsld for a given workload.
+  const std::vector<std::string> policies = {"FCFS", "SJF", "SAF", "SQF"};
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    SimCase sim_case = scaling_core(generate_case(seed));
+    sim_case.inspector = SimCase::InspectorKind::kNone;
+    std::vector<double> base_bsld;
+    std::vector<double> scaled_bsld;
+    for (const std::string& policy : policies) {
+      sim_case.policy = policy;
+      base_bsld.push_back(run_case(sim_case).metrics.avg_bsld);
+      scaled_bsld.push_back(
+          run_case(scale_times(sim_case, 4.0)).metrics.avg_bsld);
+    }
+    for (std::size_t a = 0; a < policies.size(); ++a)
+      for (std::size_t b = 0; b < policies.size(); ++b) {
+        SCOPED_TRACE(sim_case.str());
+        EXPECT_EQ(base_bsld[a] < base_bsld[b],
+                  scaled_bsld[a] < scaled_bsld[b])
+            << policies[a] << " vs " << policies[b];
+      }
+  }
+}
+
+TEST(Metamorphic, BackfillDoesNotHurtFcfsUtilizationOnAverage) {
+  // Aggregate work-conservation: see the file comment for why this is a
+  // mean over the sample rather than a per-case inequality.
+  double util_on = 0.0;
+  double util_off = 0.0;
+  const std::uint64_t cases = 200;
+  InvariantOracle oracle;
+  for (std::uint64_t seed = 0; seed < cases; ++seed) {
+    SimCase sim_case = generate_case(seed);
+    sim_case.policy = "FCFS";
+    sim_case.inspector = SimCase::InspectorKind::kNone;
+    sim_case.config.faults = FaultConfig{};
+    sim_case.config.backfill = false;
+    util_off += run_case(sim_case, &oracle).metrics.utilization;
+    sim_case.config.backfill = true;
+    util_on += run_case(sim_case, &oracle).metrics.utilization;
+  }
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+  EXPECT_GE(util_on, util_off);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,122 @@
+// The property/differential harness (DESIGN.md §7): thousands of seeded
+// random simulation cases — every base policy, faults on and off,
+// inspectors on and off, backfill on and off — run under the runtime
+// invariant oracle, with the trace-replay validator cross-checking each
+// traced run. Any failure message embeds the case's one-line description,
+// so a single seed reproduces it.
+//
+// SCHEDINSPECTOR_CHECK_ITERS scales the case count (default 1000; CI can
+// lower it, a nightly run can raise it to 10k+). The per-case cost is a
+// few dozen jobs, so the default finishes in seconds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "check/generator.hpp"
+#include "check/invariant_oracle.hpp"
+#include "check/replay.hpp"
+#include "common/env.hpp"
+#include "common/sink.hpp"
+#include "obs/trace.hpp"
+#include "sched/factory.hpp"
+
+namespace si {
+namespace {
+
+std::uint64_t check_iters() {
+  return static_cast<std::uint64_t>(
+      env_int("SCHEDINSPECTOR_CHECK_ITERS", 1000));
+}
+
+TEST(PropertyHarness, RandomCasesSatisfyEveryInvariant) {
+  const std::uint64_t iters = check_iters();
+  InvariantOracle oracle;
+  std::map<std::string, int> policies_seen;
+  std::map<std::string, int> inspectors_seen;
+  int faulted = 0;
+  int backfilled = 0;
+  for (std::uint64_t seed = 0; seed < iters; ++seed) {
+    const SimCase sim_case = generate_case(seed);
+    run_case(sim_case, &oracle);
+    ASSERT_TRUE(oracle.ok())
+        << "case: " << sim_case.str() << "\n" << oracle.report();
+    ++policies_seen[sim_case.policy];
+    ++inspectors_seen[inspector_kind_name(sim_case.inspector)];
+    if (sim_case.config.faults.enabled) ++faulted;
+    if (sim_case.config.backfill) ++backfilled;
+  }
+  EXPECT_EQ(oracle.runs_checked(), iters);
+  // The generator must actually cover the whole configuration space.
+  if (iters >= 200) {
+    for (const std::string& policy : known_policies())
+      EXPECT_GT(policies_seen[policy], 0) << policy << " never drawn";
+    for (const char* kind : {"none", "never", "random", "rule", "always"})
+      EXPECT_GT(inspectors_seen[kind], 0) << kind << " never drawn";
+    EXPECT_GT(faulted, 0);
+    EXPECT_GT(backfilled, 0);
+  }
+}
+
+TEST(PropertyHarness, RandomCasesReplayExactly) {
+  // Differential check: the replay validator independently re-derives every
+  // traced run's metrics and must agree bit-for-bit. A smaller default than
+  // the oracle pass (tracing allocates per event), still hundreds of cases.
+  const std::uint64_t iters = std::max<std::uint64_t>(check_iters() / 4, 50);
+  for (std::uint64_t seed = 0; seed < iters; ++seed) {
+    const SimCase sim_case = generate_case(seed);
+    BufferTracer tracer;
+    run_case(sim_case, nullptr, &tracer);
+    const ReplayReport report = replay_validate_events(tracer.events());
+    ASSERT_TRUE(report.ok())
+        << "case: " << sim_case.str() << "\n" << report.str();
+    ASSERT_EQ(report.runs.size(), 1u) << sim_case.str();
+  }
+}
+
+TEST(PropertyHarness, OracleAndTracerComposeWithoutInterference) {
+  // Running with oracle + tracer together must yield the same records as
+  // running bare: both are pure observers.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const SimCase sim_case = generate_case(seed);
+    InvariantOracle oracle;
+    BufferTracer tracer;
+    const SequenceResult observed = run_case(sim_case, &oracle, &tracer);
+    const SequenceResult bare = run_case(sim_case);
+    ASSERT_TRUE(oracle.ok()) << sim_case.str() << "\n" << oracle.report();
+    ASSERT_EQ(observed.records.size(), bare.records.size());
+    for (std::size_t i = 0; i < bare.records.size(); ++i) {
+      EXPECT_EQ(observed.records[i].start, bare.records[i].start)
+          << sim_case.str();
+      EXPECT_EQ(observed.records[i].finish, bare.records[i].finish)
+          << sim_case.str();
+    }
+    EXPECT_EQ(observed.metrics.avg_bsld, bare.metrics.avg_bsld);
+    EXPECT_EQ(observed.metrics.utilization, bare.metrics.utilization);
+  }
+}
+
+TEST(PropertyHarness, DuplicateSeedRunsAreByteIdentical) {
+  // Same seed => same case => byte-identical JSONL trace, including under
+  // fault injection and inspectors.
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    StringSink first_sink;
+    StringSink second_sink;
+    {
+      JsonlTracer tracer(first_sink);
+      run_case(generate_case(seed), nullptr, &tracer);
+    }
+    {
+      JsonlTracer tracer(second_sink);
+      run_case(generate_case(seed), nullptr, &tracer);
+    }
+    ASSERT_FALSE(first_sink.str().empty());
+    ASSERT_EQ(first_sink.str(), second_sink.str())
+        << "seed " << seed << " diverged between identical runs";
+  }
+}
+
+}  // namespace
+}  // namespace si

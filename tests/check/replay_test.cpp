@@ -1,0 +1,210 @@
+// Unit tests for trace-replay validation: clean traces replay exactly,
+// tampered traces are caught, and the JSONL decoder rejects malformed
+// records. The end-to-end pipeline (simulate -> trace -> replay) runs on
+// both in-memory events and serialized JSONL to prove both entry points
+// agree.
+#include "check/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "check/generator.hpp"
+#include "common/sink.hpp"
+#include "obs/trace.hpp"
+#include "sched/factory.hpp"
+
+namespace si {
+namespace {
+
+/// Runs one generated case with a JSONL tracer, returning the trace text
+/// and the simulator's result.
+struct TracedCase {
+  std::string jsonl;
+  SequenceResult result;
+};
+
+TracedCase trace_case(std::uint64_t seed) {
+  SimCase sim_case = generate_case(seed);
+  StringSink sink;
+  JsonlTracer tracer(sink);
+  TracedCase out;
+  out.result = run_case(sim_case, nullptr, &tracer);
+  out.jsonl = sink.str();
+  return out;
+}
+
+TEST(Replay, CleanJsonlTraceValidates) {
+  const TracedCase traced = trace_case(7);
+  std::istringstream in(traced.jsonl);
+  const ReplayReport report = replay_validate_stream(in);
+  EXPECT_TRUE(report.ok()) << report.str();
+  ASSERT_EQ(report.runs.size(), 1u);
+  EXPECT_EQ(report.runs[0].replayed.avg_wait,
+            traced.result.metrics.avg_wait);
+  EXPECT_EQ(report.runs[0].replayed.avg_bsld,
+            traced.result.metrics.avg_bsld);
+  EXPECT_EQ(report.runs[0].replayed.utilization,
+            traced.result.metrics.utilization);
+  EXPECT_GT(report.lines, 0u);
+}
+
+TEST(Replay, InMemoryEventsAndJsonlAgree) {
+  SimCase sim_case = generate_case(13);
+  BufferTracer buffer;
+  StringSink sink;
+  JsonlTracer jsonl(sink);
+  run_case(sim_case, nullptr, &buffer);
+  run_case(sim_case, nullptr, &jsonl);
+  const ReplayReport from_events = replay_validate_events(buffer.events());
+  std::istringstream in(sink.str());
+  const ReplayReport from_jsonl = replay_validate_stream(in);
+  EXPECT_TRUE(from_events.ok()) << from_events.str();
+  EXPECT_TRUE(from_jsonl.ok()) << from_jsonl.str();
+  ASSERT_EQ(from_events.runs.size(), 1u);
+  ASSERT_EQ(from_jsonl.runs.size(), 1u);
+  EXPECT_EQ(from_events.runs[0].replayed.avg_bsld,
+            from_jsonl.runs[0].replayed.avg_bsld);
+}
+
+TEST(Replay, EveryPolicyReplaysExactly) {
+  // The acceptance bar: the replay validator reproduces wait/bsld/util
+  // exactly on traces from every base policy the CLI knows.
+  std::uint64_t seed = 100;
+  for (const std::string& policy : known_policies()) {
+    SimCase sim_case = generate_case(seed++);
+    sim_case.policy = policy;
+    StringSink sink;
+    JsonlTracer tracer(sink);
+    const SequenceResult result = run_case(sim_case, nullptr, &tracer);
+    std::istringstream in(sink.str());
+    const ReplayReport report = replay_validate_stream(in);
+    ASSERT_TRUE(report.ok()) << policy << ": " << report.str();
+    ASSERT_EQ(report.runs.size(), 1u);
+    EXPECT_EQ(report.runs[0].replayed.avg_wait, result.metrics.avg_wait)
+        << policy;
+    EXPECT_EQ(report.runs[0].replayed.avg_bsld, result.metrics.avg_bsld)
+        << policy;
+    EXPECT_EQ(report.runs[0].replayed.utilization,
+              result.metrics.utilization)
+        << policy;
+    EXPECT_EQ(report.runs[0].replayed.makespan, result.metrics.makespan)
+        << policy;
+  }
+}
+
+TEST(Replay, DetectsTamperedMetrics) {
+  TracedCase traced = trace_case(7);
+  // Corrupt the reported avg_wait on the run_end line.
+  const std::size_t pos = traced.jsonl.find("\"avg_wait\":");
+  ASSERT_NE(pos, std::string::npos);
+  traced.jsonl[pos + 11] = traced.jsonl[pos + 11] == '9' ? '8' : '9';
+  std::istringstream in(traced.jsonl);
+  const ReplayReport report = replay_validate_stream(in);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.str().find("avg_wait diverges"), std::string::npos)
+      << report.str();
+}
+
+TEST(Replay, DetectsTamperedStartTime) {
+  TracedCase traced = trace_case(21);
+  // Shift a start record's traced wait; the wait = t - submit cross-check
+  // must fire.
+  const std::size_t pos = traced.jsonl.find("\"ev\":\"start\"");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t wait_pos = traced.jsonl.find("\"wait\":", pos);
+  ASSERT_NE(wait_pos, std::string::npos);
+  traced.jsonl[wait_pos + 7] = traced.jsonl[wait_pos + 7] == '9' ? '8' : '9';
+  std::istringstream in(traced.jsonl);
+  const ReplayReport report = replay_validate_stream(in);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Replay, DetectsTruncatedTrace) {
+  TracedCase traced = trace_case(7);
+  const std::size_t cut = traced.jsonl.rfind("{\"ev\":\"run_end\"");
+  ASSERT_NE(cut, std::string::npos);
+  std::istringstream in(traced.jsonl.substr(0, cut));
+  const ReplayReport report = replay_validate_stream(in);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.str().find("truncated"), std::string::npos);
+}
+
+TEST(Replay, DetectsDroppedFinishRecord) {
+  TracedCase traced = trace_case(7);
+  const std::size_t pos = traced.jsonl.find("{\"ev\":\"finish\"");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t end = traced.jsonl.find('\n', pos);
+  traced.jsonl.erase(pos, end - pos + 1);
+  std::istringstream in(traced.jsonl);
+  const ReplayReport report = replay_validate_stream(in);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Replay, MissingFileIsAnError) {
+  const ReplayReport report =
+      replay_validate_file("/nonexistent/trace.jsonl");
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.str().find("cannot open"), std::string::npos);
+}
+
+TEST(Replay, FileRoundTrip) {
+  const TracedCase traced = trace_case(31);
+  const std::string path =
+      testing::TempDir() + "/replay_round_trip_trace.jsonl";
+  {
+    std::ofstream out(path);
+    out << traced.jsonl;
+  }
+  const ReplayReport report = replay_validate_file(path);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(Replay, MultiRunTracesSplitOnRunBegin) {
+  std::string jsonl;
+  for (std::uint64_t seed = 40; seed < 43; ++seed)
+    jsonl += trace_case(seed).jsonl;
+  std::istringstream in(jsonl);
+  const ReplayReport report = replay_validate_stream(in);
+  EXPECT_TRUE(report.ok()) << report.str();
+  EXPECT_EQ(report.runs.size(), 3u);
+}
+
+TEST(ParseTraceLine, RejectsMalformedRecords) {
+  TraceEvent event;
+  std::string error;
+  EXPECT_FALSE(parse_trace_line("not json", event, &error));
+  EXPECT_FALSE(parse_trace_line("{\"t\":1.0}", event, &error));
+  EXPECT_NE(error.find("ev"), std::string::npos);
+  EXPECT_FALSE(
+      parse_trace_line("{\"ev\":\"warp\",\"t\":1.0}", event, &error));
+  EXPECT_NE(error.find("unknown event kind"), std::string::npos);
+  // A known kind missing a required field.
+  EXPECT_FALSE(
+      parse_trace_line("{\"ev\":\"start\",\"t\":1.0,\"job\":3}", event,
+                       &error));
+  // An unknown kill reason.
+  EXPECT_FALSE(parse_trace_line(
+      "{\"ev\":\"kill\",\"t\":1.0,\"job\":3,\"procs\":1,\"run\":2.0,"
+      "\"reason\":\"boredom\"}",
+      event, &error));
+}
+
+TEST(ParseTraceLine, DecodesEveryEmittedKind) {
+  const TracedCase traced = trace_case(55);
+  std::istringstream in(traced.jsonl);
+  std::string line;
+  std::size_t decoded = 0;
+  while (std::getline(in, line)) {
+    TraceEvent event;
+    std::string error;
+    ASSERT_TRUE(parse_trace_line(line, event, &error))
+        << error << " in: " << line;
+    ++decoded;
+  }
+  EXPECT_GT(decoded, 2u);
+}
+
+}  // namespace
+}  // namespace si

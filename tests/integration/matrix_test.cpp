@@ -1,0 +1,162 @@
+// The integration matrix (DESIGN.md §7): every base policy crossed with
+// {no inspector, distilled-rule inspector, RL inspector} for two workload
+// seeds, pinned to committed golden metrics. This is the coarse-grained
+// regression net over the whole scheduling stack — a change to any policy,
+// the simulator, the feature pipeline, or an inspector shows up as a
+// divergence in the affected cells and nowhere else.
+//
+// The RL column uses an *untrained* actor-critic with a fixed weight seed
+// and a seeded sampling inspector: deterministic end to end without
+// committing a model file, and it still exercises the full feature ->
+// forward-pass -> reject path.
+//
+// Regenerating after an intentional behaviour change:
+//   SCHEDINSPECTOR_REGEN_GOLDENS=1 ./test_integration_matrix
+//       --gtest_filter='IntegrationMatrix.MetricsMatchCommittedGoldens'
+// then replace the row block of tests/integration/matrix_golden.inc with
+// the printed rows and review the diff cell by cell.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/generator.hpp"
+#include "check/invariant_oracle.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "core/features.hpp"
+#include "core/rl_inspector.hpp"
+#include "core/rule_inspector.hpp"
+#include "rl/actor_critic.hpp"
+#include "sched/factory.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace si {
+namespace {
+
+constexpr int kMatrixProcs = 64;
+constexpr int kMatrixJobs = 64;
+constexpr std::uint64_t kAgentSeed = 0xa11a9e57;
+
+struct GoldenRow {
+  const char* policy;
+  const char* inspector;  // "off" | "rule" | "rl"
+  std::uint64_t seed;
+  double avg_wait;
+  double avg_bsld;
+  double max_bsld;
+  double util;
+  double makespan;
+};
+
+const GoldenRow kGolden[] = {
+#include "matrix_golden.inc"
+};
+
+/// Runs one cell of the matrix under `oracle` and returns its metrics.
+SequenceMetrics run_cell(const std::string& policy_name,
+                         const std::string& inspector_name,
+                         std::uint64_t seed, InvariantOracle* oracle) {
+  Rng workload_rng(seed);
+  const std::vector<Job> jobs =
+      generate_workload(workload_rng, kMatrixProcs, kMatrixJobs);
+  const Trace trace("matrix", kMatrixProcs, jobs);
+
+  SimConfig config;
+  config.backfill = true;
+  config.oracle = oracle;
+
+  PolicyPtr policy = policy_name == "Slurm" ? make_slurm_policy(trace)
+                                            : make_policy(policy_name);
+  const FeatureBuilder features(FeatureMode::kManual, Metric::kBsld,
+                                FeatureScales::from_trace(trace),
+                                config.max_interval);
+
+  RuleInspector rule(features);
+  const ActorCritic agent(features.feature_count(), {32, 32}, kAgentSeed);
+  Rng agent_rng(seed ^ 0x5eed51a7e11e57ULL);
+  RlInspector rl(agent, features, InspectorMode::kSample, &agent_rng);
+  Inspector* inspector = nullptr;
+  if (inspector_name == "rule") inspector = &rule;
+  if (inspector_name == "rl") inspector = &rl;
+
+  Simulator sim(kMatrixProcs, config);
+  return sim.run(jobs, *policy, inspector).metrics;
+}
+
+TEST(IntegrationMatrix, MetricsMatchCommittedGoldens) {
+  if (env_int("SCHEDINSPECTOR_REGEN_GOLDENS", 0) != 0) {
+    InvariantOracle oracle;
+    for (const std::uint64_t seed : {1, 2})
+      for (const std::string& policy : known_policies())
+        for (const char* inspector : {"off", "rule", "rl"}) {
+          const SequenceMetrics m = run_cell(policy, inspector, seed, &oracle);
+          std::printf(
+              "{\"%s\", \"%s\", %llu, %.17g, %.17g, %.17g, %.17g, %.17g},\n",
+              policy.c_str(), inspector,
+              static_cast<unsigned long long>(seed), m.avg_wait, m.avg_bsld,
+              m.max_bsld, m.utilization, m.makespan);
+        }
+    ASSERT_TRUE(oracle.ok()) << oracle.report();
+    GTEST_SKIP() << "golden rows printed; paste into matrix_golden.inc";
+  }
+
+  InvariantOracle oracle;
+  for (const GoldenRow& row : kGolden) {
+    const SequenceMetrics m =
+        run_cell(row.policy, row.inspector, row.seed, &oracle);
+    SCOPED_TRACE(std::string(row.policy) + "/" + row.inspector + " seed " +
+                 std::to_string(row.seed));
+    // %.17g round-trips doubles exactly, so equality here is bit-equality
+    // on any platform that reproduces the golden run; DOUBLE_EQ (4 ulps)
+    // only leaves headroom for cross-compiler FP contraction differences.
+    EXPECT_DOUBLE_EQ(m.avg_wait, row.avg_wait);
+    EXPECT_DOUBLE_EQ(m.avg_bsld, row.avg_bsld);
+    EXPECT_DOUBLE_EQ(m.max_bsld, row.max_bsld);
+    EXPECT_DOUBLE_EQ(m.utilization, row.util);
+    EXPECT_DOUBLE_EQ(m.makespan, row.makespan);
+  }
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+  EXPECT_EQ(oracle.runs_checked(), std::size(kGolden));
+}
+
+TEST(IntegrationMatrix, CoversEveryPolicyInspectorAndSeed) {
+  // The committed table must actually span the whole matrix: every known
+  // policy x three inspector columns x two seeds, no gaps, no duplicates.
+  std::map<std::string, int> cells;
+  for (const GoldenRow& row : kGolden)
+    ++cells[std::string(row.policy) + "/" + row.inspector + "/" +
+            std::to_string(row.seed)];
+  EXPECT_EQ(std::size(kGolden), known_policies().size() * 3 * 2);
+  for (const std::string& policy : known_policies())
+    for (const char* inspector : {"off", "rule", "rl"})
+      for (const std::uint64_t seed : {1, 2}) {
+        const std::string key = policy + "/" + inspector + "/" +
+                                std::to_string(seed);
+        EXPECT_EQ(cells[key], 1) << key;
+      }
+}
+
+TEST(IntegrationMatrix, InspectorColumnsActuallyInspect) {
+  // Guard against a silently disconnected inspector: the rule and RL
+  // columns must consult their inspector, and the off column must not.
+  InvariantOracle oracle;
+  std::size_t rule_inspections = 0;
+  std::size_t rl_inspections = 0;
+  for (const std::uint64_t seed : {1, 2})
+    for (const std::string& policy : known_policies()) {
+      EXPECT_EQ(run_cell(policy, "off", seed, &oracle).inspections, 0u);
+      rule_inspections += run_cell(policy, "rule", seed, &oracle).inspections;
+      rl_inspections += run_cell(policy, "rl", seed, &oracle).inspections;
+    }
+  EXPECT_GT(rule_inspections, 0u);
+  EXPECT_GT(rl_inspections, 0u);
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+}
+
+}  // namespace
+}  // namespace si

@@ -82,13 +82,15 @@ TEST(Trace, EveryRecordMatchesTheEventSchema) {
       {"inspect", {"job", "reject", "rejections", "free"}},
       {"reject", {"job", "rejections"}},
       {"start", {"job", "procs", "wait"}},
-      {"finish", {"job", "procs"}},
+      {"finish", {"job", "procs", "run"}},
       {"requeue", {"job", "attempt"}},
-      {"kill", {"job", "procs", "reason"}},
+      {"kill", {"job", "procs", "run", "reason"}},
       {"drain", {"procs"}},
       {"restore", {"procs"}},
       {"trajectory", {"epoch", "traj"}},
-      {"run_end", {"jobs", "inspections", "rejections"}},
+      {"run_end",
+       {"jobs", "inspections", "rejections", "avg_wait", "avg_bsld",
+        "max_bsld", "util", "makespan"}},
   };
 
   const TracedRun run = run_traced(true);

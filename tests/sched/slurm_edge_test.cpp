@@ -1,0 +1,142 @@
+// Edge cases of the Slurm multifactor policy's fair-share decay and
+// priority tie-breaking: accounts with zero accrued usage, the exact
+// 2^(-usage/share/2) decay curve, degenerate all-zero-usage traces, and
+// equal-priority jobs resolving by id both at the score level and through
+// a full simulator run.
+#include "sched/slurm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace si {
+namespace {
+
+Job make_job(std::int64_t id, Time submit, double run, int procs, int user,
+             int queue) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.run = run;
+  j.estimate = run;
+  j.procs = procs;
+  j.user = user;
+  j.queue = queue;
+  return j;
+}
+
+Trace three_user_trace() {
+  // Usage split 80 / 15 / 5 across users 0 / 1 / 2, all in queue 0.
+  std::vector<Job> jobs = {
+      make_job(0, 0.0, 1000.0, 8, /*user=*/0, /*queue=*/0),
+      make_job(1, 10.0, 750.0, 2, 1, 0),
+      make_job(2, 20.0, 500.0, 1, 2, 0),
+  };
+  return Trace("three-user", 16, std::move(jobs));
+}
+
+TEST(SlurmEdge, ZeroUsageAccountStaysMaximallyServed) {
+  SlurmMultifactorPolicy p(three_user_trace());
+  // User 0 burns through heavy usage; users 1 and 2 never start anything.
+  for (int i = 0; i < 5; ++i)
+    p.on_job_start(make_job(0, 0.0, 1000.0, 8, /*user=*/0, 0), 0.0);
+  // A zero-usage account sits at the top of the decay curve *exactly*
+  // (2^0 = 1), no matter how much everyone else consumed.
+  EXPECT_DOUBLE_EQ(p.fairshare_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(p.fairshare_factor(2), 1.0);
+  EXPECT_LT(p.fairshare_factor(0), 1.0);
+}
+
+TEST(SlurmEdge, ZeroUsageUnknownAccountAlsoNeutral) {
+  SlurmMultifactorPolicy p(three_user_trace());
+  p.on_job_start(make_job(0, 0.0, 1000.0, 8, 0, 0), 0.0);
+  // Even an account absent from the calibration trace is neutral until it
+  // actually consumes something (contrast UnknownUserGetsMinimalShare in
+  // slurm_test.cpp, which accrues usage first).
+  EXPECT_DOUBLE_EQ(p.fairshare_factor(99), 1.0);
+}
+
+TEST(SlurmEdge, FairshareDecayFollowsExpCurveExactly) {
+  const Trace trace = three_user_trace();
+  SlurmMultifactorPolicy p(trace);
+  // Assigned share of user 1: 750*2 / (1000*8 + 750*2 + 500*1).
+  const double total = 1000.0 * 8 + 750.0 * 2 + 500.0 * 1;
+  const double share = 750.0 * 2 / total;
+
+  p.on_job_start(make_job(0, 0.0, 1000.0, 8, /*user=*/0, 0), 0.0);
+  p.on_job_start(make_job(1, 0.0, 750.0, 2, /*user=*/1, 0), 0.0);
+  const double usage_frac = 750.0 * 2 / (1000.0 * 8 + 750.0 * 2);
+  EXPECT_DOUBLE_EQ(p.fairshare_factor(1),
+                   std::exp2(-usage_frac / share / 2.0));
+}
+
+TEST(SlurmEdge, FairshareDecayIsMonotoneInUsage) {
+  SlurmMultifactorPolicy p(three_user_trace());
+  // Fair-share usage is *relative*: a lone consumer owns 100% of the pot
+  // no matter how much it starts, so give user 0 a fixed block of usage
+  // first. Each subsequent start by user 1 then raises user 1's share of
+  // the total and must strictly lower its factor.
+  p.on_job_start(make_job(0, 0.0, 10000.0, 8, /*user=*/0, 0), 0.0);
+  double previous = p.fairshare_factor(1);
+  EXPECT_DOUBLE_EQ(previous, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    p.on_job_start(make_job(i, 0.0, 750.0, 2, /*user=*/1, 0), 0.0);
+    const double factor = p.fairshare_factor(1);
+    EXPECT_LT(factor, previous) << "start " << i;
+    EXPECT_GE(factor, 0.0);
+    previous = factor;
+  }
+}
+
+TEST(SlurmEdge, AllZeroUsageTraceRejected) {
+  // A trace of only zero-runtime (cancelled) jobs carries no usage to
+  // calibrate shares from; the constructor must refuse it rather than
+  // divide by zero.
+  std::vector<Job> jobs = {make_job(0, 0.0, 0.0, 4, 0, 0),
+                           make_job(1, 5.0, 0.0, 2, 1, 0)};
+  EXPECT_ANY_THROW(SlurmMultifactorPolicy(Trace("idle", 8, std::move(jobs))));
+}
+
+TEST(SlurmEdge, EqualPriorityJobsScoreIdentically) {
+  SlurmMultifactorPolicy p(three_user_trace());
+  SchedContext ctx;
+  ctx.now = 100.0;
+  // Identical in every factor input (submit, estimate, user, queue) but
+  // distinct ids: the policy cannot distinguish them.
+  const Job a = make_job(10, 0.0, 500.0, 2, 1, 0);
+  const Job b = make_job(11, 0.0, 500.0, 2, 1, 0);
+  EXPECT_EQ(p.score(a, ctx), p.score(b, ctx));
+}
+
+TEST(SlurmEdge, EqualPriorityTieBreaksByIdThroughTheSimulator) {
+  // Three indistinguishable jobs on a one-processor cluster must run
+  // serially in id order — the simulator's documented tie-break.
+  std::vector<Job> jobs = {make_job(0, 0.0, 100.0, 1, 1, 0),
+                           make_job(1, 0.0, 100.0, 1, 1, 0),
+                           make_job(2, 0.0, 100.0, 1, 1, 0)};
+  const Trace trace("ties", 1, jobs);
+  SlurmMultifactorPolicy policy(trace);
+  Simulator sim(1, SimConfig{});
+  const SequenceResult result = sim.run(jobs, policy);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.records[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(result.records[1].start, 100.0);
+  EXPECT_DOUBLE_EQ(result.records[2].start, 200.0);
+}
+
+TEST(SlurmEdge, AgedJobBeatsTieOnceWaitsDiverge) {
+  // The flip side of the tie-break: as soon as waits differ, the age
+  // factor must break the symmetry toward the older job, not the id.
+  SlurmMultifactorPolicy p(three_user_trace());
+  SchedContext ctx;
+  ctx.now = 7200.0;
+  const Job older = make_job(11, 0.0, 500.0, 2, 1, 0);     // higher id
+  const Job younger = make_job(10, 3600.0, 500.0, 2, 1, 0);
+  EXPECT_LT(p.score(older, ctx), p.score(younger, ctx));
+}
+
+}  // namespace
+}  // namespace si

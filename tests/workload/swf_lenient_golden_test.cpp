@@ -1,0 +1,145 @@
+// Golden-file test for lenient SWF ingestion: one fixed "messy archive"
+// corpus exercising every degradation path — truncated records, records
+// that do not parse at all, negative runtimes (with and without a
+// repairable request time), negative submit times, zero processor counts,
+// oversized requests, and out-of-order submits — pinned to the exact jobs,
+// ordering, and ingest-report counters that must come out. Any change to
+// the lenient repair rules shows up here field by field.
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace si {
+namespace {
+
+// Line numbers (used by the error-message assertions):
+//  1-2  header comments
+//  3    clean record: req procs 8, request 600 s, user 7, queue 2
+//  4    truncated to 5 fields: falls back to alloc procs, estimate = run
+//  5    unparsable garbage token -> skipped
+//  6    negative runtime with a request time -> repaired from the request
+//  7    negative submit time -> clamped to 0
+//  8    negative runtime, no request -> unrepairable, dropped as invalid
+//  9    zero processor count -> skipped
+//  10   requests more processors than the cluster -> clamped to MaxProcs
+//  11   submits *earlier* than every preceding record -> sorted into place
+const char kMessyCorpus[] =
+    "; messy archive excerpt (see swf_lenient_golden_test.cpp)\n"
+    "; MaxProcs: 64\n"
+    "1 100.0 -1 300.0 4 -1 -1 8 600.0 -1 1 7 -1 -1 2 -1 -1 -1\n"
+    "2 50.0 -1 200.0 4\n"
+    "3 banana 0 0 0\n"
+    "4 400.0 -1 -1.0 8 -1 -1 8 900.0\n"
+    "5 -30.0 -1 120.0 2 -1 -1 2 120.0\n"
+    "6 500.0 -1 -1.0 4\n"
+    "7 10.0 -1 60.0 0 -1 -1 0 60.0\n"
+    "8 20.0 -1 80.0 128 -1 -1 128 80.0\n"
+    "9 5.0 -1 40.0 1\n";
+
+struct GoldenJob {
+  std::int64_t id;
+  double submit;
+  double run;
+  double estimate;
+  int procs;
+  int user;
+  int queue;
+};
+
+// Expected output, in the submit-sorted order the Trace guarantees. The
+// Trace constructor rebases ids to 0..n-1 (and submits to start at 0), so
+// the comments carry each row's original SWF job number.
+const GoldenJob kGoldenJobs[] = {
+    {0, 0.0, 120.0, 120.0, 2, 0, 0},   // swf 5: submit clamped from -30
+    {1, 5.0, 40.0, 40.0, 1, 0, 0},     // swf 9: sorted ahead of earlier lines
+    {2, 20.0, 80.0, 80.0, 64, 0, 0},   // swf 8: procs clamped 128 -> 64
+    {3, 50.0, 200.0, 200.0, 4, 0, 0},  // swf 2: truncated, est = run
+    {4, 100.0, 300.0, 600.0, 8, 7, 2},  // swf 1: the clean record
+    {5, 400.0, 900.0, 900.0, 8, 0, 0},  // swf 4: run repaired from request
+};
+
+Trace ingest(SwfIngestReport* report) {
+  SwfOptions options;
+  options.mode = SwfMode::kLenient;
+  return read_swf_text(kMessyCorpus, "messy", options, report);
+}
+
+TEST(SwfLenientGolden, JobsMatchFieldByField) {
+  const Trace trace = ingest(nullptr);
+  EXPECT_EQ(trace.cluster_procs(), 64);
+  ASSERT_EQ(trace.jobs().size(), std::size(kGoldenJobs));
+  for (std::size_t i = 0; i < std::size(kGoldenJobs); ++i) {
+    const GoldenJob& want = kGoldenJobs[i];
+    const Job& got = trace.jobs()[i];
+    SCOPED_TRACE("job index " + std::to_string(i));
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_DOUBLE_EQ(got.submit, want.submit);
+    EXPECT_DOUBLE_EQ(got.run, want.run);
+    EXPECT_DOUBLE_EQ(got.estimate, want.estimate);
+    EXPECT_EQ(got.procs, want.procs);
+    EXPECT_EQ(got.user, want.user);
+    EXPECT_EQ(got.queue, want.queue);
+  }
+}
+
+TEST(SwfLenientGolden, ReportCountersMatchExactly) {
+  SwfIngestReport report;
+  ingest(&report);
+  EXPECT_EQ(report.record_lines, 9u);
+  EXPECT_EQ(report.jobs, 6u);
+  EXPECT_EQ(report.skipped, 2u);          // garbage line + zero procs
+  EXPECT_EQ(report.repaired, 2u);         // negative run + negative submit
+  EXPECT_EQ(report.dropped_invalid, 1u);  // unrepairable negative run
+}
+
+TEST(SwfLenientGolden, ErrorsNameTheOffendingLines) {
+  SwfIngestReport report;
+  ingest(&report);
+  const std::string all = [&report] {
+    std::string joined;
+    for (const std::string& e : report.errors) joined += e + "\n";
+    return joined;
+  }();
+  EXPECT_NE(all.find("line 5: unparsable record"), std::string::npos) << all;
+  EXPECT_NE(all.find("line 6: negative run time repaired from request"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find("line 7: negative submit time clamped to 0"),
+            std::string::npos)
+      << all;
+  EXPECT_NE(all.find("line 9: no usable processor count"), std::string::npos)
+      << all;
+}
+
+TEST(SwfLenientGolden, OutOfOrderSubmitsComeOutSorted) {
+  const Trace trace = ingest(nullptr);
+  for (std::size_t i = 1; i < trace.jobs().size(); ++i)
+    EXPECT_LE(trace.jobs()[i - 1].submit, trace.jobs()[i].submit) << i;
+}
+
+TEST(SwfLenientGolden, StrictModeDiesAtTheFirstBadLineInstead) {
+  SwfOptions strict;  // default mode
+  try {
+    read_swf_text(kMessyCorpus, "messy", strict);
+    FAIL() << "strict ingestion accepted the messy corpus";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SwfLenientGolden, SummaryReflectsTheGoldenCounters) {
+  SwfIngestReport report;
+  ingest(&report);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("6 jobs from 9 records"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("2 skipped"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("2 repaired"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("1 dropped invalid"), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace si

@@ -37,13 +37,15 @@ SCHEMA = {
     "inspect": {"job": INT, "reject": BOOL, "rejections": INT, "free": INT},
     "reject": {"job": INT, "rejections": INT},
     "start": {"job": INT, "procs": INT, "wait": NUMBER},
-    "finish": {"job": INT, "procs": INT},
+    "finish": {"job": INT, "procs": INT, "run": NUMBER},
     "requeue": {"job": INT, "attempt": INT},
-    "kill": {"job": INT, "procs": INT, "reason": STR},
+    "kill": {"job": INT, "procs": INT, "run": NUMBER, "reason": STR},
     "drain": {"procs": INT},
     "restore": {"procs": INT},
     "trajectory": {"epoch": INT, "traj": INT},
-    "run_end": {"jobs": INT, "inspections": INT, "rejections": INT},
+    "run_end": {"jobs": INT, "inspections": INT, "rejections": INT,
+                "avg_wait": NUMBER, "avg_bsld": NUMBER, "max_bsld": NUMBER,
+                "util": NUMBER, "makespan": NUMBER},
 }
 
 KILL_REASONS = {"wall", "budget"}

@@ -1,0 +1,34 @@
+// Trace-replay validation tool (DESIGN.md §7): re-derives per-job records
+// and sequence metrics purely from a PR-2 JSONL event trace and cross-checks
+// them against the metrics the simulator itself reported on the run_end
+// record. Exits non-zero when any run diverges.
+//
+//   replay_validate trace.jsonl [more.jsonl ...]   # validate trace files
+//   replay_validate -                              # read one trace on stdin
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/replay.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.jsonl>... | -\n"
+                 "validates simulator JSONL traces by replay (DESIGN.md "
+                 "S7)\n",
+                 argv[0]);
+    return 2;
+  }
+  bool failed = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    const si::ReplayReport report =
+        path == "-" ? si::replay_validate_stream(std::cin)
+                    : si::replay_validate_file(path);
+    std::printf("%s: %s", path.c_str(), report.str().c_str());
+    if (!report.ok()) failed = true;
+  }
+  return failed ? 1 : 0;
+}
