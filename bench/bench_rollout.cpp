@@ -1,0 +1,142 @@
+// Rollout-collection throughput: paired (base + inspected) sequence
+// rollouts through the scalar callback path (one policy-net forward per
+// inspection decision) versus the VecEnv collector (sim/session.hpp +
+// core/vec_env.hpp: lock-step sessions, one batched forward per tick) at
+// several batch widths. Both paths produce bit-identical sequences — see
+// tests/core/vec_env_test.cpp — so this measures pure collection speed, in
+// sequences per second. Emits the standard --json records so
+// tools/run_bench_suite.sh can snapshot a BENCH_rollout.json baseline.
+//
+// Flags: --json <path> (bench record output), --smoke (tiny sizes/reps so
+// the ctest `perf` label stays fast; numbers are not comparable to a full
+// run).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/vec_env.hpp"
+
+namespace {
+
+using namespace si;
+
+double seconds_of(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_of(start));
+  }
+  return best;
+}
+
+// Observable accumulator: keeps the optimizer from discarding the work.
+double g_sink = 0.0;
+
+struct Sizes {
+  int reps = 5;
+  int sequences = 32;
+  int seq_len = 256;  ///< paper-scale evaluation sequences
+};
+
+void bench_rollout_collection(const Sizes& sz) {
+  const Trace trace = make_trace("SDSC-SP2", 2000, 42);
+  PolicyPtr policy = make_policy("SJF");
+  FeatureBuilder features(FeatureMode::kManual, Metric::kBsld,
+                          FeatureScales::from_trace(trace), 600.0);
+  // The paper's MLP (§3.1); biased mildly toward accepting like a fresh
+  // trainer agent, so the decision stream has a realistic reject mix.
+  ActorCritic ac(features.feature_count(), {32, 16, 8}, 7);
+  ac.policy_net().set_output_bias(-1.0);
+  ac.policy_net().refresh_transpose();
+
+  const auto n = static_cast<std::size_t>(sz.sequences);
+  std::vector<std::vector<Job>> windows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng(100 + i);
+    windows[i] =
+        trace.sample_window(rng, static_cast<std::size_t>(sz.seq_len));
+  }
+  std::vector<RolloutSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].jobs = &windows[i];
+    specs[i].seed = 9000 + i;
+  }
+
+  const std::string config = "sequences=" + std::to_string(sz.sequences) +
+                             " len=" + std::to_string(sz.seq_len) +
+                             " net=32-16-8 mode=sample";
+
+  // Scalar reference: the callback path, one forward per decision.
+  Simulator sim(trace.cluster_procs(), SimConfig{});
+  const double scalar_s = best_seconds(sz.reps, [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      Rng rng(specs[i].seed);
+      const PairedRollout pair =
+          run_paired(sim, windows[i], *policy, ac, features,
+                     ActionSelect::kSample, &rng);
+      g_sink += pair.inspected.avg_bsld;
+    }
+  });
+  const double scalar_rate = static_cast<double>(n) / scalar_s;
+  bench::record_result("rollout_scalar_seq_per_s", scalar_rate, config);
+
+  TextTable table({"collector", "ms/rep", "seq/s", "speedup"});
+  table.row()
+      .cell("scalar callback")
+      .cell(scalar_s * 1e3, 2)
+      .cell(scalar_rate, 1)
+      .cell(1.0, 2);
+
+  for (const int width : {1, 4, 8, 16}) {
+    VecEnv env(trace.cluster_procs(), SimConfig{}, ac, features, *policy,
+               width);
+    const double vec_s = best_seconds(sz.reps, [&] {
+      const std::vector<PairedRollout> pairs =
+          env.rollout_batch(specs, ActionSelect::kSample);
+      g_sink += pairs.front().inspected.avg_bsld;
+    });
+    const double vec_rate = static_cast<double>(n) / vec_s;
+    const std::string arm = config + " width=" + std::to_string(width);
+    table.row()
+        .cell("vecenv w=" + std::to_string(width))
+        .cell(vec_s * 1e3, 2)
+        .cell(vec_rate, 1)
+        .cell(scalar_s / vec_s, 2);
+    bench::record_result("rollout_vec_seq_per_s", vec_rate, arm);
+    bench::record_result("rollout_vec_speedup", scalar_s / vec_s, arm);
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "rollout",
+              "Paired rollout collection throughput: scalar callback vs "
+              "batched VecEnv at several widths");
+  Sizes sz;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      // Sanity-sized: exercises both collectors in a couple of seconds so
+      // the ctest `perf` label can gate on "still runs", not on timings.
+      sz.reps = 2;
+      sz.sequences = 6;
+      sz.seq_len = 48;
+    }
+  }
+  bench_rollout_collection(sz);
+  std::printf("checksum: %g\n", g_sink);
+  return 0;
+}

@@ -47,6 +47,7 @@ struct Options {
   int trajectories = 40;
   int sequence_length = 64;
   int sequences = 20;
+  int rollout_batch = 8;
   bool backfill = false;
   bool faults = false;
   bool swf_lenient = false;
@@ -82,6 +83,9 @@ int usage() {
                "  --model <path>            model file (out for train)\n"
                "  --epochs / --trajectories / --seq-len   training scale\n"
                "  --sequences <n>           evaluation sample count\n"
+               "  --rollout-batch <n>       sequences batched per policy\n"
+               "                            forward (default 8; results are\n"
+               "                            identical for any value)\n"
                "  --backfill                enable EASY backfilling\n"
                "  --faults                  inject node drains / job failures\n"
                "  --resume <path>           checkpoint file; resumes training\n"
@@ -147,6 +151,7 @@ bool parse(int argc, char** argv, Options& opts) {
     else if (arg == "--trajectories") opts.trajectories = std::atoi(value);
     else if (arg == "--seq-len") opts.sequence_length = std::atoi(value);
     else if (arg == "--sequences") opts.sequences = std::atoi(value);
+    else if (arg == "--rollout-batch") opts.rollout_batch = std::atoi(value);
     else if (arg == "--seed")
       opts.seed = static_cast<std::uint64_t>(std::atoll(value));
     else if (arg == "--trace-out") opts.trace_out = value;
@@ -252,6 +257,7 @@ TrainerConfig trainer_config(const Options& opts) {
   config.sim.backfill = opts.backfill;
   if (opts.faults) config.sim.faults = fault_profile(opts);
   config.seed = opts.seed;
+  config.rollout_batch = std::max(1, opts.rollout_batch);
   if (!opts.resume.empty()) {
     config.checkpoint_path = opts.resume;
     config.resume_from = opts.resume;
@@ -319,6 +325,7 @@ int cmd_eval(const Options& opts) {
   config.sim.backfill = opts.backfill;
   if (opts.faults) config.sim.faults = fault_profile(opts);
   config.seed = opts.seed;
+  config.rollout_batch = std::max(1, opts.rollout_batch);
   Observability obs(opts);
   obs.apply(config.sim);
   const EvalResult eval =

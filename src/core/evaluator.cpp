@@ -1,6 +1,7 @@
 #include "core/evaluator.hpp"
 
 #include <atomic>
+#include <span>
 #include <thread>
 
 #include "common/check.hpp"
@@ -121,23 +122,54 @@ EvalResult evaluate(const Trace& test_trace, SchedulingPolicy& policy,
   if (recorder != nullptr)
     recorders.assign(n, DecisionRecorder(recorder->feature_names()));
 
+  std::vector<RolloutSpec> specs(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    specs[t].jobs = &windows[t];
+    if (recorder != nullptr) specs[t].recorder = &recorders[t];
+  }
+
+  // Greedy rollouts batch `rollout_batch` sequences per VecEnv; sinks that
+  // observe global event order (tracer/metrics/oracle) require the serial
+  // width-1 path, which reproduces the scalar stream byte for byte. The
+  // batched kernels read the policy transpose cache, refreshed here before
+  // any thread fan-out (not thread-safe).
+  SI_REQUIRE(config.rollout_batch >= 1);
+  const bool serial_sinks = config.sim.tracer != nullptr ||
+                            config.sim.metrics != nullptr ||
+                            config.sim.oracle != nullptr;
+  const std::size_t width =
+      serial_sinks ? 1
+                   : std::min<std::size_t>(
+                         static_cast<std::size_t>(config.rollout_batch), n);
+  ac.policy_net().refresh_transpose();
+
   EvalResult result;
   result.pairs.resize(n);
-  struct WorkerState {
-    Simulator sim;
-    PolicyPtr policy;
+  const std::size_t chunks = (n + width - 1) / width;
+  const std::size_t workers = std::min(eval_workers(config, n), chunks);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    VecEnv env(test_trace.cluster_procs(), config.sim, ac, features, policy,
+               static_cast<int>(width));
+    for (;;) {
+      const std::size_t begin = next.fetch_add(width);
+      if (begin >= n) break;
+      const std::size_t end = std::min(begin + width, n);
+      const std::vector<PairedRollout> pairs = env.rollout_batch(
+          std::span<const RolloutSpec>(specs.data() + begin, end - begin),
+          ActionSelect::kGreedy);
+      for (std::size_t t = begin; t < end; ++t)
+        result.pairs[t] = pairs[t - begin];
+    }
   };
-  parallel_sequences(
-      n, eval_workers(config, n),
-      [&] {
-        return WorkerState{Simulator(test_trace.cluster_procs(), config.sim),
-                           policy.clone()};
-      },
-      [&](WorkerState& state, std::size_t t) {
-        result.pairs[t] =
-            rollout_eval(state.sim, windows[t], *state.policy, ac, features,
-                         recorder != nullptr ? &recorders[t] : nullptr);
-      });
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
   if (recorder != nullptr)
     for (const DecisionRecorder& r : recorders) recorder->merge_from(r);
   return result;

@@ -29,6 +29,12 @@ struct EvalConfig {
   /// setting. Evaluation falls back to serial when the SimConfig carries a
   /// tracer or metrics registry (those sinks are not thread-safe).
   int max_workers = 0;
+  /// Sequences each worker keeps in flight (VecEnv width): pending
+  /// inspection decisions across the batch share one batched policy-net
+  /// forward per tick. Bit-identical for any width (core/vec_env.hpp).
+  /// Clamped to 1 when the SimConfig carries a tracer, metrics registry, or
+  /// oracle — those sinks observe global event order.
+  int rollout_batch = 8;
 };
 
 /// All per-sequence pairs plus aggregate helpers.

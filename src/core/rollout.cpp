@@ -1,8 +1,29 @@
 #include "core/rollout.hpp"
 
+#include "common/check.hpp"
 #include "obs/profile.hpp"
 
 namespace si {
+
+PairedRollout run_paired(Simulator& sim, const std::vector<Job>& jobs,
+                         SchedulingPolicy& policy, const ActorCritic& ac,
+                         const FeatureBuilder& features, ActionSelect select,
+                         Rng* rng, Trajectory* trajectory,
+                         DecisionRecorder* recorder) {
+  SI_REQUIRE(select != ActionSelect::kSample || rng != nullptr);
+  PairedRollout out;
+  out.base = sim.run(jobs, policy).metrics;
+
+  RlInspector inspector(ac, features,
+                        select == ActionSelect::kSample
+                            ? InspectorMode::kSample
+                            : InspectorMode::kGreedy,
+                        rng);
+  inspector.set_trajectory(trajectory);
+  inspector.set_recorder(recorder);
+  out.inspected = sim.run(jobs, policy, &inspector).metrics;
+  return out;
+}
 
 TrainingRollout rollout_training(Simulator& sim, const std::vector<Job>& jobs,
                                  SchedulingPolicy& policy,
@@ -12,12 +33,11 @@ TrainingRollout rollout_training(Simulator& sim, const std::vector<Job>& jobs,
                                  Rng& rng) {
   SI_PROFILE_SCOPE("rollout/training");
   TrainingRollout out;
-  out.base = sim.run(jobs, policy).metrics;
-
-  RlInspector inspector(ac, features, InspectorMode::kSample, &rng);
-  inspector.set_trajectory(&out.trajectory);
-  out.inspected = sim.run(jobs, policy, &inspector).metrics;
-
+  const PairedRollout pair =
+      run_paired(sim, jobs, policy, ac, features, ActionSelect::kSample, &rng,
+                 &out.trajectory);
+  out.base = pair.base;
+  out.inspected = pair.inspected;
   out.trajectory.reward =
       compute_reward(reward_kind, out.base.value(metric),
                      out.inspected.value(metric), reward_floor(metric));
@@ -29,13 +49,8 @@ EvalPair rollout_eval(Simulator& sim, const std::vector<Job>& jobs,
                       const FeatureBuilder& features,
                       DecisionRecorder* recorder) {
   SI_PROFILE_SCOPE("rollout/eval");
-  EvalPair out;
-  out.base = sim.run(jobs, policy).metrics;
-
-  RlInspector inspector(ac, features, InspectorMode::kGreedy);
-  inspector.set_recorder(recorder);
-  out.inspected = sim.run(jobs, policy, &inspector).metrics;
-  return out;
+  return run_paired(sim, jobs, policy, ac, features, ActionSelect::kGreedy,
+                    nullptr, nullptr, recorder);
 }
 
 }  // namespace si

@@ -2,17 +2,26 @@
 // against the base scheduler on the same job sequence, so a training or
 // evaluation rollout always runs the simulator twice — once plain, once with
 // the inspector — and derives the reward / improvement from the pair.
+//
+// One shared scalar driver (run_paired) serves both flavours, parameterized
+// on sample-vs-greedy action selection and optional Trajectory /
+// DecisionRecorder recording; core/vec_env.hpp is its batched counterpart
+// with the identical contract per sequence.
 #pragma once
 
 #include "core/analysis.hpp"
 #include "core/features.hpp"
 #include "core/reward.hpp"
 #include "core/rl_inspector.hpp"
+#include "core/vec_env.hpp"
 #include "rl/actor_critic.hpp"
 #include "rl/buffer.hpp"
 #include "sim/simulator.hpp"
 
 namespace si {
+
+/// One evaluation pair: base vs. greedy-inspected metrics.
+using EvalPair = PairedRollout;
 
 /// One training rollout: base and inspected metrics plus the recorded
 /// trajectory (reward already filled in).
@@ -22,6 +31,16 @@ struct TrainingRollout {
   Trajectory trajectory;
 };
 
+/// The shared scalar paired-rollout driver: base run, then the inspected
+/// run through the callback RlInspector. `rng` is required for kSample and
+/// ignored for kGreedy; `trajectory` / `recorder` (either may be null)
+/// receive the inspected run's steps / decisions.
+PairedRollout run_paired(Simulator& sim, const std::vector<Job>& jobs,
+                         SchedulingPolicy& policy, const ActorCritic& ac,
+                         const FeatureBuilder& features, ActionSelect select,
+                         Rng* rng, Trajectory* trajectory = nullptr,
+                         DecisionRecorder* recorder = nullptr);
+
 /// Runs the paired training rollout on `jobs` (policy sampled, steps
 /// recorded, final reward computed per `reward_kind` on `metric`).
 TrainingRollout rollout_training(Simulator& sim, const std::vector<Job>& jobs,
@@ -30,12 +49,6 @@ TrainingRollout rollout_training(Simulator& sim, const std::vector<Job>& jobs,
                                  const FeatureBuilder& features,
                                  Metric metric, RewardKind reward_kind,
                                  Rng& rng);
-
-/// One evaluation pair: base vs. greedy-inspected metrics.
-struct EvalPair {
-  SequenceMetrics base;
-  SequenceMetrics inspected;
-};
 
 /// Runs the paired greedy rollout; optionally records every decision for
 /// Figure 13-style analysis.

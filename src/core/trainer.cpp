@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <span>
 #include <thread>
 
 #include "common/check.hpp"
@@ -67,6 +68,7 @@ Trainer::Trainer(const Trace& trace, SchedulingPolicy& policy,
   SI_REQUIRE(config_.trajectories_per_epoch > 0);
   SI_REQUIRE(config_.sequence_length > 0);
   SI_REQUIRE(config_.max_workers >= 0);
+  SI_REQUIRE(config_.rollout_batch >= 1);
   SI_REQUIRE(static_cast<std::size_t>(config_.sequence_length) <=
              trace_.size());
 }
@@ -123,10 +125,10 @@ TrainResult Trainer::train(ActorCritic& ac) {
     updater.reset();
   };
 
-  // Rollout workers: each owns a private simulator and policy clone so
-  // stateful policies (Slurm fair-share) never race. Trajectories are
-  // seeded and stored by index, so results are identical for any worker
-  // count.
+  // Rollout workers: each owns a private VecEnv (per-lane simulators and
+  // policy clones) so stateful policies (Slurm fair-share) never race.
+  // Trajectories are seeded and stored by index, so results are identical
+  // for any worker count and any batch width.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t workers =
       config_.max_workers > 0
@@ -180,29 +182,51 @@ TrainResult Trainer::train(ActorCritic& ac) {
     const auto rollout_start = std::chrono::steady_clock::now();
     {
       SI_PROFILE_SCOPE("trainer/rollouts");
+      // The batched forward kernels read the policy net's transpose cache;
+      // refreshing it is not thread-safe, so do it once here, before the
+      // worker fan-out, while the parameters are quiescent.
+      ac.policy_net().refresh_transpose();
+      const auto width = static_cast<std::size_t>(std::min<std::size_t>(
+          static_cast<std::size_t>(config_.rollout_batch), traj_count));
+      std::vector<RolloutSpec> specs(traj_count);
+      for (std::size_t t = 0; t < traj_count; ++t) {
+        specs[t].jobs = &windows[t];
+        specs[t].seed = seeds[t];
+        specs[t].trajectory = &rollouts[t].trajectory;
+        if (config_.tracer != nullptr) {
+          trajectory_traces[t].clear();
+          specs[t].tracer = &trajectory_traces[t];
+        }
+      }
       std::atomic<std::size_t> next{0};
       auto worker = [&] {
-        Simulator sim(trace_.cluster_procs(), worker_sim);
-        const PolicyPtr policy = policy_.clone();
+        VecEnv env(trace_.cluster_procs(), worker_sim, ac, features_, policy_,
+                   static_cast<int>(width));
         for (;;) {
-          const std::size_t t = next.fetch_add(1);
-          if (t >= traj_count) break;
-          if (config_.tracer != nullptr) {
-            trajectory_traces[t].clear();
-            sim.set_tracer(&trajectory_traces[t]);
+          const std::size_t begin = next.fetch_add(width);
+          if (begin >= traj_count) break;
+          const std::size_t end = std::min(begin + width, traj_count);
+          const std::vector<PairedRollout> pairs = env.rollout_batch(
+              std::span<const RolloutSpec>(specs.data() + begin, end - begin),
+              ActionSelect::kSample);
+          for (std::size_t t = begin; t < end; ++t) {
+            rollouts[t].base = pairs[t - begin].base;
+            rollouts[t].inspected = pairs[t - begin].inspected;
+            rollouts[t].trajectory.reward = compute_reward(
+                config_.reward, rollouts[t].base.value(config_.metric),
+                rollouts[t].inspected.value(config_.metric),
+                reward_floor(config_.metric));
           }
-          Rng traj_rng(seeds[t]);
-          rollouts[t] =
-              rollout_training(sim, windows[t], *policy, ac, features_,
-                               config_.metric, config_.reward, traj_rng);
         }
       };
-      if (workers <= 1) {
+      const std::size_t chunks = (traj_count + width - 1) / width;
+      if (workers <= 1 || chunks <= 1) {
         worker();
       } else {
         std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+        const std::size_t spawn = std::min(workers, chunks);
+        pool.reserve(spawn);
+        for (std::size_t w = 0; w < spawn; ++w) pool.emplace_back(worker);
         for (std::thread& t : pool) t.join();
       }
     }

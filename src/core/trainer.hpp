@@ -68,6 +68,12 @@ struct TrainerConfig {
   /// trajectory count). Rollouts are seeded and stored by trajectory index,
   /// so results are bit-identical for any setting.
   int max_workers = 0;
+  /// Sequences each rollout worker keeps in flight (VecEnv width): all
+  /// pending inspection decisions across the batch are answered by one
+  /// batched policy-net forward per tick instead of one scalar forward
+  /// each. Per-sequence results are bit-identical for any width (see
+  /// core/vec_env.hpp); 1 degenerates to the scalar callback path.
+  int rollout_batch = 8;
 };
 
 /// Per-epoch training diagnostics.

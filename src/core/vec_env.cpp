@@ -1,0 +1,122 @@
+#include "core/vec_env.hpp"
+
+#include "common/check.hpp"
+#include "obs/profile.hpp"
+
+namespace si {
+
+VecEnv::VecEnv(int total_procs, const SimConfig& sim, const ActorCritic& ac,
+               const FeatureBuilder& features, const SchedulingPolicy& policy,
+               int width)
+    : ac_(ac), features_(features), default_tracer_(sim.tracer) {
+  SI_REQUIRE(width >= 1);
+  SI_REQUIRE(ac_.obs_size() == features_.feature_count());
+  // Interleaved lanes emit events in lock-step order, not serial per-run
+  // order; sinks that observe the global stream only keep their byte-exact
+  // serial output at width 1.
+  if (sim.tracer != nullptr || sim.metrics != nullptr || sim.oracle != nullptr)
+    SI_REQUIRE(width == 1);
+  lanes_.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    lanes_.push_back(Lane{Simulator(total_procs, sim), policy.clone(),
+                          nullptr, Rng{0}, 0});
+}
+
+std::vector<PairedRollout> VecEnv::rollout_batch(
+    std::span<const RolloutSpec> specs, ActionSelect select) {
+  SI_PROFILE_SCOPE("rollout/vec_batch");
+  std::vector<PairedRollout> out(specs.size());
+  std::size_t next_spec = 0;
+
+  // Claims the next unstarted spec for `lane`: base run first, then the
+  // inspected session. A session that never pauses (no inspectable
+  // decision) completes inline and the lane claims the next spec. Returns
+  // true when the lane ends up paused at a decision.
+  const auto launch = [&](Lane& lane) -> bool {
+    while (next_spec < specs.size()) {
+      const RolloutSpec& spec = specs[next_spec];
+      lane.spec = next_spec++;
+      SI_REQUIRE(spec.jobs != nullptr && !spec.jobs->empty());
+      lane.sim.set_tracer(spec.tracer != nullptr ? spec.tracer
+                                                 : default_tracer_);
+      if (spec.trajectory != nullptr) {
+        spec.trajectory->steps.clear();
+        spec.trajectory->reward = 0.0;
+      }
+      out[lane.spec].base = lane.sim.run(*spec.jobs, *lane.policy).metrics;
+      lane.rng = Rng(spec.seed);
+      lane.session =
+          std::make_unique<SimSession>(lane.sim, *spec.jobs, *lane.policy);
+      if (!lane.session->done()) return true;
+      out[lane.spec].inspected = lane.session->take_result().metrics;
+      lane.session.reset();
+    }
+    return false;
+  };
+
+  pending_.clear();
+  for (std::size_t l = 0; l < lanes_.size(); ++l)
+    if (launch(lanes_[l])) pending_.push_back(l);
+
+  const int obs_width = features_.feature_count();
+  while (!pending_.empty()) {
+    // Gather: one feature row per paused lane, in lane-slot order.
+    const std::size_t batch = pending_.size();
+    obs_block_.clear();
+    for (const std::size_t l : pending_) {
+      features_.build_into(lanes_[l].session->view(), obs_row_);
+      obs_block_.insert(obs_block_.end(), obs_row_.begin(), obs_row_.end());
+    }
+
+    // One batched actor forward for every pending decision. Per row this is
+    // bit-identical to the scalar Mlp::forward the callback inspector runs
+    // (rl/mlp.hpp), so each lane sees the exact logit it would see alone.
+    ac_.policy_net().forward_batch(obs_block_, static_cast<int>(batch), bws_);
+    const std::vector<double>& logits = bws_.activations.back();
+
+    // Scatter: act, record, and step every lane; lanes whose sequence
+    // completed claim the next spec. Surviving lanes keep their relative
+    // order so the next gather is deterministic.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::size_t l = pending_[i];
+      Lane& lane = lanes_[l];
+      const RolloutSpec& spec = specs[lane.spec];
+      const double logit = logits[i];
+      int action = 0;
+      double log_prob = 0.0;
+      if (select == ActionSelect::kSample) {
+        const double prob = sigmoid(logit);
+        action = lane.rng.bernoulli(prob) ? 1 : 0;
+        log_prob = bernoulli_log_prob(logit, action);
+      } else {
+        action = logit > 0.0 ? 1 : 0;
+      }
+      const double* row =
+          obs_block_.data() + i * static_cast<std::size_t>(obs_width);
+      if (spec.recorder != nullptr) {
+        obs_row_.assign(row, row + obs_width);
+        spec.recorder->record(obs_row_, action == 1);
+      }
+      if (spec.trajectory != nullptr) {
+        Step step;
+        step.action = action;
+        step.log_prob = log_prob;
+        step.obs.assign(row, row + obs_width);
+        spec.trajectory->steps.push_back(std::move(step));
+      }
+      lane.session->step(action == 1);
+      if (!lane.session->done()) {
+        pending_[keep++] = l;
+        continue;
+      }
+      out[lane.spec].inspected = lane.session->take_result().metrics;
+      lane.session.reset();
+      if (launch(lane)) pending_[keep++] = l;
+    }
+    pending_.resize(keep);
+  }
+  return out;
+}
+
+}  // namespace si

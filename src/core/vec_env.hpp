@@ -1,0 +1,113 @@
+// Vectorized paired-rollout collection (§3.4). The training and evaluation
+// loops run many independent (base, inspected) rollout pairs; with the
+// callback Inspector every decision costs one scalar ActorCritic forward.
+// VecEnv inverts that: it keeps `width` sequences in flight as resumable
+// SimSessions advanced in lock step, gathers every pending InspectionView
+// into one row-major feature block, performs a single batched policy-net
+// forward per tick through the Mlp::forward_batch kernels, and scatters the
+// resulting actions back into the paused sessions.
+//
+// The bit-identicality contract: every sequence's outcome — metrics,
+// recorded trajectory (observations, actions, log-probs), decision records,
+// and emitted trace bytes — is exactly what the scalar callback path
+// produces for the same (jobs, seed), for every batch width and regardless
+// of which other sequences share the batch or in which order they complete.
+// Three properties make that hold:
+//   * per-sample bit-identical batched kernels (rl/mlp.hpp): each row of
+//     forward_batch accumulates the same partial-sum sequence as a scalar
+//     forward, so the logit per decision is the exact same double;
+//   * per-env RNG streams: each spec's sampling draws come from its own
+//     Rng(seed), consumed in that sequence's own decision order;
+//   * per-env simulators/policies: lanes never share mutable state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/features.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/buffer.hpp"
+#include "sched/policy.hpp"
+#include "sim/session.hpp"
+#include "sim/simulator.hpp"
+
+namespace si {
+
+/// How the actor turns a policy logit into a reject/accept action.
+enum class ActionSelect {
+  kSample,  ///< draw from pi(reject | state) — training-time exploration
+  kGreedy,  ///< reject iff P(reject) > 0.5 — inference
+};
+
+/// Base vs. inspected outcome of one paired rollout.
+struct PairedRollout {
+  SequenceMetrics base;
+  SequenceMetrics inspected;
+};
+
+/// One requested paired rollout. All pointers are non-owning and must stay
+/// valid for the duration of the collection call.
+struct RolloutSpec {
+  const std::vector<Job>* jobs = nullptr;
+  /// Seed of this sequence's private sampling stream (kSample only).
+  std::uint64_t seed = 0;
+  /// When set, cleared and refilled with the inspected run's PPO steps
+  /// (observation, action, log-prob per decision; reward left 0 for the
+  /// caller to fill).
+  Trajectory* trajectory = nullptr;
+  /// When set, every inspected decision is recorded (Figure 13 analysis).
+  DecisionRecorder* recorder = nullptr;
+  /// When set, both runs of this pair trace into this sink instead of the
+  /// SimConfig's tracer — e.g. the trainer's per-trajectory buffers.
+  SimTracer* tracer = nullptr;
+};
+
+/// A fixed-width pool of rollout lanes (simulator + policy clone + RNG)
+/// advanced in lock step. One VecEnv is single-threaded and reusable across
+/// collection calls; the trainer/evaluator thread fan-out composes by
+/// giving each worker its own VecEnv.
+class VecEnv {
+ public:
+  /// `width` concurrent sequences per tick. A SimConfig carrying a tracer,
+  /// metrics registry, or oracle requires width 1: those sinks observe
+  /// global event order, and width 1 reproduces the serial order exactly.
+  /// `policy` is cloned per lane (stateful policies never shared).
+  VecEnv(int total_procs, const SimConfig& sim, const ActorCritic& ac,
+         const FeatureBuilder& features, const SchedulingPolicy& policy,
+         int width);
+
+  int width() const { return static_cast<int>(lanes_.size()); }
+
+  /// Collects every spec's paired rollout, `width` sequences in flight.
+  /// Results land in spec order. Requires the policy net's transpose cache
+  /// to be fresh (ActorCritic::policy_net().refresh_transpose() after the
+  /// last parameter change, called once before any concurrent use).
+  std::vector<PairedRollout> rollout_batch(std::span<const RolloutSpec> specs,
+                                           ActionSelect select);
+
+ private:
+  struct Lane {
+    Simulator sim;
+    PolicyPtr policy;
+    std::unique_ptr<SimSession> session;  ///< null when idle
+    Rng rng{0};              ///< the active spec's sampling stream
+    std::size_t spec = 0;    ///< index into the current specs span
+  };
+
+  const ActorCritic& ac_;
+  const FeatureBuilder& features_;
+  SimTracer* default_tracer_;  ///< the SimConfig's tracer (width-1 only)
+  std::vector<Lane> lanes_;
+
+  // Reused per tick; steady state performs no per-decision allocation
+  // beyond trajectory/recorder copies the scalar path also makes.
+  std::vector<std::size_t> pending_;  ///< lanes paused at a decision
+  std::vector<double> obs_block_;     ///< row-major batch x feature_count
+  std::vector<double> obs_row_;
+  Mlp::BatchWorkspace bws_;
+};
+
+}  // namespace si

@@ -7,6 +7,15 @@
 // The view deliberately surfaces the raw scheduling context — feature
 // engineering (§3.3) lives in src/core/features.*, not here — so alternative
 // inspectors (rule-based, random, oracle) can be built on the same hook.
+//
+// The callback is one of two equivalent ways to drive inspection. The other
+// is the resumable session API (sim/session.hpp): a SimSession advances to
+// each inspectable decision, exposes the same InspectionView as a pending
+// observation, and takes the verdict via step(reject). Simulator::run is a
+// thin adapter that replays an Inspector over a session, so both styles
+// execute identical code paths; an InspectionView obtained from a session
+// stays valid from the pause until the next step() instead of only for the
+// duration of an inspect() call.
 #pragma once
 
 #include <vector>
@@ -37,7 +46,9 @@ struct InspectionView {
 };
 
 /// Inspector interface. Implementations: the RL SchedInspector
-/// (core/inspector.*), plus the always-accept base behaviour (nullptr).
+/// (core/rl_inspector.*), the distilled rule baseline
+/// (core/rule_inspector.*), plus the always-accept base behaviour
+/// (nullptr).
 class Inspector {
  public:
   virtual ~Inspector() = default;

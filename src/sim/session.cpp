@@ -1,0 +1,35 @@
+#include "sim/session.hpp"
+
+#include "common/check.hpp"
+
+namespace si {
+
+SimSession::SimSession(Simulator& sim, const std::vector<Job>& jobs,
+                       SchedulingPolicy& policy, bool inspect)
+    : sim_(&sim) {
+  sim_->session_begin(jobs, policy, inspect);
+}
+
+SimSession::~SimSession() {
+  if (!finished_) sim_->session_abandon();
+}
+
+bool SimSession::done() const {
+  return sim_->session_state_ == Simulator::SessionState::kDone;
+}
+
+const InspectionView& SimSession::view() const {
+  SI_REQUIRE(sim_->session_state_ ==
+             Simulator::SessionState::kAwaitingAction);
+  return sim_->pending_view_;
+}
+
+void SimSession::step(bool reject) { sim_->session_apply(reject); }
+
+SequenceResult SimSession::take_result() {
+  SI_REQUIRE(!finished_);
+  finished_ = true;
+  return sim_->session_finish();
+}
+
+}  // namespace si

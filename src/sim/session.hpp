@@ -1,0 +1,71 @@
+// The resumable step API over the simulator (§3.4 training loop shape):
+// control is inverted relative to the Inspector callback hook. A session
+// advances the event loop to the next scheduling point whose decision is
+// inspectable, yields that decision's InspectionView as an observation,
+// accepts the reject/accept verdict via step(), and reports the terminal
+// SequenceResult once the sequence completes.
+//
+// Lifecycle:
+//
+//   SimSession session(sim, jobs, policy);     // runs to 1st decision
+//   while (!session.done())
+//     session.step(decide(session.view()));    // verdict in, advance
+//   SequenceResult result = session.take_result();
+//
+// The callback API (Simulator::run) is a thin adapter over this same state
+// machine, so session-driven and callback-driven executions share every
+// code path: same events in the same order, bit-identical results and
+// byte-identical traces. This is what lets core/vec_env.* interleave many
+// sessions and batch their policy inference without changing any outcome.
+#pragma once
+
+#include <vector>
+
+#include "sched/policy.hpp"
+#include "sim/inspector.hpp"
+#include "sim/simulator.hpp"
+#include "workload/job.hpp"
+
+namespace si {
+
+/// A resumable run of one job sequence on a borrowed Simulator. The
+/// simulator hosts at most one session at a time: beginning a new run
+/// (another session or Simulator::run) on the same simulator invalidates
+/// this one. `jobs` and `policy` must outlive the session.
+class SimSession {
+ public:
+  /// Binds to `sim` and advances to the first inspectable decision. With
+  /// `inspect` false the whole sequence runs to completion immediately,
+  /// exactly like Simulator::run with a null inspector (no views are
+  /// built, no inspect events are emitted, inspections stays 0).
+  SimSession(Simulator& sim, const std::vector<Job>& jobs,
+             SchedulingPolicy& policy, bool inspect = true);
+
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  /// An unfinished session releases the simulator for reuse on destruction.
+  ~SimSession();
+
+  /// True once the sequence has completed; take_result() is then available
+  /// and view()/step() are not.
+  bool done() const;
+
+  /// The pending decision's observation. Valid while !done(), until the
+  /// next step(): its pointers reference simulator-owned scratch that the
+  /// next advance overwrites.
+  const InspectionView& view() const;
+
+  /// Applies the verdict for the pending decision (true = reject) and
+  /// advances to the next inspectable decision or completion.
+  void step(bool reject);
+
+  /// Terminal per-sequence outcome; callable once, after done().
+  SequenceResult take_result();
+
+ private:
+  Simulator* sim_;
+  bool finished_ = false;  ///< take_result() already consumed the run
+};
+
+}  // namespace si

@@ -429,6 +429,14 @@ void Simulator::advance_time(Time extra_bound) {
 SequenceResult Simulator::run(const std::vector<Job>& jobs,
                               SchedulingPolicy& policy, Inspector* inspector) {
   SI_PROFILE_SCOPE("sim/run");
+  session_begin(jobs, policy, /*inspect=*/inspector != nullptr);
+  while (session_state_ == SessionState::kAwaitingAction)
+    session_apply(inspector->reject(pending_view_));
+  return session_finish();
+}
+
+void Simulator::session_begin(const std::vector<Job>& jobs,
+                              SchedulingPolicy& policy, bool inspect) {
   SI_REQUIRE(!jobs.empty());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     SI_REQUIRE(jobs[i].procs > 0 && jobs[i].procs <= total_procs_);
@@ -438,7 +446,7 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
 
   jobs_ = &jobs;
   policy_ = &policy;
-  inspector_ = inspector;
+  session_inspect_ = inspect;
   records_.assign(jobs.size(), JobRecord{});
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     records_[i].id = jobs[i].id;
@@ -482,6 +490,11 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
     config_.tracer->on_event(event);
   }
 
+  session_advance();
+}
+
+void Simulator::session_advance() {
+  const auto& jobs = *jobs_;
   while (completed_ < jobs.size()) {
     if (faults_.enabled()) process_fault_events();
     admit_arrivals();
@@ -523,66 +536,90 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
       event.waiting = static_cast<int>(waiting_.size());
       config_.tracer->on_event(event);
     }
-    bool rejected = false;
-    if (inspector_ != nullptr &&
+    if (session_inspect_ &&
         records_[top].rejections < config_.max_rejection_times) {
+      // Pause: surface the decision. The verdict arrives via
+      // session_apply(), which emits the inspect/reject events in exactly
+      // the order the callback path did.
       others_scratch_.clear();
       for (std::size_t idx : waiting_)
         if (idx != top) others_scratch_.push_back(&jobs[idx]);
-      InspectionView view;
-      view.now = now_;
-      view.job = &jobs[top];
-      view.job_wait = now_ - jobs[top].submit;
-      view.job_rejections = records_[top].rejections;
-      view.max_rejection_times = config_.max_rejection_times;
-      view.free_procs = free_procs_;
-      view.total_procs = total_procs_;
-      view.backfill_enabled = config_.backfill;
-      view.backfillable_jobs = count_backfillable(top);
-      view.waiting = &others_scratch_;
+      pending_view_ = InspectionView{};
+      pending_view_.now = now_;
+      pending_view_.job = &jobs[top];
+      pending_view_.job_wait = now_ - jobs[top].submit;
+      pending_view_.job_rejections = records_[top].rejections;
+      pending_view_.max_rejection_times = config_.max_rejection_times;
+      pending_view_.free_procs = free_procs_;
+      pending_view_.total_procs = total_procs_;
+      pending_view_.backfill_enabled = config_.backfill;
+      pending_view_.backfillable_jobs = count_backfillable(top);
+      pending_view_.waiting = &others_scratch_;
       ++inspections_;
-      rejected = inspector_->reject(view);
-      if (config_.oracle != nullptr)
-        config_.oracle->on_inspect(now_, top, records_[top].rejections,
-                                   rejected);
-      if (config_.tracer != nullptr) {
-        TraceEvent event;
-        event.kind = TraceEvent::Kind::kInspect;
-        event.time = now_;
-        event.job = jobs[top].id;
-        event.reject = rejected;
-        event.rejections = records_[top].rejections;
-        event.free_procs = free_procs_;
-        config_.tracer->on_event(event);
-      }
+      pending_pos_ = top_pos;
+      pending_top_ = top;
+      session_state_ = SessionState::kAwaitingAction;
+      return;
     }
 
-    if (rejected) {
-      ++records_[top].rejections;
-      ++rejections_;
-      if (config_.tracer != nullptr) {
-        TraceEvent event;
-        event.kind = TraceEvent::Kind::kReject;
-        event.time = now_;
-        event.job = jobs[top].id;
-        event.rejections = records_[top].rejections;
-        config_.tracer->on_event(event);
-      }
-      advance_time(now_ + config_.max_interval);
-      continue;
-    }
+    // Not inspectable (no inspection requested, or the job's rejection
+    // budget is exhausted): the decision is accepted outright.
+    accept_candidate(top_pos, top);
+  }
+  session_state_ = SessionState::kDone;
+}
 
-    waiting_.erase(waiting_.begin() +
-                   static_cast<std::ptrdiff_t>(top_pos));
-    if (fits(top)) {
-      start_job(top);
-    } else {
-      has_blocked_ = true;
-      blocked_ = top;
-      if (config_.oracle != nullptr) config_.oracle->on_block(now_, top);
-    }
+void Simulator::session_apply(bool reject) {
+  SI_REQUIRE(session_state_ == SessionState::kAwaitingAction);
+  const auto& jobs = *jobs_;
+  const std::size_t top = pending_top_;
+  if (config_.oracle != nullptr)
+    config_.oracle->on_inspect(now_, top, records_[top].rejections, reject);
+  if (config_.tracer != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kInspect;
+    event.time = now_;
+    event.job = jobs[top].id;
+    event.reject = reject;
+    event.rejections = records_[top].rejections;
+    event.free_procs = free_procs_;
+    config_.tracer->on_event(event);
   }
 
+  if (reject) {
+    ++records_[top].rejections;
+    ++rejections_;
+    if (config_.tracer != nullptr) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::kReject;
+      event.time = now_;
+      event.job = jobs[top].id;
+      event.rejections = records_[top].rejections;
+      config_.tracer->on_event(event);
+    }
+    advance_time(now_ + config_.max_interval);
+  } else {
+    accept_candidate(pending_pos_, top);
+  }
+  session_advance();
+}
+
+void Simulator::accept_candidate(std::size_t pos, std::size_t index) {
+  waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(pos));
+  if (fits(index)) {
+    start_job(index);
+  } else {
+    has_blocked_ = true;
+    blocked_ = index;
+    if (config_.oracle != nullptr) config_.oracle->on_block(now_, index);
+  }
+}
+
+void Simulator::session_abandon() { session_state_ = SessionState::kIdle; }
+
+SequenceResult Simulator::session_finish() {
+  SI_REQUIRE(session_state_ == SessionState::kDone);
+  const auto& jobs = *jobs_;
   SequenceResult result;
   result.records = std::move(records_);
   result.metrics = compute_metrics(result.records, total_procs_);
@@ -613,6 +650,7 @@ SequenceResult Simulator::run(const std::vector<Job>& jobs,
   if (config_.oracle != nullptr)
     config_.oracle->on_run_end(result.records, result.metrics);
   if (config_.metrics != nullptr) record_metrics(result);
+  session_state_ = SessionState::kIdle;
   return result;
 }
 

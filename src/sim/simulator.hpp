@@ -35,6 +35,8 @@
 
 namespace si {
 
+class SimSession;  // sim/session.hpp — the resumable step API over this core
+
 /// Outcome of simulating one job sequence.
 struct SequenceResult {
   std::vector<JobRecord> records;  ///< per-job outcomes, indexed like input
@@ -60,10 +62,47 @@ class Simulator {
   /// (base behaviour: every decision accepted). The policy is reset() before
   /// the run. Jobs must satisfy 0 < procs <= total_procs and run >= 0, and
   /// be sorted by submit time.
+  ///
+  /// Implemented as a thin adapter over the resumable session state machine
+  /// below (see sim/session.hpp): the run is begun, advanced to each
+  /// inspection point, and the inspector's verdict is fed back via
+  /// session_apply — so callback-driven and step-driven executions share
+  /// every code path and are bit-identical.
   SequenceResult run(const std::vector<Job>& jobs, SchedulingPolicy& policy,
                      Inspector* inspector = nullptr);
 
  private:
+  friend class SimSession;
+
+  /// Where a resumable run currently stands. One simulator hosts at most
+  /// one session at a time; beginning a new one resets all per-run state.
+  enum class SessionState {
+    kIdle,            ///< no run in flight
+    kAwaitingAction,  ///< paused at an inspection point (pending_view_ set)
+    kDone,            ///< sequence complete; session_finish() pending
+  };
+
+  /// Initializes per-run state for `jobs` / `policy` and advances to the
+  /// first inspection point (or completion). With `inspect` false the run
+  /// never pauses: every decision is accepted outright, exactly like the
+  /// callback API with a null inspector (no view is built, no inspect
+  /// events are emitted).
+  void session_begin(const std::vector<Job>& jobs, SchedulingPolicy& policy,
+                     bool inspect);
+  /// Runs the event loop until the next inspectable decision (budget not
+  /// exhausted) or sequence completion. Sets session_state_.
+  void session_advance();
+  /// Applies the verdict for the pending inspection (emitting the inspect /
+  /// reject events exactly as the callback path does) and advances.
+  void session_apply(bool reject);
+  /// Builds the terminal SequenceResult (metrics, fault timeline, run-end
+  /// event) and returns the simulator to kIdle.
+  SequenceResult session_finish();
+  /// Drops an unfinished session so the simulator can be reused.
+  void session_abandon();
+  /// Accepts the candidate at waiting_[pos]: starts it or blocks on it.
+  void accept_candidate(std::size_t pos, std::size_t index);
+
   /// How one execution attempt ends (always kComplete without faults).
   enum class Outcome { kComplete, kFailed, kWallKilled };
 
@@ -80,10 +119,9 @@ class Simulator {
     int procs = 0;  ///< the drain event's full size (collected + pending)
   };
 
-  // --- per-run state (valid inside run()) ---
+  // --- per-run state (valid from session_begin() to session_finish()) ---
   const std::vector<Job>* jobs_ = nullptr;
   SchedulingPolicy* policy_ = nullptr;
-  Inspector* inspector_ = nullptr;
   std::vector<JobRecord> records_;
   std::vector<std::size_t> waiting_;
   std::vector<Running> running_;  // min-heap on finish
@@ -96,6 +134,15 @@ class Simulator {
   bool in_backfill_ = false; ///< inside backfill_around_blocked (oracle tag)
   std::size_t inspections_ = 0;
   std::size_t rejections_ = 0;
+
+  // --- resumable-session state ---
+  SessionState session_state_ = SessionState::kIdle;
+  bool session_inspect_ = false;  ///< pause at inspectable decisions?
+  std::size_t pending_pos_ = 0;   ///< waiting_ position of the paused pick
+  std::size_t pending_top_ = 0;   ///< job index of the paused pick
+  /// The paused decision's observation. Its pointers reference jobs_ and
+  /// others_scratch_, both stable until the session advances again.
+  InspectionView pending_view_;
 
   // --- fault-injection state (untouched while faults are disabled) ---
   std::vector<FaultEvent> fault_events_;

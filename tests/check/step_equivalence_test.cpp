@@ -1,0 +1,191 @@
+// Step-API equivalence sweep (DESIGN.md §7, §8): across the generator's
+// case space — every policy, backfill on/off, fault injection on/off, all
+// inspector kinds, every rejection budget — driving a sequence through the
+// resumable SimSession must be bit-identical to the legacy callback path:
+// same metrics, same per-job records, byte-identical traces. A second sweep
+// checks the batched VecEnv collector against the scalar RL rollout on
+// generator-derived workloads for widths {1, 3, 8}.
+//
+// SCHEDINSPECTOR_CHECK_ITERS scales the case count, as in property_test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/generator.hpp"
+#include "common/env.hpp"
+#include "common/sink.hpp"
+#include "core/rollout.hpp"
+#include "core/rule_inspector.hpp"
+#include "core/vec_env.hpp"
+#include "obs/trace.hpp"
+#include "sched/factory.hpp"
+#include "sim/session.hpp"
+#include "workload/trace.hpp"
+
+namespace si {
+namespace {
+
+std::uint64_t sweep_iters() {
+  return std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(env_int("SCHEDINSPECTOR_CHECK_ITERS", 1000)),
+      400);
+}
+
+std::string render_trace(BufferTracer& buffer) {
+  StringSink text;
+  JsonlTracer out(text);
+  buffer.drain_to(out);
+  return text.str();
+}
+
+void expect_same_result(const SequenceResult& a, const SequenceResult& b,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.metrics.inspections, b.metrics.inspections);
+  EXPECT_EQ(a.metrics.rejections, b.metrics.rejections);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_wait, b.metrics.avg_wait);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_bsld, b.metrics.avg_bsld);
+  EXPECT_DOUBLE_EQ(a.metrics.max_bsld, b.metrics.max_bsld);
+  EXPECT_DOUBLE_EQ(a.metrics.utilization, b.metrics.utilization);
+  EXPECT_DOUBLE_EQ(a.metrics.makespan, b.metrics.makespan);
+  EXPECT_EQ(a.metrics.requeues, b.metrics.requeues);
+  EXPECT_EQ(a.metrics.kills, b.metrics.kills);
+  EXPECT_EQ(a.metrics.wall_kills, b.metrics.wall_kills);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].start, b.records[i].start) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.records[i].finish, b.records[i].finish) << "job " << i;
+    EXPECT_EQ(a.records[i].rejections, b.records[i].rejections)
+        << "job " << i;
+    EXPECT_EQ(a.records[i].requeues, b.records[i].requeues) << "job " << i;
+  }
+}
+
+/// Replays `sim_case` through the step API, mirroring run_case's
+/// construction (same policy factory, feature builder, and inspector RNG
+/// derivation) but driving the decisions via SimSession instead of the
+/// callback adapter.
+SequenceResult run_case_stepwise(const SimCase& sim_case, SimTracer* tracer) {
+  SimConfig config = sim_case.config;
+  config.tracer = tracer;
+
+  Trace trace("generated", sim_case.total_procs, sim_case.jobs);
+  PolicyPtr policy = sim_case.policy == "Slurm"
+                         ? make_slurm_policy(trace)
+                         : make_policy(sim_case.policy);
+  FeatureScales scales = FeatureScales::from_trace(trace);
+  FeatureBuilder features(FeatureMode::kManual, sim_case.metric, scales,
+                          config.max_interval);
+  Rng inspector_rng(sim_case.seed ^ 0x1235c70cba5e11feULL);
+
+  NeverRejectInspector never;
+  RandomInspector random(sim_case.reject_prob, inspector_rng);
+  RuleInspector rule(features);
+  AlwaysRejectInspector always;
+  Inspector* inspector = nullptr;
+  switch (sim_case.inspector) {
+    case SimCase::InspectorKind::kNone: inspector = nullptr; break;
+    case SimCase::InspectorKind::kNever: inspector = &never; break;
+    case SimCase::InspectorKind::kRandom: inspector = &random; break;
+    case SimCase::InspectorKind::kRule: inspector = &rule; break;
+    case SimCase::InspectorKind::kAlwaysReject: inspector = &always; break;
+  }
+
+  Simulator sim(sim_case.total_procs, config);
+  SimSession session(sim, sim_case.jobs, *policy,
+                     /*inspect=*/inspector != nullptr);
+  while (!session.done()) session.step(inspector->reject(session.view()));
+  return session.take_result();
+}
+
+TEST(StepEquivalence, SessionMatchesCallbackAcrossCaseSpace) {
+  const std::uint64_t iters = sweep_iters();
+  for (std::uint64_t seed = 0; seed < iters; ++seed) {
+    const SimCase sim_case = generate_case(seed);
+
+    BufferTracer callback_buffer;
+    const SequenceResult via_callback =
+        run_case(sim_case, /*oracle=*/nullptr, &callback_buffer);
+
+    BufferTracer session_buffer;
+    const SequenceResult via_session =
+        run_case_stepwise(sim_case, &session_buffer);
+
+    expect_same_result(via_callback, via_session,
+                       "case: " + sim_case.str());
+    EXPECT_EQ(render_trace(callback_buffer), render_trace(session_buffer))
+        << "case: " << sim_case.str();
+  }
+}
+
+TEST(StepEquivalence, VecEnvMatchesScalarOnGeneratedCases) {
+  constexpr std::uint64_t kCases = 24;
+  constexpr std::size_t kSpecsPerCase = 4;
+  for (std::uint64_t case_seed = 0; case_seed < kCases; ++case_seed) {
+    const SimCase sim_case = generate_case(case_seed);
+    Trace trace("generated", sim_case.total_procs, sim_case.jobs);
+    PolicyPtr policy = sim_case.policy == "Slurm"
+                           ? make_slurm_policy(trace)
+                           : make_policy(sim_case.policy);
+    FeatureBuilder features(FeatureMode::kManual, sim_case.metric,
+                            FeatureScales::from_trace(trace),
+                            sim_case.config.max_interval);
+    ActorCritic ac(features.feature_count(), {8, 4}, case_seed ^ 0xacULL);
+    ac.policy_net().refresh_transpose();
+
+    // Scalar reference: one sampled paired rollout per spec seed.
+    std::vector<TrainingRollout> scalar(kSpecsPerCase);
+    Simulator sim(sim_case.total_procs, sim_case.config);
+    for (std::size_t i = 0; i < kSpecsPerCase; ++i) {
+      Rng rng(7000 + i);
+      scalar[i] = rollout_training(sim, sim_case.jobs, *policy, ac, features,
+                                   sim_case.metric, RewardKind::kPercentage,
+                                   rng);
+    }
+
+    for (const int width : {1, 3, 8}) {
+      std::vector<Trajectory> trajectories(kSpecsPerCase);
+      std::vector<RolloutSpec> specs(kSpecsPerCase);
+      for (std::size_t i = 0; i < kSpecsPerCase; ++i) {
+        specs[i].jobs = &sim_case.jobs;
+        specs[i].seed = 7000 + i;
+        specs[i].trajectory = &trajectories[i];
+      }
+      VecEnv env(sim_case.total_procs, sim_case.config, ac, features,
+                 *policy, width);
+      const std::vector<PairedRollout> batched =
+          env.rollout_batch(specs, ActionSelect::kSample);
+
+      for (std::size_t i = 0; i < kSpecsPerCase; ++i) {
+        SCOPED_TRACE("case: " + sim_case.str() + " width " +
+                     std::to_string(width) + " spec " + std::to_string(i));
+        EXPECT_EQ(batched[i].inspected.inspections,
+                  scalar[i].inspected.inspections);
+        EXPECT_EQ(batched[i].inspected.rejections,
+                  scalar[i].inspected.rejections);
+        EXPECT_DOUBLE_EQ(batched[i].base.avg_bsld, scalar[i].base.avg_bsld);
+        EXPECT_DOUBLE_EQ(batched[i].inspected.avg_bsld,
+                         scalar[i].inspected.avg_bsld);
+        EXPECT_DOUBLE_EQ(batched[i].inspected.avg_wait,
+                         scalar[i].inspected.avg_wait);
+        const Trajectory& expected = scalar[i].trajectory;
+        ASSERT_EQ(trajectories[i].steps.size(), expected.steps.size());
+        for (std::size_t s = 0; s < expected.steps.size(); ++s) {
+          EXPECT_EQ(trajectories[i].steps[s].action,
+                    expected.steps[s].action)
+              << "step " << s;
+          EXPECT_DOUBLE_EQ(trajectories[i].steps[s].log_prob,
+                           expected.steps[s].log_prob)
+              << "step " << s;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace si

@@ -154,6 +154,38 @@ TEST(Evaluator, EvaluateBaseParallelMatchesSerial) {
     EXPECT_EQ(serial[i], parallel[i]);
 }
 
+TEST(Evaluator, RolloutBatchWidthDoesNotChangeResults) {
+  Harness h;
+  EvalConfig scalar_cfg = h.config();
+  scalar_cfg.rollout_batch = 1;
+  DecisionRecorder scalar_rec(h.features.feature_names());
+  const EvalResult scalar = evaluate(h.trace, *h.policy, h.ac, h.features,
+                                     scalar_cfg, &scalar_rec);
+  for (const int width : {3, 8}) {
+    EvalConfig batched_cfg = h.config();
+    batched_cfg.rollout_batch = width;
+    DecisionRecorder batched_rec(h.features.feature_names());
+    const EvalResult batched = evaluate(h.trace, *h.policy, h.ac, h.features,
+                                        batched_cfg, &batched_rec);
+    ASSERT_EQ(batched.pairs.size(), scalar.pairs.size());
+    for (std::size_t i = 0; i < scalar.pairs.size(); ++i) {
+      for (const Metric m : {Metric::kBsld, Metric::kWait, Metric::kMaxBsld}) {
+        EXPECT_EQ(batched.pairs[i].base.value(m),
+                  scalar.pairs[i].base.value(m))
+            << "width " << width << " seq " << i;
+        EXPECT_EQ(batched.pairs[i].inspected.value(m),
+                  scalar.pairs[i].inspected.value(m))
+            << "width " << width << " seq " << i;
+      }
+      EXPECT_EQ(batched.pairs[i].inspected.rejections,
+                scalar.pairs[i].inspected.rejections);
+    }
+    EXPECT_EQ(batched_rec.total_samples(), scalar_rec.total_samples());
+    EXPECT_EQ(batched_rec.rejected_samples(), scalar_rec.rejected_samples());
+    EXPECT_EQ(batched_rec.render(8), scalar_rec.render(8));
+  }
+}
+
 TEST(Evaluator, RejectsBadConfig) {
   Harness h;
   EvalConfig bad = h.config();

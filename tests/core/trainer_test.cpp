@@ -227,6 +227,40 @@ TEST(Trainer, NanPoisonedAgentSkipsEveryUpdate) {
   EXPECT_TRUE(std::isfinite(result.converged_improvement));
 }
 
+TEST(Trainer, RolloutBatchWidthDoesNotChangeResults) {
+  // The VecEnv collector's contract: training is bit-identical for any
+  // batch width (and any worker count), so curves computed at width 1 and
+  // width 8 must agree to the last bit.
+  const Trace trace = make_trace("SDSC-SP2", 300, 3);
+  std::vector<TrainResult> results;
+  for (const int width : {1, 3, 8}) {
+    PolicyPtr policy = make_policy("SJF");
+    TrainerConfig config = tiny_config();
+    config.rollout_batch = width;
+    Trainer trainer(trace, *policy, config);
+    ActorCritic ac = trainer.make_agent();
+    results.push_back(trainer.train(ac));
+  }
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[r].curve.size(), results[0].curve.size());
+    for (std::size_t i = 0; i < results[0].curve.size(); ++i) {
+      EXPECT_EQ(results[r].curve[i].mean_reward,
+                results[0].curve[i].mean_reward)
+          << "epoch " << i;
+      EXPECT_EQ(results[r].curve[i].mean_improvement,
+                results[0].curve[i].mean_improvement)
+          << "epoch " << i;
+      EXPECT_EQ(results[r].curve[i].rejection_ratio,
+                results[0].curve[i].rejection_ratio)
+          << "epoch " << i;
+      EXPECT_EQ(results[r].curve[i].approx_kl, results[0].curve[i].approx_kl)
+          << "epoch " << i;
+    }
+    EXPECT_EQ(results[r].converged_improvement,
+              results[0].converged_improvement);
+  }
+}
+
 TEST(Trainer, WorksOnEveryMetric) {
   const Trace trace = make_trace("SDSC-SP2", 300, 3);
   for (Metric metric : {Metric::kBsld, Metric::kWait, Metric::kMaxBsld}) {

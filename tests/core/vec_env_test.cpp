@@ -1,0 +1,246 @@
+// VecEnv's bit-identicality contract (core/vec_env.hpp): for every batch
+// width, each sequence's metrics, trajectory, decision records, and trace
+// bytes must equal the scalar callback path's output for the same
+// (jobs, seed) — regardless of which other sequences share the batch.
+#include "core/vec_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/sink.hpp"
+#include "core/rollout.hpp"
+#include "obs/trace.hpp"
+#include "sched/policies.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+constexpr int kWidths[] = {1, 3, 8};
+
+struct Harness {
+  Trace trace = make_trace("SDSC-SP2", 400, 31);
+  FeatureBuilder features{FeatureMode::kManual, Metric::kBsld,
+                          FeatureScales::from_trace(trace), 600.0};
+  ActorCritic ac{8, {16, 8}, 5};
+  SjfPolicy policy;
+  SimConfig sim_config;
+  Simulator sim{trace.cluster_procs(), sim_config};
+
+  Harness() { ac.policy_net().refresh_transpose(); }
+
+  /// `n` distinct job windows (different seeds => different sequences with
+  /// different lengths of decision streams, so lanes finish out of order).
+  std::vector<std::vector<Job>> windows(std::size_t n) {
+    std::vector<std::vector<Job>> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Rng rng(100 + i);
+      out[i] = trace.sample_window(rng, 48 + 8 * (i % 3));
+    }
+    return out;
+  }
+};
+
+void expect_same_metrics(const SequenceMetrics& a, const SequenceMetrics& b,
+                         const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.inspections, b.inspections);
+  EXPECT_EQ(a.rejections, b.rejections);
+  EXPECT_DOUBLE_EQ(a.avg_wait, b.avg_wait);
+  EXPECT_DOUBLE_EQ(a.avg_bsld, b.avg_bsld);
+  EXPECT_DOUBLE_EQ(a.max_bsld, b.max_bsld);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(VecEnv, GreedyMatchesScalarRolloutAtEveryWidth) {
+  Harness h;
+  const auto windows = h.windows(7);
+
+  std::vector<EvalPair> scalar(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    scalar[i] = rollout_eval(h.sim, windows[i], h.policy, h.ac, h.features);
+
+  std::vector<RolloutSpec> specs(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    specs[i].jobs = &windows[i];
+
+  for (const int width : kWidths) {
+    VecEnv env(h.trace.cluster_procs(), h.sim_config, h.ac, h.features,
+               h.policy, width);
+    const std::vector<PairedRollout> batched =
+        env.rollout_batch(specs, ActionSelect::kGreedy);
+    ASSERT_EQ(batched.size(), scalar.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      const std::string label =
+          "width " + std::to_string(width) + " seq " + std::to_string(i);
+      expect_same_metrics(batched[i].base, scalar[i].base, label + " base");
+      expect_same_metrics(batched[i].inspected, scalar[i].inspected,
+                          label + " inspected");
+    }
+  }
+}
+
+TEST(VecEnv, SampledTrajectoriesMatchScalarExactly) {
+  Harness h;
+  const auto windows = h.windows(6);
+
+  std::vector<TrainingRollout> scalar(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    Rng rng(1000 + i);
+    scalar[i] = rollout_training(h.sim, windows[i], h.policy, h.ac,
+                                 h.features, Metric::kBsld,
+                                 RewardKind::kPercentage, rng);
+  }
+
+  for (const int width : kWidths) {
+    std::vector<Trajectory> trajectories(windows.size());
+    std::vector<RolloutSpec> specs(windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      specs[i].jobs = &windows[i];
+      specs[i].seed = 1000 + i;
+      specs[i].trajectory = &trajectories[i];
+    }
+    VecEnv env(h.trace.cluster_procs(), h.sim_config, h.ac, h.features,
+               h.policy, width);
+    const std::vector<PairedRollout> batched =
+        env.rollout_batch(specs, ActionSelect::kSample);
+
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      SCOPED_TRACE("width " + std::to_string(width) + " seq " +
+                   std::to_string(i));
+      expect_same_metrics(batched[i].base, scalar[i].base, "base");
+      expect_same_metrics(batched[i].inspected, scalar[i].inspected,
+                          "inspected");
+      const Trajectory& expected = scalar[i].trajectory;
+      const Trajectory& actual = trajectories[i];
+      ASSERT_EQ(actual.steps.size(), expected.steps.size());
+      for (std::size_t s = 0; s < expected.steps.size(); ++s) {
+        EXPECT_EQ(actual.steps[s].action, expected.steps[s].action)
+            << "step " << s;
+        EXPECT_DOUBLE_EQ(actual.steps[s].log_prob,
+                         expected.steps[s].log_prob)
+            << "step " << s;
+        ASSERT_EQ(actual.steps[s].obs.size(), expected.steps[s].obs.size());
+        for (std::size_t f = 0; f < expected.steps[s].obs.size(); ++f)
+          EXPECT_DOUBLE_EQ(actual.steps[s].obs[f], expected.steps[s].obs[f])
+              << "step " << s << " feature " << f;
+      }
+    }
+  }
+}
+
+TEST(VecEnv, RecorderStreamsMatchScalar) {
+  Harness h;
+  const auto windows = h.windows(5);
+
+  std::vector<DecisionRecorder> scalar;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    scalar.emplace_back(h.features.feature_names());
+    rollout_eval(h.sim, windows[i], h.policy, h.ac, h.features, &scalar[i]);
+  }
+
+  for (const int width : kWidths) {
+    std::vector<DecisionRecorder> recorders;
+    std::vector<RolloutSpec> specs(windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i)
+      recorders.emplace_back(h.features.feature_names());
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      specs[i].jobs = &windows[i];
+      specs[i].recorder = &recorders[i];
+    }
+    VecEnv env(h.trace.cluster_procs(), h.sim_config, h.ac, h.features,
+               h.policy, width);
+    env.rollout_batch(specs, ActionSelect::kGreedy);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      SCOPED_TRACE("width " + std::to_string(width) + " seq " +
+                   std::to_string(i));
+      EXPECT_EQ(recorders[i].total_samples(), scalar[i].total_samples());
+      EXPECT_EQ(recorders[i].rejected_samples(),
+                scalar[i].rejected_samples());
+      EXPECT_EQ(recorders[i].render(8), scalar[i].render(8));
+    }
+  }
+}
+
+TEST(VecEnv, PerSpecTracesAreByteIdenticalToScalar) {
+  Harness h;
+  const auto windows = h.windows(4);
+
+  // Scalar reference: each sequence traced through the callback path.
+  std::vector<std::string> scalar_traces;
+  for (const std::vector<Job>& jobs : windows) {
+    BufferTracer buffer;
+    SimConfig traced = h.sim_config;
+    traced.tracer = &buffer;
+    Simulator sim(h.trace.cluster_procs(), traced);
+    rollout_eval(sim, jobs, h.policy, h.ac, h.features);
+    StringSink text;
+    JsonlTracer out(text);
+    buffer.drain_to(out);
+    scalar_traces.push_back(text.str());
+    ASSERT_FALSE(scalar_traces.back().empty());
+  }
+
+  for (const int width : kWidths) {
+    std::vector<BufferTracer> buffers(windows.size());
+    std::vector<RolloutSpec> specs(windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      specs[i].jobs = &windows[i];
+      specs[i].tracer = &buffers[i];
+    }
+    VecEnv env(h.trace.cluster_procs(), h.sim_config, h.ac, h.features,
+               h.policy, width);
+    env.rollout_batch(specs, ActionSelect::kGreedy);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      StringSink text;
+      JsonlTracer out(text);
+      buffers[i].drain_to(out);
+      EXPECT_EQ(text.str(), scalar_traces[i])
+          << "width " << width << " seq " << i;
+    }
+  }
+}
+
+TEST(VecEnv, ReusableAcrossCollections) {
+  Harness h;
+  const auto windows = h.windows(5);
+  std::vector<RolloutSpec> specs(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) specs[i].jobs = &windows[i];
+
+  VecEnv env(h.trace.cluster_procs(), h.sim_config, h.ac, h.features,
+             h.policy, 3);
+  const std::vector<PairedRollout> first =
+      env.rollout_batch(specs, ActionSelect::kGreedy);
+  const std::vector<PairedRollout> second =
+      env.rollout_batch(specs, ActionSelect::kGreedy);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    expect_same_metrics(first[i].base, second[i].base,
+                        "seq " + std::to_string(i) + " base");
+    expect_same_metrics(first[i].inspected, second[i].inspected,
+                        "seq " + std::to_string(i) + " inspected");
+  }
+}
+
+TEST(VecEnv, FewerSpecsThanWidth) {
+  Harness h;
+  const auto windows = h.windows(2);
+  std::vector<RolloutSpec> specs(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) specs[i].jobs = &windows[i];
+
+  const EvalPair scalar0 =
+      rollout_eval(h.sim, windows[0], h.policy, h.ac, h.features);
+  VecEnv env(h.trace.cluster_procs(), h.sim_config, h.ac, h.features,
+             h.policy, 8);
+  const std::vector<PairedRollout> batched =
+      env.rollout_batch(specs, ActionSelect::kGreedy);
+  ASSERT_EQ(batched.size(), 2u);
+  expect_same_metrics(batched[0].base, scalar0.base, "base");
+  expect_same_metrics(batched[0].inspected, scalar0.inspected, "inspected");
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,205 @@
+// The resumable session API (sim/session.hpp) against the callback adapter
+// (Simulator::run): both must drive the identical state machine, so any
+// decision sequence produces bit-identical results either way.
+#include "sim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/sink.hpp"
+#include "obs/trace.hpp"
+#include "sched/policies.hpp"
+#include "sim/simulator.hpp"
+#include "workload/registry.hpp"
+
+namespace si {
+namespace {
+
+std::vector<Job> sample_jobs(std::uint64_t seed = 9, std::size_t count = 64) {
+  Trace trace = make_trace("SDSC-SP2", 300, 31);
+  Rng rng(seed);
+  return trace.sample_window(rng, count);
+}
+
+/// Deterministic scripted verdicts: reject every `period`-th consultation.
+struct PeriodicDecider {
+  int period;
+  int calls = 0;
+  bool operator()(const InspectionView&) { return ++calls % period == 0; }
+};
+
+class PeriodicInspector final : public Inspector {
+ public:
+  explicit PeriodicInspector(int period) : decider_{period} {}
+  bool reject(const InspectionView& view) override { return decider_(view); }
+
+ private:
+  PeriodicDecider decider_;
+};
+
+void expect_same_result(const SequenceResult& a, const SequenceResult& b) {
+  EXPECT_EQ(a.metrics.jobs, b.metrics.jobs);
+  EXPECT_EQ(a.metrics.inspections, b.metrics.inspections);
+  EXPECT_EQ(a.metrics.rejections, b.metrics.rejections);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_wait, b.metrics.avg_wait);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_bsld, b.metrics.avg_bsld);
+  EXPECT_DOUBLE_EQ(a.metrics.max_bsld, b.metrics.max_bsld);
+  EXPECT_DOUBLE_EQ(a.metrics.utilization, b.metrics.utilization);
+  EXPECT_DOUBLE_EQ(a.metrics.makespan, b.metrics.makespan);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].start, b.records[i].start) << "job " << i;
+    EXPECT_DOUBLE_EQ(a.records[i].finish, b.records[i].finish) << "job " << i;
+    EXPECT_EQ(a.records[i].rejections, b.records[i].rejections) << "job " << i;
+  }
+}
+
+TEST(SimSession, MatchesCallbackForScriptedDecisions) {
+  const std::vector<Job> jobs = sample_jobs();
+  for (const int period : {1, 2, 3, 7}) {
+    SCOPED_TRACE("period " + std::to_string(period));
+    SimConfig config;
+    config.backfill = true;
+    Simulator sim(256, config);
+    SjfPolicy policy;
+
+    PeriodicInspector inspector(period);
+    const SequenceResult via_callback = sim.run(jobs, policy, &inspector);
+
+    PeriodicDecider decider{period};
+    SimSession session(sim, jobs, policy);
+    while (!session.done()) session.step(decider(session.view()));
+    const SequenceResult via_session = session.take_result();
+
+    expect_same_result(via_callback, via_session);
+  }
+}
+
+TEST(SimSession, EmitsByteIdenticalTraces) {
+  const std::vector<Job> jobs = sample_jobs(4, 48);
+  SimConfig config;
+  config.backfill = true;
+
+  BufferTracer callback_buffer;
+  {
+    SimConfig traced = config;
+    traced.tracer = &callback_buffer;
+    Simulator sim(128, traced);
+    SjfPolicy policy;
+    PeriodicInspector inspector(3);
+    sim.run(jobs, policy, &inspector);
+  }
+
+  BufferTracer session_buffer;
+  {
+    SimConfig traced = config;
+    traced.tracer = &session_buffer;
+    Simulator sim(128, traced);
+    SjfPolicy policy;
+    PeriodicDecider decider{3};
+    SimSession session(sim, jobs, policy);
+    while (!session.done()) session.step(decider(session.view()));
+    session.take_result();
+  }
+
+  StringSink callback_text;
+  JsonlTracer callback_out(callback_text);
+  callback_buffer.drain_to(callback_out);
+  StringSink session_text;
+  JsonlTracer session_out(session_text);
+  session_buffer.drain_to(session_out);
+  ASSERT_FALSE(callback_text.str().empty());
+  EXPECT_EQ(callback_text.str(), session_text.str());
+}
+
+TEST(SimSession, ViewExposesPendingDecision) {
+  const std::vector<Job> jobs = sample_jobs();
+  SimConfig config;
+  Simulator sim(256, config);
+  SjfPolicy policy;
+  SimSession session(sim, jobs, policy);
+  ASSERT_FALSE(session.done());
+  std::size_t decisions = 0;
+  while (!session.done()) {
+    const InspectionView& view = session.view();
+    ASSERT_NE(view.job, nullptr);
+    EXPECT_GT(view.job->procs, 0);
+    EXPECT_GE(view.job_wait, 0.0);
+    EXPECT_LT(view.job_rejections, view.max_rejection_times);
+    EXPECT_EQ(view.total_procs, 256);
+    EXPECT_GE(view.free_procs, 0);
+    ASSERT_NE(view.waiting, nullptr);
+    ++decisions;
+    session.step(false);
+  }
+  const SequenceResult result = session.take_result();
+  EXPECT_EQ(result.metrics.inspections, decisions);
+  EXPECT_EQ(result.metrics.rejections, 0u);
+}
+
+TEST(SimSession, RejectionBudgetLimitsConsultations) {
+  const std::vector<Job> jobs = sample_jobs();
+  SimConfig config;
+  Simulator sim(256, config);
+  SjfPolicy policy;
+  // Rejecting everything still terminates: each job is only inspectable
+  // while under its budget, after which its decision auto-accepts.
+  SimSession session(sim, jobs, policy);
+  while (!session.done()) session.step(true);
+  const SequenceResult result = session.take_result();
+  EXPECT_EQ(result.metrics.rejections, result.metrics.inspections);
+  for (const JobRecord& record : result.records)
+    EXPECT_LE(record.rejections, config.max_rejection_times);
+}
+
+TEST(SimSession, NonInspectingSessionMatchesNullInspectorRun) {
+  const std::vector<Job> jobs = sample_jobs();
+  SimConfig config;
+  config.backfill = true;
+  Simulator sim(256, config);
+  SjfPolicy policy;
+  const SequenceResult base = sim.run(jobs, policy);
+
+  SimSession session(sim, jobs, policy, /*inspect=*/false);
+  EXPECT_TRUE(session.done());
+  const SequenceResult via_session = session.take_result();
+  expect_same_result(base, via_session);
+  EXPECT_EQ(via_session.metrics.inspections, 0u);
+}
+
+TEST(SimSession, SimulatorIsReusableAfterAbandonedSession) {
+  const std::vector<Job> jobs = sample_jobs();
+  SimConfig config;
+  Simulator sim(256, config);
+  SjfPolicy policy;
+  const SequenceResult expected = sim.run(jobs, policy);
+  {
+    SimSession abandoned(sim, jobs, policy);
+    ASSERT_FALSE(abandoned.done());
+    abandoned.step(true);
+    // Destroyed mid-sequence without take_result().
+  }
+  const SequenceResult after = sim.run(jobs, policy);
+  expect_same_result(expected, after);
+}
+
+TEST(SimSession, BackToBackSessionsAreIndependent) {
+  const std::vector<Job> jobs = sample_jobs();
+  SimConfig config;
+  Simulator sim(256, config);
+  SjfPolicy policy;
+
+  auto run_once = [&] {
+    PeriodicDecider decider{2};
+    SimSession session(sim, jobs, policy);
+    while (!session.done()) session.step(decider(session.view()));
+    return session.take_result();
+  };
+  const SequenceResult first = run_once();
+  const SequenceResult second = run_once();
+  expect_same_result(first, second);
+}
+
+}  // namespace
+}  // namespace si

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the benchmarks in Release (optionally tuned for this machine) and
-# captures the perf baseline: bench_kernels --json plus the google-benchmark
-# inference-cost numbers. Writes BENCH_kernels.json at the repo root — the
-# artifact later runs diff against to catch performance regressions.
+# captures the perf baseline: bench_kernels --json, bench_rollout --json,
+# plus the google-benchmark inference-cost numbers. Writes
+# BENCH_kernels.json and BENCH_rollout.json at the repo root — the
+# artifacts later runs diff against to catch performance regressions.
 # Usage: tools/run_bench_suite.sh [build-dir] [--portable]
 #   --portable  skip -march=native (comparable across machines, slower)
 set -euo pipefail
@@ -21,12 +22,15 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
   -DSI_NATIVE_ARCH="$native"
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target bench_kernels bench_cost_inference
+  --target bench_kernels bench_rollout bench_cost_inference
 
 echo "== bench_kernels (perf-regression records -> BENCH_kernels.json) =="
 "$build_dir/bench/bench_kernels" --json "$repo_root/BENCH_kernels.json"
 
+echo "== bench_rollout (perf-regression records -> BENCH_rollout.json) =="
+"$build_dir/bench/bench_rollout" --json "$repo_root/BENCH_rollout.json"
+
 echo "== bench_cost_inference (google-benchmark, informational) =="
 "$build_dir/bench/bench_cost_inference" --benchmark_min_time=0.2 || true
 
-echo "wrote $repo_root/BENCH_kernels.json"
+echo "wrote $repo_root/BENCH_kernels.json and $repo_root/BENCH_rollout.json"

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library
+# sources in src/, using the compile database from an existing CMake build
+# tree (CMAKE_EXPORT_COMPILE_COMMANDS is on by default in this project).
+#
+# Usage: tools/run_tidy.sh [build-dir] [path-filter ...]
+#   build-dir    build tree holding compile_commands.json (default: build)
+#   path-filter  only lint sources whose path contains one of these
+#                substrings, e.g. `tools/run_tidy.sh build src/sim src/core`
+#
+# Exits 0 with a SKIP notice when clang-tidy is not installed, so callers
+# (CI stages, pre-commit hooks) degrade gracefully on minimal images.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift $(( $# > 0 ? 1 : 0 ))
+filters=("$@")
+
+tidy=""
+for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+            clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    tidy="$cand"
+    break
+  fi
+done
+if [[ -z "$tidy" ]]; then
+  echo "SKIP: clang-tidy not found on PATH; install clang-tidy to lint." >&2
+  exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [[ ! -f "$db" ]]; then
+  echo "error: $db not found — configure the build tree first:" >&2
+  echo "  cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+# Lint every translation unit under src/ that appears in the compile
+# database (tests/benches have their own idioms and are out of scope).
+mapfile -t sources < <(
+  python3 - "$db" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    path = entry["file"]
+    if "/src/" in path and path.endswith(".cpp"):
+        print(path)
+EOF
+)
+
+if (( ${#filters[@]} > 0 )); then
+  selected=()
+  for f in "${sources[@]}"; do
+    for needle in "${filters[@]}"; do
+      if [[ "$f" == *"$needle"* ]]; then
+        selected+=("$f")
+        break
+      fi
+    done
+  done
+  sources=("${selected[@]}")
+fi
+
+if (( ${#sources[@]} == 0 )); then
+  echo "error: no sources matched" >&2
+  exit 1
+fi
+
+echo "linting ${#sources[@]} files with $($tidy --version | head -1)"
+status=0
+for f in "${sources[@]}"; do
+  echo "== $f"
+  "$tidy" -p "$build_dir" --quiet "$f" || status=1
+done
+
+if (( status != 0 )); then
+  echo "clang-tidy reported findings (see above)" >&2
+fi
+exit "$status"
