@@ -1,0 +1,177 @@
+// Serving throughput/latency: a multi-connection load generator against the
+// inspection server (src/serve, DESIGN.md §9). By default it hosts the
+// server in-process on a kernel-assigned port (so the bench is hermetic);
+// --connect host:port points it at an already-running daemon instead.
+// Every client thread opens its own connection through
+// connect_with_backoff() — bounded exponential backoff plus deterministic
+// jitter — and round-trips synchronous decision requests over realistic
+// random feature rows, recording client-observed latency per request.
+// Emits p50/p99 latency and aggregate decisions/sec as the standard --json
+// records so tools/run_bench_suite.sh can snapshot a BENCH_serve.json
+// baseline.
+//
+// Flags: --json <path> (bench record output), --smoke (tiny sizes so the
+// ctest `perf` label stays fast), --connect <host:port>, --clients <n>,
+// --requests <n per client>.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "common/rng.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace si;
+using namespace si::serve;
+
+struct Sizes {
+  int clients = 8;
+  int requests_per_client = 500;
+  std::string connect_host;  ///< empty = host the server in-process
+  int connect_port = 0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void bench_serving(const Sizes& sz) {
+  // In-process server (unless --connect): the paper's MLP behind the
+  // coalescer, fed through the same publish/validate path as a hot swap.
+  std::unique_ptr<Server> server;
+  std::string host = sz.connect_host;
+  int port = sz.connect_port;
+  if (host.empty()) {
+    ServerConfig config;
+    config.port = 0;
+    server = std::make_unique<Server>(config);
+    ActorCritic ac(config.obs_size, {32, 16, 8}, 7);
+    const PublishResult published = server->publish_model(
+        std::make_shared<ServedModel>(std::move(ac), "in-process", 0));
+    if (!published.ok) {
+      std::fprintf(stderr, "publish failed: %s\n", published.message.c_str());
+      return;
+    }
+    server->start();
+    host = config.host;
+    port = server->port();
+  }
+
+  const auto n_clients = static_cast<std::size_t>(sz.clients);
+  std::vector<std::vector<double>> latencies_us(n_clients);
+  std::vector<std::uint64_t> completed(n_clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(n_clients);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client;
+      if (!connect_with_backoff(client, host, port, /*attempts=*/10,
+                                /*base_delay_ms=*/10, /*max_delay_ms=*/500,
+                                /*seed=*/c + 1)) {
+        std::fprintf(stderr, "client %zu: %s\n", c, client.error().c_str());
+        return;
+      }
+      Rng rng(1000 + c);
+      std::vector<double> features(8);
+      latencies_us[c].reserve(static_cast<std::size_t>(
+          sz.requests_per_client));
+      for (int r = 0; r < sz.requests_per_client; ++r) {
+        for (double& f : features) f = rng.uniform();
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto reply = client.decide(features, completed[c] + 1);
+        if (!reply) {
+          std::fprintf(stderr, "client %zu: %s\n", c,
+                       client.error().c_str());
+          return;
+        }
+        latencies_us[c].push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        ++completed[c];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::vector<double> all;
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    all.insert(all.end(), latencies_us[c].begin(), latencies_us[c].end());
+    total += completed[c];
+  }
+  std::sort(all.begin(), all.end());
+  const double p50 = percentile(all, 0.50);
+  const double p99 = percentile(all, 0.99);
+  const double rate = wall_s > 0.0 ? static_cast<double>(total) / wall_s : 0.0;
+
+  const std::string config = "clients=" + std::to_string(sz.clients) +
+                             " requests=" +
+                             std::to_string(sz.requests_per_client) +
+                             " net=32-16-8 obs=8";
+  bench::record_result("serve_decisions_per_s", rate, config);
+  bench::record_result("serve_p50_latency_us", p50, config);
+  bench::record_result("serve_p99_latency_us", p99, config);
+
+  TextTable table({"metric", "value"});
+  table.row().cell("decisions/s").cell(rate, 1);
+  table.row().cell("p50 us").cell(p50, 1);
+  table.row().cell("p99 us").cell(p99, 1);
+  table.row().cell("completed").cell(static_cast<double>(total), 0);
+  std::printf("%s\n", table.render().c_str());
+
+  if (server) {
+    // Server-side view (queue depth, batch sizes, degraded counts) for
+    // eyeballing; the recorded metrics above are client-observed.
+    std::printf("%s", server->stats_json().c_str());
+    server->stop();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv, "serve",
+              "Inspection-server throughput/latency: concurrent clients "
+              "round-tripping decisions through the coalescer");
+  Sizes sz;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      // Sanity-sized: exercises connect/decide/stats in well under a
+      // second so the ctest `perf` label gates on "still runs".
+      sz.clients = 2;
+      sz.requests_per_client = 20;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      sz.clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      sz.requests_per_client = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      const std::string target = argv[++i];
+      const std::size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect wants host:port\n");
+        return 2;
+      }
+      sz.connect_host = target.substr(0, colon);
+      sz.connect_port = std::atoi(target.c_str() + colon + 1);
+    }
+  }
+  bench_serving(sz);
+  return 0;
+}

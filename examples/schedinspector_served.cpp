@@ -1,0 +1,235 @@
+// schedinspector_served — inspection-as-a-service (DESIGN.md §9): run the
+// TCP daemon that answers accept/reject decisions from a trained model, or
+// talk to a running one.
+//
+//   schedinspector_served serve  --model /tmp/model.txt --port 7747
+//   schedinspector_served stats  --port 7747
+//   schedinspector_served swap   --port 7747 --model /tmp/new_model.txt
+//   schedinspector_served decide --port 7747 --features 0.1,0.2,...  (8 values)
+//
+// serve prints "listening on <host>:<port>" once bound (port 0 picks a free
+// port — useful for scripts), serves until SIGINT/SIGTERM, then drains
+// in-flight requests and exits cleanly. Without --model it starts empty and
+// answers from the degraded rule path until a model is swapped in.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace si;
+using namespace si::serve;
+
+struct Options {
+  std::string command;
+  std::string host = "127.0.0.1";
+  int port = 7747;
+  std::string model_path;
+  std::string features;
+  int obs_size = 8;
+  int max_batch = 32;
+  int max_wait_us = 200;
+  int queue_capacity = 1024;
+  int max_connections = 256;
+  std::uint32_t deadline_ms = 0;
+  int drain_timeout_ms = 2000;
+  std::string log_level = "info";
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: schedinspector_served <serve|stats|swap|decide> "
+               "[options]\n"
+               "  --host <addr>           bind/connect address (127.0.0.1)\n"
+               "  --port <n>              port; 0 = auto-assign (serve only)\n"
+               "  --model <path>          model/checkpoint file (serve, swap)\n"
+               "  --features <a,b,...>    feature row for decide\n"
+               "  --deadline-ms <n>       per-request deadline (serve default /\n"
+               "                          decide request; 0 = none)\n"
+               "  --obs-size <n>          served feature width (default 8)\n"
+               "  --max-batch <n>         coalescer batch bound (default 32)\n"
+               "  --max-wait-us <n>       coalescer linger (default 200)\n"
+               "  --queue-cap <n>         admission queue bound (default 1024)\n"
+               "  --max-conns <n>         connection bound (default 256)\n"
+               "  --drain-timeout-ms <n>  shutdown drain bound (default 2000)\n"
+               "  --log-level <level>     default info\n");
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i + 1 >= argc) return false;
+    const char* value = argv[++i];
+    if (arg == "--host") opts.host = value;
+    else if (arg == "--port") opts.port = std::atoi(value);
+    else if (arg == "--model") opts.model_path = value;
+    else if (arg == "--features") opts.features = value;
+    else if (arg == "--obs-size") opts.obs_size = std::atoi(value);
+    else if (arg == "--max-batch") opts.max_batch = std::atoi(value);
+    else if (arg == "--max-wait-us") opts.max_wait_us = std::atoi(value);
+    else if (arg == "--queue-cap") opts.queue_capacity = std::atoi(value);
+    else if (arg == "--max-conns") opts.max_connections = std::atoi(value);
+    else if (arg == "--deadline-ms")
+      opts.deadline_ms = static_cast<std::uint32_t>(std::atoi(value));
+    else if (arg == "--drain-timeout-ms")
+      opts.drain_timeout_ms = std::atoi(value);
+    else if (arg == "--log-level") opts.log_level = value;
+    else
+      return false;
+  }
+  return opts.command == "serve" || opts.command == "stats" ||
+         opts.command == "swap" || opts.command == "decide";
+}
+
+Server* g_server = nullptr;
+
+extern "C" void handle_signal(int) {
+  // Async-signal-safe by contract: request_stop() is an atomic store plus
+  // one pipe write. The drain itself happens on the server's own threads.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int cmd_serve(const Options& opts) {
+  ServerConfig config;
+  config.host = opts.host;
+  config.port = opts.port;
+  config.obs_size = opts.obs_size;
+  config.max_batch = opts.max_batch;
+  config.max_wait_us = opts.max_wait_us;
+  config.queue_capacity = opts.queue_capacity;
+  config.max_connections = opts.max_connections;
+  config.default_deadline_ms = opts.deadline_ms;
+  config.drain_timeout_ms = opts.drain_timeout_ms;
+  Server server(config);
+  if (!opts.model_path.empty()) {
+    const PublishResult result = server.swap_from_file(opts.model_path);
+    if (!result.ok) {
+      std::fprintf(stderr, "cannot serve %s: %s\n", opts.model_path.c_str(),
+                   result.message.c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "no --model: serving degraded (rule inspector) until a "
+                 "model is swapped in\n");
+  }
+  server.start();
+  std::printf("listening on %s:%d\n", opts.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (server.running() && !server.draining())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  g_server = nullptr;
+  std::printf("%s", server.stats_json().c_str());
+  return 0;
+}
+
+int cmd_stats(const Options& opts) {
+  ServeClient client;
+  if (!connect_with_backoff(client, opts.host, opts.port)) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  const auto json = client.stats_json();
+  if (!json) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  std::printf("%s", json->c_str());
+  return 0;
+}
+
+int cmd_swap(const Options& opts) {
+  if (opts.model_path.empty()) {
+    std::fprintf(stderr, "swap needs --model <path>\n");
+    return 2;
+  }
+  ServeClient client;
+  if (!connect_with_backoff(client, opts.host, opts.port)) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  const auto reply = client.swap(opts.model_path);
+  if (!reply) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  if (reply->ok != 0) {
+    std::printf("swapped, serving epoch %llu\n",
+                static_cast<unsigned long long>(reply->epoch));
+    return 0;
+  }
+  std::fprintf(stderr, "swap rejected: %s\n", reply->message.c_str());
+  return 1;
+}
+
+int cmd_decide(const Options& opts) {
+  std::vector<double> features;
+  std::string token;
+  for (const char c : opts.features + ",") {
+    if (c != ',') {
+      token += c;
+      continue;
+    }
+    if (!token.empty()) features.push_back(std::atof(token.c_str()));
+    token.clear();
+  }
+  if (features.empty()) {
+    std::fprintf(stderr, "decide needs --features a,b,...\n");
+    return 2;
+  }
+  ServeClient client;
+  if (!connect_with_backoff(client, opts.host, opts.port)) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  const auto reply = client.decide(features, 1, opts.deadline_ms);
+  if (!reply) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  const char* status =
+      reply->status == ReplyStatus::kOk          ? "ok"
+      : reply->status == ReplyStatus::kDegraded  ? "degraded"
+      : reply->status == ReplyStatus::kDeadlineExceeded ? "deadline-exceeded"
+                                                        : "error";
+  const char* source = reply->source == DecisionSource::kModel  ? "model"
+                       : reply->source == DecisionSource::kRule ? "rule"
+                                                                : "base";
+  std::printf("%s  status=%s source=%s prob=%.4f epoch=%llu\n",
+              reply->reject != 0 ? "REJECT" : "ACCEPT", status, source,
+              reply->prob, static_cast<unsigned long long>(reply->epoch));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse(argc, argv, opts)) return usage();
+  try {
+    si::global_logger().set_level(si::log_level_from_name(opts.log_level));
+    si::global_logger().add_stderr_sink();
+    if (opts.command == "serve") return cmd_serve(opts);
+    if (opts.command == "stats") return cmd_stats(opts);
+    if (opts.command == "swap") return cmd_swap(opts);
+    return cmd_decide(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

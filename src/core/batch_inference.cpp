@@ -1,0 +1,38 @@
+#include "core/batch_inference.hpp"
+
+#include "common/check.hpp"
+
+namespace si {
+
+PolicyBatch::PolicyBatch(int obs_width) : obs_width_(obs_width) {
+  SI_REQUIRE(obs_width >= 1);
+}
+
+void PolicyBatch::clear() {
+  rows_ = 0;
+  block_.clear();
+}
+
+void PolicyBatch::push_row(std::span<const double> obs) {
+  SI_REQUIRE(static_cast<int>(obs.size()) == obs_width_);
+  block_.insert(block_.end(), obs.begin(), obs.end());
+  ++rows_;
+}
+
+std::span<const double> PolicyBatch::row(int i) const {
+  SI_REQUIRE(i >= 0 && i < rows_);
+  return std::span<const double>(block_).subspan(
+      static_cast<std::size_t>(i) * static_cast<std::size_t>(obs_width_),
+      static_cast<std::size_t>(obs_width_));
+}
+
+std::span<const double> PolicyBatch::infer(const Mlp& net) {
+  SI_REQUIRE(rows_ >= 1);
+  SI_REQUIRE(net.input_size() == obs_width_);
+  SI_REQUIRE(net.output_size() == 1);
+  net.forward_batch(block_, rows_, ws_);
+  return std::span<const double>(ws_.activations.back())
+      .first(static_cast<std::size_t>(rows_));
+}
+
+}  // namespace si

@@ -1,0 +1,51 @@
+// The shared batch-inference entry point: gather observation rows into one
+// row-major block, run a single Mlp::forward_batch over them, and read the
+// per-row logits back. Both batched decision makers — VecEnv (training /
+// evaluation rollouts) and the inspection server (src/serve) — funnel their
+// pending decisions through this class, so the gather/forward/scatter shape
+// is defined exactly once and the per-row bit-identicality contract of the
+// batched kernels (rl/mlp.hpp) is inherited by every consumer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rl/mlp.hpp"
+
+namespace si {
+
+/// A reusable gather buffer plus batch workspace. Steady-state use performs
+/// zero heap allocation: buffers grow to the high-water batch size and stay.
+class PolicyBatch {
+ public:
+  explicit PolicyBatch(int obs_width);
+
+  int obs_width() const { return obs_width_; }
+  int rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Drops the gathered rows (capacity is kept).
+  void clear();
+
+  /// Appends one observation row; `obs` must be exactly obs_width() long.
+  void push_row(std::span<const double> obs);
+
+  /// Row `i` of the gathered block. Valid until clear()/push_row().
+  std::span<const double> row(int i) const;
+
+  /// One batched policy-net forward over the gathered rows; returns the
+  /// per-row logits (rows() entries, valid until the next infer()).
+  /// Requires rows() >= 1 and net.input_size() == obs_width(), and — like
+  /// Mlp::forward_batch — a fresh transpose cache (refresh_transpose()
+  /// after the last parameter change). Per row the logit is bit-identical
+  /// to a scalar Mlp::forward of the same observation.
+  std::span<const double> infer(const Mlp& net);
+
+ private:
+  int obs_width_;
+  int rows_ = 0;
+  std::vector<double> block_;  ///< row-major rows_ x obs_width_
+  Mlp::BatchWorkspace ws_;
+};
+
+}  // namespace si

@@ -19,20 +19,25 @@ RuleInspector::RuleInspector(const FeatureBuilder& features,
   SI_REQUIRE(features_.mode() == FeatureMode::kManual);
 }
 
-bool RuleInspector::reject_features(const std::vector<double>& f) const {
+bool rule_inspector_reject(const std::vector<double>& f,
+                           const RuleInspectorConfig& config) {
   SI_REQUIRE(f.size() == 8);
   // Hard cap: a crowded queue makes every delay expensive (§5).
-  if (f[kQueueDelays] > config_.queue_delay_cap) return false;
+  if (f[kQueueDelays] > config.queue_delay_cap) return false;
   // Only delay jobs that have not waited long yet.
-  if (f[kWait] > config_.max_wait) return false;
+  if (f[kWait] > config.max_wait) return false;
   // The job must be worth delaying: long or wide.
   const bool demanding =
-      f[kEstimate] >= config_.min_estimate || f[kProcs] >= config_.min_procs;
+      f[kEstimate] >= config.min_estimate || f[kProcs] >= config.min_procs;
   if (!demanding) return false;
   // The cluster state must make the delay a big-gain (full) or small-loss
   // (idle) opportunity; moderately loaded clusters see no rejections.
   const double avail = f[kClusterAvail];
-  return avail <= config_.busy_threshold || avail >= config_.idle_threshold;
+  return avail <= config.busy_threshold || avail >= config.idle_threshold;
+}
+
+bool RuleInspector::reject_features(const std::vector<double>& f) const {
+  return rule_inspector_reject(f, config_);
 }
 
 bool RuleInspector::reject(const InspectionView& view) {

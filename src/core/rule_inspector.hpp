@@ -26,6 +26,17 @@ struct RuleInspectorConfig {
   double idle_threshold = 0.70;  ///< cluster availability above => "idle"
 };
 
+/// The distilled rule evaluated directly on a manual (8-wide, normalized)
+/// feature vector. This is the whole decision function: RuleInspector
+/// delegates here, and the inspection server's degraded path calls it
+/// straight on wire-decoded features — so a reply tagged `degraded` is
+/// bit-identical to the offline rule decision for the same view. Every
+/// threshold comparison is NaN-safe (a NaN feature fails each guard and the
+/// rule falls through to "accept"), so arbitrary client doubles stay
+/// deterministic.
+bool rule_inspector_reject(const std::vector<double>& manual_features,
+                           const RuleInspectorConfig& config);
+
 class RuleInspector final : public Inspector {
  public:
   /// `features` must be a FeatureMode::kManual builder (the thresholds are

@@ -8,7 +8,10 @@ namespace si {
 VecEnv::VecEnv(int total_procs, const SimConfig& sim, const ActorCritic& ac,
                const FeatureBuilder& features, const SchedulingPolicy& policy,
                int width)
-    : ac_(ac), features_(features), default_tracer_(sim.tracer) {
+    : ac_(ac),
+      features_(features),
+      default_tracer_(sim.tracer),
+      batch_(features.feature_count()) {
   SI_REQUIRE(width >= 1);
   SI_REQUIRE(ac_.obs_size() == features_.feature_count());
   // Interleaved lanes emit events in lock-step order, not serial per-run
@@ -58,21 +61,19 @@ std::vector<PairedRollout> VecEnv::rollout_batch(
   for (std::size_t l = 0; l < lanes_.size(); ++l)
     if (launch(lanes_[l])) pending_.push_back(l);
 
-  const int obs_width = features_.feature_count();
   while (!pending_.empty()) {
     // Gather: one feature row per paused lane, in lane-slot order.
     const std::size_t batch = pending_.size();
-    obs_block_.clear();
+    batch_.clear();
     for (const std::size_t l : pending_) {
       features_.build_into(lanes_[l].session->view(), obs_row_);
-      obs_block_.insert(obs_block_.end(), obs_row_.begin(), obs_row_.end());
+      batch_.push_row(obs_row_);
     }
 
     // One batched actor forward for every pending decision. Per row this is
     // bit-identical to the scalar Mlp::forward the callback inspector runs
     // (rl/mlp.hpp), so each lane sees the exact logit it would see alone.
-    ac_.policy_net().forward_batch(obs_block_, static_cast<int>(batch), bws_);
-    const std::vector<double>& logits = bws_.activations.back();
+    const std::span<const double> logits = batch_.infer(ac_.policy_net());
 
     // Scatter: act, record, and step every lane; lanes whose sequence
     // completed claim the next spec. Surviving lanes keep their relative
@@ -92,17 +93,16 @@ std::vector<PairedRollout> VecEnv::rollout_batch(
       } else {
         action = logit > 0.0 ? 1 : 0;
       }
-      const double* row =
-          obs_block_.data() + i * static_cast<std::size_t>(obs_width);
+      const std::span<const double> row = batch_.row(static_cast<int>(i));
       if (spec.recorder != nullptr) {
-        obs_row_.assign(row, row + obs_width);
+        obs_row_.assign(row.begin(), row.end());
         spec.recorder->record(obs_row_, action == 1);
       }
       if (spec.trajectory != nullptr) {
         Step step;
         step.action = action;
         step.log_prob = log_prob;
-        step.obs.assign(row, row + obs_width);
+        step.obs.assign(row.begin(), row.end());
         spec.trajectory->steps.push_back(std::move(step));
       }
       lane.session->step(action == 1);

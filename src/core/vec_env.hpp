@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "core/batch_inference.hpp"
 #include "core/features.hpp"
 #include "rl/actor_critic.hpp"
 #include "rl/buffer.hpp"
@@ -105,9 +106,8 @@ class VecEnv {
   // Reused per tick; steady state performs no per-decision allocation
   // beyond trajectory/recorder copies the scalar path also makes.
   std::vector<std::size_t> pending_;  ///< lanes paused at a decision
-  std::vector<double> obs_block_;     ///< row-major batch x feature_count
+  PolicyBatch batch_;  ///< shared gather -> forward_batch entry point
   std::vector<double> obs_row_;
-  Mlp::BatchWorkspace bws_;
 };
 
 }  // namespace si

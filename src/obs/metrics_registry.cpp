@@ -22,6 +22,35 @@ void Histogram::observe(double value) {
   sum_ += value;
 }
 
+void Histogram::merge_bucket(std::size_t index, std::uint64_t count,
+                             double sum) {
+  SI_REQUIRE(index < counts_.size());
+  counts_[index] += count;
+  count_ += count;
+  sum_ += sum;
+}
+
+double histogram_quantile(const Histogram& hist, double q) {
+  SI_REQUIRE(q >= 0.0 && q <= 1.0);
+  const std::uint64_t total = hist.count();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  const std::vector<double>& bounds = hist.bounds();
+  const std::vector<std::uint64_t>& counts = hist.counts();
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double prev = cumulative;
+    cumulative += static_cast<double>(counts[i]);
+    if (cumulative < target || counts[i] == 0) continue;
+    if (i >= bounds.size()) return bounds.back();  // overflow bucket
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double fraction =
+        (target - prev) / static_cast<double>(counts[i]);
+    return lower + fraction * (bounds[i] - lower);
+  }
+  return bounds.back();
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   return counters_[name];
 }

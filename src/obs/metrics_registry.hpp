@@ -46,6 +46,13 @@ class Histogram {
 
   void observe(double value);
 
+  /// Merges `count` observations already tallied into bucket `index`
+  /// (0..counts().size()-1; the last index is the overflow bucket),
+  /// contributing `sum` to the running sum. The bridge for producers that
+  /// tally in their own buckets — e.g. the inspection server's lock-free
+  /// atomic latency counters — and snapshot into a registry for export.
+  void merge_bucket(std::size_t index, std::uint64_t count, double sum);
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   const std::vector<std::uint64_t>& counts() const { return counts_; }
@@ -61,6 +68,12 @@ class Histogram {
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
 };
+
+/// Estimates the `q`-quantile (0 <= q <= 1) of a fixed-bucket histogram by
+/// linear interpolation inside the bucket holding the target rank; the
+/// overflow bucket reports the last bound. Returns 0 for an empty
+/// histogram. Used for the serve-layer p50/p99 latency gauges.
+double histogram_quantile(const Histogram& hist, double q);
 
 /// Named instrument registry. Instruments are created on first lookup;
 /// exports list them in name order so output is deterministic.

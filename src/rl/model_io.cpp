@@ -31,12 +31,25 @@ void write_params(std::ostream& out, std::span<const double> params) {
   if (params.empty()) out << '\n';
 }
 
-void read_params(std::istream& in, std::span<double> params) {
+// `which` names the parameter array being read ("policy" / "value") so a
+// truncated or corrupt file says exactly where deserialization stopped.
+void read_params(std::istream& in, std::span<double> params,
+                 const char* which) {
   std::size_t count = 0;
-  if (!(in >> count) || count != params.size())
-    throw std::runtime_error("model_io: parameter count mismatch");
-  for (double& p : params)
-    if (!(in >> p)) throw std::runtime_error("model_io: truncated parameters");
+  if (!(in >> count))
+    throw std::runtime_error(std::string("model_io: missing ") + which +
+                             " parameter count (file truncated?)");
+  if (count != params.size())
+    throw std::runtime_error(
+        std::string("model_io: ") + which + " parameter count mismatch: file "
+        "declares " + std::to_string(count) + ", architecture needs " +
+        std::to_string(params.size()) + " (wrong-shape checkpoint?)");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    if (!(in >> params[i]))
+      throw std::runtime_error(
+          std::string("model_io: ") + which + " parameters truncated or "
+          "corrupt at index " + std::to_string(i) + " of " +
+          std::to_string(params.size()));
 }
 
 // Writes via `emit`, first to `path + ".tmp"`, then renames into place, so
@@ -64,6 +77,19 @@ void atomic_write_file(const std::string& path, Emit&& emit) {
                              ": " + ec.message());
   }
 }
+
+// Re-throws a load error with the file path prefixed, so callers (CLI,
+// hot-swap) surface which file was bad without extra plumbing.
+template <typename Load>
+auto load_file_with_context(const std::string& path, Load&& load) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("model_io: cannot open " + path);
+  try {
+    return load(in);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " [file: " + path + "]");
+  }
+}
 }  // namespace
 
 void save_model(std::ostream& out, const ActorCritic& ac) {
@@ -86,28 +112,31 @@ ActorCritic load_model(std::istream& in) {
   std::string magic;
   std::string version;
   if (!(in >> magic >> version) || magic != kMagic || version != kVersion)
-    throw std::runtime_error("model_io: bad header");
+    throw std::runtime_error(
+        "model_io: bad header (expected \"" + std::string(kMagic) + " " +
+        kVersion + "\"; not a model file, or truncated/corrupt)");
   std::size_t layer_count = 0;
-  if (!(in >> layer_count) || layer_count < 2)
-    throw std::runtime_error("model_io: bad layer count");
+  if (!(in >> layer_count) || layer_count < 2 || layer_count > 64)
+    throw std::runtime_error(
+        "model_io: bad layer count (need 2..64 integer layer sizes)");
   std::vector<int> layers(layer_count);
-  for (int& l : layers)
-    if (!(in >> l) || l <= 0)
-      throw std::runtime_error("model_io: bad layer size");
+  for (std::size_t i = 0; i < layers.size(); ++i)
+    if (!(in >> layers[i]) || layers[i] <= 0 || layers[i] > (1 << 20))
+      throw std::runtime_error("model_io: bad layer size at index " +
+                               std::to_string(i));
   if (layers.back() != 1)
     throw std::runtime_error("model_io: output layer must be 1");
   std::vector<int> hidden(layers.begin() + 1, layers.end() - 1);
   ActorCritic ac(layers.front(), hidden, /*seed=*/0);
-  read_params(in, ac.policy_net().params());
-  read_params(in, ac.value_net().params());
+  read_params(in, ac.policy_net().params(), "policy");
+  read_params(in, ac.value_net().params(), "value");
   require_finite(ac, "load");
   return ac;
 }
 
 ActorCritic load_model_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("model_io: cannot open " + path);
-  return load_model(in);
+  return load_file_with_context(
+      path, [](std::istream& in) { return load_model(in); });
 }
 
 void save_checkpoint(std::ostream& out, const ActorCritic& ac, int epoch) {
@@ -128,7 +157,10 @@ ModelCheckpoint load_checkpoint(std::istream& in) {
   std::string version;
   if (!(in >> magic >> version) || magic != kCheckpointMagic ||
       version != kVersion)
-    throw std::runtime_error("model_io: bad checkpoint header");
+    throw std::runtime_error(
+        "model_io: bad checkpoint header (expected \"" +
+        std::string(kCheckpointMagic) + " " + kVersion +
+        "\"; not a checkpoint file, or truncated/corrupt)");
   std::string key;
   int epoch = 0;
   if (!(in >> key >> epoch) || key != "epoch" || epoch < 0)
@@ -137,9 +169,71 @@ ModelCheckpoint load_checkpoint(std::istream& in) {
 }
 
 ModelCheckpoint load_checkpoint_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("model_io: cannot open " + path);
-  return load_checkpoint(in);
+  return load_file_with_context(
+      path, [](std::istream& in) { return load_checkpoint(in); });
+}
+
+ActorCritic load_served_model_file(const std::string& path, int* epoch) {
+  return load_file_with_context(path, [&](std::istream& in) {
+    // Sniff the first token: checkpoints and plain models share the payload
+    // format and differ only in the header, so serving accepts both.
+    std::string magic;
+    if (!(in >> magic))
+      throw std::runtime_error("model_io: empty or unreadable file");
+    in.seekg(0);
+    if (magic == kCheckpointMagic) {
+      ModelCheckpoint ckpt = load_checkpoint(in);
+      if (epoch != nullptr) *epoch = ckpt.epoch;
+      return std::move(ckpt.model);
+    }
+    if (epoch != nullptr) *epoch = 0;
+    return load_model(in);
+  });
+}
+
+std::string ModelValidationReport::summary() const {
+  std::string out;
+  for (const std::string& issue : issues) {
+    if (!out.empty()) out += "; ";
+    out += issue;
+  }
+  return out;
+}
+
+ModelValidationReport validate_model(const ActorCritic& ac, int expected_obs) {
+  ModelValidationReport report;
+  const auto fail = [&](std::string issue) {
+    report.ok = false;
+    report.issues.push_back(std::move(issue));
+  };
+  if (ac.policy_net().output_size() != 1 || ac.value_net().output_size() != 1)
+    fail("policy/value nets must have one output");
+  if (ac.policy_net().input_size() != ac.value_net().input_size())
+    fail("policy/value input widths differ");
+  if (expected_obs >= 0 && ac.obs_size() != expected_obs)
+    fail("model expects " + std::to_string(ac.obs_size()) +
+         " features, server provides " + std::to_string(expected_obs));
+  bool finite = true;
+  for (const auto params : {ac.policy_net().params(), ac.value_net().params()})
+    for (const double p : params) finite = finite && std::isfinite(p);
+  if (!finite) fail("non-finite parameters");
+  if (!report.ok) return report;  // probe forwards need finite params
+  // Probe forwards: canonical in-range observations must produce finite
+  // logits and values, the same NaN gate PR 1's training rollback uses.
+  {
+    const int obs = ac.obs_size();
+    for (const double fill : {0.0, 0.5, 1.0}) {
+      const std::vector<double> input(static_cast<std::size_t>(obs), fill);
+      const std::vector<double> logit = ac.policy_net().forward(input);
+      if (logit.size() != 1 || !std::isfinite(logit[0]))
+        fail("probe forward produced a non-finite policy logit");
+      const double value = ac.value(input);
+      if (!std::isfinite(value))
+        fail("probe forward produced a non-finite value estimate");
+      if (!report.ok) break;
+    }
+  }
+  return report;
 }
 
 }  // namespace si

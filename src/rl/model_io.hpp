@@ -9,11 +9,15 @@
 //
 // Crash safety: file writes go to `path + ".tmp"` and are renamed into
 // place, so a crash mid-write never corrupts an existing model; non-finite
-// parameters are rejected on both save and load.
+// parameters are rejected on both save and load. Load errors carry enough
+// context to diagnose a bad file (path, which parameter array, how far the
+// read got) — a truncated, corrupted, or wrong-shape checkpoint must fail
+// loudly, never deserialize into silent garbage.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "rl/actor_critic.hpp"
 
@@ -51,5 +55,29 @@ ModelCheckpoint load_checkpoint(std::istream& in);
 
 /// Loads a checkpoint from a file path.
 ModelCheckpoint load_checkpoint_file(const std::string& path);
+
+/// Sniffs the header and loads either a plain model or a checkpoint from
+/// `path` (the serving hot-swap entry point accepts both). When `epoch` is
+/// non-null it receives the checkpoint epoch (0 for plain models). Throws
+/// std::runtime_error with the path and the malformation on any failure.
+ActorCritic load_served_model_file(const std::string& path, int* epoch = nullptr);
+
+/// Structural + numerical validation of a loaded model, the gate a
+/// checkpoint must pass before it may be hot-swapped into a server.
+struct ModelValidationReport {
+  bool ok = true;
+  std::vector<std::string> issues;
+
+  /// All issues joined with "; " (empty when ok).
+  std::string summary() const;
+};
+
+/// Validates `ac` for serving: both nets present with one output, matching
+/// input widths (== `expected_obs` when >= 0), all parameters finite, and
+/// probe forwards over a few canonical inputs (zeros, mid-range, ones)
+/// producing finite policy logits and value estimates. Never throws — the
+/// report lists every failed check.
+ModelValidationReport validate_model(const ActorCritic& ac,
+                                     int expected_obs = -1);
 
 }  // namespace si

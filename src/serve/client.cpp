@@ -1,0 +1,191 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace si::serve {
+
+ServeClient::~ServeClient() { close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      reader_(std::move(other.reader_)),
+      error_(std::move(other.error_)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+bool ServeClient::connect(const std::string& host, int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket() failed: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad host " + host;
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = "connect to " + host + ":" + std::to_string(port) +
+             " failed: " + std::strerror(errno);
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = FrameReader();
+  error_.clear();
+  return true;
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool ServeClient::send_all(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    error_ = std::string("send failed: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool ServeClient::send_raw(std::string_view bytes) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  return send_all(bytes);
+}
+
+std::optional<Frame> ServeClient::read_frame() {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return std::nullopt;
+  }
+  char buf[4096];
+  while (true) {
+    if (auto frame = reader_.next()) return frame;
+    if (!reader_.ok()) {
+      error_ = "protocol error from server: " + reader_.error();
+      close();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    error_ = n == 0 ? "server closed connection"
+                    : std::string("recv failed: ") + std::strerror(errno);
+    close();
+    return std::nullopt;
+  }
+}
+
+std::optional<DecisionReply> ServeClient::decide(
+    const std::vector<double>& features, std::uint64_t request_id,
+    std::uint32_t deadline_ms) {
+  DecisionRequest request;
+  request.request_id = request_id;
+  request.deadline_ms = deadline_ms;
+  request.features = features;
+  if (!send_raw(encode_decision_request(request))) return std::nullopt;
+  const auto frame = read_frame();
+  if (!frame) return std::nullopt;
+  if (frame->type == FrameType::kError) {
+    error_ = "server error: " + frame->payload;
+    return std::nullopt;
+  }
+  DecisionReply reply;
+  if (frame->type != FrameType::kDecisionReply ||
+      !decode_decision_reply(frame->payload, reply)) {
+    error_ = "unexpected reply frame";
+    return std::nullopt;
+  }
+  return reply;
+}
+
+std::optional<std::string> ServeClient::stats_json() {
+  if (!send_raw(encode_stats_request())) return std::nullopt;
+  const auto frame = read_frame();
+  if (!frame) return std::nullopt;
+  if (frame->type != FrameType::kStatsReply) {
+    error_ = "unexpected reply frame";
+    return std::nullopt;
+  }
+  return frame->payload;
+}
+
+std::optional<SwapReply> ServeClient::swap(const std::string& path) {
+  SwapRequest request;
+  request.path = path;
+  if (!send_raw(encode_swap_request(request))) return std::nullopt;
+  const auto frame = read_frame();
+  if (!frame) return std::nullopt;
+  SwapReply reply;
+  if (frame->type != FrameType::kSwapReply ||
+      !decode_swap_reply(frame->payload, reply)) {
+    error_ = "unexpected reply frame";
+    return std::nullopt;
+  }
+  return reply;
+}
+
+bool connect_with_backoff(ServeClient& client, const std::string& host,
+                          int port, int attempts, int base_delay_ms,
+                          int max_delay_ms, std::uint64_t seed) {
+  int delay_ms = base_delay_ms;
+  std::uint64_t state = seed != 0 ? seed : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (client.connect(host, port)) return true;
+    if (attempt + 1 >= attempts) break;
+    // xorshift64 jitter in [0, delay): deterministic, decorrelates clients
+    // that share a start instant without sharing a seed.
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const int jitter_ms =
+        delay_ms > 0 ? static_cast<int>(state % static_cast<std::uint64_t>(
+                                                    delay_ms))
+                     : 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(delay_ms + jitter_ms));
+    delay_ms = std::min(delay_ms * 2, max_delay_ms);
+  }
+  return false;
+}
+
+}  // namespace si::serve

@@ -1,0 +1,70 @@
+// Blocking client for the inspection server — used by the example CLI's
+// ctl subcommands, the bench_serve load generator, and the serve tests. One
+// connection, synchronous request/reply; callers that want concurrency run
+// several clients. connect_with_backoff() retries a refused/slow connect
+// with bounded exponential backoff plus deterministic jitter, so a client
+// racing server startup (or a brief restart) converges instead of failing
+// or stampeding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace si::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// One connect attempt. false => error() explains.
+  bool connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Round-trips one decision. deadline_ms travels in the request (0 =
+  /// server default). nullopt => transport/protocol failure; see error().
+  std::optional<DecisionReply> decide(const std::vector<double>& features,
+                                      std::uint64_t request_id = 0,
+                                      std::uint32_t deadline_ms = 0);
+
+  /// Fetches the server's health/stats snapshot (MetricsRegistry JSON).
+  std::optional<std::string> stats_json();
+
+  /// Asks the server to hot-swap to the model/checkpoint at `path`.
+  std::optional<SwapReply> swap(const std::string& path);
+
+  /// Sends raw bytes verbatim — the chaos tests' door for malformed,
+  /// oversized, or truncated frames.
+  bool send_raw(std::string_view bytes);
+  /// Reads one frame off the socket (blocking). nullopt => closed/error.
+  std::optional<Frame> read_frame();
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool send_all(std::string_view bytes);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::string error_;
+};
+
+/// connect() with `attempts` tries, exponential backoff starting at
+/// `base_delay_ms` and capped at `max_delay_ms`, plus per-attempt jitter
+/// derived from `seed` (deterministic — no wall-clock randomness).
+bool connect_with_backoff(ServeClient& client, const std::string& host,
+                          int port, int attempts = 10,
+                          int base_delay_ms = 10, int max_delay_ms = 500,
+                          std::uint64_t seed = 1);
+
+}  // namespace si::serve

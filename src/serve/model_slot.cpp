@@ -1,0 +1,84 @@
+#include "serve/model_slot.hpp"
+
+#include <atomic>
+
+#include "obs/log.hpp"
+#include "rl/model_io.hpp"
+
+namespace si::serve {
+
+std::shared_ptr<const ServedModel> ModelSlot::acquire(
+    std::uint64_t* epoch_out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch_out != nullptr)
+    *epoch_out = epoch_.load(std::memory_order_acquire);
+  return current_;
+}
+
+PublishResult ModelSlot::publish(std::shared_ptr<ServedModel> model,
+                                 bool validate) {
+  PublishResult result;
+  if (model == nullptr) {
+    result.epoch = epoch();
+    result.message = "null model";
+    return result;
+  }
+  if (validate) {
+    const ModelValidationReport report =
+        validate_model(model->ac, expected_obs_);
+    if (!report.ok) {
+      result.epoch = epoch();
+      result.message = "validation failed: " + report.summary() +
+                       " (keeping last-good model)";
+      SI_LOG_ERROR("serve", "model swap rejected from " + model->origin +
+                                ": " + result.message);
+      return result;
+    }
+  }
+  // Refresh the batched-kernel transpose cache while the model is still
+  // private to this thread; after publication the net is only read.
+  model->ac.policy_net().refresh_transpose();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_good_ = current_;
+    current_ = std::move(model);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  result.ok = true;
+  result.epoch = epoch();
+  SI_LOG_INFO("serve",
+              "model published, serving epoch " + std::to_string(result.epoch));
+  return result;
+}
+
+PublishResult ModelSlot::publish_from_file(const std::string& path) {
+  int ckpt_epoch = 0;
+  try {
+    ActorCritic ac = load_served_model_file(path, &ckpt_epoch);
+    return publish(
+        std::make_shared<ServedModel>(std::move(ac), path, ckpt_epoch));
+  } catch (const std::exception& e) {
+    PublishResult result;
+    result.epoch = epoch();
+    result.message = std::string(e.what()) + " (keeping last-good model)";
+    SI_LOG_ERROR("serve", "model swap failed: " + result.message);
+    return result;
+  }
+}
+
+bool ModelSlot::report_fault(std::uint64_t fault_epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Only the first report against the *current* epoch rolls back; later
+  // reports from batches that raced the swap are stale.
+  if (fault_epoch != epoch_.load(std::memory_order_acquire)) return false;
+  if (last_good_ == nullptr || current_ == last_good_) return false;
+  SI_LOG_ERROR("serve", "non-finite logit from model (" + current_->origin +
+                            "); rolling back to last-good (" +
+                            last_good_->origin + ")");
+  current_ = last_good_;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace si::serve

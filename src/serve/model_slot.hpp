@@ -1,0 +1,96 @@
+// The hot-swappable model slot: an epoch-versioned pointer to the served
+// model. Readers (the inference thread) acquire() a refcounted snapshot per
+// batch — the copy happens under a short lock, after which inference runs
+// entirely lock-free on an immutable model, and an in-flight batch keeps
+// its snapshot alive across a concurrent swap. Writers publish() a new
+// model: it is validated first (rl/model_io.hpp's validate_model — the same
+// finite-parameter + probe-forward gate PR 1's training rollback uses), its
+// transpose cache is refreshed while still private, and only then does the
+// pointer swap and the epoch bump, so training can push checkpoints without
+// ever pausing serving.
+//
+// Rollback: publish() keeps the previous model as last-good. If a published
+// model turns out to fault at runtime (a non-finite logit on finite input —
+// something validation probes cannot fully rule out), report_fault() swaps
+// the last-good model back in atomically; stale fault reports from batches
+// that raced the swap are ignored, so a rollback can never flip-flop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "rl/actor_critic.hpp"
+
+namespace si::serve {
+
+/// An immutable served model plus its provenance.
+struct ServedModel {
+  ActorCritic ac;
+  std::string origin;       ///< file path or "in-process"
+  int checkpoint_epoch = 0; ///< training epoch (0 for plain model files)
+
+  ServedModel(ActorCritic ac_in, std::string origin_in, int ckpt_epoch)
+      : ac(std::move(ac_in)),
+        origin(std::move(origin_in)),
+        checkpoint_epoch(ckpt_epoch) {}
+};
+
+/// Outcome of a publish/swap attempt.
+struct PublishResult {
+  bool ok = false;
+  std::uint64_t epoch = 0;  ///< serving epoch after the attempt
+  std::string message;      ///< diagnostic on failure ("" on success)
+};
+
+class ModelSlot {
+ public:
+  /// When >= 0, every published model must expect exactly this many
+  /// features (the server's wire feature width).
+  explicit ModelSlot(int expected_obs = -1) : expected_obs_(expected_obs) {}
+
+  /// The current model, or null before the first publish. Cheap: one lock
+  /// + shared_ptr copy. When `epoch_out` is non-null it receives the epoch
+  /// the model was acquired at (read under the same lock, so it always
+  /// matches the returned pointer — the epoch report_fault() expects).
+  std::shared_ptr<const ServedModel> acquire(
+      std::uint64_t* epoch_out = nullptr) const;
+
+  /// Serving epoch: 0 = no model ever published; bumped by every successful
+  /// publish and every rollback.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Validates and atomically publishes `model`. On validation failure the
+  /// current model keeps serving (this *is* the rollback-to-last-good path
+  /// for bad checkpoint files). `validate` exists so tests can inject a
+  /// deliberately broken model to exercise the runtime-fault rollback.
+  PublishResult publish(std::shared_ptr<ServedModel> model,
+                        bool validate = true);
+
+  /// Loads a model or checkpoint file and publishes it. Load and validation
+  /// diagnostics come back in PublishResult::message; the previous model
+  /// keeps serving on any failure.
+  PublishResult publish_from_file(const std::string& path);
+
+  /// Called by the inference thread when the model acquired at `epoch`
+  /// produced a non-finite logit. If that model is still current, rolls
+  /// back to the last-good model (when one exists) and marks the faulty
+  /// epoch bad. Returns true when a rollback happened.
+  bool report_fault(std::uint64_t epoch);
+
+  std::uint64_t rollbacks() const {
+    return rollbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int expected_obs_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ServedModel> current_;
+  std::shared_ptr<const ServedModel> last_good_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> rollbacks_{0};
+};
+
+}  // namespace si::serve

@@ -1,0 +1,234 @@
+#include "serve/protocol.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace si::serve {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffULL));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_double(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked little-endian cursor over a payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return false;
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    if (!u32(lo) || !u32(hi)) return false;
+    v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    return true;
+  }
+
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  bool str(std::string& v) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    v.assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+bool known_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kDecisionRequest) &&
+         type <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+}  // namespace
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(static_cast<char>(type));
+  out.append(3, '\0');
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string encode_decision_request(const DecisionRequest& request) {
+  std::string payload;
+  payload.reserve(16 + 4 + request.features.size() * 8);
+  put_u64(payload, request.request_id);
+  put_u32(payload, request.deadline_ms);
+  put_u32(payload, static_cast<std::uint32_t>(request.features.size()));
+  for (const double f : request.features) put_double(payload, f);
+  return encode_frame(FrameType::kDecisionRequest, payload);
+}
+
+std::string encode_decision_reply(const DecisionReply& reply) {
+  std::string payload;
+  payload.reserve(8 + 4 + 8 + 8);
+  put_u64(payload, reply.request_id);
+  payload.push_back(static_cast<char>(reply.reject));
+  payload.push_back(static_cast<char>(reply.status));
+  payload.push_back(static_cast<char>(reply.reason));
+  payload.push_back(static_cast<char>(reply.source));
+  put_double(payload, reply.prob);
+  put_u64(payload, reply.epoch);
+  return encode_frame(FrameType::kDecisionReply, payload);
+}
+
+std::string encode_stats_request() {
+  return encode_frame(FrameType::kStatsRequest, {});
+}
+
+std::string encode_stats_reply(std::string_view json) {
+  return encode_frame(FrameType::kStatsReply, json);
+}
+
+std::string encode_swap_request(const SwapRequest& request) {
+  std::string payload;
+  put_string(payload, request.path);
+  return encode_frame(FrameType::kSwapRequest, payload);
+}
+
+std::string encode_swap_reply(const SwapReply& reply) {
+  std::string payload;
+  payload.push_back(static_cast<char>(reply.ok));
+  put_u64(payload, reply.epoch);
+  put_string(payload, reply.message);
+  return encode_frame(FrameType::kSwapReply, payload);
+}
+
+std::string encode_error(std::string_view message) {
+  return encode_frame(FrameType::kError, message);
+}
+
+bool decode_decision_request(std::string_view payload, DecisionRequest& out) {
+  Cursor cur(payload);
+  std::uint32_t count = 0;
+  if (!cur.u64(out.request_id) || !cur.u32(out.deadline_ms) ||
+      !cur.u32(count))
+    return false;
+  // The count is bounded by the payload itself (8 bytes per feature), so a
+  // hostile count cannot trigger a large allocation.
+  if (static_cast<std::size_t>(count) * 8 > payload.size()) return false;
+  out.features.resize(count);
+  for (double& f : out.features)
+    if (!cur.f64(f)) return false;
+  return cur.done();
+}
+
+bool decode_decision_reply(std::string_view payload, DecisionReply& out) {
+  Cursor cur(payload);
+  std::uint8_t status = 0;
+  std::uint8_t reason = 0;
+  std::uint8_t source = 0;
+  if (!cur.u64(out.request_id) || !cur.u8(out.reject) || !cur.u8(status) ||
+      !cur.u8(reason) || !cur.u8(source) || !cur.f64(out.prob) ||
+      !cur.u64(out.epoch) || !cur.done())
+    return false;
+  if (status > static_cast<std::uint8_t>(ReplyStatus::kError)) return false;
+  if (reason > static_cast<std::uint8_t>(DegradedReason::kDraining))
+    return false;
+  if (source > static_cast<std::uint8_t>(DecisionSource::kBase)) return false;
+  out.status = static_cast<ReplyStatus>(status);
+  out.reason = static_cast<DegradedReason>(reason);
+  out.source = static_cast<DecisionSource>(source);
+  return true;
+}
+
+bool decode_swap_request(std::string_view payload, SwapRequest& out) {
+  Cursor cur(payload);
+  return cur.str(out.path) && cur.done();
+}
+
+bool decode_swap_reply(std::string_view payload, SwapReply& out) {
+  Cursor cur(payload);
+  return cur.u8(out.ok) && cur.u64(out.epoch) && cur.str(out.message) &&
+         cur.done();
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  if (!ok()) return;  // latched: discard everything after the first error
+  buffer_.append(bytes);
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (!ok() || buffer_.size() < kHeaderSize) return std::nullopt;
+  Cursor cur(buffer_);
+  std::uint32_t magic = 0;
+  std::uint8_t type = 0;
+  std::uint8_t pad = 0;
+  std::uint32_t length = 0;
+  cur.u32(magic);
+  cur.u8(type);
+  for (int i = 0; i < 3; ++i) cur.u8(pad);
+  cur.u32(length);
+  if (magic != kFrameMagic) {
+    error_ = "bad frame magic";
+    return std::nullopt;
+  }
+  if (!known_type(type)) {
+    error_ = "unknown frame type " + std::to_string(type);
+    return std::nullopt;
+  }
+  if (length > kMaxPayload) {
+    error_ = "oversized frame: " + std::to_string(length) + " > " +
+             std::to_string(kMaxPayload);
+    return std::nullopt;
+  }
+  if (buffer_.size() < kHeaderSize + length) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload = buffer_.substr(kHeaderSize, length);
+  buffer_.erase(0, kHeaderSize + length);
+  return frame;
+}
+
+}  // namespace si::serve

@@ -1,0 +1,139 @@
+// Wire protocol of the inspection server (DESIGN.md §9): length-prefixed
+// frames over plain TCP, hand-rolled like everything else in this repo.
+//
+//   frame  := header payload
+//   header := magic:u32 type:u8 reserved:u8[3] payload_len:u32   (12 bytes)
+//
+// All integers are little-endian; doubles travel as the little-endian bytes
+// of their IEEE-754 bit pattern, so a feature vector round-trips the exact
+// bits — the degraded-path guarantee (replies bit-identical to the offline
+// rule decision) depends on this. Frames above kMaxPayload are a protocol
+// error: the server answers with an error frame and closes the connection,
+// so a malicious or corrupt length prefix can never force an allocation.
+//
+// Frame types:
+//   DecisionRequest  -> DecisionReply      the serving hot path
+//   StatsRequest     -> StatsReply         health/stats snapshot (JSON)
+//   SwapRequest      -> SwapReply          hot-swap the served model
+//   Error                                  protocol-level failure, then close
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace si::serve {
+
+inline constexpr std::uint32_t kFrameMagic = 0x53494E31;  // "SIN1"
+inline constexpr std::size_t kHeaderSize = 12;
+/// Generous bound for any legal frame (a native-mode feature row is well
+/// under 1 KiB; stats JSON under 8 KiB).
+inline constexpr std::size_t kMaxPayload = 64 * 1024;
+
+enum class FrameType : std::uint8_t {
+  kDecisionRequest = 1,
+  kDecisionReply = 2,
+  kStatsRequest = 3,
+  kStatsReply = 4,
+  kSwapRequest = 5,
+  kSwapReply = 6,
+  kError = 7,
+};
+
+/// How a decision reply was produced (the degradation ladder, DESIGN.md §9).
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,                ///< model inference within deadline
+  kDegraded = 1,          ///< fallback decision; see DegradedReason
+  kDeadlineExceeded = 2,  ///< missed its deadline; decision is best-effort
+  kError = 3,             ///< request unusable (e.g. feature-width mismatch)
+};
+
+enum class DegradedReason : std::uint8_t {
+  kNone = 0,
+  kQueueSaturated = 1,   ///< admission queue full -> load shed
+  kNoModel = 2,          ///< no model published yet
+  kInferenceFault = 3,   ///< model produced a non-finite logit
+  kNonFiniteInput = 4,   ///< request carried non-finite features
+  kDraining = 5,         ///< server shutting down, request not admitted
+};
+
+enum class DecisionSource : std::uint8_t {
+  kModel = 0,  ///< the served actor-critic policy net
+  kRule = 1,   ///< the distilled rule inspector (manual features)
+  kBase = 2,   ///< base-policy behaviour: always accept
+};
+
+struct DecisionRequest {
+  std::uint64_t request_id = 0;
+  /// Per-request deadline in milliseconds from server receipt; 0 means the
+  /// server default (which may itself be "none").
+  std::uint32_t deadline_ms = 0;
+  std::vector<double> features;
+};
+
+struct DecisionReply {
+  std::uint64_t request_id = 0;
+  std::uint8_t reject = 0;  ///< 1 = reject the scheduling decision
+  ReplyStatus status = ReplyStatus::kOk;
+  DegradedReason reason = DegradedReason::kNone;
+  DecisionSource source = DecisionSource::kModel;
+  /// P(reject) under the model (0 on non-model paths).
+  double prob = 0.0;
+  /// Model epoch that answered (0 when no model was involved).
+  std::uint64_t epoch = 0;
+};
+
+struct SwapRequest {
+  std::string path;  ///< model or checkpoint file to load server-side
+};
+
+struct SwapReply {
+  std::uint8_t ok = 0;
+  std::uint64_t epoch = 0;  ///< serving epoch after the swap attempt
+  std::string message;      ///< diagnostic on failure ("" on success)
+};
+
+/// One decoded frame: the type plus its raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+// --- encoding (each returns a complete frame: header + payload) ---
+std::string encode_frame(FrameType type, std::string_view payload);
+std::string encode_decision_request(const DecisionRequest& request);
+std::string encode_decision_reply(const DecisionReply& reply);
+std::string encode_stats_request();
+std::string encode_stats_reply(std::string_view json);
+std::string encode_swap_request(const SwapRequest& request);
+std::string encode_swap_reply(const SwapReply& reply);
+std::string encode_error(std::string_view message);
+
+// --- payload decoding (false => malformed payload) ---
+bool decode_decision_request(std::string_view payload, DecisionRequest& out);
+bool decode_decision_reply(std::string_view payload, DecisionReply& out);
+bool decode_swap_request(std::string_view payload, SwapRequest& out);
+bool decode_swap_reply(std::string_view payload, SwapReply& out);
+
+/// Incremental frame parser: feed() raw bytes as they arrive, poll next()
+/// for complete frames. Once the stream violates the protocol (bad magic,
+/// unknown type, oversized or malformed length) the reader latches into an
+/// error state: next() returns nothing, error() is non-empty, and the
+/// connection should be closed after an error frame.
+class FrameReader {
+ public:
+  void feed(std::string_view bytes);
+  std::optional<Frame> next();
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed as frames.
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::string error_;
+};
+
+}  // namespace si::serve

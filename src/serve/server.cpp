@@ -1,0 +1,659 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "core/batch_inference.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics_registry.hpp"
+#include "rl/actor_critic.hpp"
+
+namespace si::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool all_finite(const std::vector<double>& values) {
+  for (const double v : values)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace
+
+const std::vector<double>& ServerStats::latency_bounds_us() {
+  static const std::vector<double> bounds = {
+      50.0,     100.0,    250.0,    500.0,     1000.0,    2500.0,   5000.0,
+      10000.0,  25000.0,  50000.0,  100000.0,  250000.0,  500000.0,
+      1000000.0};
+  return bounds;
+}
+
+ServerStats::ServerStats()
+    : latency_buckets(latency_bounds_us().size() + 1) {}
+
+void ServerStats::observe_latency_us(double us) {
+  const std::vector<double>& bounds = latency_bounds_us();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), us);
+  latency_buckets[static_cast<std::size_t>(it - bounds.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  latency_count.fetch_add(1, std::memory_order_relaxed);
+  latency_sum_us.fetch_add(static_cast<std::uint64_t>(std::max(0.0, us)),
+                           std::memory_order_relaxed);
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), slot_(config_.obs_size) {
+  SI_REQUIRE(config_.obs_size >= 1);
+  SI_REQUIRE(config_.max_batch >= 1);
+  SI_REQUIRE(config_.queue_capacity >= 1);
+  SI_REQUIRE(config_.max_connections >= 1);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  SI_REQUIRE(!running_.load());
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: bad host " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, config_.backlog) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot listen on " + config_.host + ":" +
+                             std::to_string(config_.port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: pipe2() failed");
+  }
+
+  stopping_.store(false);
+  inference_done_.store(false);
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+  inference_thread_ = std::thread([this] { inference_loop(); });
+  SI_LOG_INFO("serve", "listening on " + config_.host + ":" +
+                           std::to_string(port_));
+}
+
+void Server::request_stop() noexcept {
+  // Async-signal-safe: an atomic store plus one pipe write. The I/O thread
+  // wakes on the pipe and performs the (non-signal-safe) condvar notify.
+  stopping_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  request_stop();
+  queue_cv_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (inference_thread_.joinable()) inference_thread_.join();
+  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+  running_.store(false, std::memory_order_release);
+  SI_LOG_INFO("serve", "stopped");
+}
+
+PublishResult Server::publish_model(std::shared_ptr<ServedModel> model,
+                                    bool validate) {
+  const PublishResult result = slot_.publish(std::move(model), validate);
+  if (result.ok)
+    stats_.swaps_ok.fetch_add(1, std::memory_order_relaxed);
+  else
+    stats_.swaps_failed.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+PublishResult Server::swap_from_file(const std::string& path) {
+  const PublishResult result = slot_.publish_from_file(path);
+  if (result.ok)
+    stats_.swaps_ok.fetch_add(1, std::memory_order_relaxed);
+  else
+    stats_.swaps_failed.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// I/O thread
+// ---------------------------------------------------------------------------
+
+void Server::wake_io() noexcept {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::io_loop() {
+  std::vector<pollfd> fds;
+  bool drain_deadline_set = false;
+  Clock::time_point drain_deadline{};
+  while (true) {
+    const bool draining = stopping_.load(std::memory_order_acquire);
+    if (draining && !drain_deadline_set) {
+      drain_deadline =
+          Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
+      drain_deadline_set = true;
+      // The inference thread may be asleep; it must see stopping_ and
+      // drain the queue (condvars cannot be notified from a signal
+      // handler, so the wake funnels through here).
+      queue_cv_.notify_all();
+    }
+
+    fds.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    // The listen fd stays polled even at the connection cap: accept_ready
+    // accepts and immediately closes over-cap connections, so a client gets
+    // a deterministic refusal instead of hanging in the backlog.
+    fds.push_back(pollfd{draining ? -1 : listen_fd_, POLLIN, 0});
+    for (const Conn& conn : conns_) {
+      short events = 0;
+      if (!draining && !conn.closing) events |= POLLIN;
+      if (conn.outbuf.size() > conn.outbuf_off) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+    }
+
+    const int timeout_ms = draining ? 10 : 100;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    drain_outbound();
+    // Number of conns that have a pollfd this round; accept_ready below may
+    // append new conns, which get polled on the next iteration.
+    const std::size_t polled = conns_.size();
+    if (fds[1].revents & POLLIN) accept_ready();
+    for (std::size_t i = 0; i < polled; ++i) {
+      const pollfd& pfd = fds[2 + i];
+      Conn& conn = conns_[i];
+      if (conn.fd < 0 || pfd.fd != conn.fd) continue;
+      if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        close_conn(i);
+        continue;
+      }
+      if (pfd.revents & POLLIN) read_ready(conn);
+      if (conn.fd >= 0 && (pfd.revents & POLLOUT)) write_ready(conn);
+      if (conn.fd >= 0 && conn.closing &&
+          conn.outbuf.size() == conn.outbuf_off)
+        close_conn(i);
+    }
+    std::erase_if(conns_, [](const Conn& c) { return c.fd < 0; });
+
+    if (draining) {
+      bool flushed = inference_done_.load(std::memory_order_acquire);
+      if (flushed) {
+        std::lock_guard<std::mutex> lock(outbound_mutex_);
+        flushed = outbound_.empty();
+      }
+      if (flushed)
+        for (const Conn& conn : conns_)
+          if (conn.outbuf.size() > conn.outbuf_off) flushed = false;
+      if (flushed || Clock::now() >= drain_deadline) break;
+    }
+  }
+  for (std::size_t i = 0; i < conns_.size(); ++i) close_conn(i);
+  conns_.clear();
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: try again next tick
+    if (static_cast<int>(conns_.size()) >= config_.max_connections) {
+      stats_.connections_refused.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_++;
+    conns_.push_back(std::move(conn));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_active.store(conns_.size(), std::memory_order_relaxed);
+  }
+}
+
+void Server::read_ready(Conn& conn) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      while (auto frame = conn.reader.next()) {
+        handle_frame(conn, *std::move(frame));
+        if (conn.closing || conn.fd < 0) return;
+      }
+      if (!conn.reader.ok()) {
+        protocol_error(conn, conn.reader.error());
+        return;
+      }
+      if (n < static_cast<ssize_t>(sizeof(buf))) return;
+      continue;
+    }
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      // Peer closed (possibly mid-request) or hard error: drop our side.
+      conn.fd = mark_closed(conn);
+      return;
+    }
+    return;  // EAGAIN: drained
+  }
+}
+
+int Server::mark_closed(Conn& conn) {
+  ::close(conn.fd);
+  conn.fd = -1;
+  std::size_t active = 0;
+  for (const Conn& c : conns_)
+    if (c.fd >= 0) ++active;
+  stats_.connections_active.store(active, std::memory_order_relaxed);
+  return -1;
+}
+
+void Server::write_ready(Conn& conn) {
+  while (conn.outbuf.size() > conn.outbuf_off) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.outbuf_off,
+               conn.outbuf.size() - conn.outbuf_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    conn.fd = mark_closed(conn);  // peer gone mid-write
+    return;
+  }
+  conn.outbuf.clear();
+  conn.outbuf_off = 0;
+}
+
+void Server::handle_frame(Conn& conn, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kDecisionRequest:
+      handle_decision(conn, frame);
+      return;
+    case FrameType::kStatsRequest:
+      queue_reply(conn, encode_stats_reply(stats_json()));
+      return;
+    case FrameType::kSwapRequest: {
+      SwapRequest request;
+      if (!decode_swap_request(frame.payload, request)) {
+        protocol_error(conn, "malformed swap request");
+        return;
+      }
+      const PublishResult result = swap_from_file(request.path);
+      SwapReply reply;
+      reply.ok = result.ok ? 1 : 0;
+      reply.epoch = result.epoch;
+      reply.message = result.message;
+      queue_reply(conn, encode_swap_reply(reply));
+      return;
+    }
+    default:
+      protocol_error(conn, "unexpected frame type");
+      return;
+  }
+}
+
+void Server::handle_decision(Conn& conn, const Frame& frame) {
+  DecisionRequest request;
+  if (!decode_decision_request(frame.payload, request)) {
+    protocol_error(conn, "malformed decision request");
+    return;
+  }
+  stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
+
+  if (static_cast<int>(request.features.size()) != config_.obs_size) {
+    // Well-framed but unusable: an explicit error reply, connection kept.
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    DecisionReply reply;
+    reply.request_id = request.request_id;
+    reply.status = ReplyStatus::kError;
+    reply.source = DecisionSource::kBase;
+    queue_reply(conn, encode_decision_reply(reply));
+    return;
+  }
+
+  if (!all_finite(request.features)) {
+    // Non-finite features would poison the model forward; answer from the
+    // (NaN-deterministic) rule path instead of risking a fault.
+    stats_.non_finite_inputs.fetch_add(1, std::memory_order_relaxed);
+    stats_.decisions_degraded.fetch_add(1, std::memory_order_relaxed);
+    DecisionReply reply =
+        degraded_reply(request.request_id, request.features,
+                       ReplyStatus::kDegraded, DegradedReason::kNonFiniteInput);
+    stats_.replies_total.fetch_add(1, std::memory_order_relaxed);
+    queue_reply(conn, encode_decision_reply(reply));
+    return;
+  }
+
+  PendingRequest pending;
+  pending.conn_id = conn.id;
+  pending.request_id = request.request_id;
+  pending.received = Clock::now();
+  const std::uint32_t deadline_ms = request.deadline_ms != 0
+                                        ? request.deadline_ms
+                                        : config_.default_deadline_ms;
+  pending.has_deadline = deadline_ms != 0;
+  pending.deadline =
+      pending.received + std::chrono::milliseconds(deadline_ms);
+  pending.features = std::move(request.features);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (static_cast<int>(queue_.size()) < config_.queue_capacity) {
+      queue_.push_back(std::move(pending));
+      stats_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+  // Admission queue saturated: shed load by answering inline from the
+  // zero-cost rule path, tagged degraded. The client always gets a reply.
+  stats_.shed_total.fetch_add(1, std::memory_order_relaxed);
+  stats_.decisions_degraded.fetch_add(1, std::memory_order_relaxed);
+  DecisionReply reply =
+      degraded_reply(pending.request_id, pending.features,
+                     ReplyStatus::kDegraded, DegradedReason::kQueueSaturated);
+  stats_.replies_total.fetch_add(1, std::memory_order_relaxed);
+  stats_.observe_latency_us(0.0);
+  queue_reply(conn, encode_decision_reply(reply));
+}
+
+void Server::queue_reply(Conn& conn, const std::string& frame_bytes) {
+  if (conn.fd < 0) return;
+  conn.outbuf.append(frame_bytes);
+  if (conn.outbuf.size() - conn.outbuf_off > config_.max_write_buffer) {
+    // Slow-loris writer: the peer is not draining replies. Cut it loose —
+    // unbounded buffering would let one bad client exhaust the server.
+    stats_.slow_writer_disconnects.fetch_add(1, std::memory_order_relaxed);
+    conn.fd = mark_closed(conn);
+    return;
+  }
+  // Opportunistic flush keeps latency low without waiting for the next
+  // poll() round; leftover bytes go through POLLOUT.
+  write_ready(conn);
+}
+
+void Server::close_conn(std::size_t index) {
+  Conn& conn = conns_[index];
+  if (conn.fd < 0) return;
+  ::close(conn.fd);
+  conn.fd = -1;
+  std::size_t active = 0;
+  for (const Conn& c : conns_)
+    if (c.fd >= 0) ++active;
+  stats_.connections_active.store(active, std::memory_order_relaxed);
+}
+
+void Server::drain_outbound() {
+  std::vector<std::pair<std::uint64_t, std::string>> ready;
+  {
+    std::lock_guard<std::mutex> lock(outbound_mutex_);
+    ready.swap(outbound_);
+  }
+  for (auto& [conn_id, bytes] : ready) {
+    Conn* conn = nullptr;
+    for (Conn& c : conns_)
+      if (c.id == conn_id && c.fd >= 0) {
+        conn = &c;
+        break;
+      }
+    if (conn == nullptr) {
+      stats_.orphaned_replies.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    queue_reply(*conn, bytes);
+  }
+}
+
+void Server::protocol_error(Conn& conn, const std::string& message) {
+  stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  SI_LOG_WARN("serve", "protocol error: " + message);
+  queue_reply(conn, encode_error(message));
+  conn.closing = true;  // flush the error frame, then close
+}
+
+// ---------------------------------------------------------------------------
+// Inference thread
+// ---------------------------------------------------------------------------
+
+DecisionReply Server::degraded_reply(std::uint64_t request_id,
+                                     const std::vector<double>& features,
+                                     ReplyStatus status,
+                                     DegradedReason reason) const {
+  DecisionReply reply;
+  reply.request_id = request_id;
+  reply.status = status;
+  reply.reason = reason;
+  if (config_.obs_size == 8 && features.size() == 8) {
+    reply.source = DecisionSource::kRule;
+    reply.reject = rule_inspector_reject(features, config_.rule) ? 1 : 0;
+  } else {
+    reply.source = DecisionSource::kBase;
+    reply.reject = 0;  // base-policy behaviour: always accept
+  }
+  return reply;
+}
+
+void Server::inference_loop() {
+  PolicyBatch batch(config_.obs_size);
+  std::vector<PendingRequest> taken;
+  std::vector<std::size_t> model_rows;  ///< indices into `taken`
+  std::vector<std::pair<std::uint64_t, std::string>> replies;
+
+  while (true) {
+    taken.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      // Coalesce: linger for up to max_wait_us after the first pending
+      // request so concurrent connections share one batched forward, but
+      // flush immediately at max_batch (or when draining).
+      const auto flush_at =
+          Clock::now() + std::chrono::microseconds(config_.max_wait_us);
+      while (!stopping_.load(std::memory_order_acquire) &&
+             static_cast<int>(queue_.size()) < config_.max_batch) {
+        if (queue_cv_.wait_until(lock, flush_at) == std::cv_status::timeout)
+          break;
+      }
+      const std::size_t n = std::min<std::size_t>(
+          queue_.size(), static_cast<std::size_t>(config_.max_batch));
+      for (std::size_t i = 0; i < n; ++i) {
+        taken.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
+    }
+
+    // --- one coalesced batch, outside the queue lock ---
+    std::uint64_t epoch = 0;
+    const std::shared_ptr<const ServedModel> model = slot_.acquire(&epoch);
+    const Clock::time_point now = Clock::now();
+    replies.clear();
+    batch.clear();
+    model_rows.clear();
+
+    std::vector<DecisionReply> out(taken.size());
+    for (std::size_t i = 0; i < taken.size(); ++i) {
+      const PendingRequest& req = taken[i];
+      if (req.has_deadline && now > req.deadline) {
+        stats_.deadline_exceeded_total.fetch_add(1, std::memory_order_relaxed);
+        out[i] = degraded_reply(req.request_id, req.features,
+                                ReplyStatus::kDeadlineExceeded,
+                                DegradedReason::kNone);
+        continue;
+      }
+      if (model == nullptr) {
+        stats_.decisions_degraded.fetch_add(1, std::memory_order_relaxed);
+        out[i] = degraded_reply(req.request_id, req.features,
+                                ReplyStatus::kDegraded,
+                                DegradedReason::kNoModel);
+        continue;
+      }
+      batch.push_row(req.features);
+      model_rows.push_back(i);
+    }
+
+    if (!model_rows.empty()) {
+      stats_.batches.fetch_add(1, std::memory_order_relaxed);
+      stats_.batched_rows.fetch_add(model_rows.size(),
+                                    std::memory_order_relaxed);
+      const std::span<const double> logits =
+          batch.infer(model->ac.policy_net());
+      bool faulted = false;
+      for (std::size_t j = 0; j < model_rows.size(); ++j) {
+        const std::size_t i = model_rows[j];
+        const PendingRequest& req = taken[i];
+        const double logit = logits[j];
+        DecisionReply& reply = out[i];
+        if (!std::isfinite(logit)) {
+          // The model is broken (finite inputs were admitted): degrade this
+          // decision and trigger the last-good rollback below.
+          faulted = true;
+          stats_.inference_faults.fetch_add(1, std::memory_order_relaxed);
+          stats_.decisions_degraded.fetch_add(1, std::memory_order_relaxed);
+          reply = degraded_reply(req.request_id, req.features,
+                                 ReplyStatus::kDegraded,
+                                 DegradedReason::kInferenceFault);
+          continue;
+        }
+        stats_.decisions_model.fetch_add(1, std::memory_order_relaxed);
+        reply.request_id = req.request_id;
+        reply.status = ReplyStatus::kOk;
+        reply.source = DecisionSource::kModel;
+        reply.reject = logit > 0.0 ? 1 : 0;
+        reply.prob = sigmoid(logit);
+        reply.epoch = epoch;
+      }
+      if (faulted && slot_.report_fault(epoch))
+        SI_LOG_ERROR("serve", "rolled back to last-good model after "
+                              "inference fault");
+    }
+
+    const Clock::time_point done = Clock::now();
+    for (std::size_t i = 0; i < taken.size(); ++i) {
+      stats_.replies_total.fetch_add(1, std::memory_order_relaxed);
+      stats_.observe_latency_us(
+          std::chrono::duration<double, std::micro>(done - taken[i].received)
+              .count());
+      replies.emplace_back(taken[i].conn_id,
+                           encode_decision_reply(out[i]));
+    }
+    {
+      std::lock_guard<std::mutex> lock(outbound_mutex_);
+      for (auto& reply : replies) outbound_.push_back(std::move(reply));
+    }
+    wake_io();
+  }
+  inference_done_.store(true, std::memory_order_release);
+  wake_io();
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+std::string Server::stats_json() const {
+  MetricsRegistry registry;
+  const auto counter = [&](const char* name,
+                           const std::atomic<std::uint64_t>& value) {
+    registry.counter(name).inc(value.load(std::memory_order_relaxed));
+  };
+  counter("serve.connections_accepted", stats_.connections_accepted);
+  counter("serve.connections_refused", stats_.connections_refused);
+  counter("serve.requests_total", stats_.requests_total);
+  counter("serve.replies_total", stats_.replies_total);
+  counter("serve.decisions_model", stats_.decisions_model);
+  counter("serve.decisions_degraded", stats_.decisions_degraded);
+  counter("serve.shed_total", stats_.shed_total);
+  counter("serve.deadline_exceeded_total", stats_.deadline_exceeded_total);
+  counter("serve.inference_faults", stats_.inference_faults);
+  counter("serve.non_finite_inputs", stats_.non_finite_inputs);
+  counter("serve.bad_requests", stats_.bad_requests);
+  counter("serve.protocol_errors", stats_.protocol_errors);
+  counter("serve.slow_writer_disconnects", stats_.slow_writer_disconnects);
+  counter("serve.orphaned_replies", stats_.orphaned_replies);
+  counter("serve.swaps_ok", stats_.swaps_ok);
+  counter("serve.swaps_failed", stats_.swaps_failed);
+  counter("serve.model_rollbacks", slot_.rollbacks());
+  counter("serve.batches", stats_.batches);
+  counter("serve.batched_rows", stats_.batched_rows);
+  registry.gauge("serve.connections_active")
+      .set(static_cast<double>(
+          stats_.connections_active.load(std::memory_order_relaxed)));
+  registry.gauge("serve.queue_depth")
+      .set(static_cast<double>(
+          stats_.queue_depth.load(std::memory_order_relaxed)));
+  registry.gauge("serve.model_epoch").set(static_cast<double>(slot_.epoch()));
+
+  Histogram& latency =
+      registry.histogram("serve.latency_us", ServerStats::latency_bounds_us());
+  for (std::size_t i = 0; i < stats_.latency_buckets.size(); ++i) {
+    const std::uint64_t count =
+        stats_.latency_buckets[i].load(std::memory_order_relaxed);
+    if (count > 0) latency.merge_bucket(i, count, 0.0);
+  }
+  // Per-bucket sums are not tracked server-side; fold the global sum in as
+  // a zero-count merge so mean()/sum() stay meaningful.
+  latency.merge_bucket(stats_.latency_buckets.size() - 1, 0,
+                       static_cast<double>(stats_.latency_sum_us.load(
+                           std::memory_order_relaxed)));
+  registry.gauge("serve.p50_latency_us").set(histogram_quantile(latency, 0.5));
+  registry.gauge("serve.p99_latency_us").set(histogram_quantile(latency, 0.99));
+  return registry.to_json();
+}
+
+}  // namespace si::serve

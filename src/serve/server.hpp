@@ -1,0 +1,227 @@
+// Inspection-as-a-service: a long-running plain-TCP daemon answering
+// `feature row -> accept/reject` decisions for many concurrent connections
+// (ROADMAP item 1, DESIGN.md §9). Two threads:
+//
+//   * the I/O thread runs a poll() event loop over every connection:
+//     accepts, parses length-prefixed frames (serve/protocol.hpp),
+//     admission-controls decision requests into a bounded queue, and
+//     flushes reply bytes without ever blocking on a slow client;
+//   * the inference thread coalesces pending requests across connections
+//     into one batched policy forward (the VecEnv gather/scatter shape via
+//     core/batch_inference.hpp) under a max-batch / max-wait flush policy.
+//
+// The robustness envelope:
+//   * deadlines  — every request may carry one; expired requests get an
+//     explicit DEADLINE_EXCEEDED reply (with a best-effort rule decision)
+//     instead of silently late model output;
+//   * backpressure — the admission queue is bounded; when it saturates the
+//     I/O thread sheds load by answering inline from the rule path, tagged
+//     degraded/queue_saturated — the client always gets a reply;
+//   * graceful degradation — no model yet, non-finite request features, or
+//     a model that faults (non-finite logit) all fall back to the distilled
+//     rule inspector (or plain base-policy accept when the feature width is
+//     not the manual 8), never dropping the connection;
+//   * hot-swap — serve/model_slot.hpp: checkpoints publish atomically with
+//     validation and automatic rollback to the last-good model;
+//   * lifecycle — stop() (or a signal via request_stop()) drains admitted
+//     requests, flushes replies, then exits; stats_json() exposes queue
+//     depth, degraded counts, swap epoch, and latency percentiles through
+//     the obs MetricsRegistry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rule_inspector.hpp"
+#include "serve/model_slot.hpp"
+#include "serve/protocol.hpp"
+
+namespace si::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = kernel-assigned (tests run parallel-safe); see port()
+  int backlog = 64;
+  int max_connections = 256;
+
+  /// Feature width served over the wire. The degraded rule path needs the
+  /// manual 8-feature layout; other widths degrade to base-policy accept.
+  int obs_size = 8;
+  RuleInspectorConfig rule;  ///< thresholds of the degraded rule path
+
+  // Coalescer flush policy: a batch goes to the model when max_batch
+  // requests are pending or the oldest has waited max_wait_us.
+  int max_batch = 32;
+  int max_wait_us = 200;
+
+  int queue_capacity = 1024;          ///< admission queue bound
+  std::uint32_t default_deadline_ms = 0;  ///< 0 = no default deadline
+  /// Per-connection outbound buffer bound; a client that stops reading
+  /// (slow-loris writer) is disconnected once it accrues this much.
+  std::size_t max_write_buffer = 1 << 20;
+  /// stop() flushes in-flight work for at most this long.
+  int drain_timeout_ms = 2000;
+};
+
+/// One decision's life inside the server (admission -> inference -> reply).
+struct PendingRequest {
+  std::uint64_t conn_id = 0;
+  std::uint64_t request_id = 0;
+  std::chrono::steady_clock::time_point received;
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
+  std::vector<double> features;
+};
+
+/// Monotonic counters / gauges, written with relaxed atomics from both
+/// threads and snapshotted into a MetricsRegistry by stats_json().
+struct ServerStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_refused{0};
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> requests_total{0};
+  std::atomic<std::uint64_t> replies_total{0};
+  std::atomic<std::uint64_t> decisions_model{0};
+  std::atomic<std::uint64_t> decisions_degraded{0};
+  std::atomic<std::uint64_t> shed_total{0};
+  std::atomic<std::uint64_t> deadline_exceeded_total{0};
+  std::atomic<std::uint64_t> inference_faults{0};
+  std::atomic<std::uint64_t> non_finite_inputs{0};
+  std::atomic<std::uint64_t> bad_requests{0};  ///< e.g. wrong feature width
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> slow_writer_disconnects{0};
+  std::atomic<std::uint64_t> orphaned_replies{0};
+  std::atomic<std::uint64_t> swaps_ok{0};
+  std::atomic<std::uint64_t> swaps_failed{0};
+  std::atomic<std::uint64_t> queue_depth{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batched_rows{0};
+
+  // Fixed-bucket reply-latency histogram in microseconds (receipt ->
+  // reply enqueued). Buckets are kLatencyBounds plus one overflow slot.
+  static const std::vector<double>& latency_bounds_us();
+  std::vector<std::atomic<std::uint64_t>> latency_buckets;
+  std::atomic<std::uint64_t> latency_count{0};
+  std::atomic<std::uint64_t> latency_sum_us{0};
+
+  ServerStats();
+  void observe_latency_us(double us);
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens and spawns the I/O and inference threads. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// The actually bound port (after start(); resolves port 0).
+  int port() const { return port_; }
+
+  /// Async-signal-safe stop trigger: flags shutdown and wakes the I/O
+  /// thread via the self-pipe. Safe to call from a signal handler.
+  void request_stop() noexcept;
+
+  /// Drains in-flight requests (bounded by drain_timeout_ms), joins both
+  /// threads, closes every fd. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// True once a stop was requested (the drain has begun). A daemon main
+  /// loop polls this to know a signal fired, then calls stop() to join.
+  bool draining() const { return stopping_.load(std::memory_order_acquire); }
+
+  /// Direct in-process publish (e.g. a trainer pushing its latest
+  /// checkpoint). `validate=false` is test-only: it lets a deliberately
+  /// broken model through to exercise the runtime-fault rollback.
+  PublishResult publish_model(std::shared_ptr<ServedModel> model,
+                              bool validate = true);
+  /// Load + validate + publish a model/checkpoint file; on any failure the
+  /// last-good model keeps serving.
+  PublishResult swap_from_file(const std::string& path);
+
+  std::uint64_t model_epoch() const { return slot_.epoch(); }
+  const ServerStats& stats() const { return stats_; }
+
+  /// Health/stats snapshot rendered through the obs MetricsRegistry:
+  /// serve.* counters/gauges, the latency histogram, and derived
+  /// p50/p99_latency_us gauges.
+  std::string stats_json() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameReader reader;
+    std::string outbuf;
+    std::size_t outbuf_off = 0;  ///< bytes of outbuf already written
+    bool closing = false;        ///< flush outbuf, then close
+  };
+
+  void io_loop();
+  void inference_loop();
+
+  // --- I/O-thread helpers ---
+  void accept_ready();
+  void read_ready(Conn& conn);
+  void write_ready(Conn& conn);
+  void handle_frame(Conn& conn, Frame frame);
+  void handle_decision(Conn& conn, const Frame& frame);
+  void queue_reply(Conn& conn, const std::string& frame_bytes);
+  /// Closes conn.fd, updates the active-connection gauge, returns -1 (the
+  /// caller assigns it back to conn.fd).
+  int mark_closed(Conn& conn);
+  void close_conn(std::size_t index);
+  void drain_outbound();
+  void protocol_error(Conn& conn, const std::string& message);
+
+  /// The degraded decision for `features`: the distilled rule when the row
+  /// is the manual 8-feature layout, base-policy accept otherwise.
+  DecisionReply degraded_reply(std::uint64_t request_id,
+                               const std::vector<double>& features,
+                               ReplyStatus status, DegradedReason reason) const;
+
+  void wake_io() noexcept;
+
+  ServerConfig config_;
+  ModelSlot slot_;
+  ServerStats stats_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> inference_done_{false};
+
+  // Admission queue: I/O thread produces, inference thread consumes.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+
+  // Outbound replies: inference thread produces, I/O thread consumes.
+  std::mutex outbound_mutex_;
+  std::vector<std::pair<std::uint64_t, std::string>> outbound_;
+
+  std::vector<Conn> conns_;  ///< I/O thread only
+  std::uint64_t next_conn_id_ = 1;
+
+  std::thread io_thread_;
+  std::thread inference_thread_;
+};
+
+}  // namespace si::serve

@@ -1,0 +1,182 @@
+// Hardened checkpoint/model loading: hand-corrupted files must fail loudly
+// with diagnostics naming the file, the parameter array, and the nature of
+// the damage — never deserialize into silent garbage. Companion to
+// model_io_test.cpp (round-trip correctness) and the server-side rollback
+// tests in tests/serve/server_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "rl/model_io.hpp"
+
+namespace si {
+namespace {
+
+class CorruptFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("si_model_io_corrupt_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::string write_valid_model(const std::string& name) {
+    const ActorCritic ac(8, {32, 16, 8}, 42);
+    const std::string p = path(name);
+    save_model_file(p, ac);
+    return p;
+  }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  static void spew(const std::string& p, const std::string& text) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+  /// Loads and returns the error message (fails the test if no throw).
+  static std::string load_error(const std::string& p) {
+    try {
+      load_served_model_file(p);
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+    ADD_FAILURE() << "expected " << p << " to fail loading";
+    return "";
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CorruptFileTest, MissingFileNamesThePath) {
+  const std::string p = path("does_not_exist.model");
+  const std::string error = load_error(p);
+  EXPECT_NE(error.find(p), std::string::npos) << error;
+}
+
+TEST_F(CorruptFileTest, EmptyFileFailsWithHeaderDiagnostic) {
+  const std::string p = path("empty.model");
+  spew(p, "");
+  const std::string error = load_error(p);
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+  EXPECT_NE(error.find(p), std::string::npos) << error;
+}
+
+TEST_F(CorruptFileTest, GarbageHeaderFailsLoudly) {
+  const std::string p = path("garbage.model");
+  spew(p, "PK\x03\x04 this is a zip archive, not a model\n");
+  const std::string error = load_error(p);
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+}
+
+TEST_F(CorruptFileTest, TruncatedMidParametersSaysTruncated) {
+  const std::string good = write_valid_model("good.model");
+  const std::string text = slurp(good);
+  const std::string p = path("truncated.model");
+  spew(p, text.substr(0, text.size() / 2));
+  const std::string error = load_error(p);
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  EXPECT_NE(error.find(p), std::string::npos) << error;
+}
+
+TEST_F(CorruptFileTest, TruncatedBeforeValueNetNamesTheArray) {
+  const std::string good = write_valid_model("good.model");
+  const std::string text = slurp(good);
+  // Keep roughly the first quarter: inside the policy parameter array.
+  const std::string p = path("early_truncation.model");
+  spew(p, text.substr(0, text.size() / 4));
+  const std::string error = load_error(p);
+  EXPECT_NE(error.find("policy"), std::string::npos) << error;
+}
+
+TEST_F(CorruptFileTest, WrongShapeCountMismatchIsDiagnosed) {
+  const std::string good = write_valid_model("good.model");
+  std::string text = slurp(good);
+  // The first count line after the layer sizes is the policy parameter
+  // count; corrupt it to declare a different architecture's size.
+  const std::string needle = "\n961\n";  // 8-32-16-8-1 policy param count
+  const auto pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos) << "fixture drifted from save format";
+  text.replace(pos, needle.size(), "\n9999\n");
+  const std::string p = path("wrong_shape.model");
+  spew(p, text);
+  const std::string error = load_error(p);
+  EXPECT_NE(error.find("mismatch"), std::string::npos) << error;
+  EXPECT_NE(error.find("9999"), std::string::npos) << error;
+}
+
+TEST_F(CorruptFileTest, NonNumericGarbageInParametersFails) {
+  const std::string good = write_valid_model("good.model");
+  std::string text = slurp(good);
+  // Replace a parameter value with text the number parser must choke on.
+  const auto pos = text.rfind(" 0.");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, " xx");
+  const std::string p = path("garbled.model");
+  spew(p, text);
+  EXPECT_THROW(load_served_model_file(p), std::runtime_error);
+}
+
+TEST_F(CorruptFileTest, CheckpointRoundTripsThroughServedLoader) {
+  const ActorCritic ac(8, {32, 16, 8}, 42);
+  const std::string p = path("ckpt.model");
+  save_checkpoint_file(p, ac, 17);
+  int epoch = -1;
+  const ActorCritic restored = load_served_model_file(p, &epoch);
+  EXPECT_EQ(epoch, 17);
+  EXPECT_EQ(restored.obs_size(), 8);
+}
+
+TEST_F(CorruptFileTest, PlainModelReportsEpochZero) {
+  const std::string p = write_valid_model("plain.model");
+  int epoch = -1;
+  (void)load_served_model_file(p, &epoch);
+  EXPECT_EQ(epoch, 0);
+}
+
+TEST(ValidateModel, AcceptsFreshModel) {
+  const ActorCritic ac(8, {32, 16, 8}, 7);
+  const ModelValidationReport report = validate_model(ac, 8);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.summary().empty());
+}
+
+TEST(ValidateModel, RejectsWidthMismatch) {
+  const ActorCritic ac(6, {4}, 7);
+  const ModelValidationReport report = validate_model(ac, 8);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("8"), std::string::npos)
+      << report.summary();
+}
+
+TEST(ValidateModel, RejectsNonFiniteParameters) {
+  ActorCritic ac(8, {4}, 7);
+  ac.policy_net().params()[3] = std::numeric_limits<double>::quiet_NaN();
+  const ModelValidationReport report = validate_model(ac);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("finite"), std::string::npos)
+      << report.summary();
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,263 @@
+// Chaos suite (DESIGN.md §9): hostile and unlucky clients — killed
+// mid-request, malformed/oversized frames, slow-loris writers, saturation
+// bursts. The server must stay up, shed or degrade deterministically, and
+// leak no file descriptors. Servers bind port 0, so tests are
+// parallel-safe; the fd audit walks /proc/self/fd.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace si::serve {
+namespace {
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++n;
+  return n;
+}
+
+std::shared_ptr<ServedModel> make_model() {
+  return std::make_shared<ServedModel>(ActorCritic(8, {32, 16, 8}, 7),
+                                       "in-process", 0);
+}
+
+/// Waits until `predicate` holds or ~2 s pass.
+template <typename Fn>
+bool eventually(Fn&& predicate) {
+  for (int i = 0; i < 200; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+TEST(Chaos, MalformedFrameGetsErrorThenCloseServerSurvives) {
+  ServerConfig config;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+
+  ServeClient attacker;
+  ASSERT_TRUE(connect_with_backoff(attacker, config.host, server.port()));
+  ASSERT_TRUE(attacker.send_raw("this is not a frame at all!!"));
+  const auto frame = attacker.read_frame();
+  ASSERT_TRUE(frame.has_value()) << attacker.error();
+  EXPECT_EQ(frame->type, FrameType::kError);
+  // After the error frame the server closes the connection.
+  EXPECT_FALSE(attacker.read_frame().has_value());
+
+  // The server keeps serving everyone else.
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  const auto reply = client.decide(std::vector<double>(8, 0.5));
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  EXPECT_EQ(reply->status, ReplyStatus::kOk);
+  EXPECT_GE(server.stats().protocol_errors.load(), 1u);
+  server.stop();
+}
+
+TEST(Chaos, OversizedFrameIsRejectedFromHeaderAlone) {
+  ServerConfig config;
+  Server server(config);
+  server.start();
+  ServeClient attacker;
+  ASSERT_TRUE(connect_with_backoff(attacker, config.host, server.port()));
+  // Valid magic and type, hostile length: 256 MiB claimed, none sent.
+  std::string header = "1NIS";
+  header.push_back(static_cast<char>(FrameType::kDecisionRequest));
+  header.append(3, '\0');
+  const std::uint32_t huge = 256u * 1024 * 1024;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  ASSERT_TRUE(attacker.send_raw(header));
+  const auto frame = attacker.read_frame();
+  ASSERT_TRUE(frame.has_value()) << attacker.error();
+  EXPECT_EQ(frame->type, FrameType::kError);
+  EXPECT_NE(frame->payload.find("oversized"), std::string::npos);
+  EXPECT_FALSE(attacker.read_frame().has_value());
+  server.stop();
+}
+
+TEST(Chaos, ClientsKilledMidRequestDoNotWedgeTheServer) {
+  ServerConfig config;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+
+  DecisionRequest request;
+  request.request_id = 1;
+  request.features.assign(8, 0.5);
+  const std::string frame = encode_decision_request(request);
+
+  for (int round = 0; round < 20; ++round) {
+    ServeClient victim;
+    ASSERT_TRUE(connect_with_backoff(victim, config.host, server.port()));
+    if (round % 2 == 0) {
+      // Die with half a frame on the wire.
+      ASSERT_TRUE(victim.send_raw(frame.substr(0, frame.size() / 2)));
+    } else {
+      // Die after a complete request but before reading the reply — the
+      // reply becomes an orphan the server must discard, not deliver.
+      ASSERT_TRUE(victim.send_raw(frame));
+    }
+    victim.close();
+  }
+
+  // Server is alive and still answering.
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  const auto reply = client.decide(std::vector<double>(8, 0.5));
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  EXPECT_EQ(reply->status, ReplyStatus::kOk);
+  // All victim connections were reaped.
+  EXPECT_TRUE(eventually(
+      [&] { return server.stats().connections_active.load() <= 1; }));
+  server.stop();
+}
+
+TEST(Chaos, SlowLorisWriterIsDisconnectedDeterministically) {
+  ServerConfig config;
+  config.max_write_buffer = 1024;  // tiny bound so the test converges fast
+  Server server(config);
+  server.start();
+
+  // Raw socket with a minimal receive buffer: the attacker requests far
+  // more reply bytes than it will ever read.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 2048;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Each stats reply is ~1 KiB; thousands of pipelined requests overwhelm
+  // any kernel buffering, so the server's outbound buffer must blow past
+  // max_write_buffer and the connection must be cut.
+  const std::string request = encode_stats_request();
+  std::string burst;
+  for (int i = 0; i < 4000; ++i) burst += request;
+  std::size_t sent = 0;
+  while (sent < burst.size()) {
+    const ssize_t n =
+        ::send(fd, burst.data() + sent, burst.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;  // server already cut us off mid-send: fine
+    sent += static_cast<std::size_t>(n);
+  }
+  EXPECT_TRUE(eventually(
+      [&] { return server.stats().slow_writer_disconnects.load() >= 1; }));
+  ::close(fd);
+
+  // Well-behaved clients are unaffected.
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  EXPECT_TRUE(client.stats_json().has_value());
+  server.stop();
+}
+
+TEST(Chaos, SaturationBurstShedsButAnswersEveryRequest) {
+  ServerConfig config;
+  config.queue_capacity = 4;
+  config.max_wait_us = 50000;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 30;
+  std::atomic<int> answered{0};
+  std::atomic<int> lost{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client;
+      if (!connect_with_backoff(client, config.host, server.port())) {
+        lost += kPerClient;
+        return;
+      }
+      std::string burst;
+      for (int i = 0; i < kPerClient; ++i) {
+        DecisionRequest request;
+        request.request_id =
+            static_cast<std::uint64_t>(c) * kPerClient + i;
+        request.features.assign(8, 0.5);
+        burst += encode_decision_request(request);
+      }
+      if (!client.send_raw(burst)) {
+        lost += kPerClient;
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto frame = client.read_frame();
+        if (!frame) {
+          ++lost;
+          continue;
+        }
+        DecisionReply reply;
+        if (decode_decision_reply(frame->payload, reply)) ++answered;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Robustness contract: saturation sheds (degrades) but never drops — a
+  // reply for every single request.
+  EXPECT_EQ(lost.load(), 0);
+  EXPECT_EQ(answered.load(), kClients * kPerClient);
+  const auto& stats = server.stats();
+  EXPECT_EQ(stats.replies_total.load(),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_GE(stats.shed_total.load() + stats.decisions_model.load(),
+            static_cast<std::uint64_t>(kClients * kPerClient) -
+                stats.decisions_degraded.load());
+  server.stop();
+}
+
+TEST(Chaos, NoFdLeakAcrossAbuseAndRestart) {
+  // Warm up lazily-created fds (logging etc.) before taking the baseline.
+  {
+    ServerConfig config;
+    Server server(config);
+    server.start();
+    ServeClient client;
+    ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+    ASSERT_TRUE(client.stats_json().has_value());
+    server.stop();
+  }
+  const std::size_t baseline = open_fd_count();
+  for (int round = 0; round < 3; ++round) {
+    ServerConfig config;
+    Server server(config);
+    ASSERT_TRUE(server.publish_model(make_model()).ok);
+    server.start();
+    for (int i = 0; i < 8; ++i) {
+      ServeClient client;
+      ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+      if (i % 3 == 0) {
+        client.send_raw("garbage garbage!");  // protocol error -> closed
+        client.read_frame();
+      } else if (i % 3 == 1) {
+        client.decide(std::vector<double>(8, 0.5));
+      }  // else: connect and vanish without a single byte
+    }
+    server.stop();
+  }
+  EXPECT_EQ(open_fd_count(), baseline);
+}
+
+}  // namespace
+}  // namespace si::serve

@@ -1,0 +1,140 @@
+// Degraded-mode equivalence (DESIGN.md §9): a server reply tagged
+// `degraded` must be bit-identical to the offline rule-inspector (or
+// base-policy) decision for the same inspection view. The wire carries
+// feature doubles as exact IEEE-754 bit patterns, so the server-side rule
+// evaluates the very same vector the offline inspector sees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/rule_inspector.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace si::serve {
+namespace {
+
+/// A grid of manual feature rows spanning every rule branch: below/above
+/// each threshold, exactly at thresholds, plus non-finite values (which
+/// take the server's non-finite-input degraded path, still through the
+/// NaN-safe rule).
+std::vector<std::vector<double>> equivalence_rows() {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> rows;
+  // Layout: wait, est, procs, rejected, queue_delays, avail, runnable,
+  // backfill (kWait=0, kEstimate=1, kProcs=2, kQueueDelays=4,
+  // kClusterAvail=5).
+  for (const double wait : {0.0, 0.34, 0.35, 0.9})
+    for (const double est : {0.1, 0.30, 0.8})
+      for (const double procs : {0.05, 0.10, 0.5})
+        for (const double delays : {0.0, 0.219, 0.22, 0.9})
+          for (const double avail : {0.1, 0.25, 0.5, 0.70, 0.95})
+            rows.push_back({wait, est, procs, 0.3, delays, avail, 1.0, 0.0});
+  rows.push_back({kNan, 0.5, 0.5, 0.0, 0.1, 0.1, 1.0, 0.0});
+  rows.push_back({0.1, kNan, kNan, 0.0, 0.1, 0.1, 1.0, 0.0});
+  rows.push_back({0.1, 0.5, 0.5, 0.0, kNan, 0.1, 1.0, 0.0});
+  rows.push_back({0.1, 0.5, 0.5, 0.0, 0.1, kNan, 1.0, 0.0});
+  rows.push_back({kInf, -kInf, kInf, 0.0, 0.1, 0.1, 1.0, 0.0});
+  rows.push_back(std::vector<double>(8, kNan));
+  return rows;
+}
+
+TEST(DegradedEquivalence, RepliesMatchOfflineRuleBitForBit) {
+  ServerConfig config;  // no model published: every decision degrades
+  Server server(config);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+
+  std::uint64_t id = 0;
+  for (const std::vector<double>& row : equivalence_rows()) {
+    const bool offline = rule_inspector_reject(row, config.rule);
+    const auto reply = client.decide(row, ++id);
+    ASSERT_TRUE(reply.has_value()) << client.error();
+    EXPECT_EQ(reply->status, ReplyStatus::kDegraded);
+    EXPECT_EQ(reply->source, DecisionSource::kRule);
+    EXPECT_EQ(reply->reject != 0, offline)
+        << "row " << id << " diverged from the offline rule";
+  }
+  server.stop();
+}
+
+TEST(DegradedEquivalence, MatchesRuleInspectorOnRealViews) {
+  // Features built from genuine InspectionViews by the same FeatureBuilder
+  // the offline RuleInspector uses — the server's degraded verdict must
+  // equal RuleInspector::reject(view) exactly.
+  FeatureScales scales;
+  scales.max_estimate = 7200.0;
+  scales.cluster_procs = 128;
+  FeatureBuilder features(FeatureMode::kManual, Metric::kBsld, scales, 600.0);
+  RuleInspector offline(features);
+
+  ServerConfig config;
+  config.rule = offline.config();
+  Server server(config);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+
+  std::vector<const Job*> waiting;
+  Job other;
+  other.id = 2;
+  other.submit = 0.0;
+  other.run = 600.0;
+  other.estimate = 900.0;
+  other.procs = 16;
+  waiting.push_back(&other);
+
+  std::uint64_t id = 0;
+  for (const double wait_s : {5.0, 600.0, 7200.0})
+    for (const double est_s : {60.0, 1800.0, 7200.0})
+      for (const int procs : {1, 32, 120})
+        for (const int free_procs : {4, 64, 128}) {
+          Job job;
+          job.id = 1;
+          job.submit = 0.0;
+          job.run = est_s * 0.8;
+          job.estimate = est_s;
+          job.procs = procs;
+          InspectionView view;
+          view.now = wait_s;
+          view.job = &job;
+          view.job_wait = wait_s;
+          view.job_rejections = 1;
+          view.max_rejection_times = 72;
+          view.free_procs = free_procs;
+          view.total_procs = 128;
+          view.waiting = &waiting;
+          const std::vector<double> row = features.build(view);
+          const bool offline_verdict = offline.reject(view);
+          const auto reply = client.decide(row, ++id);
+          ASSERT_TRUE(reply.has_value()) << client.error();
+          EXPECT_EQ(reply->status, ReplyStatus::kDegraded);
+          EXPECT_EQ(reply->reason, DegradedReason::kNoModel);
+          EXPECT_EQ(reply->reject != 0, offline_verdict)
+              << "view " << id << " diverged from RuleInspector";
+        }
+  server.stop();
+}
+
+TEST(DegradedEquivalence, NonManualWidthDegradesToBasePolicyAccept) {
+  ServerConfig config;
+  config.obs_size = 5;  // not the manual 8-wide layout: no rule available
+  Server server(config);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  const auto reply = client.decide(std::vector<double>(5, 0.9));
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  EXPECT_EQ(reply->status, ReplyStatus::kDegraded);
+  EXPECT_EQ(reply->source, DecisionSource::kBase);
+  EXPECT_EQ(reply->reject, 0);  // base policy always accepts
+  server.stop();
+}
+
+}  // namespace
+}  // namespace si::serve

@@ -1,0 +1,201 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace si::serve {
+namespace {
+
+Frame must_parse(const std::string& bytes) {
+  FrameReader reader;
+  reader.feed(bytes);
+  const auto frame = reader.next();
+  EXPECT_TRUE(reader.ok()) << reader.error();
+  EXPECT_TRUE(frame.has_value());
+  return frame.value_or(Frame{});
+}
+
+TEST(Protocol, DecisionRequestRoundTrip) {
+  DecisionRequest request;
+  request.request_id = 0x1122334455667788ULL;
+  request.deadline_ms = 250;
+  request.features = {0.0, -1.5, 3.25, 1e-300, 1e300};
+  const Frame frame = must_parse(encode_decision_request(request));
+  EXPECT_EQ(frame.type, FrameType::kDecisionRequest);
+  DecisionRequest decoded;
+  ASSERT_TRUE(decode_decision_request(frame.payload, decoded));
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded.features, request.features);
+}
+
+TEST(Protocol, FeaturesRoundTripExactBits) {
+  // The degraded-equivalence guarantee rides on doubles surviving the wire
+  // bit-for-bit — including NaNs with payload bits, infinities, subnormals,
+  // and negative zero.
+  const std::vector<std::uint64_t> patterns = {
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::quiet_NaN()),
+      0x7ff0000000000001ULL,  // signaling-NaN bit pattern
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity()),
+      std::bit_cast<std::uint64_t>(-std::numeric_limits<double>::infinity()),
+      std::bit_cast<std::uint64_t>(-0.0),
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::denorm_min()),
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::max()),
+  };
+  DecisionRequest request;
+  for (const std::uint64_t bits : patterns)
+    request.features.push_back(std::bit_cast<double>(bits));
+  const Frame frame = must_parse(encode_decision_request(request));
+  DecisionRequest decoded;
+  ASSERT_TRUE(decode_decision_request(frame.payload, decoded));
+  ASSERT_EQ(decoded.features.size(), patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.features[i]), patterns[i])
+        << "feature " << i;
+}
+
+TEST(Protocol, DecisionReplyRoundTrip) {
+  DecisionReply reply;
+  reply.request_id = 42;
+  reply.reject = 1;
+  reply.status = ReplyStatus::kDegraded;
+  reply.reason = DegradedReason::kQueueSaturated;
+  reply.source = DecisionSource::kRule;
+  reply.prob = 0.875;
+  reply.epoch = 7;
+  const Frame frame = must_parse(encode_decision_reply(reply));
+  EXPECT_EQ(frame.type, FrameType::kDecisionReply);
+  DecisionReply decoded;
+  ASSERT_TRUE(decode_decision_reply(frame.payload, decoded));
+  EXPECT_EQ(decoded.request_id, reply.request_id);
+  EXPECT_EQ(decoded.reject, reply.reject);
+  EXPECT_EQ(decoded.status, reply.status);
+  EXPECT_EQ(decoded.reason, reply.reason);
+  EXPECT_EQ(decoded.source, reply.source);
+  EXPECT_DOUBLE_EQ(decoded.prob, reply.prob);
+  EXPECT_EQ(decoded.epoch, reply.epoch);
+}
+
+TEST(Protocol, SwapRoundTrip) {
+  SwapRequest request;
+  request.path = "/tmp/some model.txt";
+  const Frame req_frame = must_parse(encode_swap_request(request));
+  SwapRequest decoded_req;
+  ASSERT_TRUE(decode_swap_request(req_frame.payload, decoded_req));
+  EXPECT_EQ(decoded_req.path, request.path);
+
+  SwapReply reply;
+  reply.ok = 0;
+  reply.epoch = 3;
+  reply.message = "validation failed: policy parameter 12 is not finite";
+  const Frame rep_frame = must_parse(encode_swap_reply(reply));
+  SwapReply decoded_rep;
+  ASSERT_TRUE(decode_swap_reply(rep_frame.payload, decoded_rep));
+  EXPECT_EQ(decoded_rep.ok, reply.ok);
+  EXPECT_EQ(decoded_rep.epoch, reply.epoch);
+  EXPECT_EQ(decoded_rep.message, reply.message);
+}
+
+TEST(Protocol, ReaderReassemblesByteAtATime) {
+  DecisionRequest request;
+  request.request_id = 9;
+  request.features = {1.0, 2.0, 3.0};
+  const std::string bytes =
+      encode_decision_request(request) + encode_stats_request();
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (const char c : bytes) {
+    reader.feed(std::string_view(&c, 1));
+    while (auto frame = reader.next()) frames.push_back(*std::move(frame));
+  }
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kDecisionRequest);
+  EXPECT_EQ(frames[1].type, FrameType::kStatsRequest);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(Protocol, ReaderLatchesOnBadMagic) {
+  FrameReader reader;
+  reader.feed("ABCDEFGHIJKLMNOP");
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.error(), "bad frame magic");
+  // Latched: even a valid frame afterwards is discarded.
+  reader.feed(encode_stats_request());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Protocol, ReaderRejectsUnknownType) {
+  std::string bytes = encode_stats_request();
+  bytes[4] = static_cast<char>(99);
+  FrameReader reader;
+  reader.feed(bytes);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("unknown frame type"), std::string::npos);
+}
+
+TEST(Protocol, ReaderRejectsOversizedLengthWithoutBuffering) {
+  // A hostile length prefix must be rejected from the header alone — the
+  // reader never waits for (or allocates) the claimed payload.
+  std::string header;
+  header.push_back('\x31');  // kFrameMagic little-endian: "1NIS"
+  header.push_back('N');
+  header.push_back('I');
+  header.push_back('S');
+  header.push_back(static_cast<char>(FrameType::kDecisionRequest));
+  header.append(3, '\0');
+  const std::uint32_t huge = 0x7fffffff;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  FrameReader reader;
+  reader.feed(header);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("oversized frame"), std::string::npos);
+}
+
+TEST(Protocol, ReaderWaitsForPartialPayload) {
+  const std::string bytes = encode_stats_reply("{\"ok\":true}");
+  FrameReader reader;
+  reader.feed(bytes.substr(0, bytes.size() - 1));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.ok());  // incomplete, not malformed
+  reader.feed(bytes.substr(bytes.size() - 1));
+  const auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "{\"ok\":true}");
+}
+
+TEST(Protocol, DecodeRejectsTruncatedAndTrailingPayloads) {
+  DecisionRequest request;
+  request.features = {1.0, 2.0};
+  const Frame frame = must_parse(encode_decision_request(request));
+  DecisionRequest decoded;
+  EXPECT_TRUE(decode_decision_request(frame.payload, decoded));
+  EXPECT_FALSE(decode_decision_request(
+      std::string_view(frame.payload).substr(0, frame.payload.size() - 1),
+      decoded));
+  EXPECT_FALSE(decode_decision_request(frame.payload + "x", decoded));
+  EXPECT_FALSE(decode_decision_request("", decoded));
+}
+
+TEST(Protocol, DecodeRejectsHostileFeatureCount) {
+  // Claimed count far beyond the payload: must fail before resizing.
+  std::string payload;
+  for (int i = 0; i < 12; ++i) payload.push_back('\0');  // id + deadline
+  const std::uint32_t huge = 0x40000000;
+  for (int i = 0; i < 4; ++i)
+    payload.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  DecisionRequest decoded;
+  EXPECT_FALSE(decode_decision_request(payload, decoded));
+}
+
+}  // namespace
+}  // namespace si::serve

@@ -1,0 +1,393 @@
+// End-to-end tests of the inspection server over loopback TCP. Every
+// server binds port 0 (kernel-assigned), so tests are parallel-safe.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/batch_inference.hpp"
+#include "rl/model_io.hpp"
+#include "serve/client.hpp"
+
+namespace si::serve {
+namespace {
+
+std::shared_ptr<ServedModel> make_model(std::uint64_t seed = 7,
+                                        int obs = 8) {
+  return std::make_shared<ServedModel>(ActorCritic(obs, {32, 16, 8}, seed),
+                                       "in-process", 0);
+}
+
+/// A model whose parameters are all NaN — passes nothing, used with
+/// publish_model(validate=false) to exercise the runtime-fault rollback.
+std::shared_ptr<ServedModel> make_broken_model(int obs = 8) {
+  auto model = make_model(1, obs);
+  for (double& p : model->ac.policy_net().params())
+    p = std::numeric_limits<double>::quiet_NaN();
+  return model;
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("si_serve_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter()++));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+TEST(Server, ModelDecisionMatchesDirectInference) {
+  ServerConfig config;
+  Server server(config);
+  auto model = make_model();
+  const ActorCritic reference = model->ac;  // copy before moving in
+  ASSERT_TRUE(server.publish_model(std::move(model)).ok);
+  server.start();
+
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  const std::vector<double> features = {0.1, 0.9, 0.3, 0.0,
+                                        0.2, 0.55, 1.0, 0.4};
+  const auto reply = client.decide(features, 17);
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  EXPECT_EQ(reply->request_id, 17u);
+  EXPECT_EQ(reply->status, ReplyStatus::kOk);
+  EXPECT_EQ(reply->source, DecisionSource::kModel);
+  EXPECT_EQ(reply->epoch, 1u);
+
+  // The served decision is the same batched kernel VecEnv uses; compare
+  // bit-for-bit against a direct PolicyBatch forward of the same row.
+  reference.policy_net().refresh_transpose();
+  PolicyBatch batch(8);
+  batch.push_row(features);
+  const double logit = batch.infer(reference.policy_net())[0];
+  EXPECT_EQ(reply->reject, logit > 0.0 ? 1 : 0);
+  EXPECT_DOUBLE_EQ(reply->prob, sigmoid(logit));
+  server.stop();
+}
+
+TEST(Server, CoalescesConcurrentClients) {
+  ServerConfig config;
+  config.max_wait_us = 2000;  // generous linger so rows actually coalesce
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client;
+      if (!connect_with_backoff(client, config.host, server.port())) {
+        ++failures;
+        return;
+      }
+      std::vector<double> features(8, 0.25 + 0.1 * c);
+      for (int r = 0; r < kRequests; ++r) {
+        const auto reply = client.decide(features, r);
+        if (!reply || reply->status != ReplyStatus::kOk) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto& stats = server.stats();
+  EXPECT_EQ(stats.decisions_model.load(), kClients * kRequests);
+  // Coalescing must have batched at least some rows together.
+  EXPECT_LT(stats.batches.load(), stats.batched_rows.load());
+  server.stop();
+}
+
+TEST(Server, NoModelServesDegradedRuleDecision) {
+  ServerConfig config;
+  Server server(config);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  const auto reply = client.decide(std::vector<double>(8, 0.5));
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  EXPECT_EQ(reply->status, ReplyStatus::kDegraded);
+  EXPECT_EQ(reply->reason, DegradedReason::kNoModel);
+  EXPECT_EQ(reply->source, DecisionSource::kRule);
+  EXPECT_EQ(reply->epoch, 0u);
+  server.stop();
+}
+
+TEST(Server, WrongFeatureWidthGetsErrorReplyNotDisconnect) {
+  ServerConfig config;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  const auto bad = client.decide(std::vector<double>(3, 0.5), 1);
+  ASSERT_TRUE(bad.has_value()) << client.error();
+  EXPECT_EQ(bad->status, ReplyStatus::kError);
+  // The connection survives: a correct request still works.
+  const auto good = client.decide(std::vector<double>(8, 0.5), 2);
+  ASSERT_TRUE(good.has_value()) << client.error();
+  EXPECT_EQ(good->status, ReplyStatus::kOk);
+  EXPECT_EQ(server.stats().bad_requests.load(), 1u);
+  server.stop();
+}
+
+TEST(Server, DeadlineExceededIsExplicit) {
+  ServerConfig config;
+  // Make the coalescer linger far past the request deadline so expiry is
+  // deterministic: a 1 ms deadline inside a 300 ms linger always misses
+  // (a second request would flush earlier, but there is only one).
+  config.max_wait_us = 300000;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  const auto reply =
+      client.decide(std::vector<double>(8, 0.5), 1, /*deadline_ms=*/1);
+  ASSERT_TRUE(reply.has_value()) << client.error();
+  EXPECT_EQ(reply->status, ReplyStatus::kDeadlineExceeded);
+  EXPECT_EQ(reply->source, DecisionSource::kRule);  // best-effort decision
+  EXPECT_EQ(server.stats().deadline_exceeded_total.load(), 1u);
+  server.stop();
+}
+
+TEST(Server, HotSwapOverTheWire) {
+  TempDir dir;
+  const std::string model_a = dir.file("a.model");
+  const std::string model_b = dir.file("b.model");
+  save_model_file(model_a, make_model(11)->ac);
+  save_checkpoint_file(model_b, make_model(22)->ac, 13);
+
+  ServerConfig config;
+  Server server(config);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+
+  const auto swap_a = client.swap(model_a);
+  ASSERT_TRUE(swap_a.has_value()) << client.error();
+  EXPECT_EQ(swap_a->ok, 1);
+  EXPECT_EQ(swap_a->epoch, 1u);
+
+  const auto decided = client.decide(std::vector<double>(8, 0.5));
+  ASSERT_TRUE(decided.has_value());
+  EXPECT_EQ(decided->status, ReplyStatus::kOk);
+  EXPECT_EQ(decided->epoch, 1u);
+
+  // Checkpoints hot-swap through the same door as plain models.
+  const auto swap_b = client.swap(model_b);
+  ASSERT_TRUE(swap_b.has_value());
+  EXPECT_EQ(swap_b->ok, 1);
+  EXPECT_EQ(swap_b->epoch, 2u);
+  server.stop();
+}
+
+TEST(Server, RejectedSwapKeepsLastGoodServing) {
+  TempDir dir;
+  const std::string good_path = dir.file("good.model");
+  const std::string corrupt_path = dir.file("corrupt.model");
+  save_model_file(good_path, make_model(11)->ac);
+  {
+    // Hand-truncate a valid model file mid-parameters.
+    std::string text;
+    {
+      std::FILE* in = std::fopen(good_path.c_str(), "rb");
+      ASSERT_NE(in, nullptr);
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        text.append(buf, n);
+      std::fclose(in);
+    }
+    std::FILE* out = std::fopen(corrupt_path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(text.data(), 1, text.size() / 2, out);
+    std::fclose(out);
+  }
+
+  ServerConfig config;
+  Server server(config);
+  ASSERT_TRUE(server.swap_from_file(good_path).ok);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+
+  const auto swap = client.swap(corrupt_path);
+  ASSERT_TRUE(swap.has_value()) << client.error();
+  EXPECT_EQ(swap->ok, 0);
+  EXPECT_FALSE(swap->message.empty());
+  EXPECT_NE(swap->message.find("keeping last-good model"), std::string::npos)
+      << swap->message;
+  EXPECT_EQ(swap->epoch, 1u);  // unchanged
+
+  // The original model still answers.
+  const auto reply = client.decide(std::vector<double>(8, 0.5));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, ReplyStatus::kOk);
+  EXPECT_EQ(reply->epoch, 1u);
+  EXPECT_EQ(server.stats().swaps_failed.load(), 1u);
+  server.stop();
+}
+
+TEST(Server, RuntimeFaultRollsBackToLastGood) {
+  ServerConfig config;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model(11)).ok);  // epoch 1
+  // Sneak a NaN-parameter model past validation (test-only door): epoch 2.
+  ASSERT_TRUE(server.publish_model(make_broken_model(), false).ok);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+
+  const auto faulted = client.decide(std::vector<double>(8, 0.5), 1);
+  ASSERT_TRUE(faulted.has_value()) << client.error();
+  EXPECT_EQ(faulted->status, ReplyStatus::kDegraded);
+  EXPECT_EQ(faulted->reason, DegradedReason::kInferenceFault);
+  EXPECT_EQ(faulted->source, DecisionSource::kRule);
+
+  // The slot rolled back: the next decision comes from the good model.
+  const auto recovered = client.decide(std::vector<double>(8, 0.5), 2);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->status, ReplyStatus::kOk);
+  EXPECT_EQ(recovered->source, DecisionSource::kModel);
+  EXPECT_EQ(recovered->epoch, 3u);  // publish, publish, rollback
+  EXPECT_EQ(server.stats().inference_faults.load(), 1u);
+  server.stop();
+}
+
+TEST(Server, QueueSaturationShedsWithDegradedReply) {
+  ServerConfig config;
+  config.queue_capacity = 1;
+  config.max_wait_us = 100000;  // hold the first admitted request in linger
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+
+  // Pipeline a burst without reading: only one fits the queue, the rest
+  // must be shed inline with degraded replies — never dropped.
+  constexpr int kBurst = 12;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    DecisionRequest request;
+    request.request_id = static_cast<std::uint64_t>(i);
+    request.features.assign(8, 0.5);
+    burst += encode_decision_request(request);
+  }
+  ASSERT_TRUE(client.send_raw(burst));
+  int shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const auto frame = client.read_frame();
+    ASSERT_TRUE(frame.has_value()) << client.error();
+    DecisionReply reply;
+    ASSERT_TRUE(decode_decision_reply(frame->payload, reply));
+    if (reply.status == ReplyStatus::kDegraded &&
+        reply.reason == DegradedReason::kQueueSaturated)
+      ++shed;
+  }
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(server.stats().shed_total.load(),
+            static_cast<std::uint64_t>(shed));
+  server.stop();
+}
+
+TEST(Server, StatsFrameExposesHealth) {
+  ServerConfig config;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  ASSERT_TRUE(client.decide(std::vector<double>(8, 0.5)).has_value());
+  const auto json = client.stats_json();
+  ASSERT_TRUE(json.has_value()) << client.error();
+  for (const char* key :
+       {"serve.requests_total", "serve.decisions_model", "serve.queue_depth",
+        "serve.model_epoch", "serve.p50_latency_us", "serve.p99_latency_us",
+        "serve.latency_us", "serve.decisions_degraded"})
+    EXPECT_NE(json->find(key), std::string::npos) << key << "\n" << *json;
+  server.stop();
+}
+
+TEST(Server, StopDrainsAdmittedRequests) {
+  ServerConfig config;
+  config.max_wait_us = 50000;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  // Admit a request that will sit in the coalescer linger, then stop: the
+  // drain must flush its reply before the server exits.
+  DecisionRequest request;
+  request.request_id = 5;
+  request.features.assign(8, 0.5);
+  ASSERT_TRUE(client.send_raw(encode_decision_request(request)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread stopper([&] { server.stop(); });
+  const auto frame = client.read_frame();
+  stopper.join();
+  ASSERT_TRUE(frame.has_value()) << client.error();
+  DecisionReply reply;
+  ASSERT_TRUE(decode_decision_reply(frame->payload, reply));
+  EXPECT_EQ(reply.request_id, 5u);
+}
+
+TEST(Server, RequestStopIsSignalSafeTrigger) {
+  ServerConfig config;
+  Server server(config);
+  server.start();
+  EXPECT_FALSE(server.draining());
+  server.request_stop();  // what a SIGINT/SIGTERM handler calls
+  EXPECT_TRUE(server.draining());
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Server, RefusesConnectionsBeyondCap) {
+  ServerConfig config;
+  config.max_connections = 2;
+  Server server(config);
+  server.start();
+  ServeClient a;
+  ServeClient b;
+  ASSERT_TRUE(connect_with_backoff(a, config.host, server.port()));
+  ASSERT_TRUE(connect_with_backoff(b, config.host, server.port()));
+  // Force both accepts through before the third connects.
+  ASSERT_TRUE(a.stats_json().has_value());
+  ASSERT_TRUE(b.stats_json().has_value());
+  ServeClient c;
+  bool refused = false;
+  if (!c.connect(config.host, server.port())) {
+    refused = true;  // kernel-level refusal
+  } else {
+    // Accepted by the kernel but closed by the server: the first read fails.
+    c.send_raw(encode_stats_request());
+    refused = !c.read_frame().has_value();
+  }
+  EXPECT_TRUE(refused);
+  EXPECT_GE(server.stats().connections_refused.load(), 1u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace si::serve

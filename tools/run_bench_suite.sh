@@ -22,7 +22,7 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
   -DSI_NATIVE_ARCH="$native"
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target bench_kernels bench_rollout bench_cost_inference
+  --target bench_kernels bench_rollout bench_serve bench_cost_inference
 
 echo "== bench_kernels (perf-regression records -> BENCH_kernels.json) =="
 "$build_dir/bench/bench_kernels" --json "$repo_root/BENCH_kernels.json"
@@ -30,7 +30,11 @@ echo "== bench_kernels (perf-regression records -> BENCH_kernels.json) =="
 echo "== bench_rollout (perf-regression records -> BENCH_rollout.json) =="
 "$build_dir/bench/bench_rollout" --json "$repo_root/BENCH_rollout.json"
 
+echo "== bench_serve (perf-regression records -> BENCH_serve.json) =="
+"$build_dir/bench/bench_serve" --json "$repo_root/BENCH_serve.json"
+
 echo "== bench_cost_inference (google-benchmark, informational) =="
 "$build_dir/bench/bench_cost_inference" --benchmark_min_time=0.2 || true
 
-echo "wrote $repo_root/BENCH_kernels.json and $repo_root/BENCH_rollout.json"
+echo "wrote $repo_root/BENCH_kernels.json, $repo_root/BENCH_rollout.json," \
+     "and $repo_root/BENCH_serve.json"

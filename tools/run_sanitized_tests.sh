@@ -1,5 +1,9 @@
 #!/usr/bin/env bash
-# Builds the test suite with AddressSanitizer + UBSan and runs it.
+# Builds the test suite with AddressSanitizer + UBSan and runs it, then
+# rebuilds the serving-layer tests with ThreadSanitizer and runs the `serve`
+# label there — TSan is incompatible with ASan in one binary, and the serve
+# suite is where the concurrency lives (request coalescer, model hot-swap,
+# shutdown drain).
 # Usage: tools/run_sanitized_tests.sh [build-dir] [-- extra ctest args]
 set -euo pipefail
 
@@ -11,5 +15,21 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DSI_SANITIZE=address,undefined
 cmake --build "$build_dir" -j "$(nproc)"
 
-cd "$build_dir"
-ctest -L sanitize --output-on-failure -j "$(nproc)"
+(cd "$build_dir" &&
+ ctest -L sanitize --no-tests=error --output-on-failure -j "$(nproc)")
+
+tsan_dir="$build_dir-tsan"
+cmake -B "$tsan_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSI_SANITIZE=thread
+cmake --build "$tsan_dir" -j "$(nproc)" \
+  --target test_serve_protocol test_serve_server test_serve_chaos \
+           test_serve_degraded
+
+# Select by the `sanitize` label: gtest_discover_tests flattens the
+# "sanitize;serve" label list to its first element in sanitized trees
+# (CMake ≤3.25), and this tree only builds the serve test binaries, so
+# `sanitize` here is exactly the serve suite. --no-tests=error guards
+# against discovery silently going missing.
+(cd "$tsan_dir" &&
+ ctest -L sanitize --no-tests=error --output-on-failure -j "$(nproc)")
