@@ -24,6 +24,7 @@
 
 #include "common.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics_registry.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 
@@ -134,6 +135,27 @@ void bench_serving(const Sizes& sz) {
   table.row().cell("p50 us").cell(p50, 1);
   table.row().cell("p99 us").cell(p99, 1);
   table.row().cell("completed").cell(static_cast<double>(total), 0);
+
+  if (server) {
+    // Server-side pipeline breakdown: time spent waiting in the admission
+    // queue vs. on the inference thread. Recorded alongside the
+    // client-observed latencies so BENCH_serve.json catches a regression in
+    // either stage even when the end-to-end number hides it.
+    const Histogram queue_wait = server->stats().queue_wait_us.snapshot();
+    const Histogram infer = server->stats().infer_us.snapshot();
+    const double qw_p50 = histogram_quantile(queue_wait, 0.5);
+    const double qw_p99 = histogram_quantile(queue_wait, 0.99);
+    const double in_p50 = histogram_quantile(infer, 0.5);
+    const double in_p99 = histogram_quantile(infer, 0.99);
+    bench::record_result("serve_queue_wait_p50_us", qw_p50, config);
+    bench::record_result("serve_queue_wait_p99_us", qw_p99, config);
+    bench::record_result("serve_infer_p50_us", in_p50, config);
+    bench::record_result("serve_infer_p99_us", in_p99, config);
+    table.row().cell("queue wait p50 us").cell(qw_p50, 1);
+    table.row().cell("queue wait p99 us").cell(qw_p99, 1);
+    table.row().cell("infer p50 us").cell(in_p50, 1);
+    table.row().cell("infer p99 us").cell(in_p99, 1);
+  }
   std::printf("%s\n", table.render().c_str());
 
   if (server) {

@@ -57,6 +57,7 @@ struct Options {
   std::string trace_out;      ///< JSONL simulator event trace
   std::string metrics_out;    ///< metrics registry JSON dump
   std::string telemetry_out;  ///< per-epoch training telemetry JSONL
+  std::string spans_out;      ///< Chrome trace JSON of training phase spans
   std::string log_level = "warn";
   bool quiet = false;
   bool profile = false;
@@ -96,6 +97,8 @@ int usage() {
                "                            simulator event\n"
                "  --metrics-out <file.json> dump the metrics registry as JSON\n"
                "  --telemetry-out <file.jsonl>  per-epoch training telemetry\n"
+               "  --spans-out <file.json>   write the train-phase span trace\n"
+               "                            as Chrome trace JSON (Perfetto)\n"
                "  --log-level <%s>\n"
                "  --quiet                   suppress the training progress line\n"
                "  --profile                 print a wall-time profile tree to\n"
@@ -157,6 +160,7 @@ bool parse(int argc, char** argv, Options& opts) {
     else if (arg == "--trace-out") opts.trace_out = value;
     else if (arg == "--metrics-out") opts.metrics_out = value;
     else if (arg == "--telemetry-out") opts.telemetry_out = value;
+    else if (arg == "--spans-out") opts.spans_out = value;
     else if (arg == "--log-level") opts.log_level = value;
     else
       return false;
@@ -212,6 +216,7 @@ struct Observability {
   std::unique_ptr<JsonlTracer> tracer;
   std::unique_ptr<MetricsRegistry> metrics;
   std::unique_ptr<InvariantOracle> oracle;
+  std::unique_ptr<SpanCollector> spans;
 
   /// `enable_check` is false for train: rollout workers run concurrently,
   /// so the trainer nulls any oracle anyway.
@@ -223,6 +228,7 @@ struct Observability {
     if (!opts.metrics_out.empty()) metrics = std::make_unique<MetricsRegistry>();
     if (opts.check && enable_check)
       oracle = std::make_unique<InvariantOracle>();
+    if (!opts.spans_out.empty()) spans = std::make_unique<SpanCollector>();
   }
 
   void apply(SimConfig& sim) const {
@@ -237,6 +243,11 @@ struct Observability {
     if (metrics) {
       FileSink out(opts.metrics_out);
       metrics->write_json(out);
+      out.flush();
+    }
+    if (spans) {
+      FileSink out(opts.spans_out);
+      spans->write_chrome_json(out);
       out.flush();
     }
     if (oracle) {
@@ -279,6 +290,7 @@ int cmd_train(const Options& opts) {
   config.progress = !opts.quiet;
   config.tracer = obs.tracer.get();
   config.metrics = obs.metrics.get();
+  config.spans = obs.spans.get();
   Trainer trainer(train_split, *policy, config);
   ActorCritic agent = trainer.make_agent();
   std::printf("training on %s (%zu jobs, %d procs), policy %s, metric %s\n",

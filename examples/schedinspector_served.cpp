@@ -18,7 +18,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/sink.hpp"
 #include "obs/log.hpp"
+#include "obs/span.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 
@@ -41,6 +43,8 @@ struct Options {
   std::uint32_t deadline_ms = 0;
   int drain_timeout_ms = 2000;
   std::string log_level = "info";
+  int metrics_port = -1;
+  std::string spans_out;
 };
 
 int usage() {
@@ -59,7 +63,11 @@ int usage() {
                "  --queue-cap <n>         admission queue bound (default 1024)\n"
                "  --max-conns <n>         connection bound (default 256)\n"
                "  --drain-timeout-ms <n>  shutdown drain bound (default 2000)\n"
-               "  --log-level <level>     default info\n");
+               "  --log-level <level>     default info\n"
+               "  --metrics-port <n>      HTTP GET /metrics side port\n"
+               "                          (0 = auto; default disabled)\n"
+               "  --spans-out <path>      write the request span trace as\n"
+               "                          Chrome trace JSON on exit (Perfetto)\n");
   return 2;
 }
 
@@ -84,6 +92,8 @@ bool parse(int argc, char** argv, Options& opts) {
     else if (arg == "--drain-timeout-ms")
       opts.drain_timeout_ms = std::atoi(value);
     else if (arg == "--log-level") opts.log_level = value;
+    else if (arg == "--metrics-port") opts.metrics_port = std::atoi(value);
+    else if (arg == "--spans-out") opts.spans_out = value;
     else
       return false;
   }
@@ -110,6 +120,9 @@ int cmd_serve(const Options& opts) {
   config.max_connections = opts.max_connections;
   config.default_deadline_ms = opts.deadline_ms;
   config.drain_timeout_ms = opts.drain_timeout_ms;
+  config.metrics_port = opts.metrics_port;
+  SpanCollector spans;
+  if (!opts.spans_out.empty()) config.spans = &spans;
   Server server(config);
   if (!opts.model_path.empty()) {
     const PublishResult result = server.swap_from_file(opts.model_path);
@@ -125,6 +138,9 @@ int cmd_serve(const Options& opts) {
   }
   server.start();
   std::printf("listening on %s:%d\n", opts.host.c_str(), server.port());
+  if (server.metrics_port() >= 0)
+    std::printf("metrics on http://%s:%d/metrics\n", opts.host.c_str(),
+                server.metrics_port());
   std::fflush(stdout);
 
   g_server = &server;
@@ -135,6 +151,12 @@ int cmd_serve(const Options& opts) {
   server.stop();
   g_server = nullptr;
   std::printf("%s", server.stats_json().c_str());
+  if (!opts.spans_out.empty()) {
+    FileSink sink(opts.spans_out);
+    spans.write_chrome_json(sink);
+    std::fprintf(stderr, "wrote %zu spans to %s (load in ui.perfetto.dev)\n",
+                 spans.size(), opts.spans_out.c_str());
+  }
   return 0;
 }
 

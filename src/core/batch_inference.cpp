@@ -30,7 +30,15 @@ std::span<const double> PolicyBatch::infer(const Mlp& net) {
   SI_REQUIRE(rows_ >= 1);
   SI_REQUIRE(net.input_size() == obs_width_);
   SI_REQUIRE(net.output_size() == 1);
-  net.forward_batch(block_, rows_, ws_);
+  if (spans_ != nullptr) {
+    // Guarded so the untraced hot path (VecEnv ticks) never pays the
+    // args-vector allocation.
+    ScopedSpan span(spans_, "forward_batch", span_cat_, span_tid_,
+                    {{"rows", std::to_string(rows_)}});
+    net.forward_batch(block_, rows_, ws_);
+  } else {
+    net.forward_batch(block_, rows_, ws_);
+  }
   return std::span<const double>(ws_.activations.back())
       .first(static_cast<std::size_t>(rows_));
 }

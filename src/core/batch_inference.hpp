@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "rl/mlp.hpp"
 
 namespace si {
@@ -41,11 +42,25 @@ class PolicyBatch {
   /// to a scalar Mlp::forward of the same observation.
   std::span<const double> infer(const Mlp& net);
 
+  /// Span tracing hook (DESIGN.md §10): when set, every infer() records a
+  /// "forward_batch" span under `cat` with the row count, attributed to
+  /// virtual thread lane `tid`. Null (the default) keeps infer() on the
+  /// untraced hot path.
+  void set_spans(SpanCollector* spans, std::string cat,
+                 std::uint32_t tid = 0) {
+    spans_ = spans;
+    span_cat_ = std::move(cat);
+    span_tid_ = tid;
+  }
+
  private:
   int obs_width_;
   int rows_ = 0;
   std::vector<double> block_;  ///< row-major rows_ x obs_width_
   Mlp::BatchWorkspace ws_;
+  SpanCollector* spans_ = nullptr;
+  std::string span_cat_;
+  std::uint32_t span_tid_ = 0;
 };
 
 }  // namespace si

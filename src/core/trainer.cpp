@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <span>
 #include <thread>
 
@@ -161,6 +162,8 @@ TrainResult Trainer::train(ActorCritic& ac) {
       config_.tracer != nullptr ? traj_count : 0);
   const auto train_start = std::chrono::steady_clock::now();
   int executed_epochs = 0;
+  if (config_.spans != nullptr)
+    config_.spans->register_thread(0, "trainer");
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     RolloutBatch batch;
@@ -179,9 +182,19 @@ TrainResult Trainer::train(ActorCritic& ac) {
     }
     if (epoch < start_epoch) continue;
 
+    // One span trace per executed epoch: train.epoch wraps the phase
+    // children recorded below (reset explicitly at the end of the body so
+    // the duration covers exactly this iteration).
+    std::optional<ScopedSpan> epoch_span;
+    if (config_.spans != nullptr)
+      epoch_span.emplace(config_.spans, "train.epoch", "train", 0u,
+                         std::vector<std::pair<std::string, std::string>>{
+                             {"epoch", std::to_string(epoch)}});
+
     const auto rollout_start = std::chrono::steady_clock::now();
     {
       SI_PROFILE_SCOPE("trainer/rollouts");
+      ScopedSpan rollout_span(config_.spans, "train.rollouts", "train");
       // The batched forward kernels read the policy net's transpose cache;
       // refreshing it is not thread-safe, so do it once here, before the
       // worker fan-out, while the parameters are quiescent.
@@ -199,9 +212,17 @@ TrainResult Trainer::train(ActorCritic& ac) {
         }
       }
       std::atomic<std::size_t> next{0};
+      std::atomic<std::uint32_t> next_worker_tid{1};
       auto worker = [&] {
         VecEnv env(trace_.cluster_procs(), worker_sim, ac, features_, policy_,
                    static_cast<int>(width));
+        if (config_.spans != nullptr) {
+          const std::uint32_t tid = next_worker_tid.fetch_add(1);
+          config_.spans->register_thread(tid,
+                                         "rollout-worker-" +
+                                             std::to_string(tid - 1));
+          env.set_spans(config_.spans, "train", tid);
+        }
         for (;;) {
           const std::size_t begin = next.fetch_add(width);
           if (begin >= traj_count) break;
@@ -277,6 +298,7 @@ TrainResult Trainer::train(ActorCritic& ac) {
     const auto update_start = std::chrono::steady_clock::now();
     if (!batch.empty()) {
       SI_PROFILE_SCOPE("trainer/update");
+      ScopedSpan update_span(config_.spans, "train.update", "train");
       const PpoStats ppo = updater.update(batch);
       if (ppo.non_finite || !agent_finite(ac)) {
         // The update diverged: discard it and continue from the last-good
@@ -306,8 +328,10 @@ TrainResult Trainer::train(ActorCritic& ac) {
 
     if (!config_.checkpoint_path.empty()) {
       SI_PROFILE_SCOPE("trainer/checkpoint");
+      ScopedSpan checkpoint_span(config_.spans, "train.checkpoint", "train");
       save_checkpoint_file(config_.checkpoint_path, ac, epoch);
     }
+    epoch_span.reset();
 
     const double elapsed = seconds_since(train_start);
     if (telemetry != nullptr) {

@@ -12,6 +12,7 @@
 #include "core/features.hpp"
 #include "core/reward.hpp"
 #include "core/rollout.hpp"
+#include "obs/span.hpp"
 #include "rl/ppo.hpp"
 #include "sched/policy.hpp"
 #include "sim/config.hpp"
@@ -63,6 +64,11 @@ struct TrainerConfig {
   /// When set, training bumps the train.* counters/gauges documented in
   /// DESIGN.md §5 (accessed only from the training thread).
   MetricsRegistry* metrics = nullptr;
+  /// When set, each epoch records a span tree (train.epoch with
+  /// train.rollouts / train.update / train.checkpoint children, one trace
+  /// id per epoch) plus the per-worker forward_batch spans, exportable as
+  /// Chrome trace JSON (DESIGN.md §10). Null keeps training untraced.
+  SpanCollector* spans = nullptr;
   /// Rollout worker threads: 0 = auto (hardware threads, capped at 8 and at
   /// the trajectory count), 1 = serial, N = exactly N (still capped at the
   /// trajectory count). Rollouts are seeded and stored by trajectory index,

@@ -82,6 +82,14 @@ class VecEnv {
 
   int width() const { return static_cast<int>(lanes_.size()); }
 
+  /// Forwards to PolicyBatch::set_spans: every batched forward this env
+  /// performs records a "forward_batch" span (DESIGN.md §10). Null spans
+  /// (the default) keeps collection on the untraced hot path.
+  void set_spans(SpanCollector* spans, std::string cat,
+                 std::uint32_t tid = 0) {
+    batch_.set_spans(spans, std::move(cat), tid);
+  }
+
   /// Collects every spec's paired rollout, `width` sequences in flight.
   /// Results land in spec order. Requires the policy net's transpose cache
   /// to be fresh (ActorCritic::policy_net().refresh_transpose() after the

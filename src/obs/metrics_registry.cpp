@@ -101,13 +101,28 @@ std::string MetricsRegistry::to_json() const {
 }
 
 std::string MetricsRegistry::to_csv() const {
+  // Instrument names are caller-chosen strings: quote any containing CSV
+  // metacharacters (RFC 4180 double-quote doubling), mirroring the JSON
+  // exporter's json_escape guarantee that a hostile name cannot corrupt
+  // the output framing.
+  const auto csv_escape = [](const std::string& name) {
+    if (name.find_first_of(",\"\n\r") == std::string::npos) return name;
+    std::string out = "\"";
+    for (const char ch : name) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    return out + "\"";
+  };
   std::string out = "kind,name,key,value\n";
   for (const auto& [name, counter] : counters_)
-    out += "counter," + name + ",value," + std::to_string(counter.value()) +
-           "\n";
+    out += "counter," + csv_escape(name) + ",value," +
+           std::to_string(counter.value()) + "\n";
   for (const auto& [name, gauge] : gauges_)
-    out += "gauge," + name + ",value," + json_number(gauge.value()) + "\n";
-  for (const auto& [name, histogram] : histograms_) {
+    out += "gauge," + csv_escape(name) + ",value," + json_number(gauge.value()) +
+           "\n";
+  for (const auto& [raw_name, histogram] : histograms_) {
+    const std::string name = csv_escape(raw_name);
     const auto& bounds = histogram.bounds();
     const auto& counts = histogram.counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {

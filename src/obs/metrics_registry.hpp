@@ -5,7 +5,9 @@
 // registry is intentionally single-writer: the simulator and trainer only
 // record into a registry from the thread that owns the run (worker-thread
 // simulators get a null registry), keeping the hot-path increments free of
-// synchronization.
+// synchronization. Multi-threaded producers (the serving daemon) record
+// into the atomic/windowed instruments of obs/window.hpp instead and
+// snapshot into a registry at export time.
 #pragma once
 
 #include <cstdint>
@@ -87,6 +89,14 @@ class MetricsRegistry {
 
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Read-only iteration in name order, for alternative exporters (the
+  // Prometheus text renderer in obs/prom.hpp).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
   }
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],

@@ -1,0 +1,66 @@
+#include "obs/prom.hpp"
+
+#include "obs/json.hpp"
+
+namespace si {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out += ok ? ch : '_';
+  }
+  if (out.empty()) out = "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prometheus_label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, counter] : registry.counters()) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter.value()) + "\n";
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + json_number(gauge.value()) + "\n";
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    const std::vector<double>& bounds = histogram.bounds();
+    const std::vector<std::uint64_t>& counts = histogram.counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      out += prom + "_bucket{le=\"" +
+             prometheus_label_escape(json_number(bounds[i])) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += counts.back();
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += prom + "_sum " + json_number(histogram.sum()) + "\n";
+    out += prom + "_count " + std::to_string(histogram.count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace si

@@ -1,0 +1,31 @@
+// Prometheus text exposition (format version 0.0.4) rendered from a
+// MetricsRegistry snapshot. Instrument names like "serve.latency_us" are
+// sanitized to the Prometheus grammar ("serve_latency_us"); histograms
+// expand to the standard cumulative _bucket{le="..."} series plus _sum and
+// _count. The serving daemon exposes this over plain HTTP/1.0 GET /metrics
+// on a side port (DESIGN.md §10); anything that can scrape Prometheus can
+// watch a SchedInspector daemon live.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics_registry.hpp"
+
+namespace si {
+
+/// Maps an instrument name onto the Prometheus metric-name grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every other character becomes '_', and a
+/// leading digit gains a '_' prefix. Empty input becomes "_".
+std::string prometheus_name(std::string_view name);
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote, and newline.
+std::string prometheus_label_escape(std::string_view value);
+
+/// Renders every instrument of `registry` in name order: counters as
+/// `# TYPE <name> counter`, gauges as gauge, histograms as the cumulative
+/// bucket series with le="+Inf", _sum, and _count.
+std::string prometheus_text(const MetricsRegistry& registry);
+
+}  // namespace si

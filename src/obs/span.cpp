@@ -1,0 +1,208 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace si {
+
+namespace {
+
+// Thread-local scope state for ScopedSpan: the innermost open span id and
+// the trace id new root scopes attach to.
+thread_local std::uint64_t tls_current_span = 0;
+thread_local std::uint64_t tls_current_trace = 0;
+
+}  // namespace
+
+SpanCollector::SpanCollector(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()), capacity_(capacity) {
+  SI_REQUIRE(capacity_ >= 1);
+}
+
+std::int64_t SpanCollector::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void SpanCollector::register_thread(std::uint32_t tid,
+                                    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [existing, existing_name] : thread_names_) {
+    if (existing == tid) {
+      existing_name = name;
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, name);
+}
+
+void SpanCollector::record(SpanEvent event) {
+  if (event.span_id == 0) event.span_id = next_span_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  events_.push_back(std::move(event));
+}
+
+void SpanCollector::instant(
+    const std::string& name, const std::string& cat, std::uint64_t trace_id,
+    std::uint32_t tid,
+    std::vector<std::pair<std::string, std::string>> args) {
+  SpanEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = SpanEvent::Phase::kInstant;
+  event.trace_id = trace_id;
+  event.tid = tid;
+  event.ts_us = now_us();
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+std::size_t SpanCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void SpanCollector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::vector<SpanEvent> SpanCollector::snapshot() const {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.assign(events_.begin(), events_.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::string SpanCollector::event_json(const SpanEvent& event) {
+  JsonObject out;
+  out.field("name", event.name);
+  out.field("cat", event.cat.empty() ? std::string_view("span")
+                                     : std::string_view(event.cat));
+  switch (event.phase) {
+    case SpanEvent::Phase::kComplete:
+      out.field("ph", "X");
+      break;
+    case SpanEvent::Phase::kInstant:
+      out.field("ph", "i");
+      out.field("s", "t");  // instant scope: thread
+      break;
+  }
+  out.field("ts", event.ts_us);
+  if (event.phase == SpanEvent::Phase::kComplete)
+    out.field("dur", event.dur_us);
+  out.field("pid", 1);
+  out.field("tid", static_cast<std::int64_t>(event.tid));
+  JsonObject args;
+  args.field("trace", event.trace_id);
+  args.field("span", event.span_id);
+  if (event.parent_id != 0) args.field("parent", event.parent_id);
+  for (const auto& [key, value] : event.args) args.field(key, value);
+  out.raw("args", args.str());
+  return out.str();
+}
+
+std::string SpanCollector::to_chrome_json() const {
+  const std::vector<SpanEvent> events = snapshot();
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [tid, name] : thread_names_) {
+      if (!first) out += ",\n";
+      first = false;
+      JsonObject meta;
+      meta.field("name", "thread_name");
+      meta.field("ph", "M");
+      meta.field("pid", 1);
+      meta.field("tid", static_cast<std::int64_t>(tid));
+      JsonObject args;
+      args.field("name", name);
+      meta.raw("args", args.str());
+      out += meta.str();
+    }
+  }
+  for (const SpanEvent& event : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event_json(event);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string SpanCollector::to_jsonl() const {
+  std::string out;
+  for (const SpanEvent& event : snapshot()) {
+    out += event_json(event);
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t SpanCollector::current_span() { return tls_current_span; }
+std::uint64_t SpanCollector::current_trace() { return tls_current_trace; }
+void SpanCollector::set_current_trace(std::uint64_t trace_id) {
+  tls_current_trace = trace_id;
+}
+
+std::uint64_t SpanCollector::push_scope(std::uint64_t span_id) {
+  const std::uint64_t parent = tls_current_span;
+  tls_current_span = span_id;
+  return parent;
+}
+
+void SpanCollector::pop_scope(std::uint64_t previous) {
+  tls_current_span = previous;
+}
+
+ScopedSpan::ScopedSpan(SpanCollector* collector, std::string name,
+                       std::string cat, std::uint32_t tid,
+                       std::vector<std::pair<std::string, std::string>> args)
+    : collector_(collector) {
+  if (collector_ == nullptr) return;
+  event_.name = std::move(name);
+  event_.cat = std::move(cat);
+  event_.tid = tid;
+  event_.args = std::move(args);
+  event_.span_id = collector_->next_span_id();
+  if (SpanCollector::current_trace() == 0) {
+    // Outermost scope of a fresh trace: mint a trace id and own it, so
+    // every nested scope (and manual record) on this thread joins it.
+    SpanCollector::set_current_trace(collector_->next_trace_id());
+    owns_trace_ = true;
+  }
+  event_.trace_id = SpanCollector::current_trace();
+  saved_parent_ = SpanCollector::push_scope(event_.span_id);
+  event_.parent_id = saved_parent_;
+  event_.ts_us = collector_->now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (collector_ == nullptr) return;
+  event_.dur_us = collector_->now_us() - event_.ts_us;
+  SpanCollector::pop_scope(saved_parent_);
+  if (owns_trace_) SpanCollector::set_current_trace(0);
+  collector_->record(std::move(event_));
+}
+
+void ScopedSpan::arg(const std::string& key, const std::string& value) {
+  if (collector_ == nullptr) return;
+  event_.args.emplace_back(key, value);
+}
+
+}  // namespace si

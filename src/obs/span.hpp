@@ -1,0 +1,152 @@
+// Request-scoped span tracing (DESIGN.md §10). A SpanCollector gathers
+// timed spans — each with a trace id (one per request / rollout), a span
+// id, an optional parent span, and monotonic microsecond timestamps — from
+// any number of threads, and exports them as Chrome trace-event JSON
+// loadable in Perfetto (chrome://tracing), or as JSONL for
+// tools/check_trace_schema.py --spans.
+//
+// Two recording styles:
+//   * ScopedSpan — RAII for single-threaded phases (trainer epochs,
+//     batched forwards): nesting on one thread builds the parent chain
+//     automatically through a thread-local span stack.
+//   * SpanCollector::record(SpanEvent) — manual, for requests whose life
+//     crosses threads (the serve pipeline measures receipt / dequeue /
+//     reply on different threads and records the finished segments).
+//
+// A null collector pointer is the universal "off" switch: every
+// instrumented call site guards with `if (spans != nullptr)`, so untraced
+// runs stay on the exact seed code path. The collector itself is a bounded
+// ring (default 64Ki spans): long-running daemons keep the most recent
+// window instead of growing without bound.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sink.hpp"
+
+namespace si {
+
+/// One finished span or point event, Chrome trace-event shaped.
+struct SpanEvent {
+  enum class Phase : std::uint8_t {
+    kComplete,  ///< "ph":"X": a duration [ts_us, ts_us + dur_us]
+    kInstant,   ///< "ph":"i": a point event (degradation, rollback, swap)
+  };
+
+  std::string name;        ///< span label, e.g. "serve.request"
+  std::string cat;         ///< coarse grouping, e.g. "serve" / "train"
+  Phase phase = Phase::kComplete;
+  std::uint64_t trace_id = 0;  ///< groups every span of one request/rollout
+  std::uint64_t span_id = 0;   ///< unique within the collector
+  std::uint64_t parent_id = 0; ///< 0 = root of its trace
+  std::uint32_t tid = 0;       ///< virtual thread lane (see register_thread)
+  std::int64_t ts_us = 0;      ///< microseconds since collector construction
+  std::int64_t dur_us = 0;     ///< kComplete only; >= 0
+  /// Extra key/value pairs folded into the Chrome "args" object. Every
+  /// value is emitted as a JSON string (json_escape'd), so hostile keys
+  /// and values can never break the trace file.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Thread-safe bounded collector of SpanEvents with id generation and a
+/// monotonic clock shared by every producer (so child spans of one request
+/// sum to the request span even across threads).
+class SpanCollector {
+ public:
+  explicit SpanCollector(std::size_t capacity = 1 << 16);
+
+  /// Microseconds since collector construction (steady clock).
+  std::int64_t now_us() const;
+
+  std::uint64_t next_trace_id() { return next_trace_id_.fetch_add(1) + 1; }
+  std::uint64_t next_span_id() { return next_span_id_.fetch_add(1) + 1; }
+
+  /// Names the virtual thread lane `tid` in the exported trace (Chrome
+  /// thread_name metadata). Call once per lane; later calls overwrite.
+  void register_thread(std::uint32_t tid, const std::string& name);
+
+  /// Appends one finished event; drops the oldest when at capacity
+  /// (dropped() counts them). Safe from any thread.
+  void record(SpanEvent event);
+
+  /// Convenience: records a kInstant point event.
+  void instant(const std::string& name, const std::string& cat,
+               std::uint64_t trace_id, std::uint32_t tid,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  std::size_t size() const;
+  std::uint64_t dropped() const { return dropped_.load(); }
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  /// Deterministic snapshot: events sorted by (ts_us, span_id), so exports
+  /// after concurrent recording do not depend on arrival interleaving.
+  std::vector<SpanEvent> snapshot() const;
+
+  /// Complete Chrome trace JSON: {"traceEvents":[...]} — valid JSON,
+  /// loadable in Perfetto / chrome://tracing. One event per line.
+  std::string to_chrome_json() const;
+  void write_chrome_json(Sink& sink) const { sink.write(to_chrome_json()); }
+
+  /// One span event per line (same objects as the traceEvents array), for
+  /// tools/check_trace_schema.py --spans and jq-style slicing.
+  std::string to_jsonl() const;
+  void write_jsonl(Sink& sink) const { sink.write(to_jsonl()); }
+
+  // --- thread-local scope stack used by ScopedSpan ---
+  /// The innermost open ScopedSpan's id on this thread (0 = none).
+  static std::uint64_t current_span();
+  /// The trace id ScopedSpans on this thread attach to (0 = fresh trace
+  /// per root scope).
+  static std::uint64_t current_trace();
+  static void set_current_trace(std::uint64_t trace_id);
+
+ private:
+  friend class ScopedSpan;
+  static std::uint64_t push_scope(std::uint64_t span_id);   // returns parent
+  static void pop_scope(std::uint64_t previous);
+
+  /// Serializes one event as a single-line JSON object (no newline).
+  static std::string event_json(const SpanEvent& event);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  const std::size_t capacity_;
+  std::atomic<std::uint64_t> next_trace_id_{0};
+  std::atomic<std::uint64_t> next_span_id_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::deque<SpanEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+};
+
+/// RAII span for single-threaded phases. Opens on construction, records on
+/// destruction. Nested scopes on the same thread chain parent ids; the
+/// outermost scope starts a fresh trace unless set_current_trace() pinned
+/// one. A null collector makes the scope a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanCollector* collector, std::string name, std::string cat,
+             std::uint32_t tid = 0,
+             std::vector<std::pair<std::string, std::string>> args = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Adds an args entry after construction (e.g. a result computed inside
+  /// the scope).
+  void arg(const std::string& key, const std::string& value);
+
+ private:
+  SpanCollector* collector_;
+  SpanEvent event_;
+  std::uint64_t saved_parent_ = 0;
+  bool owns_trace_ = false;
+};
+
+}  // namespace si

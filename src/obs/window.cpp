@@ -1,0 +1,168 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace si {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t bucket_index(const std::vector<double>& bounds, double value) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+}  // namespace
+
+AtomicHistogram::AtomicHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  SI_REQUIRE(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    SI_REQUIRE(bounds_[i - 1] < bounds_[i]);
+}
+
+void AtomicHistogram::observe(double value) {
+  counts_[bucket_index(bounds_, value)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+}
+
+void AtomicHistogram::merge_bucket(std::size_t index, std::uint64_t count,
+                                   double sum) {
+  SI_REQUIRE(index < counts_.size());
+  counts_[index].fetch_add(count, std::memory_order_relaxed);
+  count_.fetch_add(count, std::memory_order_relaxed);
+  atomic_add_double(sum_, sum);
+}
+
+void AtomicHistogram::snapshot_into(Histogram& out) const {
+  SI_REQUIRE(out.bounds() == bounds_);
+  // Fold the global sum in through the last merge so mean()/sum() carry
+  // over; per-bucket sums are not tracked (matching Histogram's export).
+  const double total_sum = sum();
+  bool folded = false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.merge_bucket(i, n, folded ? 0.0 : total_sum);
+    folded = true;
+  }
+  if (!folded && total_sum != 0.0)
+    out.merge_bucket(counts_.size() - 1, 0, total_sum);
+}
+
+Histogram AtomicHistogram::snapshot() const {
+  Histogram out(bounds_);
+  snapshot_into(out);
+  return out;
+}
+
+void AtomicHistogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+WindowedHistogram::WindowedHistogram(std::vector<double> bounds,
+                                     std::int64_t slot_span_us,
+                                     std::size_t slots)
+    : bounds_(std::move(bounds)), slot_span_us_(slot_span_us) {
+  SI_REQUIRE(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    SI_REQUIRE(bounds_[i - 1] < bounds_[i]);
+  SI_REQUIRE(slot_span_us_ >= 1);
+  SI_REQUIRE(slots >= 2);  // one live slot + at least one of history
+  for (std::size_t i = 0; i < slots; ++i)
+    slots_.emplace_back(bounds_.size() + 1);
+}
+
+void WindowedHistogram::rotate(Slot& slot, std::int64_t epoch) {
+  std::lock_guard<std::mutex> lock(rotate_mutex_);
+  if (slot.epoch.load(std::memory_order_acquire) == epoch) return;
+  for (auto& c : slot.counts) c.store(0, std::memory_order_relaxed);
+  slot.count.store(0, std::memory_order_relaxed);
+  slot.sum.store(0.0, std::memory_order_relaxed);
+  slot.epoch.store(epoch, std::memory_order_release);
+}
+
+void WindowedHistogram::observe(double value, std::int64_t now_us) {
+  SI_REQUIRE(now_us >= 0);
+  const std::int64_t epoch = now_us / slot_span_us_;
+  Slot& slot = slots_[static_cast<std::size_t>(epoch) % slots_.size()];
+  if (slot.epoch.load(std::memory_order_acquire) != epoch)
+    rotate(slot, epoch);
+  slot.counts[bucket_index(bounds_, value)].fetch_add(
+      1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(slot.sum, value);
+}
+
+Histogram WindowedHistogram::merge(std::int64_t now_us) const {
+  Histogram out(bounds_);
+  const std::int64_t current = now_us / slot_span_us_;
+  const std::int64_t oldest =
+      current - static_cast<std::int64_t>(slots_.size()) + 1;
+  for (const Slot& slot : slots_) {
+    const std::int64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > current) continue;
+    const double slot_sum = slot.sum.load(std::memory_order_relaxed);
+    bool folded = false;
+    for (std::size_t i = 0; i < slot.counts.size(); ++i) {
+      const std::uint64_t n = slot.counts[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      out.merge_bucket(i, n, folded ? 0.0 : slot_sum);
+      folded = true;
+    }
+  }
+  return out;
+}
+
+std::uint64_t WindowedHistogram::count(std::int64_t now_us) const {
+  const std::int64_t current = now_us / slot_span_us_;
+  const std::int64_t oldest =
+      current - static_cast<std::int64_t>(slots_.size()) + 1;
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    const std::int64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > current) continue;
+    total += slot.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double EwmaRate::update(std::uint64_t total, std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!primed_) {
+    primed_ = true;
+    last_total_ = total;
+    last_us_ = now_us;
+    return rate_;
+  }
+  const double dt =
+      static_cast<double>(now_us - last_us_) / 1e6;
+  if (dt <= 0.0) return rate_;
+  const double instantaneous =
+      static_cast<double>(total - last_total_) / dt;
+  const double alpha = 1.0 - std::exp(-dt / tau_s_);
+  rate_ += alpha * (instantaneous - rate_);
+  last_total_ = total;
+  last_us_ = now_us;
+  return rate_;
+}
+
+double EwmaRate::value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rate_;
+}
+
+}  // namespace si

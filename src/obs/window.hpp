@@ -1,0 +1,134 @@
+// Multi-thread-safe and rolling-window instruments (DESIGN.md §10). The
+// base MetricsRegistry (metrics_registry.hpp) is single-writer by design —
+// the simulator/trainer hot paths stay synchronization-free. The serving
+// daemon, however, records from two threads concurrently and wants
+// "last N seconds" percentiles, not just process-lifetime cumulatives.
+// This header provides the shared building blocks:
+//
+//   * AtomicHistogram — the fixed-bucket histogram recorded with relaxed
+//     atomics from any number of threads, snapshotted deterministically
+//     into a plain Histogram for export (sum of per-bucket counts is
+//     exact; no locks on the record path).
+//   * WindowedHistogram — a ring of AtomicHistogram slots, each covering
+//     `slot_span_us` of time; merge(now) folds the slots still inside the
+//     window into one Histogram, giving last-N-seconds p50/p99/p999.
+//     Time is passed in explicitly, so tests drive rotation
+//     deterministically and production callers pass a steady-clock value.
+//   * EwmaRate — an exponentially weighted events/sec estimate fed from a
+//     monotonic counter at export time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+
+namespace si {
+
+/// Fixed-bucket histogram safe for concurrent observe() from any thread.
+/// Bucket tallies / count use relaxed atomics; sum uses an atomic double
+/// CAS-add. Export via snapshot_into(): bucket counts are exact (each
+/// observation lands in exactly one bucket); count/sum are read after the
+/// buckets, so a snapshot taken during concurrent recording is a valid
+/// histogram whose totals are at least the folded bucket tallies.
+class AtomicHistogram {
+ public:
+  explicit AtomicHistogram(std::vector<double> bounds);
+
+  void observe(double value);
+  /// Merges `count` pre-tallied observations into bucket `index`.
+  void merge_bucket(std::size_t index, std::uint64_t count, double sum);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Folds the bucket tallies into `out` (same bounds required) via
+  /// Histogram::merge_bucket. Deterministic given quiescent input.
+  void snapshot_into(Histogram& out) const;
+  /// Convenience: a fresh plain Histogram holding the snapshot.
+  Histogram snapshot() const;
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds+1 entries
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Rolling-window histogram: `slots` ring entries, each spanning
+/// `slot_span_us` microseconds. observe(value, now_us) lands in the slot
+/// for now_us, lazily resetting slots whose previous tenancy expired; the
+/// merge of the live slots covers between (slots-1) and slots slot-spans
+/// of history. All counters are atomic, so concurrent observe() is
+/// race-free; slot rotation takes a mutex (cold: once per slot span).
+class WindowedHistogram {
+ public:
+  WindowedHistogram(std::vector<double> bounds, std::int64_t slot_span_us,
+                    std::size_t slots);
+
+  void observe(double value, std::int64_t now_us);
+
+  /// Folds every slot still inside the window ending at `now_us` into one
+  /// plain Histogram (same bounds). Slots whose tenancy expired are
+  /// excluded, so quantiles reflect only the last window_span_us().
+  Histogram merge(std::int64_t now_us) const;
+
+  /// Count of observations inside the window ending at now_us.
+  std::uint64_t count(std::int64_t now_us) const;
+
+  std::int64_t slot_span_us() const { return slot_span_us_; }
+  std::int64_t window_span_us() const {
+    return slot_span_us_ * static_cast<std::int64_t>(slots_.size());
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Slot {
+    explicit Slot(std::size_t buckets) : counts(buckets) {}
+    /// Slot index (now_us / slot_span_us) currently stored; -1 = empty.
+    std::atomic<std::int64_t> epoch{-1};
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  /// Ensures `slot` holds tenancy `epoch`, resetting stale contents.
+  void rotate(Slot& slot, std::int64_t epoch);
+
+  std::vector<double> bounds_;
+  std::int64_t slot_span_us_;
+  /// deque: Slot holds atomics (immovable); deque emplace never relocates.
+  std::deque<Slot> slots_;
+  mutable std::mutex rotate_mutex_;
+};
+
+/// Exponentially weighted moving average of a rate (events/sec), fed from
+/// a monotonic counter: update(total, now_us) differentiates against the
+/// previous sample and smooths with time constant `tau_s`. The first
+/// update primes the state and reports 0.
+class EwmaRate {
+ public:
+  explicit EwmaRate(double tau_s = 10.0) : tau_s_(tau_s) {}
+
+  /// Feeds the current counter total; returns the smoothed rate.
+  double update(std::uint64_t total, std::int64_t now_us);
+  double value() const;
+
+ private:
+  double tau_s_;
+  mutable std::mutex mutex_;
+  bool primed_ = false;
+  std::uint64_t last_total_ = 0;
+  std::int64_t last_us_ = 0;
+  double rate_ = 0.0;
+};
+
+}  // namespace si

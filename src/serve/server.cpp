@@ -18,6 +18,7 @@
 #include "core/batch_inference.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/prom.hpp"
 #include "rl/actor_critic.hpp"
 
 namespace si::serve {
@@ -26,10 +27,62 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Virtual thread lanes of the exported trace (SpanCollector tids).
+constexpr std::uint32_t kIoLane = 1;
+constexpr std::uint32_t kInferLane = 2;
+constexpr std::uint32_t kQueueLane = 3;
+
 bool all_finite(const std::vector<double>& values) {
   for (const double v : values)
     if (!std::isfinite(v)) return false;
   return true;
+}
+
+double micros_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Opens a non-blocking listening socket on host:port; fills `bound_port`
+/// with the kernel-resolved port. Throws std::runtime_error on failure.
+int open_listener(const std::string& host, int port, int backlog,
+                  int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0)
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("serve: bad host " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("serve: cannot listen on " + host + ":" +
+                             std::to_string(port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+std::string http_response(int code, const char* status,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + status +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
 }
 
 }  // namespace
@@ -42,63 +95,61 @@ const std::vector<double>& ServerStats::latency_bounds_us() {
   return bounds;
 }
 
-ServerStats::ServerStats()
-    : latency_buckets(latency_bounds_us().size() + 1) {}
+ServerStats::ServerStats(std::int64_t window_slot_us,
+                         std::size_t window_slots)
+    : latency_us(latency_bounds_us()),
+      queue_wait_us(latency_bounds_us()),
+      infer_us(latency_bounds_us()),
+      latency_window(latency_bounds_us(), window_slot_us, window_slots),
+      epoch_(Clock::now()) {}
 
-void ServerStats::observe_latency_us(double us) {
-  const std::vector<double>& bounds = latency_bounds_us();
-  const auto it = std::lower_bound(bounds.begin(), bounds.end(), us);
-  latency_buckets[static_cast<std::size_t>(it - bounds.begin())].fetch_add(
-      1, std::memory_order_relaxed);
-  latency_count.fetch_add(1, std::memory_order_relaxed);
-  latency_sum_us.fetch_add(static_cast<std::uint64_t>(std::max(0.0, us)),
-                           std::memory_order_relaxed);
+std::int64_t ServerStats::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
 }
 
 Server::Server(ServerConfig config)
-    : config_(std::move(config)), slot_(config_.obs_size) {
+    : config_(std::move(config)),
+      slot_(config_.obs_size),
+      stats_(config_.window_slot_us,
+             static_cast<std::size_t>(std::max(config_.window_slots, 2))) {
   SI_REQUIRE(config_.obs_size >= 1);
   SI_REQUIRE(config_.max_batch >= 1);
   SI_REQUIRE(config_.queue_capacity >= 1);
   SI_REQUIRE(config_.max_connections >= 1);
+  SI_REQUIRE(config_.window_slot_us >= 1);
 }
 
 Server::~Server() { stop(); }
 
 void Server::start() {
   SI_REQUIRE(!running_.load());
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0)
-    throw std::runtime_error("serve: socket() failed: " +
-                             std::string(std::strerror(errno)));
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
-  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("serve: bad host " + config_.host);
+  listen_fd_ = open_listener(config_.host, config_.port, config_.backlog,
+                             &port_);
+  if (config_.metrics_port >= 0) {
+    try {
+      metrics_fd_ = open_listener(config_.host, config_.metrics_port,
+                                  config_.backlog, &metrics_port_);
+    } catch (...) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, config_.backlog) < 0) {
-    const std::string reason = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("serve: cannot listen on " + config_.host + ":" +
-                             std::to_string(config_.port) + ": " + reason);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  port_ = ntohs(bound.sin_port);
 
   if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    for (int* fd : {&listen_fd_, &metrics_fd_}) {
+      if (*fd >= 0) ::close(*fd);
+      *fd = -1;
+    }
     throw std::runtime_error("serve: pipe2() failed");
+  }
+
+  if (config_.spans != nullptr) {
+    config_.spans->register_thread(kIoLane, "serve-io");
+    config_.spans->register_thread(kInferLane, "serve-inference");
+    config_.spans->register_thread(kQueueLane, "serve-queue");
   }
 
   stopping_.store(false);
@@ -108,6 +159,9 @@ void Server::start() {
   inference_thread_ = std::thread([this] { inference_loop(); });
   SI_LOG_INFO("serve", "listening on " + config_.host + ":" +
                            std::to_string(port_));
+  if (metrics_fd_ >= 0)
+    SI_LOG_INFO("serve", "metrics endpoint on " + config_.host + ":" +
+                             std::to_string(metrics_port_) + "/metrics");
 }
 
 void Server::request_stop() noexcept {
@@ -126,7 +180,8 @@ void Server::stop() {
   queue_cv_.notify_all();
   if (io_thread_.joinable()) io_thread_.join();
   if (inference_thread_.joinable()) inference_thread_.join();
-  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+  for (int* fd :
+       {&listen_fd_, &metrics_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
     if (*fd >= 0) ::close(*fd);
     *fd = -1;
   }
@@ -141,6 +196,10 @@ PublishResult Server::publish_model(std::shared_ptr<ServedModel> model,
     stats_.swaps_ok.fetch_add(1, std::memory_order_relaxed);
   else
     stats_.swaps_failed.fetch_add(1, std::memory_order_relaxed);
+  if (config_.spans != nullptr)
+    config_.spans->instant("serve.swap", "serve", 0, kIoLane,
+                           {{"ok", result.ok ? "1" : "0"},
+                            {"epoch", std::to_string(result.epoch)}});
   return result;
 }
 
@@ -150,6 +209,10 @@ PublishResult Server::swap_from_file(const std::string& path) {
     stats_.swaps_ok.fetch_add(1, std::memory_order_relaxed);
   else
     stats_.swaps_failed.fetch_add(1, std::memory_order_relaxed);
+  if (config_.spans != nullptr)
+    config_.spans->instant("serve.swap", "serve", 0, kIoLane,
+                           {{"ok", result.ok ? "1" : "0"},
+                            {"epoch", std::to_string(result.epoch)}});
   return result;
 }
 
@@ -186,6 +249,9 @@ void Server::io_loop() {
     // accepts and immediately closes over-cap connections, so a client gets
     // a deterministic refusal instead of hanging in the backlog.
     fds.push_back(pollfd{draining ? -1 : listen_fd_, POLLIN, 0});
+    // Slot 2 is the /metrics side listener (fd -1 = disabled: poll skips it
+    // but the slot keeps conn indices fixed at 3 + i).
+    fds.push_back(pollfd{draining ? -1 : metrics_fd_, POLLIN, 0});
     for (const Conn& conn : conns_) {
       short events = 0;
       if (!draining && !conn.closing) events |= POLLIN;
@@ -207,15 +273,21 @@ void Server::io_loop() {
     // append new conns, which get polled on the next iteration.
     const std::size_t polled = conns_.size();
     if (fds[1].revents & POLLIN) accept_ready();
+    if (fds[2].revents & POLLIN) accept_metrics_ready();
     for (std::size_t i = 0; i < polled; ++i) {
-      const pollfd& pfd = fds[2 + i];
+      const pollfd& pfd = fds[3 + i];
       Conn& conn = conns_[i];
       if (conn.fd < 0 || pfd.fd != conn.fd) continue;
       if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
         close_conn(i);
         continue;
       }
-      if (pfd.revents & POLLIN) read_ready(conn);
+      if (pfd.revents & POLLIN) {
+        if (conn.http)
+          read_http_ready(conn);
+        else
+          read_ready(conn);
+      }
       if (conn.fd >= 0 && (pfd.revents & POLLOUT)) write_ready(conn);
       if (conn.fd >= 0 && conn.closing &&
           conn.outbuf.size() == conn.outbuf_off)
@@ -258,6 +330,87 @@ void Server::accept_ready() {
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     stats_.connections_active.store(conns_.size(), std::memory_order_relaxed);
   }
+}
+
+void Server::accept_metrics_ready() {
+  while (true) {
+    const int fd = ::accept4(metrics_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;
+    if (static_cast<int>(conns_.size()) >= config_.max_connections) {
+      stats_.connections_refused.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_++;
+    conn.http = true;
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::read_http_ready(Conn& conn) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.inbuf.append(buf, static_cast<std::size_t>(n));
+      if (conn.inbuf.find("\r\n\r\n") != std::string::npos ||
+          conn.inbuf.find("\n\n") != std::string::npos) {
+        handle_http(conn);
+        return;
+      }
+      if (conn.inbuf.size() > 8192) {
+        // A scraper sends a few hundred bytes of headers at most; anything
+        // larger is abuse of the side port.
+        conn.fd = mark_closed(conn);
+        return;
+      }
+      if (n < static_cast<ssize_t>(sizeof(buf))) return;
+      continue;
+    }
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      conn.fd = mark_closed(conn);
+      return;
+    }
+    return;  // EAGAIN: drained
+  }
+}
+
+void Server::handle_http(Conn& conn) {
+  stats_.http_requests.fetch_add(1, std::memory_order_relaxed);
+  // Request line: METHOD SP PATH SP VERSION. Only GET is served.
+  const std::size_t line_end = conn.inbuf.find_first_of("\r\n");
+  const std::string line = conn.inbuf.substr(
+      0, line_end == std::string::npos ? conn.inbuf.size() : line_end);
+  std::string method;
+  std::string path;
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 != std::string::npos) {
+    method = line.substr(0, sp1);
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    path = line.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                         : sp2 - sp1 - 1);
+  }
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::string response;
+  if (method != "GET") {
+    response = http_response(405, "Method Not Allowed", "text/plain",
+                             "method not allowed\n");
+  } else if (path == "/metrics") {
+    response = http_response(
+        200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+        metrics_text());
+  } else if (path == "/healthz") {
+    response = http_response(200, "OK", "text/plain", "ok\n");
+  } else {
+    response = http_response(404, "Not Found", "text/plain", "not found\n");
+  }
+  queue_reply(conn, response);
+  conn.closing = true;  // HTTP/1.0: flush the response, then close
 }
 
 void Server::read_ready(Conn& conn) {
@@ -369,6 +522,11 @@ void Server::handle_decision(Conn& conn, const Frame& frame) {
         degraded_reply(request.request_id, request.features,
                        ReplyStatus::kDegraded, DegradedReason::kNonFiniteInput);
     stats_.replies_total.fetch_add(1, std::memory_order_relaxed);
+    if (config_.spans != nullptr)
+      config_.spans->instant(
+          "serve.degraded", "serve", config_.spans->next_trace_id(), kIoLane,
+          {{"reason", "non_finite_input"},
+           {"request_id", std::to_string(request.request_id)}});
     queue_reply(conn, encode_decision_reply(reply));
     return;
   }
@@ -384,25 +542,66 @@ void Server::handle_decision(Conn& conn, const Frame& frame) {
   pending.deadline =
       pending.received + std::chrono::milliseconds(deadline_ms);
   pending.features = std::move(request.features);
+  if (config_.spans != nullptr) {
+    pending.trace_id = config_.spans->next_trace_id();
+    pending.root_span = config_.spans->next_span_id();
+    pending.received_us = config_.spans->now_us();
+    pending.enqueued_us = pending.received_us;
+  }
 
+  // Copied out before the move so the admit span / shed path can reference
+  // the request after the queue owns it.
+  const std::uint64_t trace_id = pending.trace_id;
+  const std::uint64_t root_span = pending.root_span;
+  const std::int64_t received_us = pending.received_us;
+  const std::uint64_t request_id = pending.request_id;
+  std::int64_t enqueued_us = received_us;
+
+  bool admitted = false;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (static_cast<int>(queue_.size()) < config_.queue_capacity) {
+      if (config_.spans != nullptr) {
+        // Stamped under the lock so queue_wait starts exactly where admit
+        // ends — the segments stay contiguous and sum to the request span.
+        enqueued_us = config_.spans->now_us();
+        pending.enqueued_us = enqueued_us;
+      }
       queue_.push_back(std::move(pending));
       stats_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
       queue_cv_.notify_one();
-      return;
+      admitted = true;
     }
+  }
+  if (admitted) {
+    if (config_.spans != nullptr) {
+      SpanEvent admit;
+      admit.name = "serve.admit";
+      admit.cat = "serve";
+      admit.trace_id = trace_id;
+      admit.span_id = config_.spans->next_span_id();
+      admit.parent_id = root_span;
+      admit.tid = kIoLane;
+      admit.ts_us = received_us;
+      admit.dur_us = enqueued_us - received_us;
+      config_.spans->record(std::move(admit));
+    }
+    return;
   }
   // Admission queue saturated: shed load by answering inline from the
   // zero-cost rule path, tagged degraded. The client always gets a reply.
   stats_.shed_total.fetch_add(1, std::memory_order_relaxed);
   stats_.decisions_degraded.fetch_add(1, std::memory_order_relaxed);
   DecisionReply reply =
-      degraded_reply(pending.request_id, pending.features,
-                     ReplyStatus::kDegraded, DegradedReason::kQueueSaturated);
+      degraded_reply(request_id, pending.features, ReplyStatus::kDegraded,
+                     DegradedReason::kQueueSaturated);
   stats_.replies_total.fetch_add(1, std::memory_order_relaxed);
-  stats_.observe_latency_us(0.0);
+  stats_.latency_us.observe(0.0);
+  stats_.latency_window.observe(0.0, stats_.now_us());
+  if (config_.spans != nullptr)
+    config_.spans->instant("serve.degraded", "serve", trace_id, kIoLane,
+                           {{"reason", "queue_saturated"},
+                            {"request_id", std::to_string(request_id)}});
   queue_reply(conn, encode_decision_reply(reply));
 }
 
@@ -433,15 +632,15 @@ void Server::close_conn(std::size_t index) {
 }
 
 void Server::drain_outbound() {
-  std::vector<std::pair<std::uint64_t, std::string>> ready;
+  std::vector<OutboundReply> ready;
   {
     std::lock_guard<std::mutex> lock(outbound_mutex_);
     ready.swap(outbound_);
   }
-  for (auto& [conn_id, bytes] : ready) {
+  for (OutboundReply& reply : ready) {
     Conn* conn = nullptr;
     for (Conn& c : conns_)
-      if (c.id == conn_id && c.fd >= 0) {
+      if (c.id == reply.conn_id && c.fd >= 0) {
         conn = &c;
         break;
       }
@@ -449,7 +648,22 @@ void Server::drain_outbound() {
       stats_.orphaned_replies.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    queue_reply(*conn, bytes);
+    queue_reply(*conn, reply.bytes);
+    if (config_.spans != nullptr && reply.trace_id != 0) {
+      // The I/O-side tail of the request: reply bytes handed to the socket
+      // (or its outbound buffer). Starts where serve.inference ended.
+      SpanEvent write_span;
+      write_span.name = "serve.reply_write";
+      write_span.cat = "serve";
+      write_span.trace_id = reply.trace_id;
+      write_span.span_id = config_.spans->next_span_id();
+      write_span.parent_id = reply.parent_span;
+      write_span.tid = kIoLane;
+      write_span.ts_us = reply.done_us;
+      write_span.dur_us =
+          std::max<std::int64_t>(0, config_.spans->now_us() - reply.done_us);
+      config_.spans->record(std::move(write_span));
+    }
   }
 }
 
@@ -484,9 +698,11 @@ DecisionReply Server::degraded_reply(std::uint64_t request_id,
 
 void Server::inference_loop() {
   PolicyBatch batch(config_.obs_size);
+  if (config_.spans != nullptr)
+    batch.set_spans(config_.spans, "serve", kInferLane);
   std::vector<PendingRequest> taken;
   std::vector<std::size_t> model_rows;  ///< indices into `taken`
-  std::vector<std::pair<std::uint64_t, std::string>> replies;
+  std::vector<OutboundReply> replies;
 
   while (true) {
     taken.clear();
@@ -522,6 +738,8 @@ void Server::inference_loop() {
     std::uint64_t epoch = 0;
     const std::shared_ptr<const ServedModel> model = slot_.acquire(&epoch);
     const Clock::time_point now = Clock::now();
+    const std::int64_t taken_us =
+        config_.spans != nullptr ? config_.spans->now_us() : 0;
     replies.clear();
     batch.clear();
     model_rows.clear();
@@ -531,6 +749,10 @@ void Server::inference_loop() {
       const PendingRequest& req = taken[i];
       if (req.has_deadline && now > req.deadline) {
         stats_.deadline_exceeded_total.fetch_add(1, std::memory_order_relaxed);
+        if (config_.spans != nullptr)
+          config_.spans->instant(
+              "serve.deadline_exceeded", "serve", req.trace_id, kInferLane,
+              {{"request_id", std::to_string(req.request_id)}});
         out[i] = degraded_reply(req.request_id, req.features,
                                 ReplyStatus::kDeadlineExceeded,
                                 DegradedReason::kNone);
@@ -538,6 +760,11 @@ void Server::inference_loop() {
       }
       if (model == nullptr) {
         stats_.decisions_degraded.fetch_add(1, std::memory_order_relaxed);
+        if (config_.spans != nullptr)
+          config_.spans->instant(
+              "serve.degraded", "serve", req.trace_id, kInferLane,
+              {{"reason", "no_model"},
+               {"request_id", std::to_string(req.request_id)}});
         out[i] = degraded_reply(req.request_id, req.features,
                                 ReplyStatus::kDegraded,
                                 DegradedReason::kNoModel);
@@ -565,6 +792,11 @@ void Server::inference_loop() {
           faulted = true;
           stats_.inference_faults.fetch_add(1, std::memory_order_relaxed);
           stats_.decisions_degraded.fetch_add(1, std::memory_order_relaxed);
+          if (config_.spans != nullptr)
+            config_.spans->instant(
+                "serve.inference_fault", "serve", req.trace_id, kInferLane,
+                {{"request_id", std::to_string(req.request_id)},
+                 {"epoch", std::to_string(epoch)}});
           reply = degraded_reply(req.request_id, req.features,
                                  ReplyStatus::kDegraded,
                                  DegradedReason::kInferenceFault);
@@ -578,19 +810,80 @@ void Server::inference_loop() {
         reply.prob = sigmoid(logit);
         reply.epoch = epoch;
       }
-      if (faulted && slot_.report_fault(epoch))
+      if (faulted && slot_.report_fault(epoch)) {
         SI_LOG_ERROR("serve", "rolled back to last-good model after "
                               "inference fault");
+        if (config_.spans != nullptr)
+          config_.spans->instant("serve.rollback", "serve", 0, kInferLane,
+                                 {{"epoch", std::to_string(epoch)}});
+      }
     }
 
     const Clock::time_point done = Clock::now();
+    const std::int64_t done_us =
+        config_.spans != nullptr ? config_.spans->now_us() : 0;
+    const std::int64_t window_now_us = stats_.now_us();
     for (std::size_t i = 0; i < taken.size(); ++i) {
+      const PendingRequest& req = taken[i];
       stats_.replies_total.fetch_add(1, std::memory_order_relaxed);
-      stats_.observe_latency_us(
-          std::chrono::duration<double, std::micro>(done - taken[i].received)
-              .count());
-      replies.emplace_back(taken[i].conn_id,
-                           encode_decision_reply(out[i]));
+      const double latency = micros_between(req.received, done);
+      stats_.latency_us.observe(latency);
+      stats_.latency_window.observe(latency, window_now_us);
+      stats_.queue_wait_us.observe(micros_between(req.received, now));
+      stats_.infer_us.observe(micros_between(now, done));
+
+      OutboundReply reply;
+      reply.conn_id = req.conn_id;
+      reply.bytes = encode_decision_reply(out[i]);
+      if (config_.spans != nullptr) {
+        // Three contiguous child segments on the collector clock:
+        //   admit      [received_us, enqueued_us)   (recorded by the I/O
+        //                                            thread at admission)
+        //   queue_wait [enqueued_us, taken_us)
+        //   inference  [taken_us,    done_us)
+        // so dur(admit) + dur(queue_wait) + dur(inference) == dur(request)
+        // exactly — the trace is self-checking against the latency metric.
+        SpanEvent queue_span;
+        queue_span.name = "serve.queue_wait";
+        queue_span.cat = "serve";
+        queue_span.trace_id = req.trace_id;
+        queue_span.span_id = config_.spans->next_span_id();
+        queue_span.parent_id = req.root_span;
+        queue_span.tid = kQueueLane;
+        queue_span.ts_us = req.enqueued_us;
+        queue_span.dur_us = std::max<std::int64_t>(0, taken_us -
+                                                          req.enqueued_us);
+        config_.spans->record(std::move(queue_span));
+
+        SpanEvent infer_span;
+        infer_span.name = "serve.inference";
+        infer_span.cat = "serve";
+        infer_span.trace_id = req.trace_id;
+        infer_span.span_id = config_.spans->next_span_id();
+        infer_span.parent_id = req.root_span;
+        infer_span.tid = kInferLane;
+        infer_span.ts_us = taken_us;
+        infer_span.dur_us = std::max<std::int64_t>(0, done_us - taken_us);
+        config_.spans->record(std::move(infer_span));
+
+        SpanEvent root;
+        root.name = "serve.request";
+        root.cat = "serve";
+        root.trace_id = req.trace_id;
+        root.span_id = req.root_span;
+        root.tid = kInferLane;
+        root.ts_us = req.received_us;
+        root.dur_us = std::max<std::int64_t>(0, done_us - req.received_us);
+        root.args.emplace_back("request_id", std::to_string(req.request_id));
+        root.args.emplace_back("status",
+                               std::to_string(static_cast<int>(out[i].status)));
+        config_.spans->record(std::move(root));
+
+        reply.trace_id = req.trace_id;
+        reply.parent_span = req.root_span;
+        reply.done_us = done_us;
+      }
+      replies.push_back(std::move(reply));
     }
     {
       std::lock_guard<std::mutex> lock(outbound_mutex_);
@@ -606,8 +899,7 @@ void Server::inference_loop() {
 // Stats
 // ---------------------------------------------------------------------------
 
-std::string Server::stats_json() const {
-  MetricsRegistry registry;
+void Server::build_stats_registry(MetricsRegistry& registry) const {
   const auto counter = [&](const char* name,
                            const std::atomic<std::uint64_t>& value) {
     registry.counter(name).inc(value.load(std::memory_order_relaxed));
@@ -631,6 +923,7 @@ std::string Server::stats_json() const {
   counter("serve.model_rollbacks", slot_.rollbacks());
   counter("serve.batches", stats_.batches);
   counter("serve.batched_rows", stats_.batched_rows);
+  counter("serve.http_requests", stats_.http_requests);
   registry.gauge("serve.connections_active")
       .set(static_cast<double>(
           stats_.connections_active.load(std::memory_order_relaxed)));
@@ -639,21 +932,58 @@ std::string Server::stats_json() const {
           stats_.queue_depth.load(std::memory_order_relaxed)));
   registry.gauge("serve.model_epoch").set(static_cast<double>(slot_.epoch()));
 
-  Histogram& latency =
-      registry.histogram("serve.latency_us", ServerStats::latency_bounds_us());
-  for (std::size_t i = 0; i < stats_.latency_buckets.size(); ++i) {
-    const std::uint64_t count =
-        stats_.latency_buckets[i].load(std::memory_order_relaxed);
-    if (count > 0) latency.merge_bucket(i, count, 0.0);
-  }
-  // Per-bucket sums are not tracked server-side; fold the global sum in as
-  // a zero-count merge so mean()/sum() stay meaningful.
-  latency.merge_bucket(stats_.latency_buckets.size() - 1, 0,
-                       static_cast<double>(stats_.latency_sum_us.load(
-                           std::memory_order_relaxed)));
+  const std::vector<double>& bounds = ServerStats::latency_bounds_us();
+  Histogram& latency = registry.histogram("serve.latency_us", bounds);
+  stats_.latency_us.snapshot_into(latency);
   registry.gauge("serve.p50_latency_us").set(histogram_quantile(latency, 0.5));
   registry.gauge("serve.p99_latency_us").set(histogram_quantile(latency, 0.99));
+  registry.gauge("serve.p999_latency_us")
+      .set(histogram_quantile(latency, 0.999));
+
+  // Pipeline breakdown: time waiting in the admission queue vs. time on
+  // the inference thread (receipt -> taken -> reply encoded).
+  Histogram& queue_wait = registry.histogram("serve.queue_wait_us", bounds);
+  stats_.queue_wait_us.snapshot_into(queue_wait);
+  registry.gauge("serve.queue_wait_p50_us")
+      .set(histogram_quantile(queue_wait, 0.5));
+  registry.gauge("serve.queue_wait_p99_us")
+      .set(histogram_quantile(queue_wait, 0.99));
+  Histogram& infer = registry.histogram("serve.infer_us", bounds);
+  stats_.infer_us.snapshot_into(infer);
+  registry.gauge("serve.infer_p50_us").set(histogram_quantile(infer, 0.5));
+  registry.gauge("serve.infer_p99_us").set(histogram_quantile(infer, 0.99));
+
+  // Rolling last-N-seconds view (see ServerConfig::window_slots): the
+  // cumulative histograms above never forget, these do.
+  const std::int64_t now_us = stats_.now_us();
+  const Histogram window = stats_.latency_window.merge(now_us);
+  Histogram& window_out = registry.histogram("serve.window.latency_us", bounds);
+  for (std::size_t i = 0; i < window.counts().size(); ++i)
+    if (window.counts()[i] > 0) window_out.merge_bucket(i, window.counts()[i], 0.0);
+  window_out.merge_bucket(window.counts().size() - 1, 0, window.sum());
+  registry.gauge("serve.window.count")
+      .set(static_cast<double>(window.count()));
+  registry.gauge("serve.window.p50_latency_us")
+      .set(histogram_quantile(window, 0.5));
+  registry.gauge("serve.window.p99_latency_us")
+      .set(histogram_quantile(window, 0.99));
+  registry.gauge("serve.window.p999_latency_us")
+      .set(histogram_quantile(window, 0.999));
+  registry.gauge("serve.window.req_per_s")
+      .set(stats_.reply_rate.update(
+          stats_.replies_total.load(std::memory_order_relaxed), now_us));
+}
+
+std::string Server::stats_json() const {
+  MetricsRegistry registry;
+  build_stats_registry(registry);
   return registry.to_json();
+}
+
+std::string Server::metrics_text() const {
+  MetricsRegistry registry;
+  build_stats_registry(registry);
+  return prometheus_text(registry);
 }
 
 }  // namespace si::serve

@@ -27,6 +27,12 @@
 //     requests, flushes replies, then exits; stats_json() exposes queue
 //     depth, degraded counts, swap epoch, and latency percentiles through
 //     the obs MetricsRegistry.
+//
+// Observability (DESIGN.md §10): an optional HTTP/1.0 side port serves the
+// same stats as Prometheus text (GET /metrics) plus GET /healthz from the
+// existing poll loop; an optional SpanCollector records per-request span
+// trees (admit / queue_wait / inference / reply_write) and degradation
+// instant events, exportable as Perfetto-loadable Chrome trace JSON.
 #pragma once
 
 #include <atomic>
@@ -41,6 +47,8 @@
 #include <vector>
 
 #include "core/rule_inspector.hpp"
+#include "obs/span.hpp"
+#include "obs/window.hpp"
 #include "serve/model_slot.hpp"
 #include "serve/protocol.hpp"
 
@@ -69,6 +77,23 @@ struct ServerConfig {
   std::size_t max_write_buffer = 1 << 20;
   /// stop() flushes in-flight work for at most this long.
   int drain_timeout_ms = 2000;
+
+  /// Side port answering plain HTTP/1.0 GET /metrics (Prometheus text
+  /// exposition of the same registry stats_json() renders) and GET
+  /// /healthz, served from the existing poll loop. -1 = disabled,
+  /// 0 = kernel-assigned (see Server::metrics_port()).
+  int metrics_port = -1;
+  /// Rolling window behind the serve.window.* stats: `window_slots` ring
+  /// slots of `window_slot_us` each (default: last ~10 seconds).
+  int window_slots = 10;
+  std::int64_t window_slot_us = 1'000'000;
+  /// When set, every admitted request records a span tree — serve.request
+  /// with serve.admit / serve.queue_wait / serve.inference /
+  /// serve.reply_write children whose first three segments sum exactly to
+  /// the request span — plus instant events for shedding, deadline misses,
+  /// inference faults, and rollbacks (DESIGN.md §10). Null = untraced; the
+  /// hot path is byte-identical to the seed.
+  SpanCollector* spans = nullptr;
 };
 
 /// One decision's life inside the server (admission -> inference -> reply).
@@ -79,10 +104,19 @@ struct PendingRequest {
   std::chrono::steady_clock::time_point deadline;
   bool has_deadline = false;
   std::vector<double> features;
+  // Span bookkeeping (zero when tracing is off): the request's trace, its
+  // root span id (children reference it), and the SpanCollector-clock
+  // timestamps of receipt and enqueue.
+  std::uint64_t trace_id = 0;
+  std::uint64_t root_span = 0;
+  std::int64_t received_us = 0;
+  std::int64_t enqueued_us = 0;
 };
 
-/// Monotonic counters / gauges, written with relaxed atomics from both
-/// threads and snapshotted into a MetricsRegistry by stats_json().
+/// Monotonic counters / gauges / histograms, written with relaxed atomics
+/// from both threads and snapshotted into a MetricsRegistry by
+/// stats_json() / the /metrics endpoint. Every instrument here is safe for
+/// concurrent recording (obs/window.hpp); export merges deterministically.
 struct ServerStats {
   std::atomic<std::uint64_t> connections_accepted{0};
   std::atomic<std::uint64_t> connections_refused{0};
@@ -104,16 +138,32 @@ struct ServerStats {
   std::atomic<std::uint64_t> queue_depth{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> batched_rows{0};
+  std::atomic<std::uint64_t> http_requests{0};  ///< /metrics + /healthz hits
 
-  // Fixed-bucket reply-latency histogram in microseconds (receipt ->
-  // reply enqueued). Buckets are kLatencyBounds plus one overflow slot.
+  /// Shared bucket edges (µs) of every latency-shaped histogram below.
   static const std::vector<double>& latency_bounds_us();
-  std::vector<std::atomic<std::uint64_t>> latency_buckets;
-  std::atomic<std::uint64_t> latency_count{0};
-  std::atomic<std::uint64_t> latency_sum_us{0};
 
-  ServerStats();
-  void observe_latency_us(double us);
+  /// End-to-end reply latency (receipt -> reply enqueued), cumulative.
+  AtomicHistogram latency_us;
+  /// Admission-queue wait (receipt -> taken by the inference thread).
+  AtomicHistogram queue_wait_us;
+  /// Inference-thread service time (taken -> reply encoded), including the
+  /// batched forward; degraded rows record their (near-zero) handling time.
+  AtomicHistogram infer_us;
+  /// Rolling last-N-seconds reply latency behind the serve.window.* stats.
+  WindowedHistogram latency_window;
+  /// Smoothed replies/sec, fed from replies_total at export time.
+  mutable EwmaRate reply_rate;
+
+  explicit ServerStats(std::int64_t window_slot_us = 1'000'000,
+                       std::size_t window_slots = 10);
+
+  /// Microseconds since construction on the steady clock — the time base of
+  /// latency_window and reply_rate.
+  std::int64_t now_us() const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
 };
 
 class Server {
@@ -130,6 +180,10 @@ class Server {
 
   /// The actually bound port (after start(); resolves port 0).
   int port() const { return port_; }
+
+  /// The bound /metrics side port (after start(); resolves port 0), or -1
+  /// when the endpoint is disabled.
+  int metrics_port() const { return metrics_port_; }
 
   /// Async-signal-safe stop trigger: flags shutdown and wakes the I/O
   /// thread via the self-pipe. Safe to call from a signal handler.
@@ -157,9 +211,14 @@ class Server {
   const ServerStats& stats() const { return stats_; }
 
   /// Health/stats snapshot rendered through the obs MetricsRegistry:
-  /// serve.* counters/gauges, the latency histogram, and derived
-  /// p50/p99_latency_us gauges.
+  /// serve.* counters/gauges, the latency / queue-wait / inference
+  /// histograms, derived p50/p99/p999 gauges, and the rolling
+  /// serve.window.* stats (last-N-seconds percentiles and replies/sec).
   std::string stats_json() const;
+
+  /// The same snapshot in Prometheus text exposition format 0.0.4 — what
+  /// GET /metrics on the side port returns.
+  std::string metrics_text() const;
 
  private:
   struct Conn {
@@ -169,6 +228,19 @@ class Server {
     std::string outbuf;
     std::size_t outbuf_off = 0;  ///< bytes of outbuf already written
     bool closing = false;        ///< flush outbuf, then close
+    bool http = false;           ///< accepted on the /metrics side port
+    std::string inbuf;           ///< http request bytes (http conns only)
+  };
+
+  /// One reply crossing from the inference thread to the I/O thread. The
+  /// span fields let the I/O thread record the serve.reply_write segment
+  /// (zero / unused when tracing is off).
+  struct OutboundReply {
+    std::uint64_t conn_id = 0;
+    std::string bytes;
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
+    std::int64_t done_us = 0;
   };
 
   void io_loop();
@@ -176,7 +248,10 @@ class Server {
 
   // --- I/O-thread helpers ---
   void accept_ready();
+  void accept_metrics_ready();
   void read_ready(Conn& conn);
+  void read_http_ready(Conn& conn);
+  void handle_http(Conn& conn);
   void write_ready(Conn& conn);
   void handle_frame(Conn& conn, Frame frame);
   void handle_decision(Conn& conn, const Frame& frame);
@@ -194,6 +269,11 @@ class Server {
                                const std::vector<double>& features,
                                ReplyStatus status, DegradedReason reason) const;
 
+  /// Builds the full serve.* snapshot into `registry` — the single source
+  /// both stats_json() (JSON over SIN1) and metrics_text() (Prometheus over
+  /// HTTP) render from.
+  void build_stats_registry(MetricsRegistry& registry) const;
+
   void wake_io() noexcept;
 
   ServerConfig config_;
@@ -202,6 +282,8 @@ class Server {
 
   int listen_fd_ = -1;
   int port_ = 0;
+  int metrics_fd_ = -1;
+  int metrics_port_ = -1;
   int wake_pipe_[2] = {-1, -1};
 
   std::atomic<bool> stopping_{false};
@@ -215,7 +297,7 @@ class Server {
 
   // Outbound replies: inference thread produces, I/O thread consumes.
   std::mutex outbound_mutex_;
-  std::vector<std::pair<std::uint64_t, std::string>> outbound_;
+  std::vector<OutboundReply> outbound_;
 
   std::vector<Conn> conns_;  ///< I/O thread only
   std::uint64_t next_conn_id_ = 1;

@@ -40,6 +40,47 @@ TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
   EXPECT_DOUBLE_EQ(h.mean(), 3.4);
 }
 
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 0.0);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinABucket) {
+  Histogram h({100.0, 200.0});
+  for (int i = 0; i < 10; ++i) h.observe(150.0);
+  // All mass in (100, 200]: linear interpolation inside that bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 150.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 200.0);
+}
+
+TEST(HistogramQuantile, FirstBucketInterpolatesFromZero) {
+  Histogram h({10.0, 20.0});
+  h.observe(5.0);
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 5.0);  // 0 + 0.5 * 10
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToLastBound) {
+  Histogram h({1.0, 2.0});
+  h.observe(99.0);
+  h.observe(99.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 2.0);
+}
+
+TEST(MetricsRegistry, CsvEscapesHostileInstrumentNames) {
+  MetricsRegistry registry;
+  registry.counter("a,b").inc();
+  registry.gauge("say \"hi\"").set(1.0);
+  registry.counter("line\nbreak").inc(2);
+  const std::string csv = registry.to_csv();
+  // RFC 4180: quoted fields with embedded quotes doubled — a hostile name
+  // can never add columns or rows to the export.
+  EXPECT_NE(csv.find("counter,\"a,b\",value,1"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,\"say \"\"hi\"\"\",value,1"), std::string::npos);
+  EXPECT_NE(csv.find("counter,\"line\nbreak\",value,2"), std::string::npos);
+}
+
 TEST(MetricsRegistry, HandlesAreStableAcrossLookups) {
   MetricsRegistry registry;
   EXPECT_TRUE(registry.empty());

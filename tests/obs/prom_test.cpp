@@ -1,0 +1,68 @@
+#include "obs/prom.hpp"
+
+#include <gtest/gtest.h>
+
+namespace si {
+namespace {
+
+TEST(PrometheusName, PassesThroughLegalNames) {
+  EXPECT_EQ(prometheus_name("serve_latency_us"), "serve_latency_us");
+  EXPECT_EQ(prometheus_name("ns:sub_system"), "ns:sub_system");
+}
+
+TEST(PrometheusName, SanitizesIllegalCharacters) {
+  EXPECT_EQ(prometheus_name("serve.latency_us"), "serve_latency_us");
+  EXPECT_EQ(prometheus_name("a-b c/d"), "a_b_c_d");
+}
+
+TEST(PrometheusName, LeadingDigitGainsUnderscore) {
+  EXPECT_EQ(prometheus_name("99th_percentile"), "_99th_percentile");
+}
+
+TEST(PrometheusName, EmptyBecomesUnderscore) {
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(PrometheusLabelEscape, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(prometheus_label_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(prometheus_label_escape("plain"), "plain");
+}
+
+TEST(PrometheusText, CountersAndGauges) {
+  MetricsRegistry registry;
+  registry.counter("serve.replies").inc(3);
+  registry.gauge("serve.queue_depth").set(2.5);
+  EXPECT_EQ(prometheus_text(registry),
+            "# TYPE serve_replies counter\n"
+            "serve_replies 3\n"
+            "# TYPE serve_queue_depth gauge\n"
+            "serve_queue_depth 2.5\n");
+}
+
+TEST(PrometheusText, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("lat.us", {1.0, 2.0, 5.0});
+  hist.observe(0.5);
+  hist.observe(1.5);
+  hist.observe(1.5);
+  hist.observe(9.0);  // overflow bucket
+  EXPECT_EQ(prometheus_text(registry),
+            "# TYPE lat_us histogram\n"
+            "lat_us_bucket{le=\"1\"} 1\n"
+            "lat_us_bucket{le=\"2\"} 3\n"
+            "lat_us_bucket{le=\"5\"} 3\n"
+            "lat_us_bucket{le=\"+Inf\"} 4\n"
+            "lat_us_sum 12.5\n"
+            "lat_us_count 4\n");
+}
+
+TEST(PrometheusText, InstrumentsRenderInNameOrder) {
+  MetricsRegistry registry;
+  registry.counter("zz").inc();
+  registry.counter("aa").inc(2);
+  const std::string text = prometheus_text(registry);
+  EXPECT_LT(text.find("aa 2"), text.find("zz 1"));
+}
+
+}  // namespace
+}  // namespace si

@@ -1,0 +1,198 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace si {
+namespace {
+
+SpanEvent complete_event(std::string name, std::int64_t ts_us,
+                         std::int64_t dur_us = 1,
+                         std::uint64_t span_id = 0) {
+  SpanEvent event;
+  event.name = std::move(name);
+  event.cat = "test";
+  event.trace_id = 1;
+  event.span_id = span_id;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  return event;
+}
+
+TEST(SpanCollector, IdsStartAtOneAndIncrement) {
+  SpanCollector spans;
+  EXPECT_EQ(spans.next_trace_id(), 1u);
+  EXPECT_EQ(spans.next_trace_id(), 2u);
+  EXPECT_EQ(spans.next_span_id(), 1u);
+  EXPECT_EQ(spans.next_span_id(), 2u);
+}
+
+TEST(SpanCollector, RecordAssignsSpanIdWhenUnset) {
+  SpanCollector spans;
+  spans.record(complete_event("a", 10));
+  const std::vector<SpanEvent> out = spans.snapshot();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GT(out[0].span_id, 0u);
+}
+
+TEST(SpanCollector, RingDropsOldestAtCapacity) {
+  SpanCollector spans(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i)
+    spans.record(complete_event("e" + std::to_string(i), i));
+  EXPECT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans.dropped(), 2u);
+  const std::vector<SpanEvent> out = spans.snapshot();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.front().name, "e2");  // e0 and e1 were evicted
+  EXPECT_EQ(out.back().name, "e4");
+}
+
+TEST(SpanCollector, SnapshotSortsByTimestampThenSpanId) {
+  SpanCollector spans;
+  spans.record(complete_event("late", 300, 1, 7));
+  spans.record(complete_event("tie_b", 100, 1, 9));
+  spans.record(complete_event("tie_a", 100, 1, 8));
+  spans.record(complete_event("early", 50, 1, 6));
+  const std::vector<SpanEvent> out = spans.snapshot();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].name, "early");
+  EXPECT_EQ(out[1].name, "tie_a");  // ts tie broken by span id
+  EXPECT_EQ(out[2].name, "tie_b");
+  EXPECT_EQ(out[3].name, "late");
+}
+
+TEST(SpanCollector, ExportIsDeterministicUnderConcurrentRecording) {
+  SpanCollector spans;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&spans, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Fixed timestamps + collector-assigned span ids: arrival order
+        // varies run to run, the sorted export must not.
+        SpanEvent event = complete_event("t" + std::to_string(t), i);
+        event.tid = static_cast<std::uint32_t>(t);
+        spans.record(std::move(event));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  const std::string first = spans.to_jsonl();
+  const std::string second = spans.to_jsonl();
+  EXPECT_EQ(first, second);
+  // Sorted by (ts, span_id): timestamps must be non-decreasing.
+  const std::vector<SpanEvent> out = spans.snapshot();
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_LE(out[i - 1].ts_us, out[i].ts_us);
+}
+
+TEST(SpanCollector, HostileNamesAndArgsAreEscaped) {
+  SpanCollector spans;
+  SpanEvent event = complete_event("evil\"name\n", 1);
+  event.args.emplace_back("k\"ey", "va\\lue\n");
+  spans.record(std::move(event));
+  const std::string jsonl = spans.to_jsonl();
+  // One event, one line: raw newlines must have been escaped away.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+  EXPECT_NE(jsonl.find("evil\\\"name\\n"), std::string::npos);
+  EXPECT_NE(jsonl.find("k\\\"ey"), std::string::npos);
+  EXPECT_NE(jsonl.find("va\\\\lue\\n"), std::string::npos);
+}
+
+TEST(SpanCollector, ChromeJsonWrapsEventsAndNamesThreads) {
+  SpanCollector spans;
+  spans.register_thread(2, "serve-inference");
+  spans.record(complete_event("serve.request", 5));
+  spans.instant("serve.degraded", "serve", /*trace_id=*/1, /*tid=*/2,
+                {{"reason", "queue_saturated"}});
+  const std::string json = spans.to_chrome_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve-inference\""), std::string::npos);
+  // Instants carry the thread scope marker; completes carry a duration.
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"queue_saturated\""), std::string::npos);
+}
+
+TEST(ScopedSpan, NestingBuildsParentChainAndSharesTrace) {
+  SpanCollector spans;
+  {
+    ScopedSpan outer(&spans, "outer", "test");
+    EXPECT_NE(SpanCollector::current_span(), 0u);
+    EXPECT_NE(SpanCollector::current_trace(), 0u);
+    {
+      ScopedSpan inner(&spans, "inner", "test");
+      ScopedSpan leaf(&spans, "leaf", "test");
+      (void)leaf;
+    }
+  }
+  // The outermost scope owned the trace: fully unwound = no open trace.
+  EXPECT_EQ(SpanCollector::current_span(), 0u);
+  EXPECT_EQ(SpanCollector::current_trace(), 0u);
+
+  const std::vector<SpanEvent> out = spans.snapshot();
+  ASSERT_EQ(out.size(), 3u);
+  const SpanEvent* outer = nullptr;
+  const SpanEvent* inner = nullptr;
+  const SpanEvent* leaf = nullptr;
+  for (const SpanEvent& event : out) {
+    if (event.name == "outer") outer = &event;
+    if (event.name == "inner") inner = &event;
+    if (event.name == "leaf") leaf = &event;
+  }
+  ASSERT_TRUE(outer != nullptr && inner != nullptr && leaf != nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_EQ(leaf->parent_id, inner->span_id);
+  EXPECT_EQ(outer->trace_id, inner->trace_id);
+  EXPECT_EQ(inner->trace_id, leaf->trace_id);
+}
+
+TEST(ScopedSpan, PinnedTraceIsJoinedNotOwned) {
+  SpanCollector spans;
+  SpanCollector::set_current_trace(42);
+  {
+    ScopedSpan scope(&spans, "pinned", "test");
+    (void)scope;
+  }
+  // The scope joined trace 42 and must not clear it on exit.
+  EXPECT_EQ(SpanCollector::current_trace(), 42u);
+  SpanCollector::set_current_trace(0);
+  const std::vector<SpanEvent> out = spans.snapshot();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].trace_id, 42u);
+}
+
+TEST(ScopedSpan, NullCollectorIsANoOp) {
+  {
+    ScopedSpan scope(nullptr, "ghost", "test");
+    scope.arg("k", "v");
+    EXPECT_EQ(SpanCollector::current_span(), 0u);
+    EXPECT_EQ(SpanCollector::current_trace(), 0u);
+  }
+  SUCCEED();
+}
+
+TEST(ScopedSpan, ArgAddedInsideScopeIsExported) {
+  SpanCollector spans;
+  {
+    ScopedSpan scope(&spans, "work", "test");
+    scope.arg("result", "ok");
+  }
+  const std::vector<SpanEvent> out = spans.snapshot();
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].args.size(), 1u);
+  EXPECT_EQ(out[0].args[0].first, "result");
+  EXPECT_EQ(out[0].args[0].second, "ok");
+}
+
+}  // namespace
+}  // namespace si

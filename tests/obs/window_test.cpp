@@ -1,0 +1,176 @@
+#include "obs/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace si {
+namespace {
+
+TEST(AtomicHistogram, SnapshotMatchesPlainHistogram) {
+  const std::vector<double> bounds{1.0, 2.0, 5.0};
+  AtomicHistogram atomic(bounds);
+  Histogram plain(bounds);
+  for (const double v : {0.5, 1.0, 1.5, 5.0, 9.0}) {
+    atomic.observe(v);
+    plain.observe(v);
+  }
+  const Histogram snap = atomic.snapshot();
+  EXPECT_EQ(snap.counts(), plain.counts());
+  EXPECT_EQ(snap.count(), plain.count());
+  EXPECT_DOUBLE_EQ(snap.sum(), plain.sum());
+}
+
+TEST(AtomicHistogram, ConcurrentObserveLosesNothing) {
+  AtomicHistogram hist({10.0, 100.0, 1000.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i)
+        hist.observe(static_cast<double>(i % 2000));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Sum of i % 2000 over kPerThread = 10 full cycles of 0..1999.
+  const double per_thread = 10.0 * (1999.0 * 2000.0 / 2.0);
+  EXPECT_DOUBLE_EQ(hist.sum(), kThreads * per_thread);
+  const Histogram snap = hist.snapshot();
+  std::uint64_t folded = 0;
+  for (const std::uint64_t n : snap.counts()) folded += n;
+  EXPECT_EQ(folded, hist.count());
+}
+
+TEST(AtomicHistogram, MergeBucketAndResetRoundTrip) {
+  AtomicHistogram hist({1.0, 2.0});
+  hist.merge_bucket(1, 4, 6.0);
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 6.0);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+  EXPECT_EQ(hist.snapshot().count(), 0u);
+}
+
+TEST(WindowedHistogram, EmptyWindowQuantileIsZero) {
+  WindowedHistogram window({1.0, 10.0}, /*slot_span_us=*/1000, /*slots=*/4);
+  const Histogram merged = window.merge(/*now_us=*/0);
+  EXPECT_EQ(merged.count(), 0u);
+  EXPECT_EQ(window.count(0), 0u);
+  EXPECT_DOUBLE_EQ(histogram_quantile(merged, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(merged, 0.99), 0.0);
+}
+
+TEST(WindowedHistogram, SingleBucketInterpolates) {
+  WindowedHistogram window({100.0, 200.0}, 1000, 4);
+  for (int i = 0; i < 10; ++i) window.observe(150.0, /*now_us=*/0);
+  const Histogram merged = window.merge(0);
+  EXPECT_EQ(merged.count(), 10u);
+  // All mass in (100, 200]: the quantile interpolates inside that bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(merged, 0.5), 150.0);
+  EXPECT_GT(histogram_quantile(merged, 0.99), 150.0);
+  EXPECT_LE(histogram_quantile(merged, 0.99), 200.0);
+}
+
+TEST(WindowedHistogram, MergeThenQuantileSpansSlots) {
+  WindowedHistogram window({10.0, 100.0, 1000.0}, 1000, 4);
+  // 50 fast observations in slot 0, 50 slow in slot 2: the merged view
+  // must mix them as one distribution.
+  for (int i = 0; i < 50; ++i) window.observe(5.0, 100);
+  for (int i = 0; i < 50; ++i) window.observe(500.0, 2100);
+  const Histogram merged = window.merge(2500);
+  EXPECT_EQ(merged.count(), 100u);
+  EXPECT_DOUBLE_EQ(merged.sum(), 50 * 5.0 + 50 * 500.0);
+  const double p50 = histogram_quantile(merged, 0.5);
+  EXPECT_LE(p50, 10.0);  // half the mass is in the first bucket
+  EXPECT_GT(histogram_quantile(merged, 0.99), 100.0);
+}
+
+TEST(WindowedHistogram, RotationExpiresSlotsExactlyAtTheBoundary) {
+  WindowedHistogram window({10.0}, /*slot_span_us=*/1000, /*slots=*/3);
+  window.observe(1.0, 0);  // slot epoch 0
+  EXPECT_EQ(window.count(0), 1u);
+  // Window covers epochs [now/1000 - 2, now/1000]: epoch 0 is still
+  // visible at now=2999 and gone at now=3000.
+  EXPECT_EQ(window.count(2999), 1u);
+  EXPECT_EQ(window.count(3000), 0u);
+  EXPECT_EQ(window.merge(3000).count(), 0u);
+}
+
+TEST(WindowedHistogram, LateObservationReusesRotatedSlot) {
+  WindowedHistogram window({10.0}, 1000, 2);
+  window.observe(1.0, 0);     // epoch 0 -> ring slot 0
+  window.observe(2.0, 2000);  // epoch 2 -> ring slot 0 again: must reset
+  EXPECT_EQ(window.count(2000), 1u);
+  const Histogram merged = window.merge(2000);
+  EXPECT_EQ(merged.count(), 1u);
+  EXPECT_DOUBLE_EQ(merged.sum(), 2.0);
+}
+
+TEST(WindowedHistogram, SpanAccessors) {
+  WindowedHistogram window({1.0}, 250000, 8);
+  EXPECT_EQ(window.slot_span_us(), 250000);
+  EXPECT_EQ(window.window_span_us(), 2000000);
+  ASSERT_EQ(window.bounds().size(), 1u);
+}
+
+TEST(WindowedHistogram, DeterministicMergeAfterConcurrentRecording) {
+  WindowedHistogram window({10.0, 100.0, 1000.0}, 1000, 4);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&window] {
+      for (int i = 0; i < kPerThread; ++i)
+        window.observe(static_cast<double>(i % 500),
+                       /*now_us=*/(i % 4) * 1000);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Histogram merged = window.merge(3999);
+  EXPECT_EQ(merged.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(window.count(3999), merged.count());
+  // Two merges of the quiescent window agree exactly.
+  const Histogram again = window.merge(3999);
+  EXPECT_EQ(again.counts(), merged.counts());
+  EXPECT_DOUBLE_EQ(again.sum(), merged.sum());
+}
+
+TEST(EwmaRate, FirstUpdatePrimesAndReportsZero) {
+  EwmaRate rate(/*tau_s=*/10.0);
+  EXPECT_DOUBLE_EQ(rate.update(100, 0), 0.0);
+  EXPECT_DOUBLE_EQ(rate.value(), 0.0);
+}
+
+TEST(EwmaRate, ConvergesTowardSteadyRate) {
+  EwmaRate rate(/*tau_s=*/1.0);
+  // 1000 events/sec fed once per second: after several time constants the
+  // estimate approaches 1000 from below, monotonically.
+  rate.update(0, 0);
+  double previous = 0.0;
+  for (int s = 1; s <= 10; ++s) {
+    const double estimate =
+        rate.update(static_cast<std::uint64_t>(s) * 1000,
+                    static_cast<std::int64_t>(s) * 1000000);
+    EXPECT_GT(estimate, previous);
+    previous = estimate;
+  }
+  EXPECT_NEAR(previous, 1000.0, 1.0);
+  EXPECT_DOUBLE_EQ(rate.value(), previous);
+}
+
+TEST(EwmaRate, NonAdvancingClockKeepsLastEstimate) {
+  EwmaRate rate(1.0);
+  rate.update(0, 0);
+  const double estimate = rate.update(1000, 1000000);
+  EXPECT_DOUBLE_EQ(rate.update(2000, 1000000), estimate);  // dt == 0
+}
+
+}  // namespace
+}  // namespace si

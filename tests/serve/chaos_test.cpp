@@ -130,7 +130,10 @@ TEST(Chaos, ClientsKilledMidRequestDoNotWedgeTheServer) {
 
 TEST(Chaos, SlowLorisWriterIsDisconnectedDeterministically) {
   ServerConfig config;
-  config.max_write_buffer = 1024;  // tiny bound so the test converges fast
+  // Tiny bound so the test converges fast, but comfortably above one stats
+  // reply (~2 KiB with the windowed-latency section) so a well-behaved
+  // client is never cut for a single in-flight response.
+  config.max_write_buffer = 4096;
   Server server(config);
   server.start();
 
@@ -146,7 +149,7 @@ TEST(Chaos, SlowLorisWriterIsDisconnectedDeterministically) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
-  // Each stats reply is ~1 KiB; thousands of pipelined requests overwhelm
+  // Each stats reply is ~2 KiB; thousands of pipelined requests overwhelm
   // any kernel buffering, so the server's outbound buffer must blow past
   // max_write_buffer and the connection must be cut.
   const std::string request = encode_stats_request();

@@ -1,0 +1,234 @@
+// Observability tests for the serving daemon (DESIGN.md §10): the
+// Prometheus side port, the rolling-window stats section, and the
+// request-scoped span pipeline — including the exact decomposition
+// contract serve.request = serve.admit + serve.queue_wait +
+// serve.inference. Every server binds port 0, so tests are parallel-safe.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace si::serve {
+namespace {
+
+std::shared_ptr<ServedModel> make_model(std::uint64_t seed = 7,
+                                        int obs = 8) {
+  return std::make_shared<ServedModel>(ActorCritic(obs, {32, 16, 8}, seed),
+                                       "in-process", 0);
+}
+
+/// Round-trips one raw HTTP/1.0 request against `port` and returns the
+/// full response (headers + body); empty string on connect failure.
+std::string http_request(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+TEST(Observability, MetricsEndpointServesPrometheusText) {
+  ServerConfig config;
+  config.metrics_port = 0;  // kernel-assigned
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+  ASSERT_GT(server.metrics_port(), 0);
+
+  // Drive one real decision so the counters are warm.
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  ASSERT_TRUE(
+      client.decide({0.1, 0.9, 0.3, 0.0, 0.2, 0.5, 1.0, 0.4}, 1).has_value());
+
+  const std::string response = http_request(
+      server.metrics_port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  for (const char* metric :
+       {"serve_replies_total", "serve_requests_total",
+        "serve_latency_us_bucket", "serve_latency_us_count",
+        "serve_window_latency_us_bucket", "serve_window_req_per_s",
+        "serve_queue_wait_us_count", "serve_infer_us_count",
+        "serve_http_requests"}) {
+    EXPECT_NE(response.find(metric), std::string::npos) << metric;
+  }
+  server.stop();
+}
+
+TEST(Observability, HttpSidePortStatusCodes) {
+  ServerConfig config;
+  config.metrics_port = 0;
+  Server server(config);
+  server.start();
+  const int port = server.metrics_port();
+  ASSERT_GT(port, 0);
+
+  EXPECT_EQ(http_request(port, "GET /healthz HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 200 OK\r\n", 0),
+            0u);
+  EXPECT_EQ(http_request(port, "GET /nosuch HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 404 Not Found\r\n", 0),
+            0u);
+  EXPECT_EQ(http_request(port, "POST /metrics HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 405 Method Not Allowed\r\n", 0),
+            0u);
+  // Query strings are stripped before path dispatch.
+  EXPECT_EQ(http_request(port, "GET /healthz?verbose=1 HTTP/1.0\r\n\r\n")
+                .rfind("HTTP/1.0 200 OK\r\n", 0),
+            0u);
+  EXPECT_GE(server.stats().http_requests.load(), 4u);
+  server.stop();
+}
+
+TEST(Observability, MetricsPortDisabledByDefault) {
+  ServerConfig config;
+  Server server(config);
+  server.start();
+  EXPECT_LT(server.metrics_port(), 0);
+  server.stop();
+}
+
+TEST(Observability, StatsJsonCarriesWindowedSection) {
+  ServerConfig config;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  for (std::uint64_t r = 1; r <= 5; ++r)
+    ASSERT_TRUE(
+        client.decide({0.1, 0.9, 0.3, 0.0, 0.2, 0.5, 1.0, 0.4}, r)
+            .has_value());
+  const std::string json = server.stats_json();
+  for (const char* key :
+       {"serve.window.latency_us", "serve.window.count",
+        "serve.window.p50_latency_us", "serve.window.p99_latency_us",
+        "serve.window.p999_latency_us", "serve.window.req_per_s",
+        "serve.queue_wait_p50_us", "serve.infer_p99_us"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  server.stop();
+}
+
+TEST(Observability, RequestSpansDecomposeExactly) {
+  SpanCollector spans;
+  ServerConfig config;
+  config.spans = &spans;
+  Server server(config);
+  ASSERT_TRUE(server.publish_model(make_model()).ok);
+  server.start();
+
+  constexpr std::uint64_t kRequests = 8;
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  for (std::uint64_t r = 1; r <= kRequests; ++r)
+    ASSERT_TRUE(
+        client.decide({0.1, 0.9, 0.3, 0.0, 0.2, 0.5, 1.0, 0.4}, r)
+            .has_value());
+  server.stop();
+
+  // Group the per-request pipeline spans by trace id.
+  struct Trace {
+    const SpanEvent* request = nullptr;
+    const SpanEvent* admit = nullptr;
+    const SpanEvent* queue_wait = nullptr;
+    const SpanEvent* inference = nullptr;
+    const SpanEvent* reply_write = nullptr;
+  };
+  const std::vector<SpanEvent> events = spans.snapshot();
+  std::map<std::uint64_t, Trace> traces;
+  for (const SpanEvent& event : events) {
+    Trace& trace = traces[event.trace_id];
+    if (event.name == "serve.request") trace.request = &event;
+    if (event.name == "serve.admit") trace.admit = &event;
+    if (event.name == "serve.queue_wait") trace.queue_wait = &event;
+    if (event.name == "serve.inference") trace.inference = &event;
+    if (event.name == "serve.reply_write") trace.reply_write = &event;
+  }
+
+  std::uint64_t complete = 0;
+  for (const auto& [trace_id, trace] : traces) {
+    if (trace.request == nullptr) continue;
+    ++complete;
+    ASSERT_NE(trace.admit, nullptr);
+    ASSERT_NE(trace.queue_wait, nullptr);
+    ASSERT_NE(trace.inference, nullptr);
+    // The three pipeline segments tile [received, done) exactly: each
+    // starts where the previous ended, and their durations sum to the
+    // root span's duration. Same monotonic clock, no gaps, no overlap.
+    EXPECT_EQ(trace.admit->ts_us, trace.request->ts_us);
+    EXPECT_EQ(trace.queue_wait->ts_us,
+              trace.admit->ts_us + trace.admit->dur_us);
+    EXPECT_EQ(trace.inference->ts_us,
+              trace.queue_wait->ts_us + trace.queue_wait->dur_us);
+    EXPECT_EQ(trace.admit->dur_us + trace.queue_wait->dur_us +
+                  trace.inference->dur_us,
+              trace.request->dur_us);
+    // All children hang off the root request span.
+    EXPECT_EQ(trace.admit->parent_id, trace.request->span_id);
+    EXPECT_EQ(trace.queue_wait->parent_id, trace.request->span_id);
+    EXPECT_EQ(trace.inference->parent_id, trace.request->span_id);
+    if (trace.reply_write != nullptr)
+      EXPECT_EQ(trace.reply_write->parent_id, trace.request->span_id);
+  }
+  EXPECT_EQ(complete, kRequests);
+}
+
+TEST(Observability, DegradedShedEmitsInstantSpan) {
+  SpanCollector spans;
+  ServerConfig config;
+  config.spans = &spans;
+  Server server(config);
+  // No model published: decisions degrade to the rule fallback, which
+  // must surface as serve.degraded instants in the trace.
+  server.start();
+  ServeClient client;
+  ASSERT_TRUE(connect_with_backoff(client, config.host, server.port()));
+  const auto reply =
+      client.decide({0.1, 0.9, 0.3, 0.0, 0.2, 0.5, 1.0, 0.4}, 1);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, ReplyStatus::kDegraded);
+  server.stop();
+
+  bool saw_degraded = false;
+  for (const SpanEvent& event : spans.snapshot())
+    if (event.name == "serve.degraded" &&
+        event.phase == SpanEvent::Phase::kInstant)
+      saw_degraded = true;
+  EXPECT_TRUE(saw_degraded);
+}
+
+}  // namespace
+}  // namespace si::serve

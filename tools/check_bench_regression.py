@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the bench --json records.
+
+Compares freshly captured bench records against the committed baselines
+(BENCH_kernels.json / BENCH_rollout.json / BENCH_serve.json). Records are
+matched by (name, metric, config); each metric's direction is inferred
+from its suffix:
+
+  higher is better:  *_per_s, *_per_sec, *_speedup, *_throughput
+  lower is better:   *_us, *_ms, *_ns, *_ns_per_sample, *_seconds
+
+A fresh value is a regression when it is worse than the baseline by more
+than the tolerance (relative, default 25% -- bench machines are noisy;
+tighten with --tolerance for a quiet dedicated box). Records present in
+only one file are reported but never fail the gate: baselines age and
+benches grow new metrics.
+
+Usage:
+  tools/check_bench_regression.py --baseline BENCH_serve.json \
+      --fresh build/fresh_serve.json [--tolerance 0.25]
+  tools/check_bench_regression.py --self-test BENCH_kernels.json ...
+
+--self-test is the hermetic ctest entry: for every baseline file it checks
+that (a) the file gates cleanly against itself and (b) a synthetically
+degraded copy (every metric made 2x worse in its bad direction) fails.
+Exit codes: 0 ok, 1 regression (or self-test failure), 2 usage/IO error.
+
+stdlib only -- no pip installs.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER_SUFFIXES = ("_per_s", "_per_sec", "_speedup", "_throughput")
+LOWER_BETTER_SUFFIXES = (
+    "_us",
+    "_ms",
+    "_ns",
+    "_ns_per_sample",
+    "_ns_per_step",
+    "_seconds",
+)
+
+
+def direction(metric):
+    """+1 when higher is better, -1 when lower is better."""
+    for suffix in HIGHER_BETTER_SUFFIXES:
+        if metric.endswith(suffix):
+            return +1
+    for suffix in LOWER_BETTER_SUFFIXES:
+        if metric.endswith(suffix):
+            return -1
+    # Unknown shape: treat as lower-better (latency-like) but say so.
+    print(f"note: unknown metric direction for '{metric}', assuming "
+          "lower-is-better")
+    return -1
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            records = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"error: cannot read {path}: {err}")
+    if not isinstance(records, list):
+        raise SystemExit(f"error: {path}: expected a JSON array of records")
+    out = {}
+    for record in records:
+        if not isinstance(record, dict):
+            raise SystemExit(f"error: {path}: non-object record {record!r}")
+        for field in ("name", "metric", "value", "config"):
+            if field not in record:
+                raise SystemExit(
+                    f"error: {path}: record missing '{field}': {record!r}")
+        key = (record["name"], record["metric"], record["config"])
+        out[key] = float(record["value"])
+    return out
+
+
+def compare(baseline, fresh, tolerance):
+    """Returns the list of regression messages (empty = gate passes)."""
+    regressions = []
+    for key in sorted(set(baseline) | set(fresh)):
+        name, metric, config = key
+        label = f"{name}/{metric} [{config}]"
+        if key not in fresh:
+            print(f"note: {label}: in baseline only (bench dropped it?)")
+            continue
+        if key not in baseline:
+            print(f"note: {label}: new metric, no baseline yet")
+            continue
+        base = baseline[key]
+        new = fresh[key]
+        sign = direction(metric)
+        if base == 0.0:
+            print(f"note: {label}: zero baseline, skipping ratio check")
+            continue
+        # Positive delta = worse, as a fraction of the baseline.
+        worse = (base - new) / abs(base) * sign
+        verdict = "ok"
+        if worse > tolerance:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{label}: {base:.4g} -> {new:.4g} "
+                f"({worse * 100.0:+.1f}% worse, tolerance "
+                f"{tolerance * 100.0:.0f}%)")
+        print(f"{verdict:>10}  {label}: {base:.4g} -> {new:.4g} "
+              f"({-worse * 100.0:+.1f}%)")
+    return regressions
+
+
+def degrade(records):
+    """Every metric made 2x worse in its bad direction."""
+    out = {}
+    for key, value in records.items():
+        _, metric, _ = key
+        out[key] = value / 2.0 if direction(metric) > 0 else value * 2.0
+    return out
+
+
+def self_test(paths, tolerance):
+    failures = []
+    for path in paths:
+        records = load_records(path)
+        if not records:
+            failures.append(f"{path}: no records")
+            continue
+        if compare(records, dict(records), tolerance):
+            failures.append(f"{path}: baseline regresses against itself")
+        if not compare(records, degrade(records), tolerance):
+            failures.append(
+                f"{path}: synthetically degraded records passed the gate")
+    if failures:
+        print("\nself-test FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nself-test ok: {len(paths)} baseline file(s) gate correctly")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", action="append", default=[],
+                        help="committed BENCH_*.json (repeatable)")
+    parser.add_argument("--fresh", action="append", default=[],
+                        help="freshly captured bench --json output "
+                             "(repeatable, merged)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative worsening (default 0.25)")
+    parser.add_argument("--self-test", nargs="+", metavar="BASELINE",
+                        dest="self_test",
+                        help="verify each baseline gates itself clean and a "
+                             "degraded copy dirty, then exit")
+    args = parser.parse_args(argv)
+
+    if args.tolerance <= 0.0:
+        parser.error("--tolerance must be > 0")
+    if args.self_test:
+        return self_test(args.self_test, args.tolerance)
+    if not args.baseline or not args.fresh:
+        parser.error("need --baseline and --fresh (or --self-test)")
+
+    baseline = {}
+    for path in args.baseline:
+        baseline.update(load_records(path))
+    fresh = {}
+    for path in args.fresh:
+        fresh.update(load_records(path))
+
+    regressions = compare(baseline, fresh, args.tolerance)
+    if regressions:
+        print(f"\n{len(regressions)} perf regression(s):")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print(f"\nperf gate ok ({len(fresh)} fresh records vs "
+          f"{len(baseline)} baseline records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,19 +1,24 @@
 #!/usr/bin/env python3
-"""Validates a SchedInspector JSONL event trace against the event schema.
+"""Validates SchedInspector observability output against its schemas.
 
-The schema is documented in DESIGN.md §5 and emitted by src/obs/trace.cpp:
-every line is one flat JSON object with an "ev" kind, a simulated
-timestamp "t", and a fixed per-kind field set. The checker is strict in
-both directions — missing AND unexpected keys fail — so the Python table
-below and the C++ emitter cannot drift apart silently.
+Two record families, both strict in BOTH directions — missing AND
+unexpected keys fail — so the Python tables below and the C++ emitters
+cannot drift apart silently:
+
+  * simulator event traces (DESIGN.md §5, src/obs/trace.cpp): JSONL, one
+    flat object per line with an "ev" kind and simulated timestamp "t";
+  * span traces (DESIGN.md §10, src/obs/span.cpp): Chrome trace-event
+    objects, accepted either as the full {"traceEvents":[...]} document
+    to_chrome_json() writes or as the JSONL to_jsonl() writes.
 
 Usage:
     check_trace_schema.py trace.jsonl [more.jsonl ...]
+    check_trace_schema.py --spans spans.json [more ...]
     check_trace_schema.py --generate <schedinspector_cli> --workdir <dir>
 
---generate runs small `train` and `eval` commands with --trace-out under
-<dir>, then validates the produced traces; this is how the `obs` ctest
-exercises the full pipeline. Standard library only.
+--generate runs small `train` and `eval` commands with --trace-out (and
+--spans-out) under <dir>, then validates everything produced; this is how
+the `obs` ctest exercises the full pipeline. Standard library only.
 """
 
 import argparse
@@ -86,6 +91,114 @@ def check_record(record, lineno, errors):
         err("kill: unknown reason %r" % (record.get("reason"),))
 
 
+# --- span events (Chrome trace-event JSON, src/obs/span.cpp) ---
+
+SPAN_PHASES = {"X", "i", "M"}
+
+
+def check_span_args(kind, args, err):
+    if not isinstance(args, dict):
+        err("%s: 'args' is not an object" % kind)
+        return
+    for required in ("trace", "span"):
+        if not type_ok(args.get(required), INT):
+            err("%s: args.%s missing or not an int" % (kind, required))
+    if "parent" in args and not type_ok(args["parent"], INT):
+        err("%s: args.parent is not an int" % kind)
+    for name, value in args.items():
+        if name in ("trace", "span", "parent"):
+            continue
+        # Every user-supplied arg value is emitted as an escaped string.
+        if not isinstance(value, str):
+            err("%s: args.%s is not a string" % (kind, name))
+
+
+def check_span_event(record, where, errors):
+    def err(message):
+        errors.append("%s: %s" % (where, message))
+
+    if not isinstance(record, dict):
+        err("not a JSON object")
+        return
+    phase = record.get("ph")
+    if phase not in SPAN_PHASES:
+        err("unknown phase %r" % (phase,))
+        return
+    if not isinstance(record.get("name"), str):
+        err("%s: 'name' missing or not a string" % phase)
+    if not type_ok(record.get("pid"), INT):
+        err("%s: 'pid' missing or not an int" % phase)
+    if not type_ok(record.get("tid"), INT):
+        err("%s: 'tid' missing or not an int" % phase)
+
+    if phase == "M":
+        # thread_name metadata: {"name","ph","pid","tid","args":{"name"}}.
+        expected = {"name", "ph", "pid", "tid", "args"}
+        if record.get("name") != "thread_name":
+            err("M: unexpected metadata record %r" % (record.get("name"),))
+        args = record.get("args")
+        if not isinstance(args, dict) or set(args) != {"name"} or \
+                not isinstance(args.get("name"), str):
+            err("M: args must be exactly {\"name\": <string>}")
+    else:
+        expected = {"name", "cat", "ph", "ts", "pid", "tid", "args"}
+        if not isinstance(record.get("cat"), str):
+            err("%s: 'cat' missing or not a string" % phase)
+        if not type_ok(record.get("ts"), INT):
+            err("%s: 'ts' missing or not an int" % phase)
+        if phase == "X":
+            expected.add("dur")
+            if not type_ok(record.get("dur"), INT):
+                err("X: 'dur' missing or not an int")
+            elif record["dur"] < 0:
+                err("X: negative duration %r" % (record["dur"],))
+        if phase == "i":
+            expected.add("s")
+            if record.get("s") != "t":
+                err("i: instant scope 's' must be \"t\"")
+        check_span_args(phase, record.get("args"), err)
+
+    for name in record:
+        if name not in expected:
+            err("%s: unexpected field %r" % (phase, name))
+
+
+def check_span_file(path):
+    """Returns (events, errors); accepts traceEvents JSON or JSONL."""
+    errors = []
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    events = []
+    try:
+        document = json.loads(text)
+    except ValueError:
+        document = None
+    if isinstance(document, dict):
+        if set(document) != {"traceEvents"} or \
+                not isinstance(document["traceEvents"], list):
+            return 0, ["top level must be exactly {\"traceEvents\": [...]}"]
+        events = [(i + 1, event)
+                  for i, event in enumerate(document["traceEvents"])]
+        label = "event"
+    elif document is not None:
+        return 0, ["top level is neither traceEvents object nor JSONL"]
+    else:
+        label = "line"
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line:
+                errors.append("line %d: empty line" % lineno)
+                continue
+            try:
+                events.append((lineno, json.loads(line)))
+            except ValueError as exc:
+                errors.append("line %d: invalid JSON: %s" % (lineno, exc))
+    for index, event in events:
+        check_span_event(event, "%s %d" % (label, index), errors)
+    if not events:
+        errors.append("no span events")
+    return len(events), errors
+
+
 def check_file(path):
     """Returns (records, errors) for one JSONL trace file."""
     errors = []
@@ -109,16 +222,19 @@ def check_file(path):
 
 
 def generate_traces(cli, workdir):
-    """Runs the CLI's train and eval with tracing on; returns trace paths."""
+    """Runs the CLI's train and eval with tracing on.
+
+    Returns (trace_paths, span_paths)."""
     os.makedirs(workdir, exist_ok=True)
     model = os.path.join(workdir, "model.txt")
     train_trace = os.path.join(workdir, "train_trace.jsonl")
     eval_trace = os.path.join(workdir, "eval_trace.jsonl")
+    train_spans = os.path.join(workdir, "train_spans.json")
     common = ["--trace", "SDSC-SP2", "--policy", "SJF", "--seed", "11"]
     commands = [
         [cli, "train", *common, "--epochs", "2", "--trajectories", "4",
          "--seq-len", "32", "--model", model, "--quiet",
-         "--trace-out", train_trace],
+         "--trace-out", train_trace, "--spans-out", train_spans],
         [cli, "eval", *common, "--sequences", "2", "--model", model,
          "--trace-out", eval_trace, "--faults"],
     ]
@@ -128,12 +244,14 @@ def generate_traces(cli, workdir):
         if result.returncode != 0:
             sys.stderr.write(result.stderr.decode("utf-8", "replace"))
             raise SystemExit("command failed: %s" % " ".join(command))
-    return [train_trace, eval_trace]
+    return [train_trace, eval_trace], [train_spans]
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("traces", nargs="*", help="JSONL trace files")
+    parser.add_argument("--spans", nargs="*", default=[],
+                        help="span trace files (traceEvents JSON or JSONL)")
     parser.add_argument("--generate", metavar="CLI",
                         help="schedinspector_cli binary; generates traces "
                              "to validate")
@@ -142,14 +260,20 @@ def main():
     args = parser.parse_args()
 
     traces = list(args.traces)
+    spans = list(args.spans)
     if args.generate:
-        traces += generate_traces(args.generate, args.workdir)
-    if not traces:
-        parser.error("no trace files given (pass paths or --generate)")
+        generated_traces, generated_spans = generate_traces(
+            args.generate, args.workdir)
+        traces += generated_traces
+        spans += generated_spans
+    if not traces and not spans:
+        parser.error("no trace files given (pass paths, --spans, or "
+                     "--generate)")
 
     failed = False
-    for path in traces:
-        records, errors = check_file(path)
+    for path, checker in [(p, check_file) for p in traces] + \
+                         [(p, check_span_file) for p in spans]:
+        records, errors = checker(path)
         for error in errors[:20]:
             print("%s: %s" % (path, error))
         if len(errors) > 20:

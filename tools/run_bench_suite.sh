@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
-# Builds the benchmarks in Release (optionally tuned for this machine) and
-# captures the perf baseline: bench_kernels --json, bench_rollout --json,
-# plus the google-benchmark inference-cost numbers. Writes
-# BENCH_kernels.json and BENCH_rollout.json at the repo root — the
-# artifacts later runs diff against to catch performance regressions.
-# Usage: tools/run_bench_suite.sh [build-dir] [--portable]
+# Builds the benchmarks in Release (optionally tuned for this machine),
+# captures fresh bench --json records into the build dir, and gates them
+# against the committed baselines (BENCH_kernels.json, BENCH_rollout.json,
+# BENCH_serve.json) with tools/check_bench_regression.py. Pass --update to
+# refresh the repo-root baselines from this run instead of gating.
+# Usage: tools/run_bench_suite.sh [build-dir] [--portable] [--update]
 #   --portable  skip -march=native (comparable across machines, slower)
+#   --update    overwrite the committed BENCH_*.json baselines
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build-bench"
 native=ON
+update=0
 for arg in "$@"; do
   case "$arg" in
     --portable) native=OFF ;;
+    --update) update=1 ;;
     *) build_dir="$arg" ;;
   esac
 done
@@ -24,17 +27,34 @@ cmake -B "$build_dir" -S "$repo_root" \
 cmake --build "$build_dir" -j "$(nproc)" \
   --target bench_kernels bench_rollout bench_serve bench_cost_inference
 
-echo "== bench_kernels (perf-regression records -> BENCH_kernels.json) =="
-"$build_dir/bench/bench_kernels" --json "$repo_root/BENCH_kernels.json"
+fresh_dir="$build_dir/bench-records"
+mkdir -p "$fresh_dir"
 
-echo "== bench_rollout (perf-regression records -> BENCH_rollout.json) =="
-"$build_dir/bench/bench_rollout" --json "$repo_root/BENCH_rollout.json"
+echo "== bench_kernels =="
+"$build_dir/bench/bench_kernels" --json "$fresh_dir/BENCH_kernels.json"
 
-echo "== bench_serve (perf-regression records -> BENCH_serve.json) =="
-"$build_dir/bench/bench_serve" --json "$repo_root/BENCH_serve.json"
+echo "== bench_rollout =="
+"$build_dir/bench/bench_rollout" --json "$fresh_dir/BENCH_rollout.json"
+
+echo "== bench_serve =="
+"$build_dir/bench/bench_serve" --json "$fresh_dir/BENCH_serve.json"
 
 echo "== bench_cost_inference (google-benchmark, informational) =="
 "$build_dir/bench/bench_cost_inference" --benchmark_min_time=0.2 || true
 
-echo "wrote $repo_root/BENCH_kernels.json, $repo_root/BENCH_rollout.json," \
-     "and $repo_root/BENCH_serve.json"
+if [ "$update" = 1 ]; then
+  cp "$fresh_dir/BENCH_kernels.json" "$repo_root/BENCH_kernels.json"
+  cp "$fresh_dir/BENCH_rollout.json" "$repo_root/BENCH_rollout.json"
+  cp "$fresh_dir/BENCH_serve.json" "$repo_root/BENCH_serve.json"
+  echo "updated BENCH_kernels.json, BENCH_rollout.json, BENCH_serve.json"
+  exit 0
+fi
+
+echo "== perf-regression gate (tools/check_bench_regression.py) =="
+python3 "$repo_root/tools/check_bench_regression.py" \
+  --baseline "$repo_root/BENCH_kernels.json" \
+  --baseline "$repo_root/BENCH_rollout.json" \
+  --baseline "$repo_root/BENCH_serve.json" \
+  --fresh "$fresh_dir/BENCH_kernels.json" \
+  --fresh "$fresh_dir/BENCH_rollout.json" \
+  --fresh "$fresh_dir/BENCH_serve.json"
